@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table harnesses: the paper's
+ * (workload, input) combinations, graph caching, and result helpers.
+ *
+ * Every harness prints a stable text table with the same rows/series
+ * the paper reports. Environment knobs:
+ *   HDCPS_BENCH_SCALE  input scale factor (default 1)
+ *   HDCPS_BENCH_CORES  simulated core count (default 64, Table I)
+ *   HDCPS_BENCH_SEED   generator/scheduler seed (default 1)
+ */
+
+#ifndef HDCPS_BENCH_BENCH_COMMON_H_
+#define HDCPS_BENCH_BENCH_COMMON_H_
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algos/workload.h"
+#include "graph/generators.h"
+#include "sim/machine.h"
+#include "simsched/runner.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace hdcps::bench {
+
+/** One (kernel, input) point of the paper's evaluation. */
+struct Combo
+{
+    const char *kernel;
+    const char *input;
+
+    std::string
+    label() const
+    {
+        return std::string(kernel) + "-" + input;
+    }
+};
+
+/** The paper's full evaluation set (Figure 3/8 style). */
+inline std::vector<Combo>
+fullCombos()
+{
+    return {
+        {"sssp", "cage"},  {"sssp", "usa"},  {"astar", "cage"},
+        {"astar", "usa"},  {"bfs", "cage"},  {"bfs", "usa"},
+        {"mst", "cage"},   {"mst", "usa"},   {"color", "cage"},
+        {"color", "usa"},  {"pagerank", "wg"}, {"pagerank", "lj"},
+    };
+}
+
+/** Reduced set for parameter sweeps (Figures 7, 13-15 style). */
+inline std::vector<Combo>
+sweepCombos()
+{
+    return {
+        {"sssp", "cage"},
+        {"sssp", "usa"},
+        {"bfs", "usa"},
+        {"pagerank", "wg"},
+    };
+}
+
+inline unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    return static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+}
+
+inline unsigned
+benchScale()
+{
+    return envUnsigned("HDCPS_BENCH_SCALE", 1);
+}
+
+inline uint64_t
+benchSeed()
+{
+    return envUnsigned("HDCPS_BENCH_SEED", 1);
+}
+
+/** Table I machine, with an optional core-count override. */
+inline SimConfig
+benchConfig()
+{
+    SimConfig config;
+    unsigned cores = envUnsigned("HDCPS_BENCH_CORES", 64);
+    config.numCores = cores;
+    // Pick the widest mesh that tiles the core count.
+    unsigned width = 1;
+    for (unsigned w = 1; w * w <= cores; ++w) {
+        if (cores % w == 0)
+            width = w;
+    }
+    config.meshWidth = cores / width >= width ? cores / width : width;
+    while (cores % config.meshWidth != 0)
+        --config.meshWidth;
+    return config;
+}
+
+/** Cache of generated inputs, keyed by name (shared across combos). */
+class InputCache
+{
+  public:
+    const Graph &
+    get(const std::string &name)
+    {
+        auto it = graphs_.find(name);
+        if (it == graphs_.end()) {
+            it = graphs_
+                     .emplace(name, makePaperInput(name, benchScale(),
+                                                   benchSeed()))
+                     .first;
+        }
+        return it->second;
+    }
+
+  private:
+    std::map<std::string, Graph> graphs_;
+};
+
+/** Cache of workloads bound to cached inputs (reset() before reuse). */
+class WorkloadCache
+{
+  public:
+    Workload &
+    get(const Combo &combo)
+    {
+        std::string key = combo.label();
+        auto it = workloads_.find(key);
+        if (it == workloads_.end()) {
+            it = workloads_
+                     .emplace(key, makeWorkload(combo.kernel,
+                                                inputs_.get(combo.input),
+                                                0))
+                     .first;
+        }
+        return *it->second;
+    }
+
+  private:
+    InputCache inputs_;
+    std::map<std::string, std::unique_ptr<Workload>> workloads_;
+};
+
+/** Abort the harness if a run failed verification. */
+inline void
+requireVerified(const SimResult &result, const std::string &what)
+{
+    if (!result.verified) {
+        std::cerr << "FATAL: " << what
+                  << " failed verification: " << result.verifyError
+                  << "\n";
+        std::exit(1);
+    }
+}
+
+/** Repetitions per measurement (adaptive schedulers are seed-
+ *  sensitive on small instances; the figures report geomeans over
+ *  seeds). Override with HDCPS_BENCH_REPS. */
+inline unsigned
+benchReps()
+{
+    return envUnsigned("HDCPS_BENCH_REPS", 3);
+}
+
+/**
+ * Run a named design benchReps() times with consecutive seeds and
+ * return the last run's statistics with completionCycles replaced by
+ * the geometric mean across seeds. Every run is verified.
+ */
+inline SimResult
+simulateMean(const std::string &design, Workload &workload,
+             const SimConfig &config)
+{
+    double logSum = 0.0;
+    SimResult last;
+    unsigned reps = benchReps();
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        last = simulate(design, workload, config, benchSeed() + rep);
+        requireVerified(last, design);
+        logSum += std::log(double(last.completionCycles));
+    }
+    last.completionCycles =
+        Cycle(std::exp(logSum / double(reps)));
+    return last;
+}
+
+/** As simulateMean, for a pre-built design object (boot() resets all
+ *  design state, so one object serves every rep). */
+inline SimResult
+simulateMean(SimDesign &design, Workload &workload,
+             const SimConfig &config)
+{
+    double logSum = 0.0;
+    SimResult last;
+    unsigned reps = benchReps();
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        last = simulate(design, workload, config, benchSeed() + rep);
+        requireVerified(last, design.name());
+        logSum += std::log(double(last.completionCycles));
+    }
+    last.completionCycles =
+        Cycle(std::exp(logSum / double(reps)));
+    return last;
+}
+
+/** Percentage string for breakdown components. */
+inline std::string
+percent(double fraction)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+    return buf;
+}
+
+} // namespace hdcps::bench
+
+#endif // HDCPS_BENCH_BENCH_COMMON_H_

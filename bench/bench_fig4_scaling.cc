@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 4: performance scaling with core count — PMOD vs HD-CPS:SW
+ * normalized to the optimized sequential implementation. The paper's
+ * shape: HD-CPS:SW at or above PMOD everywhere, with the gap widening
+ * at higher core counts where communication costs dominate.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace hdcps;
+    using namespace hdcps::bench;
+
+    const uint64_t seed = benchSeed();
+    WorkloadCache workloads;
+    const std::vector<unsigned> coreCounts = {1, 2, 4, 8, 16, 32, 64};
+    const std::vector<Combo> combos = {
+        {"sssp", "cage"}, {"sssp", "usa"}, {"bfs", "usa"},
+        {"pagerank", "wg"}};
+
+    for (const Combo &combo : combos) {
+        Workload &workload = workloads.get(combo);
+        SimConfig oneCore = benchConfig();
+        oneCore.numCores = 1;
+        oneCore.meshWidth = 1;
+        Cycle seq = simulateSequentialCycles(workload, oneCore, seed);
+
+        Table table({"cores", "pmod", "hdcps-sw"});
+        for (unsigned cores : coreCounts) {
+            SimConfig config = benchConfig();
+            config.numCores = cores;
+            unsigned width = 1;
+            while (width * 2 <= cores / width && cores % (width * 2) == 0)
+                width *= 2;
+            config.meshWidth = cores / width;
+
+            table.row().cell(uint64_t(cores));
+            for (const char *design : {"pmod", "hdcps-sw"}) {
+                SimResult r = simulateMean(design, workload, config);
+                requireVerified(r, combo.label() + "/" + design);
+                table.cell(double(seq) / double(r.completionCycles), 2);
+            }
+        }
+        table.printText(std::cout,
+                        "Figure 4 (" + combo.label() +
+                            "): speedup over sequential vs cores");
+        std::cout << "\n";
+    }
+    std::cout << "Paper shape: HD-CPS:SW >= PMOD, gap grows with "
+                 "core count.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 7: HD-CPS:HW with different hardware queue sizes. The x-axis
+ * tuples are (hRQ size, hPQ size); the paper sweeps hRQ from 1024 down
+ * to 24 at hPQ=32, then grows hPQ to 64 at hRQ=32, and picks (32, 48).
+ * We report geomean performance normalized to the default (32, 48)
+ * plus the occupancy ablation (high-water marks and hRQ spills) that
+ * motivates the choice.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "simsched/sim_hdcps.h"
+
+int
+main()
+{
+    using namespace hdcps;
+    using namespace hdcps::bench;
+
+    const SimConfig config = benchConfig();
+    const uint64_t seed = benchSeed();
+    WorkloadCache workloads;
+
+    const std::vector<std::pair<uint32_t, uint32_t>> sizes = {
+        {1024, 32}, {256, 32}, {128, 32}, {64, 32}, {32, 32},
+        {24, 32},   {32, 40},  {32, 48},  {32, 64},
+    };
+
+    // Baseline: the paper's chosen (32, 48).
+    std::map<std::string, Cycle> baseline;
+    for (const Combo &combo : sweepCombos()) {
+        SimHdCpsConfig hdcps = SimHdCps::configHw();
+        SimHdCps design(hdcps, "hw-32-48");
+        SimResult r =
+            simulateMean(design, workloads.get(combo), config);
+        requireVerified(r, combo.label() + "/baseline");
+        baseline[combo.label()] = r.completionCycles;
+    }
+
+    Table table({"hRQ", "hPQ", "geomean-norm", "max-hRQ-occ",
+                 "max-hPQ-occ", "hRQ-spills"});
+    for (auto [hrq, hpq] : sizes) {
+        std::vector<double> normalized;
+        size_t hrqHigh = 0;
+        size_t hpqHigh = 0;
+        uint64_t spills = 0;
+        for (const Combo &combo : sweepCombos()) {
+            SimHdCpsConfig hdcps = SimHdCps::configHw();
+            hdcps.hrqEntries = hrq;
+            hdcps.hpqEntries = hpq;
+            SimHdCps design(hdcps, "hw-sweep");
+            SimResult r =
+                simulateMean(design, workloads.get(combo), config);
+            requireVerified(r, combo.label() + "/sweep");
+            normalized.push_back(double(r.completionCycles) /
+                                 double(baseline[combo.label()]));
+            hrqHigh = std::max(hrqHigh, design.hrqHighWater());
+            hpqHigh = std::max(hpqHigh, design.hpqHighWater());
+            spills += design.hrqSpills();
+        }
+        table.row()
+            .cell(uint64_t(hrq))
+            .cell(uint64_t(hpq))
+            .cell(geomean(normalized), 3)
+            .cell(uint64_t(hrqHigh))
+            .cell(uint64_t(hpqHigh))
+            .cell(spills);
+    }
+    table.printText(std::cout,
+                    "Figure 7: HD-CPS:HW queue-size sweep (normalized "
+                    "to hRQ=32, hPQ=48)");
+    std::cout << "\nPaper shape: flat above 32-entry hRQ (utilization "
+                 "~30), drop below 32; hPQ gains up to 48 then "
+                 "saturates => (32, 48) chosen, 1.25KB/core.\n";
+    return 0;
+}

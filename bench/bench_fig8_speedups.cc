@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 8: speedup over the optimized sequential baseline for Swarm,
+ * Minnow (hardware helpers), and HD-CPS:HW, per workload and geomean.
+ * Paper shape: Swarm best overall (66x on 64 cores), HD-CPS:HW close
+ * behind (61x, ~7% gap), Minnow trailing (48x) because divergent
+ * priorities hurt its work efficiency on sparse inputs.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace hdcps;
+    using namespace hdcps::bench;
+
+    const SimConfig config = benchConfig();
+    const uint64_t seed = benchSeed();
+    WorkloadCache workloads;
+
+    const std::vector<std::string> designs = {"minnow-hw", "hdcps-hw",
+                                              "swarm"};
+    Table table(
+        {"workload", "minnow-hw", "hdcps-hw", "swarm", "seq-cycles"});
+    std::map<std::string, std::vector<double>> speedups;
+
+    for (const Combo &combo : fullCombos()) {
+        Workload &workload = workloads.get(combo);
+        Cycle seq = simulateSequentialCycles(workload, config, seed);
+        table.row().cell(combo.label());
+        for (const std::string &design : designs) {
+            SimResult r = simulateMean(design, workload, config);
+            requireVerified(r, combo.label() + "/" + design);
+            double speedup = double(seq) / double(r.completionCycles);
+            speedups[design].push_back(speedup);
+            table.cell(speedup, 1);
+        }
+        table.cell(uint64_t(seq));
+    }
+    table.row().cell("geomean");
+    for (const std::string &design : designs)
+        table.cell(geomean(speedups[design]), 1);
+    table.cell("-");
+
+    table.printText(std::cout,
+                    "Figure 8: speedup over sequential baseline");
+    std::cout << "\nPaper shape (64 cores): Minnow 48x < HD-CPS:HW 61x "
+                 "< Swarm 66x (Swarm ~7% ahead of HD-CPS:HW; Minnow "
+                 "~8% behind).\n";
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the queue substrate: the
+ * operations whose latency the paper's hardware queues exist to hide.
+ * These quantify, on the host, the software PQ rebalance cost growth
+ * with occupancy and the cost gap between the locked PQ (RELD's
+ * enqueue path) and the receive queue (HD-CPS's enqueue path) — the
+ * software-side motivation for Figure 5's sRQ gains.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/bag_policy.h"
+#include "core/recv_queue.h"
+#include "cps/task.h"
+#include "pq/dary_heap.h"
+#include "pq/locked_pq.h"
+#include "sim/hwqueue.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace hdcps;
+
+void
+BM_DAryHeapPushPop(benchmark::State &state)
+{
+    const size_t occupancy = static_cast<size_t>(state.range(0));
+    DAryHeap<Task, TaskOrder> heap;
+    Rng rng(1);
+    for (size_t i = 0; i < occupancy; ++i)
+        heap.push(Task{rng.below(1 << 20), uint32_t(i), 0});
+    for (auto _ : state) {
+        heap.push(Task{rng.below(1 << 20), 0, 0});
+        benchmark::DoNotOptimize(heap.pop());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 2);
+}
+BENCHMARK(BM_DAryHeapPushPop)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void
+BM_LockedPqRemoteEnqueue(benchmark::State &state)
+{
+    // RELD's push path: lock + rebalance at the destination.
+    LockedTaskPq pq;
+    Rng rng(2);
+    for (int i = 0; i < 1024; ++i)
+        pq.push(Task{rng.below(1 << 20), uint32_t(i), 0});
+    for (auto _ : state) {
+        pq.push(Task{rng.below(1 << 20), 0, 0});
+        Task t;
+        pq.tryPop(t);
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 2);
+}
+BENCHMARK(BM_LockedPqRemoteEnqueue);
+
+void
+BM_ReceiveQueueTransfer(benchmark::State &state)
+{
+    // HD-CPS's push path: one slot claim + one flag store.
+    ReceiveQueue<Task> rq(1024);
+    Rng rng(3);
+    for (auto _ : state) {
+        rq.tryPush(Task{rng.below(1 << 20), 0, 0});
+        Task t;
+        rq.tryPop(t);
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 2);
+}
+BENCHMARK(BM_ReceiveQueueTransfer);
+
+void
+BM_HwPqModelPushEvict(benchmark::State &state)
+{
+    HwPriorityQueue hpq(48);
+    Rng rng(4);
+    for (auto _ : state) {
+        auto evicted = hpq.pushEvict(Task{rng.below(1 << 20), 0, 0});
+        benchmark::DoNotOptimize(evicted);
+        if (!hpq.empty() && rng.chance(0.5))
+            benchmark::DoNotOptimize(hpq.popMin());
+    }
+}
+BENCHMARK(BM_HwPqModelPushEvict);
+
+void
+BM_BagPolicyPlan(benchmark::State &state)
+{
+    // Algorithm 1 on a typical child batch.
+    Rng rng(5);
+    std::vector<Task> batch;
+    for (int i = 0; i < 24; ++i)
+        batch.push_back(Task{rng.below(4), uint32_t(i), 0});
+    BagPolicy policy;
+    for (auto _ : state) {
+        auto copy = batch;
+        benchmark::DoNotOptimize(policy.plan(std::move(copy)));
+    }
+}
+BENCHMARK(BM_BagPolicyPlan);
+
+} // namespace
+
+BENCHMARK_MAIN();

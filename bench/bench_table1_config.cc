@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Table I: the simulated multicore's parameters, printed from the live
+ * SimConfig so the table can never drift from the implementation.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace hdcps;
+    SimConfig config; // defaults == Table I
+    config.check();
+    std::cout << "== Table I: Multicore simulator parameters ==\n";
+    config.printTable(std::cout);
+    std::cout << "\nPer-core hardware queue overhead: "
+              << (config.hrqEntries + config.hpqEntries) *
+                     (config.taskBits / 8)
+              << " bytes ("
+              << double((config.hrqEntries + config.hpqEntries) *
+                        (config.taskBits / 8)) /
+                     1024.0
+              << " KB, paper: 1.25KB)\n";
+    return 0;
+}

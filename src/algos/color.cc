@@ -1,0 +1,134 @@
+#include "algos/color.h"
+
+#include <algorithm>
+
+#include "algos/sequential.h"
+#include "support/logging.h"
+
+namespace hdcps {
+
+ColorWorkload::ColorWorkload(const Graph &g)
+    : Workload(g), transpose_(g.transpose()), colors_(g.numNodes())
+{
+    for (NodeId n = 0; n < g.numNodes(); ++n)
+        maxDegree_ = std::max(maxDegree_, totalDegree(n));
+    reset();
+}
+
+void
+ColorWorkload::reset()
+{
+    for (auto &c : colors_)
+        c.store(-1, std::memory_order_relaxed);
+}
+
+Priority
+ColorWorkload::taskPriority(NodeId n) const
+{
+    // Higher degree => higher scheduling priority => lower value.
+    return Priority(maxDegree_ - totalDegree(n));
+}
+
+void
+ColorWorkload::forEachNeighbor(NodeId n,
+                               const std::function<void(NodeId)> &f) const
+{
+    for (EdgeId e = graph_->edgeBegin(n); e < graph_->edgeEnd(n); ++e)
+        f(graph_->edgeDest(e));
+    for (EdgeId e = transpose_.edgeBegin(n); e < transpose_.edgeEnd(n);
+         ++e) {
+        f(transpose_.edgeDest(e));
+    }
+}
+
+int32_t
+ColorWorkload::smallestFreeColor(NodeId n) const
+{
+    // Degree+1 colors always suffice; collect used ones in a bitmap.
+    std::vector<bool> used(totalDegree(n) + 2, false);
+    forEachNeighbor(n, [&](NodeId u) {
+        int32_t c = colors_[u].load(std::memory_order_seq_cst);
+        if (c >= 0 && static_cast<size_t>(c) < used.size())
+            used[c] = true;
+    });
+    int32_t color = 0;
+    while (used[color])
+        ++color;
+    return color;
+}
+
+std::vector<Task>
+ColorWorkload::initialTasks()
+{
+    std::vector<Task> tasks;
+    tasks.reserve(graph_->numNodes());
+    for (NodeId n = 0; n < graph_->numNodes(); ++n)
+        tasks.push_back(Task{taskPriority(n), n, 0});
+    return tasks;
+}
+
+uint32_t
+ColorWorkload::process(const Task &task, std::vector<Task> &children)
+{
+    const NodeId v = task.node;
+    const uint32_t retries = task.data;
+
+    std::unique_lock<std::mutex> serial(globalMutex_, std::defer_lock);
+    if (retries >= maxRetries)
+        serial.lock();
+
+    colors_[v].store(smallestFreeColor(v), std::memory_order_seq_cst);
+
+    // Conflict sweep: a racing neighbour may hold the same color. The
+    // higher node id loses and recolors.
+    int32_t mine = colors_[v].load(std::memory_order_seq_cst);
+    bool reenqueueSelf = false;
+    forEachNeighbor(v, [&](NodeId u) {
+        if (u == v)
+            return;
+        if (colors_[u].load(std::memory_order_seq_cst) != mine)
+            return;
+        if (u < v) {
+            reenqueueSelf = true;
+        } else {
+            children.push_back(Task{taskPriority(u), u, 0});
+        }
+    });
+    if (reenqueueSelf)
+        children.push_back(Task{taskPriority(v), v, retries + 1});
+
+    return totalDegree(v) * 2; // one scan to color, one to check
+}
+
+int32_t
+ColorWorkload::numColorsUsed() const
+{
+    int32_t best = 0;
+    for (NodeId n = 0; n < graph_->numNodes(); ++n)
+        best = std::max(best, color(n) + 1);
+    return best;
+}
+
+bool
+ColorWorkload::verify(std::string *whyNot)
+{
+    std::vector<int32_t> snapshot(graph_->numNodes());
+    for (NodeId n = 0; n < graph_->numNodes(); ++n)
+        snapshot[n] = color(n);
+    if (!isProperColoring(*graph_, snapshot)) {
+        if (whyNot)
+            *whyNot = "color: result is not a proper coloring";
+        return false;
+    }
+    return true;
+}
+
+uint64_t
+ColorWorkload::sequentialTasks()
+{
+    if (seqTasks_ == 0)
+        seqTasks_ = greedyColor(*graph_).tasksProcessed;
+    return seqTasks_;
+}
+
+} // namespace hdcps

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Speculative greedy graph coloring prioritized by degree.
+ *
+ * The paper's Color workload assigns vertex colors by saturation
+ * degree; tasks are prioritized by degree (denser vertices first,
+ * Welsh-Powell style, which empirically minimizes colors). Coloring is
+ * speculative: a task colors its node with the smallest color unused by
+ * neighbours, then re-checks; if a concurrent neighbour grabbed the
+ * same color, the conflict loser (the higher node id) re-enqueues
+ * itself. Sequentially-consistent color stores guarantee that at least
+ * one of two racing neighbours observes the other, so no conflict
+ * survives the run. A retry bound escalates pathological nodes to a
+ * global mutex so termination never depends on luck.
+ */
+
+#ifndef HDCPS_ALGOS_COLOR_H_
+#define HDCPS_ALGOS_COLOR_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "algos/workload.h"
+
+namespace hdcps {
+
+/** Speculative degree-prioritized coloring. */
+class ColorWorkload : public Workload
+{
+  public:
+    explicit ColorWorkload(const Graph &g);
+
+    const char *name() const override { return "color"; }
+    std::vector<Task> initialTasks() override;
+    uint32_t process(const Task &task,
+                     std::vector<Task> &children) override;
+    bool verify(std::string *whyNot) override;
+    uint64_t sequentialTasks() override;
+    void reset() override;
+
+    int32_t
+    color(NodeId n) const
+    {
+        return colors_[n].load(std::memory_order_seq_cst);
+    }
+
+    /** Number of distinct colors used (valid after a run). */
+    int32_t numColorsUsed() const;
+
+  private:
+    static constexpr uint32_t maxRetries = 50;
+
+    uint32_t totalDegree(NodeId n) const
+    {
+        return graph_->degree(n) + transpose_.degree(n);
+    }
+
+    Priority taskPriority(NodeId n) const;
+    int32_t smallestFreeColor(NodeId n) const;
+    void forEachNeighbor(NodeId n, const std::function<void(NodeId)> &f)
+        const;
+
+    Graph transpose_; ///< for undirected neighbour iteration
+    std::vector<std::atomic<int32_t>> colors_;
+    uint32_t maxDegree_ = 0;
+    std::mutex globalMutex_; ///< escalation path for repeated conflicts
+    uint64_t seqTasks_ = 0;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_ALGOS_COLOR_H_

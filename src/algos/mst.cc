@@ -1,0 +1,238 @@
+#include "algos/mst.h"
+
+#include <algorithm>
+
+#include "algos/sequential.h"
+#include "graph/builder.h"
+#include "support/logging.h"
+
+namespace hdcps {
+
+Graph
+symmetrize(const Graph &g)
+{
+    GraphBuilder builder(g.numNodes(), true);
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        for (EdgeId e = g.edgeBegin(n); e < g.edgeEnd(n); ++e) {
+            builder.addEdge(n, g.edgeDest(e), g.edgeWeight(e));
+            builder.addEdge(g.edgeDest(e), n, g.edgeWeight(e));
+        }
+    }
+    return builder.build(true);
+}
+
+MstWorkload::MstWorkload(const Graph &g)
+    : Workload(g), sym_(symmetrize(g)), parent_(g.numNodes())
+{
+    comps_.reserve(g.numNodes());
+    for (NodeId n = 0; n < g.numNodes(); ++n)
+        comps_.push_back(std::make_unique<Component>());
+
+    // Weight-sort each node's adjacency once so the scan cursor can
+    // walk it cheapest-first.
+    sortedDests_.resize(sym_.numEdges());
+    sortedWeights_.resize(sym_.numEdges());
+    std::vector<std::pair<Weight, NodeId>> scratch;
+    for (NodeId n = 0; n < sym_.numNodes(); ++n) {
+        scratch.clear();
+        for (EdgeId e = sym_.edgeBegin(n); e < sym_.edgeEnd(n); ++e)
+            scratch.push_back({sym_.edgeWeight(e), sym_.edgeDest(e)});
+        std::sort(scratch.begin(), scratch.end());
+        EdgeId base = sym_.edgeBegin(n);
+        for (size_t i = 0; i < scratch.size(); ++i) {
+            sortedWeights_[base + i] = scratch[i].first;
+            sortedDests_[base + i] = scratch[i].second;
+        }
+    }
+    cursor_.resize(sym_.numNodes());
+    reset();
+}
+
+void
+MstWorkload::reset()
+{
+    for (NodeId n = 0; n < sym_.numNodes(); ++n) {
+        parent_[n].store(n, std::memory_order_relaxed);
+        comps_[n]->nodes.assign(1, n);
+        cursor_[n] = 0;
+    }
+    weight_.store(0, std::memory_order_relaxed);
+    edges_.store(0, std::memory_order_relaxed);
+}
+
+NodeId
+MstWorkload::find(NodeId x) const
+{
+    // Lock-free find with path halving; parents only ever move toward
+    // the root, so stale reads are benign (callers re-verify under
+    // component locks before acting).
+    NodeId p = parent_[x].load(std::memory_order_acquire);
+    while (p != x) {
+        NodeId gp = parent_[p].load(std::memory_order_acquire);
+        parent_[x].compare_exchange_weak(p, gp,
+                                         std::memory_order_release,
+                                         std::memory_order_acquire);
+        x = p;
+        p = parent_[x].load(std::memory_order_acquire);
+    }
+    return x;
+}
+
+MstWorkload::BestEdge
+MstWorkload::minOutgoingEdge(NodeId rep, uint32_t &edgesScanned) const
+{
+    // Caller holds comps_[rep]->mutex, so the node list and the
+    // cursors of its member nodes are stable. Each node's adjacency is
+    // weight-sorted; the cursor permanently skips edges whose other
+    // endpoint joined this component (components never split, so an
+    // internal edge stays internal). The candidate at the cursor is
+    // therefore the node's cheapest outgoing edge.
+    BestEdge best;
+    auto *self = const_cast<MstWorkload *>(this);
+    for (NodeId v : comps_[rep]->nodes) {
+        EdgeId base = sym_.edgeBegin(v);
+        uint32_t degree =
+            static_cast<uint32_t>(sym_.edgeEnd(v) - base);
+        uint32_t &cur = self->cursor_[v];
+        while (cur < degree) {
+            ++edgesScanned;
+            NodeId dst = sortedDests_[base + cur];
+            if (find(dst) != rep)
+                break;
+            ++cur; // internal forever: never look at it again
+        }
+        if (cur >= degree)
+            continue; // node fully internal
+        NodeId dst = sortedDests_[base + cur];
+        Weight w = sortedWeights_[base + cur];
+        if (!best.found || w < best.weight ||
+            (w == best.weight &&
+             std::min(v, dst) < std::min(best.from, best.to))) {
+            best = {w, v, dst, true};
+        }
+    }
+    return best;
+}
+
+void
+MstWorkload::requeue(NodeId rep, uint32_t retries,
+                     std::vector<Task> &children)
+{
+    // Nudge the priority so retried merges do not hog the queue head.
+    children.push_back(
+        Task{static_cast<Priority>(retries) + 1, rep, retries});
+}
+
+bool
+MstWorkload::tryMerge(NodeId rep, const BestEdge &best, size_t sizeAtScan,
+                      std::vector<Task> &children)
+{
+    NodeId other = find(best.to);
+    if (other == rep)
+        return false; // target merged into us since the scan
+
+    NodeId lo = std::min(rep, other);
+    NodeId hi = std::max(rep, other);
+    std::scoped_lock locks(comps_[lo]->mutex, comps_[hi]->mutex);
+
+    // Re-validate the whole premise under the locks: both reps current,
+    // the chosen edge still crossing, and our component unchanged since
+    // the scan (growth could invalidate the minimality of `best`).
+    if (find(rep) != rep || find(other) != other ||
+        find(best.to) != other) {
+        return false;
+    }
+    if (comps_[rep]->nodes.size() != sizeAtScan)
+        return false;
+
+    // Survivor is `lo` so representative ids only decrease; splice the
+    // other component's node list and point its root at the survivor.
+    NodeId gone = (lo == rep) ? other : rep;
+    auto &dst = comps_[lo]->nodes;
+    auto &src = comps_[gone]->nodes;
+    dst.insert(dst.end(), src.begin(), src.end());
+    src.clear();
+    parent_[gone].store(lo, std::memory_order_release);
+
+    weight_.fetch_add(best.weight, std::memory_order_relaxed);
+    edges_.fetch_add(1, std::memory_order_relaxed);
+
+    // Continue merging the survivor; priority = component size, so
+    // small components merge first (Boruvka order).
+    children.push_back(
+        Task{static_cast<Priority>(dst.size()), lo, 0});
+    return true;
+}
+
+std::vector<Task>
+MstWorkload::initialTasks()
+{
+    std::vector<Task> tasks;
+    tasks.reserve(sym_.numNodes());
+    for (NodeId n = 0; n < sym_.numNodes(); ++n) {
+        if (sym_.degree(n) == 0)
+            continue; // isolated node: nothing to merge
+        tasks.push_back(Task{Priority(sym_.degree(n)), n, 0});
+    }
+    return tasks;
+}
+
+uint32_t
+MstWorkload::process(const Task &task, std::vector<Task> &children)
+{
+    NodeId rep = task.node;
+    uint32_t retries = task.data;
+    if (find(rep) != rep)
+        return 0; // our component was absorbed; the survivor's task runs
+
+    const bool fallback = retries >= maxRetries;
+    std::unique_lock<std::mutex> serial(globalMutex_, std::defer_lock);
+    if (fallback)
+        serial.lock(); // progress guarantee under heavy contention
+
+    uint32_t edgesScanned = 0;
+    BestEdge best;
+    size_t sizeAtScan = 0;
+    {
+        std::lock_guard<std::mutex> lock(comps_[rep]->mutex);
+        if (find(rep) != rep)
+            return edgesScanned;
+        best = minOutgoingEdge(rep, edgesScanned);
+        sizeAtScan = comps_[rep]->nodes.size();
+    }
+    if (!best.found)
+        return edgesScanned; // spanning tree of this component complete
+
+    if (!tryMerge(rep, best, sizeAtScan, children))
+        requeue(rep, retries + 1, children);
+    return edgesScanned;
+}
+
+bool
+MstWorkload::verify(std::string *whyNot)
+{
+    SeqMstResult ref = kruskal(*graph_);
+    seqTasks_ = ref.tasksProcessed;
+    if (forestWeight() != ref.totalWeight ||
+        forestEdges() != ref.edgesInForest) {
+        if (whyNot) {
+            *whyNot = "mst: weight/edges " +
+                      std::to_string(forestWeight()) + "/" +
+                      std::to_string(forestEdges()) + " expected " +
+                      std::to_string(ref.totalWeight) + "/" +
+                      std::to_string(ref.edgesInForest);
+        }
+        return false;
+    }
+    return true;
+}
+
+uint64_t
+MstWorkload::sequentialTasks()
+{
+    if (seqTasks_ == 0)
+        seqTasks_ = kruskal(*graph_).tasksProcessed;
+    return seqTasks_;
+}
+
+} // namespace hdcps

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Minimum spanning forest via asynchronous Boruvka merges.
+ *
+ * Each task owns one component (identified by its representative node)
+ * and tries to merge it with its nearest neighbour: scan every node in
+ * the component for the minimum-weight edge leaving it, then union the
+ * two components and add that edge to the forest. By the cut property,
+ * adding the minimum edge leaving *any* component is always safe, so
+ * the forest's total weight equals Kruskal's regardless of the task
+ * order — only the amount of retried/stale work varies, which is what
+ * the schedulers compete on. Tasks are prioritized by component size
+ * (the paper: "each merge ... is prioritized by its degree"), so small
+ * components merge first, Boruvka style.
+ *
+ * Concurrency: a lock-free union-find answers stale checks; per-
+ * component locks (always acquired in ascending representative order)
+ * protect node-list splices. A task that cannot take locks in order
+ * re-enqueues itself; after `maxRetries` it serializes on a global
+ * mutex, guaranteeing progress.
+ */
+
+#ifndef HDCPS_ALGOS_MST_H_
+#define HDCPS_ALGOS_MST_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "algos/workload.h"
+
+namespace hdcps {
+
+/** Concurrent Boruvka minimum spanning forest. */
+class MstWorkload : public Workload
+{
+  public:
+    explicit MstWorkload(const Graph &g);
+
+    const char *name() const override { return "mst"; }
+    std::vector<Task> initialTasks() override;
+    uint32_t process(const Task &task,
+                     std::vector<Task> &children) override;
+    bool verify(std::string *whyNot) override;
+    uint64_t sequentialTasks() override;
+    void reset() override;
+
+    uint64_t
+    forestWeight() const
+    {
+        return weight_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    forestEdges() const
+    {
+        return edges_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    static constexpr uint32_t maxRetries = 64;
+
+    struct Component
+    {
+        std::mutex mutex;
+        std::vector<NodeId> nodes;
+    };
+
+    struct BestEdge
+    {
+        Weight weight = ~Weight(0);
+        NodeId from = invalidNode;
+        NodeId to = invalidNode;
+        bool found = false;
+    };
+
+    NodeId find(NodeId x) const;
+    BestEdge minOutgoingEdge(NodeId rep, uint32_t &edgesScanned) const;
+    bool tryMerge(NodeId rep, const BestEdge &best, size_t sizeAtScan,
+                  std::vector<Task> &children);
+    void requeue(NodeId rep, uint32_t retries,
+                 std::vector<Task> &children);
+
+    Graph sym_; ///< symmetrized copy (MST is an undirected problem)
+    /** Per-node adjacency re-sorted by weight, with a monotone cursor
+     *  skipping edges that became internal (they stay internal
+     *  forever), so repeated component scans cost amortized O(E). */
+    std::vector<NodeId> sortedDests_;
+    std::vector<Weight> sortedWeights_;
+    std::vector<uint32_t> cursor_; ///< guarded by the owning comp lock
+    mutable std::vector<std::atomic<NodeId>> parent_;
+    std::vector<std::unique_ptr<Component>> comps_;
+    std::atomic<uint64_t> weight_{0};
+    std::atomic<uint64_t> edges_{0};
+    std::mutex globalMutex_; ///< progress fallback after maxRetries
+    uint64_t seqTasks_ = 0;
+};
+
+/** Build the symmetrized (undirected) version of g, min-weight merged. */
+Graph symmetrize(const Graph &g);
+
+} // namespace hdcps
+
+#endif // HDCPS_ALGOS_MST_H_

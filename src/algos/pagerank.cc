@@ -1,0 +1,123 @@
+#include "algos/pagerank.h"
+
+#include <cmath>
+
+#include "algos/sequential.h"
+#include "support/logging.h"
+
+namespace hdcps {
+
+PagerankWorkload::PagerankWorkload(const Graph &g, double damping,
+                                   double epsilon)
+    : Workload(g), damping_(damping), epsilon_(epsilon),
+      rank_(g.numNodes()), residual_(g.numNodes())
+{
+    hdcps_check(damping > 0.0 && damping < 1.0, "damping must be in (0,1)");
+    hdcps_check(epsilon > 0.0, "epsilon must be positive");
+    reset();
+}
+
+void
+PagerankWorkload::reset()
+{
+    for (NodeId n = 0; n < graph_->numNodes(); ++n) {
+        rank_[n].store(0.0, std::memory_order_relaxed);
+        residual_[n].store(1.0 - damping_, std::memory_order_relaxed);
+    }
+}
+
+Priority
+PagerankWorkload::priorityFor(double residual)
+{
+    // Map residual in (0, ~1] onto integers so that a larger residual
+    // yields a smaller (sooner) priority. Logarithmic quantization
+    // keeps nearby residuals in the same OBIM bucket.
+    if (residual <= 0.0)
+        return 1u << 20;
+    double magnitude = -std::log2(residual); // 0 for residual 1.0
+    if (magnitude < 0.0)
+        magnitude = 0.0;
+    return static_cast<Priority>(magnitude * 16.0);
+}
+
+std::vector<Task>
+PagerankWorkload::initialTasks()
+{
+    std::vector<Task> tasks;
+    tasks.reserve(graph_->numNodes());
+    Priority p = priorityFor(1.0 - damping_);
+    for (NodeId n = 0; n < graph_->numNodes(); ++n)
+        tasks.push_back(Task{p, n, 0});
+    return tasks;
+}
+
+uint32_t
+PagerankWorkload::process(const Task &task, std::vector<Task> &children)
+{
+    const NodeId v = task.node;
+    double r = residual_[v].exchange(0.0, std::memory_order_acq_rel);
+    if (r < epsilon_) {
+        // Either already harvested by another task or genuinely small;
+        // return the crumb so mass is conserved. The crumb itself can
+        // push the residual back over the threshold (a concurrent push
+        // landed between our exchange and this add), so the crossing
+        // check applies here too.
+        if (r > 0.0) {
+            double old =
+                residual_[v].fetch_add(r, std::memory_order_acq_rel);
+            if (old < epsilon_ && old + r >= epsilon_)
+                children.push_back(Task{priorityFor(old + r), v, 0});
+        }
+        return 0;
+    }
+    rank_[v].fetch_add(r, std::memory_order_relaxed);
+    uint32_t outDeg = graph_->degree(v);
+    if (outDeg == 0)
+        return 0;
+    double share = damping_ * r / double(outDeg);
+    for (EdgeId e = graph_->edgeBegin(v); e < graph_->edgeEnd(v); ++e) {
+        NodeId dst = graph_->edgeDest(e);
+        double old =
+            residual_[dst].fetch_add(share, std::memory_order_acq_rel);
+        // Schedule dst exactly on the upward epsilon crossing.
+        if (old < epsilon_ && old + share >= epsilon_)
+            children.push_back(Task{priorityFor(old + share), dst, 0});
+    }
+    return outDeg;
+}
+
+bool
+PagerankWorkload::verify(std::string *whyNot)
+{
+    SeqPagerankResult ref = pagerankSeq(*graph_, damping_, epsilon_);
+    seqTasks_ = ref.tasksProcessed;
+    // Both runs stop when every residual is below epsilon; the two
+    // fixed points differ by at most the residual mass still in flight,
+    // amplified by 1/(1-damping). Allow that analytic slack.
+    double tolerance = epsilon_ / (1.0 - damping_) * 4.0 + 1e-9;
+    for (NodeId n = 0; n < graph_->numNodes(); ++n) {
+        double got = rank(n);
+        double expected = ref.rank[n];
+        if (std::fabs(got - expected) > tolerance) {
+            if (whyNot) {
+                *whyNot = "pagerank: node " + std::to_string(n) +
+                          " rank " + std::to_string(got) + " expected " +
+                          std::to_string(expected) + " (tol " +
+                          std::to_string(tolerance) + ")";
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+PagerankWorkload::sequentialTasks()
+{
+    if (seqTasks_ == 0)
+        seqTasks_ = pagerankSeq(*graph_, damping_, epsilon_)
+                        .tasksProcessed;
+    return seqTasks_;
+}
+
+} // namespace hdcps

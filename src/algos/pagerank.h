@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Residual ("push-pull") PageRank prioritized by residual magnitude.
+ *
+ * The paper uses the push-style data-driven PageRank of Whang et al.:
+ * each node accumulates a residual; processing a node folds its
+ * residual into its rank and pushes damping * residual / outdeg to its
+ * out-neighbours. A node is (re-)scheduled exactly when its residual
+ * crosses the epsilon threshold from below, so the task count is finite
+ * and the fixed point is schedule-independent up to epsilon. Priorities
+ * quantize the residual ("integer numbers to make them compatible with
+ * OBIM"): larger residual -> numerically smaller priority -> sooner.
+ */
+
+#ifndef HDCPS_ALGOS_PAGERANK_H_
+#define HDCPS_ALGOS_PAGERANK_H_
+
+#include <atomic>
+#include <vector>
+
+#include "algos/workload.h"
+
+namespace hdcps {
+
+/** Asynchronous residual PageRank. */
+class PagerankWorkload : public Workload
+{
+  public:
+    /**
+     * Default epsilon of 1e-3 keeps the benchmark-harness task counts
+     * tractable on the simulated machine (the fixed point is the same
+     * up to epsilon; pass 1e-4 or tighter to match the classic residual
+     * PageRank setting).
+     */
+    explicit PagerankWorkload(const Graph &g, double damping = 0.85,
+                              double epsilon = 1e-3);
+
+    const char *name() const override { return "pagerank"; }
+    std::vector<Task> initialTasks() override;
+    uint32_t process(const Task &task,
+                     std::vector<Task> &children) override;
+    bool verify(std::string *whyNot) override;
+    uint64_t sequentialTasks() override;
+    void reset() override;
+
+    /** Converged rank (rank + any sub-threshold residual). */
+    double
+    rank(NodeId n) const
+    {
+        return rank_[n].load(std::memory_order_relaxed) +
+               residual_[n].load(std::memory_order_relaxed);
+    }
+
+    double damping() const { return damping_; }
+    double epsilon() const { return epsilon_; }
+
+    /** Integer priority for a residual value (exposed for tests). */
+    static Priority priorityFor(double residual);
+
+  private:
+    double damping_;
+    double epsilon_;
+    std::vector<std::atomic<double>> rank_;
+    std::vector<std::atomic<double>> residual_;
+    uint64_t seqTasks_ = 0;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_ALGOS_PAGERANK_H_

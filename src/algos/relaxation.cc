@@ -1,0 +1,226 @@
+#include "algos/relaxation.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace hdcps {
+
+RelaxationBase::RelaxationBase(const Graph &g, NodeId source)
+    : Workload(g), source_(source), dist_(g.numNodes())
+{
+    hdcps_check(source < g.numNodes(), "source out of range");
+    reset();
+}
+
+void
+RelaxationBase::reset()
+{
+    for (auto &d : dist_)
+        d.store(unreachableDist, std::memory_order_relaxed);
+    dist_[source_].store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- SSSP
+
+std::vector<Task>
+SsspWorkload::initialTasks()
+{
+    return {Task{0, source_, 0}};
+}
+
+uint32_t
+SsspWorkload::process(const Task &task, std::vector<Task> &children)
+{
+    const uint64_t d = task.priority;
+    if (d > dist_[task.node].load(std::memory_order_relaxed))
+        return 0; // stale: a better label already propagated
+    uint32_t edges = 0;
+    for (EdgeId e = graph_->edgeBegin(task.node);
+         e < graph_->edgeEnd(task.node); ++e) {
+        ++edges;
+        NodeId dst = graph_->edgeDest(e);
+        uint64_t nd = d + graph_->edgeWeight(e);
+        if (relaxTo(dst, nd))
+            children.push_back(Task{nd, dst, 0});
+    }
+    return edges;
+}
+
+bool
+SsspWorkload::verify(std::string *whyNot)
+{
+    SeqPathResult ref = dijkstra(*graph_, source_);
+    seqTasks_ = ref.tasksProcessed;
+    for (NodeId n = 0; n < graph_->numNodes(); ++n) {
+        if (distance(n) != ref.dist[n]) {
+            if (whyNot) {
+                *whyNot = "sssp: node " + std::to_string(n) + " got " +
+                          std::to_string(distance(n)) + " expected " +
+                          std::to_string(ref.dist[n]);
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+SsspWorkload::sequentialTasks()
+{
+    if (seqTasks_ == 0)
+        seqTasks_ = dijkstra(*graph_, source_).tasksProcessed;
+    return seqTasks_;
+}
+
+// ----------------------------------------------------------------- BFS
+
+std::vector<Task>
+BfsWorkload::initialTasks()
+{
+    return {Task{0, source_, 0}};
+}
+
+uint32_t
+BfsWorkload::process(const Task &task, std::vector<Task> &children)
+{
+    const uint64_t d = task.priority;
+    if (d > dist_[task.node].load(std::memory_order_relaxed))
+        return 0;
+    uint32_t edges = 0;
+    const uint64_t nd = d + 1;
+    for (EdgeId e = graph_->edgeBegin(task.node);
+         e < graph_->edgeEnd(task.node); ++e) {
+        ++edges;
+        NodeId dst = graph_->edgeDest(e);
+        if (relaxTo(dst, nd))
+            children.push_back(Task{nd, dst, 0});
+    }
+    return edges;
+}
+
+bool
+BfsWorkload::verify(std::string *whyNot)
+{
+    SeqPathResult ref = bfsLevels(*graph_, source_);
+    seqTasks_ = ref.tasksProcessed;
+    for (NodeId n = 0; n < graph_->numNodes(); ++n) {
+        if (distance(n) != ref.dist[n]) {
+            if (whyNot) {
+                *whyNot = "bfs: node " + std::to_string(n) + " got " +
+                          std::to_string(distance(n)) + " expected " +
+                          std::to_string(ref.dist[n]);
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+BfsWorkload::sequentialTasks()
+{
+    if (seqTasks_ == 0)
+        seqTasks_ = bfsLevels(*graph_, source_).tasksProcessed;
+    return seqTasks_;
+}
+
+// ------------------------------------------------------------------ A*
+
+AstarWorkload::AstarWorkload(const Graph &g, NodeId source)
+    : RelaxationBase(g, source)
+{
+    // Deterministic far target: the reachable node with the largest BFS
+    // depth (ties to the largest id). This matches the paper's use of
+    // A* for long point-to-point road queries.
+    SeqPathResult levels = bfsLevels(g, source);
+    target_ = source;
+    uint64_t bestDepth = 0;
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        if (levels.dist[n] != unreachableDist &&
+            levels.dist[n] >= bestDepth) {
+            bestDepth = levels.dist[n];
+            target_ = n;
+        }
+    }
+    if (!g.hasCoordinates())
+        hScale_ = 0.0; // no heuristic available: degenerates to Dijkstra
+}
+
+void
+AstarWorkload::reset()
+{
+    RelaxationBase::reset();
+    bestGoal_.store(unreachableDist, std::memory_order_relaxed);
+}
+
+std::vector<Task>
+AstarWorkload::initialTasks()
+{
+    return {Task{heuristic(source_), source_, 0}};
+}
+
+uint32_t
+AstarWorkload::process(const Task &task, std::vector<Task> &children)
+{
+    const uint64_t g = task.data;
+    if (g > dist_[task.node].load(std::memory_order_relaxed))
+        return 0; // stale
+    const uint64_t bound = bestGoal_.load(std::memory_order_relaxed);
+    if (task.priority >= bound)
+        return 0; // cannot improve the goal: prune
+    uint32_t edges = 0;
+    for (EdgeId e = graph_->edgeBegin(task.node);
+         e < graph_->edgeEnd(task.node); ++e) {
+        ++edges;
+        NodeId dst = graph_->edgeDest(e);
+        uint64_t nd = g + graph_->edgeWeight(e);
+        if (!relaxTo(dst, nd))
+            continue;
+        if (dst == target_) {
+            uint64_t old = bestGoal_.load(std::memory_order_relaxed);
+            while (nd < old &&
+                   !bestGoal_.compare_exchange_weak(
+                       old, nd, std::memory_order_relaxed)) {
+            }
+            continue; // no need to expand beyond the target
+        }
+        uint64_t f = nd + heuristic(dst);
+        if (f < bestGoal_.load(std::memory_order_relaxed)) {
+            hdcps_check(nd <= ~uint32_t(0), "g-cost overflows task data");
+            children.push_back(
+                Task{f, dst, static_cast<uint32_t>(nd)});
+        }
+    }
+    return edges;
+}
+
+bool
+AstarWorkload::verify(std::string *whyNot)
+{
+    SeqPathResult ref = astar(*graph_, source_, target_, hScale_);
+    seqTasks_ = ref.tasksProcessed;
+    uint64_t expected = ref.dist[target_];
+    uint64_t got = goalCost();
+    if (target_ == source_)
+        got = 0; // degenerate graph: source is its own target
+    if (got != expected) {
+        if (whyNot) {
+            *whyNot = "astar: goal cost " + std::to_string(got) +
+                      " expected " + std::to_string(expected);
+        }
+        return false;
+    }
+    return true;
+}
+
+uint64_t
+AstarWorkload::sequentialTasks()
+{
+    if (seqTasks_ == 0)
+        seqTasks_ =
+            astar(*graph_, source_, target_, hScale_).tasksProcessed;
+    return seqTasks_;
+}
+
+} // namespace hdcps

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Label-correcting relaxation kernels: SSSP (delta-stepping flavour),
+ * BFS, and A*.
+ *
+ * All three share one structure: a per-node atomic distance label,
+ * tasks carrying (node, tentative distance), and a process() that skips
+ * stale tasks and relaxes out-edges with a CAS-min. Under *any* task
+ * order the final labels equal the sequential shortest paths; the task
+ * order only controls how much redundant work (re-relaxations) happens,
+ * which is exactly the work-efficiency signal the paper's schedulers
+ * compete on.
+ *
+ * Priorities follow the paper: the tentative distance (lower = higher
+ * priority) for SSSP/BFS, distance + admissible Euclidean heuristic for
+ * A*.
+ */
+
+#ifndef HDCPS_ALGOS_RELAXATION_H_
+#define HDCPS_ALGOS_RELAXATION_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "algos/sequential.h"
+#include "algos/workload.h"
+
+namespace hdcps {
+
+/** Common atomic-distance machinery for SSSP/BFS/A*. */
+class RelaxationBase : public Workload
+{
+  public:
+    /** Final distance labels (valid after a run). */
+    uint64_t
+    distance(NodeId n) const
+    {
+        return dist_[n].load(std::memory_order_relaxed);
+    }
+
+    NodeId source() const { return source_; }
+
+    void reset() override;
+
+  protected:
+    RelaxationBase(const Graph &g, NodeId source);
+
+    /** CAS-min on dist_[node]; true if `candidate` improved it. */
+    bool
+    relaxTo(NodeId node, uint64_t candidate)
+    {
+        uint64_t old = dist_[node].load(std::memory_order_relaxed);
+        while (candidate < old) {
+            if (dist_[node].compare_exchange_weak(
+                    old, candidate, std::memory_order_relaxed)) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    NodeId source_;
+    std::vector<std::atomic<uint64_t>> dist_;
+};
+
+/** Single-source shortest paths; task priority = tentative distance. */
+class SsspWorkload : public RelaxationBase
+{
+  public:
+    SsspWorkload(const Graph &g, NodeId source)
+        : RelaxationBase(g, source)
+    {}
+
+    const char *name() const override { return "sssp"; }
+    std::vector<Task> initialTasks() override;
+    uint32_t process(const Task &task,
+                     std::vector<Task> &children) override;
+    bool verify(std::string *whyNot) override;
+    uint64_t sequentialTasks() override;
+
+  private:
+    uint64_t seqTasks_ = 0;
+};
+
+/** Breadth-first search; identical to SSSP with unit weights. */
+class BfsWorkload : public RelaxationBase
+{
+  public:
+    BfsWorkload(const Graph &g, NodeId source)
+        : RelaxationBase(g, source)
+    {}
+
+    const char *name() const override { return "bfs"; }
+    std::vector<Task> initialTasks() override;
+    uint32_t process(const Task &task,
+                     std::vector<Task> &children) override;
+    bool verify(std::string *whyNot) override;
+    uint64_t sequentialTasks() override;
+
+  private:
+    uint64_t seqTasks_ = 0;
+};
+
+/**
+ * A* search toward a deterministic far-away target. Tasks carry the
+ * g-cost in `data` and f = g + h as the priority; children whose f
+ * cannot beat the best goal cost found so far are pruned.
+ */
+class AstarWorkload : public RelaxationBase
+{
+  public:
+    AstarWorkload(const Graph &g, NodeId source);
+
+    const char *name() const override { return "astar"; }
+    std::vector<Task> initialTasks() override;
+    uint32_t process(const Task &task,
+                     std::vector<Task> &children) override;
+    bool verify(std::string *whyNot) override;
+    uint64_t sequentialTasks() override;
+    void reset() override;
+
+    NodeId target() const { return target_; }
+
+    /** Shortest source->target cost after a run. */
+    uint64_t goalCost() const
+    {
+        return bestGoal_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    uint64_t heuristic(NodeId n) const
+    {
+        return astarHeuristic(*graph_, n, target_, hScale_);
+    }
+
+    NodeId target_;
+    double hScale_ = 2.0;
+    std::atomic<uint64_t> bestGoal_{unreachableDist};
+    uint64_t seqTasks_ = 0;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_ALGOS_RELAXATION_H_

@@ -1,0 +1,312 @@
+#include "algos/sequential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "pq/dary_heap.h"
+#include "support/logging.h"
+
+namespace hdcps {
+
+namespace {
+
+struct HeapItem
+{
+    uint64_t key;
+    NodeId node;
+};
+
+struct HeapItemLess
+{
+    bool
+    operator()(const HeapItem &a, const HeapItem &b) const
+    {
+        if (a.key != b.key)
+            return a.key < b.key;
+        return a.node < b.node;
+    }
+};
+
+using MinHeap = DAryHeap<HeapItem, HeapItemLess>;
+
+/** Disjoint-set forest with path halving and union by size. */
+class Dsu
+{
+  public:
+    explicit Dsu(NodeId n) : parent_(n), size_(n, 1)
+    {
+        std::iota(parent_.begin(), parent_.end(), NodeId(0));
+    }
+
+    NodeId
+    find(NodeId x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    bool
+    unite(NodeId a, NodeId b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return false;
+        if (size_[a] < size_[b])
+            std::swap(a, b);
+        parent_[b] = a;
+        size_[a] += size_[b];
+        return true;
+    }
+
+  private:
+    std::vector<NodeId> parent_;
+    std::vector<NodeId> size_;
+};
+
+} // namespace
+
+SeqPathResult
+dijkstra(const Graph &g, NodeId src)
+{
+    hdcps_check(src < g.numNodes(), "source out of range");
+    SeqPathResult result;
+    result.dist.assign(g.numNodes(), unreachableDist);
+    result.dist[src] = 0;
+
+    MinHeap heap;
+    heap.push({0, src});
+    while (!heap.empty()) {
+        auto [d, node] = heap.pop();
+        ++result.tasksProcessed;
+        if (d > result.dist[node])
+            continue; // stale entry
+        for (EdgeId e = g.edgeBegin(node); e < g.edgeEnd(node); ++e) {
+            ++result.edgesScanned;
+            uint64_t nd = d + g.edgeWeight(e);
+            NodeId dst = g.edgeDest(e);
+            if (nd < result.dist[dst]) {
+                result.dist[dst] = nd;
+                heap.push({nd, dst});
+            }
+        }
+    }
+    return result;
+}
+
+SeqPathResult
+bfsLevels(const Graph &g, NodeId src)
+{
+    hdcps_check(src < g.numNodes(), "source out of range");
+    SeqPathResult result;
+    result.dist.assign(g.numNodes(), unreachableDist);
+    result.dist[src] = 0;
+
+    std::queue<NodeId> frontier;
+    frontier.push(src);
+    while (!frontier.empty()) {
+        NodeId node = frontier.front();
+        frontier.pop();
+        ++result.tasksProcessed;
+        uint64_t nd = result.dist[node] + 1;
+        for (EdgeId e = g.edgeBegin(node); e < g.edgeEnd(node); ++e) {
+            ++result.edgesScanned;
+            NodeId dst = g.edgeDest(e);
+            if (result.dist[dst] == unreachableDist) {
+                result.dist[dst] = nd;
+                frontier.push(dst);
+            }
+        }
+    }
+    return result;
+}
+
+uint64_t
+astarHeuristic(const Graph &g, NodeId n, NodeId target, double hScale)
+{
+    if (!g.hasCoordinates() || hScale <= 0.0)
+        return 0;
+    double dx = double(g.coordX(n)) - double(g.coordX(target));
+    double dy = double(g.coordY(n)) - double(g.coordY(target));
+    return static_cast<uint64_t>(std::floor(hScale * std::hypot(dx, dy)));
+}
+
+SeqPathResult
+astar(const Graph &g, NodeId src, NodeId target, double hScale)
+{
+    hdcps_check(src < g.numNodes() && target < g.numNodes(),
+                "endpoint out of range");
+    SeqPathResult result;
+    result.dist.assign(g.numNodes(), unreachableDist);
+    result.dist[src] = 0;
+
+    MinHeap heap;
+    heap.push({astarHeuristic(g, src, target, hScale), src});
+    while (!heap.empty()) {
+        auto [f, node] = heap.pop();
+        ++result.tasksProcessed;
+        uint64_t gCost = result.dist[node];
+        if (f > gCost + astarHeuristic(g, node, target, hScale))
+            continue; // stale
+        if (node == target)
+            break; // admissible heuristic: target is settled
+        for (EdgeId e = g.edgeBegin(node); e < g.edgeEnd(node); ++e) {
+            ++result.edgesScanned;
+            uint64_t nd = gCost + g.edgeWeight(e);
+            NodeId dst = g.edgeDest(e);
+            if (nd < result.dist[dst]) {
+                result.dist[dst] = nd;
+                heap.push({nd + astarHeuristic(g, dst, target, hScale),
+                           dst});
+            }
+        }
+    }
+    return result;
+}
+
+SeqMstResult
+kruskal(const Graph &g)
+{
+    struct KEdge
+    {
+        Weight weight;
+        NodeId a;
+        NodeId b;
+    };
+    std::vector<KEdge> edges;
+    edges.reserve(g.numEdges());
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        for (EdgeId e = g.edgeBegin(n); e < g.edgeEnd(n); ++e) {
+            NodeId d = g.edgeDest(e);
+            // Symmetrize: each undirected pair contributes its minimum
+            // directed weight; keep one canonical orientation.
+            NodeId a = std::min(n, d);
+            NodeId b = std::max(n, d);
+            edges.push_back({g.edgeWeight(e), a, b});
+        }
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const KEdge &x, const KEdge &y) {
+                  if (x.weight != y.weight)
+                      return x.weight < y.weight;
+                  if (x.a != y.a)
+                      return x.a < y.a;
+                  return x.b < y.b;
+              });
+
+    SeqMstResult result;
+    Dsu dsu(g.numNodes());
+    for (const KEdge &e : edges) {
+        if (dsu.unite(e.a, e.b)) {
+            result.totalWeight += e.weight;
+            ++result.edgesInForest;
+            ++result.tasksProcessed;
+        }
+    }
+    return result;
+}
+
+SeqColorResult
+greedyColor(const Graph &g)
+{
+    // Work on the symmetrized adjacency (coloring is an undirected
+    // problem); order nodes by descending degree (Welsh-Powell).
+    Graph t = g.transpose();
+    std::vector<NodeId> order(g.numNodes());
+    std::iota(order.begin(), order.end(), NodeId(0));
+    auto totalDeg = [&](NodeId n) { return g.degree(n) + t.degree(n); };
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        uint32_t da = totalDeg(a);
+        uint32_t db = totalDeg(b);
+        if (da != db)
+            return da > db;
+        return a < b;
+    });
+
+    SeqColorResult result;
+    result.colors.assign(g.numNodes(), -1);
+    std::vector<int32_t> mark(g.numNodes() + 1, -1);
+    for (NodeId n : order) {
+        ++result.tasksProcessed;
+        for (EdgeId e = g.edgeBegin(n); e < g.edgeEnd(n); ++e) {
+            int32_t c = result.colors[g.edgeDest(e)];
+            if (c >= 0)
+                mark[c] = static_cast<int32_t>(n);
+        }
+        for (EdgeId e = t.edgeBegin(n); e < t.edgeEnd(n); ++e) {
+            int32_t c = result.colors[t.edgeDest(e)];
+            if (c >= 0)
+                mark[c] = static_cast<int32_t>(n);
+        }
+        int32_t color = 0;
+        while (mark[color] == static_cast<int32_t>(n))
+            ++color;
+        result.colors[n] = color;
+        result.numColors = std::max(result.numColors, color + 1);
+    }
+    return result;
+}
+
+bool
+isProperColoring(const Graph &g, const std::vector<int32_t> &colors)
+{
+    if (colors.size() != g.numNodes())
+        return false;
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        if (colors[n] < 0)
+            return false;
+        for (EdgeId e = g.edgeBegin(n); e < g.edgeEnd(n); ++e) {
+            if (colors[g.edgeDest(e)] == colors[n])
+                return false;
+        }
+    }
+    return true;
+}
+
+SeqPagerankResult
+pagerankSeq(const Graph &g, double damping, double epsilon)
+{
+    const NodeId n = g.numNodes();
+    SeqPagerankResult result;
+    result.rank.assign(n, 0.0);
+    std::vector<double> residual(n, 1.0 - damping);
+    std::vector<bool> queued(n, true);
+    std::queue<NodeId> work;
+    for (NodeId i = 0; i < n; ++i)
+        work.push(i);
+
+    while (!work.empty()) {
+        NodeId node = work.front();
+        work.pop();
+        queued[node] = false;
+        ++result.tasksProcessed;
+        double r = residual[node];
+        residual[node] = 0.0;
+        if (r < epsilon)
+            continue;
+        result.rank[node] += r;
+        uint32_t outDeg = g.degree(node);
+        if (outDeg == 0)
+            continue;
+        double share = damping * r / double(outDeg);
+        for (EdgeId e = g.edgeBegin(node); e < g.edgeEnd(node); ++e) {
+            NodeId dst = g.edgeDest(e);
+            residual[dst] += share;
+            if (residual[dst] >= epsilon && !queued[dst]) {
+                queued[dst] = true;
+                work.push(dst);
+            }
+        }
+    }
+    // Fold sub-threshold residual in so totals are comparable.
+    for (NodeId i = 0; i < n; ++i)
+        result.rank[i] += residual[i];
+    return result;
+}
+
+} // namespace hdcps

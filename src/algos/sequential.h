@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sequential reference implementations.
+ *
+ * These are the "best performing sequential baseline" of the paper's
+ * methodology: used (a) to verify every parallel kernel's result and
+ * (b) as the denominator of the speedup figures (Fig. 4, Fig. 8).
+ * Each returns its result plus the number of tasks a priority-ordered
+ * execution processed, which anchors work-efficiency comparisons.
+ */
+
+#ifndef HDCPS_ALGOS_SEQUENTIAL_H_
+#define HDCPS_ALGOS_SEQUENTIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hdcps {
+
+/** Distance value for unreachable nodes. */
+constexpr uint64_t unreachableDist = ~uint64_t(0);
+
+/** Result of a sequential shortest-path style run. */
+struct SeqPathResult
+{
+    std::vector<uint64_t> dist;
+    uint64_t tasksProcessed = 0; ///< heap pops (settled + stale)
+    uint64_t edgesScanned = 0;
+};
+
+/** Dijkstra from src (weights as-is). */
+SeqPathResult dijkstra(const Graph &g, NodeId src);
+
+/** BFS from src (all weights treated as 1). */
+SeqPathResult bfsLevels(const Graph &g, NodeId src);
+
+/**
+ * A* from src toward target using the Euclidean-coordinate heuristic
+ * scaled by `hScale` (0 disables the heuristic). Returns full dist
+ * array for nodes expanded before the target settled; dist[target] is
+ * exact.
+ */
+SeqPathResult astar(const Graph &g, NodeId src, NodeId target,
+                    double hScale = 2.0);
+
+/** Admissible A* heuristic value for node n toward target. */
+uint64_t astarHeuristic(const Graph &g, NodeId n, NodeId target,
+                        double hScale = 2.0);
+
+/** Kruskal MST/forest result. */
+struct SeqMstResult
+{
+    uint64_t totalWeight = 0;
+    uint64_t edgesInForest = 0;
+    uint64_t tasksProcessed = 0; ///< union operations performed
+};
+
+/** Kruskal over the symmetrized edge set. */
+SeqMstResult kruskal(const Graph &g);
+
+/** Greedy sequential coloring result. */
+struct SeqColorResult
+{
+    std::vector<int32_t> colors;
+    int32_t numColors = 0;
+    uint64_t tasksProcessed = 0;
+};
+
+/** Greedy coloring in descending-degree order (symmetrized adjacency). */
+SeqColorResult greedyColor(const Graph &g);
+
+/**
+ * True iff `colors` is a proper coloring of the symmetrized graph
+ * (no edge joins two equal non-negative colors, none uncolored).
+ */
+bool isProperColoring(const Graph &g, const std::vector<int32_t> &colors);
+
+/** Residual-push PageRank result. */
+struct SeqPagerankResult
+{
+    std::vector<double> rank;
+    uint64_t tasksProcessed = 0;
+};
+
+/**
+ * Sequential residual PageRank with damping d and threshold epsilon;
+ * identical update rule to the parallel kernel so fixed points agree.
+ */
+SeqPagerankResult pagerankSeq(const Graph &g, double damping = 0.85,
+                              double epsilon = 1e-4);
+
+} // namespace hdcps
+
+#endif // HDCPS_ALGOS_SEQUENTIAL_H_

@@ -1,0 +1,42 @@
+#include "algos/workload.h"
+
+#include "algos/color.h"
+#include "algos/mst.h"
+#include "algos/pagerank.h"
+#include "algos/relaxation.h"
+#include "support/logging.h"
+
+namespace hdcps {
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &kernel, const Graph &g, NodeId source)
+{
+    hdcps_check(g.numNodes() > 0, "workload needs a non-empty graph");
+    hdcps_check(source < g.numNodes(), "source out of range");
+    if (kernel == "sssp")
+        return std::make_unique<SsspWorkload>(g, source);
+    if (kernel == "bfs")
+        return std::make_unique<BfsWorkload>(g, source);
+    if (kernel == "astar")
+        return std::make_unique<AstarWorkload>(g, source);
+    if (kernel == "mst")
+        return std::make_unique<MstWorkload>(g);
+    if (kernel == "color")
+        return std::make_unique<ColorWorkload>(g);
+    if (kernel == "pagerank")
+        return std::make_unique<PagerankWorkload>(g);
+    hdcps_fatal("unknown kernel '%s' "
+                "(want sssp|bfs|astar|mst|color|pagerank)",
+                kernel.c_str());
+}
+
+const char *const *
+workloadNames(size_t &count)
+{
+    static const char *const names[] = {"sssp", "astar", "bfs",
+                                        "mst",  "color", "pagerank"};
+    count = 6;
+    return names;
+}
+
+} // namespace hdcps

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The workload abstraction shared by the threaded runtime and the
+ * multicore simulator.
+ *
+ * A workload is a task-parallel graph kernel in the paper's model: an
+ * initial task set, a process() function that consumes one task and
+ * produces children, and a verifier against a sequential reference.
+ * process() must be safe for concurrent invocations on distinct tasks
+ * (all shared state behind atomics or fine-grained locks) because the
+ * threaded runtime calls it from many workers; the simulator calls it
+ * single-threaded but interleaved, so the same code serves both.
+ *
+ * process() returns the number of edges it scanned: the simulator's
+ * cost model charges per-edge memory and ALU cycles from it.
+ */
+
+#ifndef HDCPS_ALGOS_WORKLOAD_H_
+#define HDCPS_ALGOS_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cps/task.h"
+#include "graph/graph.h"
+#include "runtime/executor.h"
+
+namespace hdcps {
+
+/** One task-parallel graph kernel instance bound to a graph. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Kernel name: "sssp", "bfs", "astar", "mst", "color", "pagerank". */
+    virtual const char *name() const = 0;
+
+    /** Seed tasks that start the computation. */
+    virtual std::vector<Task> initialTasks() = 0;
+
+    /**
+     * Process one task; append children to `children` (not cleared
+     * here). Returns the number of edges scanned.
+     */
+    virtual uint32_t process(const Task &task,
+                             std::vector<Task> &children) = 0;
+
+    /**
+     * Check the computed result against a sequential reference.
+     * On failure, *whyNot (if given) receives a diagnostic.
+     */
+    virtual bool verify(std::string *whyNot = nullptr) = 0;
+
+    /**
+     * Number of tasks a priority-ordered sequential execution
+     * processes; the denominator of work efficiency.
+     */
+    virtual uint64_t sequentialTasks() = 0;
+
+    /** Restore all mutable state so the workload can run again. */
+    virtual void reset() = 0;
+
+    const Graph &graph() const { return *graph_; }
+
+  protected:
+    explicit Workload(const Graph &g) : graph_(&g) {}
+
+    const Graph *graph_;
+};
+
+/** Wrap a workload's process() as the runtime's ProcessFn. */
+inline ProcessFn
+workloadProcessFn(Workload &w)
+{
+    return [&w](unsigned, const Task &task, std::vector<Task> &children) {
+        w.process(task, children);
+    };
+}
+
+/**
+ * Factory over all kernels. `source` seeds the traversal kernels
+ * (ignored by color/pagerank/mst).
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &kernel,
+                                       const Graph &g, NodeId source = 0);
+
+/** All kernel names in the paper's evaluation order. */
+const char *const *workloadNames(size_t &count);
+
+} // namespace hdcps
+
+#endif // HDCPS_ALGOS_WORKLOAD_H_

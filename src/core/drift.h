@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Priority-drift measurement — Equation 1 and Algorithm 3 of the paper.
+ *
+ * Each core publishes the priority of its most recently processed task
+ * after every `sendThreshold` tasks (Algorithm 3's SEND to the master
+ * core; in shared memory the "send" is a relaxed store into a padded
+ * per-core mailbox). The master computes
+ *
+ *     Priority_Drift = (1/N) * sum_i |P0 - Pi|          (Eq. 1)
+ *
+ * where P0 is the best (numerically smallest) published priority — the
+ * "global highest priority task" of the definition — and Pi each core's
+ * published value. The computation is non-blocking: remote cores never
+ * wait on it.
+ */
+
+#ifndef HDCPS_CORE_DRIFT_H_
+#define HDCPS_CORE_DRIFT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "cps/task.h"
+#include "support/compiler.h"
+#include "support/logging.h"
+
+namespace hdcps {
+
+/** Per-core latest-priority mailboxes plus the Eq. 1 reduction. */
+class DriftTracker
+{
+  public:
+    /** Mailboxes start at this sentinel until a core first publishes. */
+    static constexpr Priority unpublished = ~Priority(0);
+
+    explicit DriftTracker(unsigned numCores) : mailboxes_(numCores)
+    {
+        hdcps_check(numCores >= 1, "need at least one core");
+        for (auto &m : mailboxes_)
+            m.value.store(unpublished, std::memory_order_relaxed);
+    }
+
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(mailboxes_.size());
+    }
+
+    /** Reinitialize for a (possibly different) core count. */
+    void
+    reset(unsigned numCores)
+    {
+        hdcps_check(numCores >= 1, "need at least one core");
+        std::vector<Padded<std::atomic<Priority>>> fresh(numCores);
+        mailboxes_.swap(fresh);
+        for (auto &m : mailboxes_)
+            m.value.store(unpublished, std::memory_order_relaxed);
+    }
+
+    /** Algorithm 3: a core reports its latest processed priority. */
+    void
+    publish(unsigned core, Priority priority)
+    {
+        mailboxes_[core].value.store(priority, std::memory_order_relaxed);
+    }
+
+    /** Latest value published by a core (sentinel if none yet). */
+    Priority
+    published(unsigned core) const
+    {
+        return mailboxes_[core].value.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Equation 1 over all cores that have published. Cores that have
+     * not yet published are excluded (at startup only the seed core has
+     * work). Returns 0 when fewer than two cores have published.
+     */
+    double
+    computeDrift() const
+    {
+        Priority best = unpublished;
+        unsigned published = 0;
+        for (const auto &m : mailboxes_) {
+            Priority p = m.value.load(std::memory_order_relaxed);
+            if (p == unpublished)
+                continue;
+            ++published;
+            if (p < best)
+                best = p;
+        }
+        if (published < 2)
+            return 0.0;
+        double sum = 0.0;
+        for (const auto &m : mailboxes_) {
+            Priority p = m.value.load(std::memory_order_relaxed);
+            if (p == unpublished)
+                continue;
+            sum += static_cast<double>(p - best);
+        }
+        return sum / static_cast<double>(published);
+    }
+
+  private:
+    std::vector<Padded<std::atomic<Priority>>> mailboxes_;
+};
+
+/** Running average of drift samples taken during one execution. */
+class DriftSeries
+{
+  public:
+    void
+    record(double drift)
+    {
+        sum_ += drift;
+        ++count_;
+        if (drift > max_)
+            max_ = drift;
+    }
+
+    uint64_t samples() const { return count_; }
+
+    double
+    average() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+
+    double maxSample() const { return max_; }
+
+  private:
+    double sum_ = 0.0;
+    double max_ = 0.0;
+    uint64_t count_ = 0;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_CORE_DRIFT_H_

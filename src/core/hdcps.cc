@@ -1,0 +1,247 @@
+#include "core/hdcps.h"
+
+namespace hdcps {
+
+HdCpsScheduler::HdCpsScheduler(unsigned numWorkers,
+                               const HdCpsConfig &config)
+    : Scheduler(numWorkers), config_(config), drift_(numWorkers),
+      tdfController_(config.tdf)
+{
+    hdcps_check(numWorkers >= 1, "need at least one worker");
+    hdcps_check(config.sampleInterval >= 1, "sample interval must be >= 1");
+    hdcps_check(config.fixedTdf <= 100, "fixedTdf is a percentage");
+
+    name_ = "hdcps-srq";
+    if (config_.useTdf)
+        name_ += "-tdf";
+    if (config_.bags.mode == BagMode::Always)
+        name_ += "-ac";
+    else if (config_.bags.mode == BagMode::Selective)
+        name_ += "-sc";
+
+    workers_.reserve(numWorkers);
+    for (unsigned i = 0; i < numWorkers; ++i) {
+        auto w = std::make_unique<WorkerState>();
+        w->rq = std::make_unique<ReceiveQueue<Envelope>>(config.rqCapacity);
+        w->rng.reseed(mix64(config.seed + 0x9e37) + i);
+        workers_.push_back(std::move(w));
+    }
+}
+
+HdCpsScheduler::~HdCpsScheduler()
+{
+    // Free any bags still in flight (runs cut short by tests).
+    for (auto &w : workers_) {
+        Envelope envelope;
+        while (w->rq->tryPop(envelope))
+            delete envelope.bag;
+        while (!w->pq.empty()) {
+            PqEntry entry = w->pq.pop();
+            delete entry.bag;
+        }
+    }
+}
+
+HdCpsConfig
+HdCpsScheduler::configSrq()
+{
+    HdCpsConfig config;
+    config.useTdf = false;
+    config.bags.mode = BagMode::None;
+    return config;
+}
+
+HdCpsConfig
+HdCpsScheduler::configSrqTdf()
+{
+    HdCpsConfig config;
+    config.useTdf = true;
+    config.bags.mode = BagMode::None;
+    return config;
+}
+
+HdCpsConfig
+HdCpsScheduler::configSrqTdfAc()
+{
+    HdCpsConfig config;
+    config.useTdf = true;
+    config.bags.mode = BagMode::Always;
+    return config;
+}
+
+HdCpsConfig
+HdCpsScheduler::configSw()
+{
+    HdCpsConfig config;
+    config.useTdf = true;
+    config.bags.mode = BagMode::Selective;
+    return config;
+}
+
+unsigned
+HdCpsScheduler::currentTdf() const
+{
+    return config_.useTdf ? tdfController_.current() : config_.fixedTdf;
+}
+
+double
+HdCpsScheduler::averageDrift() const
+{
+    return driftSeries_.average();
+}
+
+unsigned
+HdCpsScheduler::chooseDest(unsigned tid)
+{
+    WorkerState &w = *workers_[tid];
+    unsigned tdf = currentTdf();
+    if (numWorkers() == 1 || w.rng.below(100) >= tdf)
+        return tid;
+    // Remote: uniform over the other workers.
+    unsigned dest = static_cast<unsigned>(w.rng.below(numWorkers() - 1));
+    if (dest >= tid)
+        ++dest;
+    return dest;
+}
+
+void
+HdCpsScheduler::deliver(unsigned from, unsigned dest,
+                        const Envelope &envelope)
+{
+    if (dest == from) {
+        // Local enqueue goes straight into the private PQ — no receive
+        // queue hop needed (Figure 2, path 1a).
+        WorkerState &w = *workers_[from];
+        drainIncoming(w);
+        w.pq.push(PqEntry{envelope.task, envelope.bag});
+        localEnqueues_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    remoteEnqueues_.fetch_add(1, std::memory_order_relaxed);
+    if (workers_[dest]->rq->tryPush(envelope))
+        return;
+    // sRQ full: spill to the destination's locked overflow queue. Bags
+    // are unpacked here — the overflow path is the slow path anyway.
+    overflowPushes_.fetch_add(1, std::memory_order_relaxed);
+    if (envelope.bag) {
+        for (const Task &t : envelope.bag->tasks)
+            workers_[dest]->overflow.push(t);
+        delete envelope.bag;
+    } else {
+        workers_[dest]->overflow.push(envelope.task);
+    }
+}
+
+void
+HdCpsScheduler::push(unsigned tid, const Task &task)
+{
+    Envelope envelope;
+    envelope.task = task;
+    deliver(tid, chooseDest(tid), envelope);
+}
+
+void
+HdCpsScheduler::pushBatch(unsigned tid, const Task *tasks, size_t count)
+{
+    if (config_.bags.mode == BagMode::None) {
+        for (size_t i = 0; i < count; ++i)
+            push(tid, tasks[i]);
+        return;
+    }
+
+    BagPlan plan =
+        config_.bags.plan(std::vector<Task>(tasks, tasks + count));
+    for (const Task &t : plan.singles)
+        push(tid, t);
+    for (Bag &bag : plan.bags) {
+        bagsCreated_.fetch_add(1, std::memory_order_relaxed);
+        tasksInBags_.fetch_add(bag.tasks.size(),
+                               std::memory_order_relaxed);
+        Envelope envelope;
+        envelope.task.priority = bag.priority;
+        envelope.bag = new Bag(std::move(bag));
+        deliver(tid, chooseDest(tid), envelope);
+    }
+}
+
+void
+HdCpsScheduler::drainIncoming(WorkerState &w)
+{
+    // Move everything the sRQ and the overflow spill hold into the
+    // private PQ. Incoming work is handled "with high priority"
+    // (Section III-A) — i.e. before the next dequeue decision.
+    Envelope envelope;
+    while (w.rq->tryPop(envelope))
+        w.pq.push(PqEntry{envelope.task, envelope.bag});
+    Task task;
+    while (w.overflow.tryPop(task))
+        w.pq.push(PqEntry{task, nullptr});
+}
+
+bool
+HdCpsScheduler::tryPop(unsigned tid, Task &out)
+{
+    WorkerState &w = *workers_[tid];
+
+    // A dequeued bag binds the core until its tasks are done
+    // (Section III-B) — serve the active bag first.
+    if (!w.activeBag.empty()) {
+        out = w.activeBag.back();
+        w.activeBag.pop_back();
+        maybeSample(tid, out.priority);
+        return true;
+    }
+
+    drainIncoming(w);
+
+    if (w.pq.empty())
+        return false;
+
+    PqEntry entry = w.pq.pop();
+    if (entry.bag) {
+        w.activeBag = std::move(entry.bag->tasks);
+        delete entry.bag;
+        hdcps_check(!w.activeBag.empty(), "dequeued an empty bag");
+        out = w.activeBag.back();
+        w.activeBag.pop_back();
+    } else {
+        out = entry.task;
+    }
+    maybeSample(tid, out.priority);
+    return true;
+}
+
+void
+HdCpsScheduler::maybeSample(unsigned tid, Priority poppedPriority)
+{
+    WorkerState &w = *workers_[tid];
+    if (++w.popsSinceSample < config_.sampleInterval)
+        return;
+    w.popsSinceSample = 0;
+
+    // Algorithm 3: report the latest processed priority to the master.
+    drift_.publish(tid, poppedPriority);
+    if (!config_.useTdf)
+        return;
+
+    // Algorithm 2 fires once a full round of reports has arrived (the
+    // paper's dedicated core updates "after receiving task priorities
+    // from all cores"), independent of any single worker's progress.
+    // The reduction is cheap and rare; a mutex keeps the controller's
+    // internal history consistent, and try_lock keeps the path
+    // non-blocking for everyone who loses the race.
+    unsigned round = publishRound_.fetch_add(1,
+                                             std::memory_order_acq_rel) +
+                     1;
+    if (round < numWorkers())
+        return;
+    if (!updateMutex_.try_lock())
+        return;
+    publishRound_.store(0, std::memory_order_relaxed);
+    double drift = drift_.computeDrift();
+    driftSeries_.record(drift);
+    tdfController_.update(drift);
+    updateMutex_.unlock();
+}
+
+} // namespace hdcps

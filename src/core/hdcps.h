@@ -1,0 +1,170 @@
+/**
+ * @file
+ * HD-CPS:SW — the paper's software scheduler (Sections III-A..III-C).
+ *
+ * Push-style distributed scheduler derived from RELD, with the three
+ * software mechanisms of the paper stacked as configuration:
+ *
+ *  - **sRQ**: a per-core software receive queue decouples task transfer
+ *    from processing; the per-core priority queue becomes private to
+ *    its owner, so no PQ operation ever takes a lock.
+ *  - **TDF**: the drift-aware feedback heuristic (Algorithm 2) adapts
+ *    the fraction of children sent to random remote cores, using drift
+ *    samples published every `sampleInterval` tasks (Algorithm 3).
+ *  - **Bags**: children with equal priorities are bundled (Algorithm 1)
+ *    either always ("AC") or selectively within the size window ("SC",
+ *    the shipping configuration).
+ *
+ * The paper's named configurations map to the factories below:
+ * sRQ, sRQ+TDF, sRQ+TDF+AC, sRQ+TDF+SC (== HD-CPS:SW).
+ */
+
+#ifndef HDCPS_CORE_HDCPS_H_
+#define HDCPS_CORE_HDCPS_H_
+
+#include <atomic>
+#include <mutex>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bag_policy.h"
+#include "core/drift.h"
+#include "core/recv_queue.h"
+#include "core/tdf.h"
+#include "cps/scheduler.h"
+#include "pq/dary_heap.h"
+#include "pq/locked_pq.h"
+#include "support/compiler.h"
+#include "support/rng.h"
+
+namespace hdcps {
+
+/** All HD-CPS:SW tunables (paper defaults). */
+struct HdCpsConfig
+{
+    size_t rqCapacity = 256;        ///< sRQ entries per core
+    bool useTdf = false;            ///< enable Algorithm 2
+    TdfController::Config tdf{};    ///< initial 50%, step 10%
+    unsigned fixedTdf = 98;         ///< distribution % when TDF is off
+    unsigned sampleInterval = 2000; ///< tasks per drift sample (Alg. 3)
+    BagPolicy bags{BagMode::None, BagTransport::Pull, 3, 10};
+    uint64_t seed = 1;
+};
+
+/** The HD-CPS software scheduler. */
+class HdCpsScheduler : public Scheduler
+{
+  public:
+    HdCpsScheduler(unsigned numWorkers, const HdCpsConfig &config = {});
+    ~HdCpsScheduler() override;
+
+    void push(unsigned tid, const Task &task) override;
+    void pushBatch(unsigned tid, const Task *tasks, size_t count) override;
+    bool tryPop(unsigned tid, Task &out) override;
+    const char *name() const override { return name_.c_str(); }
+
+    /** Paper configuration factories. */
+    static HdCpsConfig configSrq();
+    static HdCpsConfig configSrqTdf();
+    static HdCpsConfig configSrqTdfAc();
+    static HdCpsConfig configSw(); ///< sRQ + TDF + SC == HD-CPS:SW
+
+    /** Current TDF percentage (the heuristic's live output). */
+    unsigned currentTdf() const;
+
+    /** Drift tracker (exposed for tests and the figure harnesses). */
+    const DriftTracker &driftTracker() const { return drift_; }
+
+    /** Average of the drift samples the master took (Eq. 1 series). */
+    double averageDrift() const;
+
+    uint64_t bagsCreated() const
+    {
+        return bagsCreated_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t tasksInBags() const
+    {
+        return tasksInBags_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t remoteEnqueues() const
+    {
+        return remoteEnqueues_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t localEnqueues() const
+    {
+        return localEnqueues_.load(std::memory_order_relaxed);
+    }
+
+    /** sRQ overflow fallbacks (diagnostic; should be rare). */
+    uint64_t overflowPushes() const
+    {
+        return overflowPushes_.load(std::memory_order_relaxed);
+    }
+
+    const HdCpsConfig &config() const { return config_; }
+
+  private:
+    /** A PQ entry is either a single task or bag metadata. */
+    struct PqEntry
+    {
+        Task task;       ///< valid when bag == nullptr
+        Bag *bag = nullptr;
+    };
+
+    struct PqEntryOrder
+    {
+        bool
+        operator()(const PqEntry &a, const PqEntry &b) const
+        {
+            Priority pa = a.bag ? a.bag->priority : a.task.priority;
+            Priority pb = b.bag ? b.bag->priority : b.task.priority;
+            if (pa != pb)
+                return pa < pb;
+            return (a.bag ? 0u : a.task.node) < (b.bag ? 0u : b.task.node);
+        }
+    };
+
+    /** What travels through the receive queue. */
+    struct Envelope
+    {
+        Task task;
+        Bag *bag = nullptr;
+    };
+
+    struct alignas(cacheLineBytes) WorkerState
+    {
+        DAryHeap<PqEntry, PqEntryOrder> pq; ///< private to the owner
+        std::unique_ptr<ReceiveQueue<Envelope>> rq;
+        LockedTaskPq overflow; ///< spill path when the sRQ is full
+        std::vector<Task> activeBag; ///< tasks of the bag being drained
+        Rng rng;
+        uint64_t popsSinceSample = 0;
+    };
+
+    void deliver(unsigned from, unsigned dest, const Envelope &envelope);
+    unsigned chooseDest(unsigned tid);
+    void drainIncoming(WorkerState &w);
+    void maybeSample(unsigned tid, Priority poppedPriority);
+
+    HdCpsConfig config_;
+    std::string name_;
+    std::vector<std::unique_ptr<WorkerState>> workers_;
+    DriftTracker drift_;
+    TdfController tdfController_;
+    std::atomic<unsigned> publishRound_{0};
+    std::mutex updateMutex_;
+    DriftSeries driftSeries_; ///< guarded by updateMutex_
+    std::atomic<uint64_t> bagsCreated_{0};
+    std::atomic<uint64_t> tasksInBags_{0};
+    std::atomic<uint64_t> remoteEnqueues_{0};
+    std::atomic<uint64_t> localEnqueues_{0};
+    std::atomic<uint64_t> overflowPushes_{0};
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_CORE_HDCPS_H_

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The per-core software receive queue (sRQ) — HD-CPS Section III-A.
+ *
+ * HD-CPS decouples task *transfer* from task *processing*: remote cores
+ * never touch the owner's priority queue; they deposit tasks into this
+ * bounded multi-producer/single-consumer ring instead, and the owner
+ * drains it into its private PQ at its own pace. The paper describes the
+ * slot protocol directly: "a sending core atomically increments the
+ * corresponding receive queue's write pointer in the destination core,
+ * then places its data into the slot and sets the flag." That is the
+ * classic bounded sequence-number queue (Vyukov), implemented here with
+ * per-slot sequence counters standing in for the flags.
+ */
+
+#ifndef HDCPS_CORE_RECV_QUEUE_H_
+#define HDCPS_CORE_RECV_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "support/compiler.h"
+#include "support/logging.h"
+
+namespace hdcps {
+
+/**
+ * Bounded MPSC queue with per-slot sequence flags. tryPush is safe from
+ * any thread; tryPop must only be called by the owning (consumer) core.
+ */
+template <typename T>
+class ReceiveQueue
+{
+  public:
+    explicit ReceiveQueue(size_t capacity)
+        : slots_(new Slot[capacity]), mask_(capacity - 1)
+    {
+        hdcps_check(isPowerOf2(capacity) && capacity >= 2,
+                    "receive queue capacity must be a power of two >= 2");
+        for (size_t i = 0; i < capacity; ++i)
+            slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    /**
+     * Deposit a task from a (possibly remote) producer. Returns false
+     * when the queue is full — the caller falls back to the software
+     * overflow path, mirroring the hRQ-spills-to-sRQ design in hardware.
+     */
+    bool
+    tryPush(const T &value)
+    {
+        size_t pos = writePtr_.load(std::memory_order_relaxed);
+        while (true) {
+            Slot &slot = slots_[pos & mask_];
+            size_t seq = slot.seq.load(std::memory_order_acquire);
+            intptr_t diff =
+                static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+            if (diff == 0) {
+                // Slot free at this ticket: claim it by advancing the
+                // write pointer (the paper's atomic increment).
+                if (writePtr_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    slot.value = value;
+                    // Publishing seq = pos+1 is the paper's "set the
+                    // flag" step that makes the slot visible.
+                    slot.seq.store(pos + 1, std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false; // full
+            } else {
+                pos = writePtr_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Owner-only: take the oldest deposited task. */
+    bool
+    tryPop(T &out)
+    {
+        Slot &slot = slots_[readPtr_ & mask_];
+        size_t seq = slot.seq.load(std::memory_order_acquire);
+        if (static_cast<intptr_t>(seq) -
+                static_cast<intptr_t>(readPtr_ + 1) != 0) {
+            return false; // empty (or producer mid-write)
+        }
+        out = slot.value;
+        slot.seq.store(readPtr_ + mask_ + 1, std::memory_order_release);
+        ++readPtr_;
+        return true;
+    }
+
+    /** Approximate occupancy (exact for the owner when quiescent). */
+    size_t
+    sizeApprox() const
+    {
+        size_t w = writePtr_.load(std::memory_order_acquire);
+        return w - readPtr_;
+    }
+
+    size_t capacity() const { return mask_ + 1; }
+
+  private:
+    struct Slot
+    {
+        std::atomic<size_t> seq;
+        T value;
+    };
+
+    std::unique_ptr<Slot[]> slots_;
+    size_t mask_;
+    alignas(cacheLineBytes) std::atomic<size_t> writePtr_{0};
+    alignas(cacheLineBytes) size_t readPtr_{0};
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_CORE_RECV_QUEUE_H_

@@ -1,0 +1,64 @@
+#include "cps/multiqueue.h"
+
+namespace hdcps {
+
+MultiQueueScheduler::MultiQueueScheduler(unsigned numWorkers,
+                                         unsigned queuesPerWorker,
+                                         uint64_t seed)
+    : Scheduler(numWorkers)
+{
+    hdcps_check(numWorkers >= 1, "need at least one worker");
+    hdcps_check(queuesPerWorker >= 1, "need at least one queue/worker");
+    size_t numQueues = size_t(numWorkers) * queuesPerWorker;
+    queues_.reserve(numQueues);
+    for (size_t i = 0; i < numQueues; ++i)
+        queues_.push_back(std::make_unique<LockedTaskPq>());
+    workers_.reserve(numWorkers);
+    for (unsigned i = 0; i < numWorkers; ++i) {
+        auto w = std::make_unique<WorkerState>();
+        w->rng.reseed(mix64(seed + 0x9e51) + i);
+        workers_.push_back(std::move(w));
+    }
+}
+
+void
+MultiQueueScheduler::push(unsigned tid, const Task &task)
+{
+    size_t q = workers_[tid]->rng.below(queues_.size());
+    queues_[q]->push(task);
+}
+
+bool
+MultiQueueScheduler::tryPop(unsigned tid, Task &out)
+{
+    Rng &rng = workers_[tid]->rng;
+    // Power of two choices: peek two random queues, pop the better.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        size_t a = rng.below(queues_.size());
+        size_t b = rng.below(queues_.size());
+        Priority pa;
+        Priority pb;
+        bool hasA = queues_[a]->peekPriority(pa);
+        bool hasB = queues_[b]->peekPriority(pb);
+        size_t pick;
+        if (hasA && hasB) {
+            pick = pa <= pb ? a : b;
+        } else if (hasA) {
+            pick = a;
+        } else if (hasB) {
+            pick = b;
+        } else {
+            continue;
+        }
+        if (queues_[pick]->tryPop(out))
+            return true;
+    }
+    // Fall back to a full scan so no task can be stranded.
+    for (auto &queue : queues_) {
+        if (queue->tryPop(out))
+            return true;
+    }
+    return false;
+}
+
+} // namespace hdcps

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * MultiQueue: the relaxed concurrent priority queue of Rihani, Sanders
+ * and Dementiev (SPAA'15), cited by the paper as one of the modern
+ * relaxed schedulers HD-CPS competes with.
+ *
+ * c queues per worker (c = 2 here); a push inserts into a uniformly
+ * random queue, a pop peeks two random queues and takes the better
+ * top. The expected rank error is O(P), giving a communication-cheap
+ * but drift-blind scheduler — a useful extra baseline between RELD
+ * (fine-grain push) and OBIM (coarse bags) for the beyond-the-paper
+ * ablation benchmark.
+ */
+
+#ifndef HDCPS_CPS_MULTIQUEUE_H_
+#define HDCPS_CPS_MULTIQUEUE_H_
+
+#include <memory>
+#include <vector>
+
+#include "cps/scheduler.h"
+#include "pq/locked_pq.h"
+#include "support/compiler.h"
+#include "support/rng.h"
+
+namespace hdcps {
+
+/** Relaxed multi-queue scheduler (power-of-two-choices pops). */
+class MultiQueueScheduler : public Scheduler
+{
+  public:
+    /** queuesPerWorker is the classic "c" parameter. */
+    MultiQueueScheduler(unsigned numWorkers, unsigned queuesPerWorker = 2,
+                        uint64_t seed = 1);
+
+    void push(unsigned tid, const Task &task) override;
+    bool tryPop(unsigned tid, Task &out) override;
+    const char *name() const override { return "multiqueue"; }
+
+    size_t numQueues() const { return queues_.size(); }
+
+  private:
+    struct alignas(cacheLineBytes) WorkerState
+    {
+        Rng rng;
+    };
+
+    std::vector<std::unique_ptr<LockedTaskPq>> queues_;
+    std::vector<std::unique_ptr<WorkerState>> workers_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_CPS_MULTIQUEUE_H_

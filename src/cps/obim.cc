@@ -1,0 +1,110 @@
+#include "cps/obim.h"
+
+#include "support/logging.h"
+
+namespace hdcps {
+
+ObimBase::ObimBase(unsigned numWorkers, const Config &config)
+    : Scheduler(numWorkers), config_(config), delta_(config.delta)
+{
+    hdcps_check(numWorkers >= 1, "need at least one worker");
+    hdcps_check(config.delta <= 32, "delta out of range");
+    hdcps_check(config.chunkSize >= 1, "chunk size must be >= 1");
+    workers_.reserve(numWorkers);
+    for (unsigned i = 0; i < numWorkers; ++i)
+        workers_.push_back(std::make_unique<WorkerState>());
+}
+
+ObimBag *
+ObimBase::findOrCreateBag(Priority base)
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(mapMutex_);
+        auto it = bags_.find(base);
+        if (it != bags_.end())
+            return it->second.get();
+    }
+    std::unique_lock<std::shared_mutex> lock(mapMutex_);
+    auto [it, inserted] = bags_.try_emplace(base, nullptr);
+    if (inserted)
+        it->second = std::make_unique<ObimBag>(base);
+    return it->second.get();
+}
+
+ObimBag *
+ObimBase::findBestBag()
+{
+    std::shared_lock<std::shared_mutex> lock(mapMutex_);
+    for (auto &[base, bag] : bags_) {
+        if (!bag->empty())
+            return bag.get();
+    }
+    return nullptr;
+}
+
+void
+ObimBase::push(unsigned tid, const Task &task)
+{
+    (void)tid;
+    unsigned delta = delta_.load(std::memory_order_relaxed);
+    Priority base = (task.priority >> delta) << delta;
+    findOrCreateBag(base)->push(task);
+}
+
+bool
+ObimBase::tryPop(unsigned tid, Task &out)
+{
+    WorkerState &w = *workers_[tid];
+
+    if (!w.chunk.empty()) {
+        out = w.chunk.back();
+        w.chunk.pop_back();
+        return true;
+    }
+
+    // Refill from the worker's current bag first (bulk processing of a
+    // bag is where OBIM's synchronization savings come from).
+    if (w.currentBag) {
+        size_t got = w.currentBag->popChunk(w.chunk, config_.chunkSize);
+        if (got > 0) {
+            w.takenFromCurrent += got;
+            out = w.chunk.back();
+            w.chunk.pop_back();
+            return true;
+        }
+        onBagExhausted(w.takenFromCurrent);
+        w.currentBag = nullptr;
+        w.takenFromCurrent = 0;
+    }
+
+    // Search the global map for the best non-empty bag.
+    ObimBag *best = findBestBag();
+    if (!best)
+        return false;
+    size_t got = best->popChunk(w.chunk, config_.chunkSize);
+    if (got == 0)
+        return false; // raced with other workers; caller will retry
+    w.currentBag = best;
+    w.takenFromCurrent = got;
+    out = w.chunk.back();
+    w.chunk.pop_back();
+    return true;
+}
+
+size_t
+ObimBase::claimChunk(std::vector<Task> &out, size_t maxCount)
+{
+    ObimBag *best = findBestBag();
+    if (!best)
+        return 0;
+    return best->popChunk(out, maxCount);
+}
+
+size_t
+ObimBase::numBags() const
+{
+    std::shared_lock<std::shared_mutex> lock(mapMutex_);
+    return bags_.size();
+}
+
+} // namespace hdcps

@@ -1,0 +1,43 @@
+#include "cps/pmod.h"
+
+#include "support/logging.h"
+
+namespace hdcps {
+
+PmodScheduler::PmodScheduler(unsigned numWorkers, const PmodConfig &config)
+    : ObimBase(numWorkers, config.obim), pmodConfig_(config)
+{
+    hdcps_check(config.window >= 1, "window must be >= 1");
+    hdcps_check(config.minDelta <= config.maxDelta, "bad delta bounds");
+    hdcps_check(config.lowYield < config.highYield,
+                "lowYield must be < highYield");
+}
+
+void
+PmodScheduler::onBagExhausted(size_t tasksTaken)
+{
+    retiredTasks_.fetch_add(tasksTaken, std::memory_order_relaxed);
+    uint64_t retired =
+        retiredBags_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (retired % pmodConfig_.window != 0)
+        return;
+
+    // Decision point: average tasks drained per retired bag over the
+    // *last window only* — a cumulative average would keep reacting to
+    // start-up behaviour long after the application changed phase.
+    uint64_t tasks =
+        retiredTasks_.exchange(0, std::memory_order_relaxed);
+    uint64_t avgYield = tasks / pmodConfig_.window;
+    unsigned delta = currentDelta();
+    if (avgYield < pmodConfig_.lowYield &&
+        delta < pmodConfig_.maxDelta) {
+        setDelta(delta + 1);
+        adjustments_.fetch_add(1, std::memory_order_relaxed);
+    } else if (avgYield > pmodConfig_.highYield &&
+               delta > pmodConfig_.minDelta) {
+        setDelta(delta - 1);
+        adjustments_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+} // namespace hdcps

@@ -1,0 +1,42 @@
+#include "cps/reld.h"
+
+namespace hdcps {
+
+ReldScheduler::ReldScheduler(unsigned numWorkers, uint64_t seed)
+    : Scheduler(numWorkers)
+{
+    hdcps_check(numWorkers >= 1, "need at least one worker");
+    workers_.reserve(numWorkers);
+    for (unsigned i = 0; i < numWorkers; ++i) {
+        auto state = std::make_unique<WorkerState>();
+        state->rng.reseed(mix64(seed) + i);
+        workers_.push_back(std::move(state));
+    }
+}
+
+void
+ReldScheduler::push(unsigned tid, const Task &task)
+{
+    // RELD distributes every created task to a random worker (possibly
+    // itself); this is the fine-grain continuous distribution model.
+    unsigned dest = static_cast<unsigned>(
+        workers_[tid]->rng.below(numWorkers()));
+    workers_[dest]->pq.push(task);
+}
+
+bool
+ReldScheduler::tryPop(unsigned tid, Task &out)
+{
+    return workers_[tid]->pq.tryPop(out);
+}
+
+size_t
+ReldScheduler::totalQueued() const
+{
+    size_t total = 0;
+    for (const auto &w : workers_)
+        total += w->pq.size();
+    return total;
+}
+
+} // namespace hdcps

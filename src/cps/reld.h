@@ -1,0 +1,51 @@
+/**
+ * @file
+ * RELD: push-style distributed CPS (Yesil et al., SC'19 nomenclature).
+ *
+ * One lock-guarded priority queue per worker. Every newly created task
+ * is sent to a uniformly random worker's PQ (continuous fine-grain
+ * distribution), which load-balances execution but makes every enqueue
+ * a potentially remote, serializing operation on the destination's PQ —
+ * the communication overhead HD-CPS's receive queue removes. This is
+ * the paper's starting point for HD-CPS (Section II-B).
+ */
+
+#ifndef HDCPS_CPS_RELD_H_
+#define HDCPS_CPS_RELD_H_
+
+#include <memory>
+#include <vector>
+
+#include "cps/scheduler.h"
+#include "pq/locked_pq.h"
+#include "support/compiler.h"
+#include "support/rng.h"
+
+namespace hdcps {
+
+/** Push-style distributed scheduler with per-worker locked PQs. */
+class ReldScheduler : public Scheduler
+{
+  public:
+    explicit ReldScheduler(unsigned numWorkers, uint64_t seed = 1);
+
+    void push(unsigned tid, const Task &task) override;
+    bool tryPop(unsigned tid, Task &out) override;
+    const char *name() const override { return "reld"; }
+
+    /** Tasks currently buffered across all PQs (test/diagnostic hook). */
+    size_t totalQueued() const;
+
+  private:
+    struct alignas(cacheLineBytes) WorkerState
+    {
+        LockedTaskPq pq;
+        Rng rng;
+    };
+
+    std::vector<std::unique_ptr<WorkerState>> workers_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_CPS_RELD_H_

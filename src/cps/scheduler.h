@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The common interface all threaded concurrent priority schedulers
+ * (CPS designs) implement.
+ *
+ * A CPS stores newly created tasks and distributes them among worker
+ * threads. Workers interact with it from inside the runtime's worker
+ * loop: pop a task, process it, push the generated children. The
+ * interface is deliberately minimal so every design in the paper — RELD,
+ * OBIM, PMOD, Software Minnow, and HD-CPS:SW — plugs into the same
+ * runtime and the same workloads.
+ *
+ * Contract:
+ *  - push/tryPop may be called concurrently from different worker ids;
+ *    a given worker id is only ever driven by one thread at a time.
+ *  - Relaxed priority order: tryPop returns *a* high-priority task, not
+ *    necessarily the global best (that relaxation is the whole point of
+ *    a CPS).
+ *  - No task loss: every pushed task is returned by some tryPop exactly
+ *    once. Termination detection is the runtime's job (it counts
+ *    in-flight tasks), so transient emptiness is fine.
+ */
+
+#ifndef HDCPS_CPS_SCHEDULER_H_
+#define HDCPS_CPS_SCHEDULER_H_
+
+#include <cstddef>
+
+#include "cps/task.h"
+
+namespace hdcps {
+
+/** Abstract threaded concurrent priority scheduler. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(unsigned numWorkers) : numWorkers_(numWorkers) {}
+    virtual ~Scheduler() = default;
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Insert one task on behalf of worker tid. */
+    virtual void push(unsigned tid, const Task &task) = 0;
+
+    /**
+     * Insert a batch of children created by one parent task. Designs
+     * with bag support override this — Algorithm 1 operates on exactly
+     * this batch. The default forwards to push() one task at a time.
+     */
+    virtual void
+    pushBatch(unsigned tid, const Task *tasks, size_t count)
+    {
+        for (size_t i = 0; i < count; ++i)
+            push(tid, tasks[i]);
+    }
+
+    /**
+     * Remove a high-priority task for worker tid. Returns false when
+     * this worker currently sees no work (other workers may still have
+     * some; the runtime keeps polling until its in-flight count hits 0).
+     */
+    virtual bool tryPop(unsigned tid, Task &out) = 0;
+
+    /** Human-readable design name ("reld", "obim", ...). */
+    virtual const char *name() const = 0;
+
+    unsigned numWorkers() const { return numWorkers_; }
+
+  private:
+    unsigned numWorkers_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_CPS_SCHEDULER_H_

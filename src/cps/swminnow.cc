@@ -1,0 +1,74 @@
+#include "cps/swminnow.h"
+
+namespace hdcps {
+
+SwMinnowScheduler::SwMinnowScheduler(unsigned numWorkers,
+                                     const MinnowConfig &config)
+    : ObimBase(numWorkers, config.obim), minnowConfig_(config)
+{
+    hdcps_check(config.numMinnows >= 1, "need at least one minnow thread");
+    hdcps_check(isPowerOf2(config.bufferCapacity),
+                "staging buffer capacity must be a power of two");
+    staging_.reserve(numWorkers);
+    for (unsigned i = 0; i < numWorkers; ++i) {
+        staging_.push_back(
+            std::make_unique<SpscRing<Task>>(config.bufferCapacity));
+    }
+    minnows_.reserve(config.numMinnows);
+    for (unsigned i = 0; i < config.numMinnows; ++i)
+        minnows_.emplace_back([this, i] { minnowLoop(i); });
+}
+
+SwMinnowScheduler::~SwMinnowScheduler()
+{
+    stop_.store(true, std::memory_order_release);
+    for (auto &t : minnows_)
+        t.join();
+}
+
+bool
+SwMinnowScheduler::tryPop(unsigned tid, Task &out)
+{
+    // Staged work first: this is the decoupling benefit — the worker
+    // avoids touching the shared map while its helper keeps up.
+    if (staging_[tid]->tryPop(out))
+        return true;
+    // Fall back to the plain OBIM path so a lagging helper can never
+    // starve a worker or strand tasks.
+    return ObimBase::tryPop(tid, out);
+}
+
+void
+SwMinnowScheduler::minnowLoop(unsigned minnowId)
+{
+    // Static partition: minnow m serves workers with
+    // tid % numMinnows == m (the paper's 36-4 split gives 9 each).
+    const unsigned stride = minnowConfig_.numMinnows;
+    std::vector<Task> chunk;
+    while (!stop_.load(std::memory_order_acquire)) {
+        bool didWork = false;
+        for (unsigned w = minnowId; w < numWorkers(); w += stride) {
+            SpscRing<Task> &ring = *staging_[w];
+            if (ring.sizeApprox() > ring.capacity() / 2)
+                continue;
+            chunk.clear();
+            size_t got = claimChunk(chunk, minnowConfig_.prefetchChunk);
+            if (got == 0)
+                continue;
+            didWork = true;
+            size_t staged = 0;
+            for (; staged < chunk.size(); ++staged) {
+                if (!ring.tryPush(chunk[staged]))
+                    break;
+            }
+            prefetched_.fetch_add(staged, std::memory_order_relaxed);
+            // Anything that did not fit goes straight back to the map.
+            for (size_t i = staged; i < chunk.size(); ++i)
+                push(w, chunk[i]);
+        }
+        if (!didWork)
+            std::this_thread::yield();
+    }
+}
+
+} // namespace hdcps

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The unit of scheduling shared by every CPS design in this library.
+ *
+ * A task is 128 bits — exactly the hRQ/hPQ entry size in the paper
+ * (Table I: "Task and Bag ID Size: 128-bits"): a 64-bit priority and a
+ * 64-bit payload split into the graph node and an algorithm-defined
+ * word (e.g. the tentative distance for SSSP). Lower numeric priority
+ * means higher scheduling priority throughout the library; workloads
+ * whose natural priority is "bigger is better" (degree, rank) negate at
+ * task-creation time.
+ */
+
+#ifndef HDCPS_CPS_TASK_H_
+#define HDCPS_CPS_TASK_H_
+
+#include <cstdint>
+
+namespace hdcps {
+
+using Priority = uint64_t;
+
+/** One schedulable task; trivially copyable, 16 bytes. */
+struct Task
+{
+    Priority priority = 0; ///< lower value = scheduled sooner
+    uint32_t node = 0;     ///< graph node this task operates on
+    uint32_t data = 0;     ///< algorithm-defined payload word
+
+    friend bool
+    operator==(const Task &a, const Task &b)
+    {
+        return a.priority == b.priority && a.node == b.node &&
+               a.data == b.data;
+    }
+};
+
+static_assert(sizeof(Task) == 16, "Task must be 128 bits (paper, Table I)");
+
+/** Min-heap ordering: true when a schedules before b. */
+struct TaskOrder
+{
+    bool
+    operator()(const Task &a, const Task &b) const
+    {
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.node < b.node; // deterministic tie-break
+    }
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_CPS_TASK_H_

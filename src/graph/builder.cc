@@ -1,0 +1,51 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+namespace hdcps {
+
+Graph
+GraphBuilder::build(bool dedup)
+{
+    // Drop self-loops up front; none of the evaluated workloads use them
+    // and they only waste scheduler work.
+    std::erase_if(edges_, [](const Triple &t) { return t.src == t.dst; });
+
+    std::sort(edges_.begin(), edges_.end(),
+              [](const Triple &a, const Triple &b) {
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  if (a.dst != b.dst)
+                      return a.dst < b.dst;
+                  return a.weight < b.weight;
+              });
+
+    if (dedup) {
+        // After the sort above, the first of each (src,dst) run carries
+        // the minimum weight, so unique() keeps exactly that edge.
+        auto last = std::unique(edges_.begin(), edges_.end(),
+                                [](const Triple &a, const Triple &b) {
+                                    return a.src == b.src && a.dst == b.dst;
+                                });
+        edges_.erase(last, edges_.end());
+    }
+
+    std::vector<EdgeId> offsets(static_cast<size_t>(numNodes_) + 1, 0);
+    for (const Triple &t : edges_)
+        ++offsets[t.src + 1];
+    for (NodeId i = 0; i < numNodes_; ++i)
+        offsets[i + 1] += offsets[i];
+
+    std::vector<NodeId> dests(edges_.size());
+    std::vector<Weight> weights(weighted_ ? edges_.size() : 0);
+    for (size_t i = 0; i < edges_.size(); ++i) {
+        dests[i] = edges_[i].dst;
+        if (weighted_)
+            weights[i] = edges_[i].weight;
+    }
+    edges_.clear();
+    edges_.shrink_to_fit();
+    return Graph(std::move(offsets), std::move(dests), std::move(weights));
+}
+
+} // namespace hdcps

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Mutable edge-list accumulator that finalizes into a CSR Graph.
+ */
+
+#ifndef HDCPS_GRAPH_BUILDER_H_
+#define HDCPS_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hdcps {
+
+/**
+ * Collects directed edges and finalizes them into an immutable Graph.
+ * Self-loops are dropped at build time; parallel edges are optionally
+ * deduplicated keeping the minimum weight (the standard convention for
+ * shortest-path inputs).
+ */
+class GraphBuilder
+{
+  public:
+    explicit GraphBuilder(NodeId numNodes, bool weighted = true)
+        : numNodes_(numNodes), weighted_(weighted)
+    {}
+
+    /** Add one directed edge; weight is ignored for unweighted graphs. */
+    void
+    addEdge(NodeId src, NodeId dst, Weight weight = 1)
+    {
+        hdcps_check(src < numNodes_ && dst < numNodes_,
+                    "edge (%u -> %u) out of range (n=%u)", src, dst,
+                    numNodes_);
+        edges_.push_back({src, dst, weight});
+    }
+
+    /** Add both (src,dst) and (dst,src) with the same weight. */
+    void
+    addUndirectedEdge(NodeId a, NodeId b, Weight weight = 1)
+    {
+        addEdge(a, b, weight);
+        addEdge(b, a, weight);
+    }
+
+    size_t numPendingEdges() const { return edges_.size(); }
+    NodeId numNodes() const { return numNodes_; }
+
+    /**
+     * Finalize into a Graph. The builder is left empty afterwards.
+     *
+     * @param dedup merge parallel edges keeping the smallest weight.
+     */
+    Graph build(bool dedup = true);
+
+  private:
+    struct Triple
+    {
+        NodeId src;
+        NodeId dst;
+        Weight weight;
+    };
+
+    NodeId numNodes_;
+    bool weighted_;
+    std::vector<Triple> edges_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_GRAPH_BUILDER_H_

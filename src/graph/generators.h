@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic synthetic graph generators.
+ *
+ * The paper evaluates on CAGE14 (dense, quasi-regular), the USA road
+ * network (very sparse, near-planar), Web-Google (power-law web graph)
+ * and LiveJournal (dense power-law social graph). Those datasets are not
+ * redistributable here, so these generators produce inputs matching the
+ * properties the paper's analysis depends on: average degree, maximum
+ * degree, diameter class (road networks have huge diameters, social
+ * graphs tiny ones), and weight distribution. Every generator is fully
+ * determined by its seed.
+ */
+
+#ifndef HDCPS_GRAPH_GENERATORS_H_
+#define HDCPS_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace hdcps {
+
+/** Parameters shared by all generators. */
+struct GenParams
+{
+    uint64_t seed = 1;
+    Weight maxWeight = 100; ///< weights uniform in [1, maxWeight]
+};
+
+/**
+ * Road-network-like graph: width x height grid with bidirectional edges
+ * between 4-neighbours, a fraction of edges removed to create detours,
+ * and a few long "highway" shortcuts. Nodes carry 2-D coordinates so the
+ * A* heuristic is admissible (weights are scaled above the coordinate
+ * distance). Stands in for rUSA: avg degree ~2-3.5, huge diameter.
+ */
+Graph makeRoadGrid(uint32_t width, uint32_t height,
+                   const GenParams &params = {});
+
+/**
+ * Banded quasi-regular graph: node i connects to ~avgDegree random
+ * distinct neighbours within [i-band, i+band]. Stands in for CAGE14:
+ * high average degree, low maximum degree, strong locality.
+ */
+Graph makeBanded(NodeId numNodes, uint32_t avgDegree, uint32_t band,
+                 const GenParams &params = {});
+
+/**
+ * RMAT power-law graph (Chakrabarti et al. probabilities). Stands in for
+ * Web-Google (scale ~0.57/0.19/0.19/0.05) and LiveJournal (denser):
+ * skewed degrees with a heavy tail, small diameter.
+ */
+Graph makeRmat(unsigned scale, EdgeId numEdges, double a, double b, double c,
+               const GenParams &params = {});
+
+/** Uniform random digraph (Erdos-Renyi G(n, m) style). */
+Graph makeUniformRandom(NodeId numNodes, EdgeId numEdges,
+                        const GenParams &params = {});
+
+/**
+ * The four paper-shaped inputs at a configurable scale factor, keyed by
+ * name: "cage", "usa", "wg", "lj". scale=1 targets quick CI runs
+ * (~50-200k edges); larger scales grow roughly linearly.
+ */
+Graph makePaperInput(const std::string &name, unsigned scale = 1,
+                     uint64_t seed = 1);
+
+/** Names accepted by makePaperInput, in Table II order. */
+const char *const *paperInputNames(size_t &count);
+
+} // namespace hdcps
+
+#endif // HDCPS_GRAPH_GENERATORS_H_

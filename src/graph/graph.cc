@@ -1,0 +1,120 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hdcps {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<NodeId> dests,
+             std::vector<Weight> weights)
+    : offsets_(std::move(offsets)), dests_(std::move(dests)),
+      weights_(std::move(weights))
+{
+    hdcps_check(!offsets_.empty(), "CSR offsets must have >= 1 entry");
+    hdcps_check(offsets_.front() == 0, "CSR offsets must start at 0");
+    hdcps_check(offsets_.back() == dests_.size(),
+                "CSR offsets end (%llu) != edge count (%zu)",
+                static_cast<unsigned long long>(offsets_.back()),
+                dests_.size());
+    hdcps_check(weights_.empty() || weights_.size() == dests_.size(),
+                "weights size (%zu) != edge count (%zu)", weights_.size(),
+                dests_.size());
+    for (size_t i = 1; i < offsets_.size(); ++i) {
+        hdcps_check(offsets_[i - 1] <= offsets_[i],
+                    "CSR offsets must be non-decreasing at node %zu", i - 1);
+    }
+    const NodeId n = numNodes();
+    for (NodeId d : dests_)
+        hdcps_check(d < n, "edge destination %u out of range (n=%u)", d, n);
+}
+
+void
+Graph::setCoordinates(std::vector<std::pair<int32_t, int32_t>> coords)
+{
+    hdcps_check(coords.size() == numNodes(),
+                "coordinate count (%zu) != node count (%u)", coords.size(),
+                numNodes());
+    coords_ = std::move(coords);
+}
+
+Graph
+Graph::transpose() const
+{
+    const NodeId n = numNodes();
+    std::vector<EdgeId> offsets(n + 1, 0);
+    for (NodeId d : dests_)
+        ++offsets[d + 1];
+    for (NodeId i = 0; i < n; ++i)
+        offsets[i + 1] += offsets[i];
+
+    std::vector<NodeId> dests(dests_.size());
+    std::vector<Weight> weights(weights_.empty() ? 0 : dests_.size());
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (NodeId src = 0; src < n; ++src) {
+        for (EdgeId e = edgeBegin(src); e < edgeEnd(src); ++e) {
+            EdgeId slot = cursor[dests_[e]]++;
+            dests[slot] = src;
+            if (!weights_.empty())
+                weights[slot] = weights_[e];
+        }
+    }
+    Graph t(std::move(offsets), std::move(dests), std::move(weights));
+    if (hasCoordinates())
+        t.setCoordinates(coords_);
+    return t;
+}
+
+Weight
+Graph::maxWeight() const
+{
+    if (weights_.empty())
+        return 1;
+    Weight best = 1;
+    for (Weight w : weights_)
+        best = std::max(best, w);
+    return best;
+}
+
+NodeId
+Graph::reachableFrom(NodeId src) const
+{
+    hdcps_check(src < numNodes(), "source %u out of range", src);
+    std::vector<bool> seen(numNodes(), false);
+    std::vector<NodeId> stack{src};
+    seen[src] = true;
+    NodeId count = 0;
+    while (!stack.empty()) {
+        NodeId node = stack.back();
+        stack.pop_back();
+        ++count;
+        for (EdgeId e = edgeBegin(node); e < edgeEnd(node); ++e) {
+            NodeId dst = dests_[e];
+            if (!seen[dst]) {
+                seen[dst] = true;
+                stack.push_back(dst);
+            }
+        }
+    }
+    return count;
+}
+
+GraphStats
+computeStats(const Graph &g)
+{
+    GraphStats stats;
+    stats.nodes = g.numNodes();
+    stats.edges = g.numEdges();
+    if (stats.nodes == 0)
+        return stats;
+    stats.avgDegree =
+        static_cast<double>(stats.edges) / static_cast<double>(stats.nodes);
+    stats.minDegree = ~0u;
+    for (NodeId n = 0; n < stats.nodes; ++n) {
+        uint32_t d = g.degree(n);
+        stats.maxDegree = std::max(stats.maxDegree, d);
+        stats.minDegree = std::min(stats.minDegree, d);
+    }
+    return stats;
+}
+
+} // namespace hdcps

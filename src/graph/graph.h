@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Immutable directed graph in compressed sparse row (CSR) form.
+ *
+ * This is the substrate every workload in the paper operates on. The
+ * representation is a standard offset/destination/weight CSR with an
+ * optional per-node 2-D coordinate table (used by the A* heuristic for
+ * road-network-style inputs). Graphs are constructed through
+ * GraphBuilder or the generators/loaders and never mutated afterwards,
+ * so concurrent readers need no synchronization.
+ */
+
+#ifndef HDCPS_GRAPH_GRAPH_H_
+#define HDCPS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace hdcps {
+
+using NodeId = uint32_t;
+using EdgeId = uint64_t;
+using Weight = uint32_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId invalidNode = ~NodeId(0);
+
+/** One outgoing edge as seen during iteration. */
+struct Edge
+{
+    NodeId dest;
+    Weight weight;
+};
+
+/** Immutable CSR digraph with optional node coordinates. */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /**
+     * Assemble from raw CSR arrays. offsets must have numNodes+1 entries
+     * with offsets.front() == 0 and offsets.back() == dests.size();
+     * weights must be empty (unweighted: all weights read as 1) or the
+     * same length as dests.
+     */
+    Graph(std::vector<EdgeId> offsets, std::vector<NodeId> dests,
+          std::vector<Weight> weights);
+
+    NodeId
+    numNodes() const
+    {
+        return offsets_.empty() ? 0
+                                : static_cast<NodeId>(offsets_.size() - 1);
+    }
+
+    EdgeId numEdges() const { return static_cast<EdgeId>(dests_.size()); }
+
+    bool weighted() const { return !weights_.empty(); }
+
+    EdgeId
+    edgeBegin(NodeId n) const
+    {
+        return offsets_[n];
+    }
+
+    EdgeId
+    edgeEnd(NodeId n) const
+    {
+        return offsets_[n + 1];
+    }
+
+    uint32_t
+    degree(NodeId n) const
+    {
+        return static_cast<uint32_t>(offsets_[n + 1] - offsets_[n]);
+    }
+
+    NodeId edgeDest(EdgeId e) const { return dests_[e]; }
+
+    Weight
+    edgeWeight(EdgeId e) const
+    {
+        return weights_.empty() ? 1 : weights_[e];
+    }
+
+    /** Lightweight range over a node's outgoing edges. */
+    class EdgeRange
+    {
+      public:
+        class Iterator
+        {
+          public:
+            Iterator(const Graph *g, EdgeId e) : g_(g), e_(e) {}
+
+            Edge
+            operator*() const
+            {
+                return {g_->edgeDest(e_), g_->edgeWeight(e_)};
+            }
+
+            Iterator &
+            operator++()
+            {
+                ++e_;
+                return *this;
+            }
+
+            bool
+            operator!=(const Iterator &o) const
+            {
+                return e_ != o.e_;
+            }
+
+          private:
+            const Graph *g_;
+            EdgeId e_;
+        };
+
+        EdgeRange(const Graph *g, EdgeId begin, EdgeId end)
+            : g_(g), begin_(begin), end_(end)
+        {}
+
+        Iterator begin() const { return {g_, begin_}; }
+        Iterator end() const { return {g_, end_}; }
+        size_t size() const { return end_ - begin_; }
+
+      private:
+        const Graph *g_;
+        EdgeId begin_;
+        EdgeId end_;
+    };
+
+    EdgeRange
+    outEdges(NodeId n) const
+    {
+        return {this, offsets_[n], offsets_[n + 1]};
+    }
+
+    /** Attach 2-D coordinates (one pair per node); enables A* heuristic. */
+    void setCoordinates(std::vector<std::pair<int32_t, int32_t>> coords);
+
+    bool hasCoordinates() const { return !coords_.empty(); }
+
+    int32_t coordX(NodeId n) const { return coords_[n].first; }
+    int32_t coordY(NodeId n) const { return coords_[n].second; }
+
+    /** Build the transpose (all edges reversed); coordinates carry over. */
+    Graph transpose() const;
+
+    /** Largest edge weight (1 for unweighted/empty graphs). */
+    Weight maxWeight() const;
+
+    /** Number of nodes reachable from src following out-edges. */
+    NodeId reachableFrom(NodeId src) const;
+
+    const std::vector<EdgeId> &rawOffsets() const { return offsets_; }
+    const std::vector<NodeId> &rawDests() const { return dests_; }
+    const std::vector<Weight> &rawWeights() const { return weights_; }
+
+  private:
+    std::vector<EdgeId> offsets_;
+    std::vector<NodeId> dests_;
+    std::vector<Weight> weights_;
+    std::vector<std::pair<int32_t, int32_t>> coords_;
+};
+
+/** Degree and size statistics (Table II columns). */
+struct GraphStats
+{
+    NodeId nodes = 0;
+    EdgeId edges = 0;
+    double avgDegree = 0.0;
+    uint32_t maxDegree = 0;
+    uint32_t minDegree = 0;
+};
+
+/** Compute Table-II-style statistics for a graph. */
+GraphStats computeStats(const Graph &g);
+
+} // namespace hdcps
+
+#endif // HDCPS_GRAPH_GRAPH_H_

@@ -1,0 +1,407 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "graph/builder.h"
+
+namespace hdcps {
+
+namespace {
+
+constexpr uint64_t binaryMagic = 0x48444350534752ULL; // "HDCPSGR"
+constexpr uint32_t binaryVersion = 1;
+
+[[noreturn]] void
+parseError(const std::string &name, size_t line, const char *what)
+{
+    hdcps_fatal("%s:%zu: %s", name.c_str(), line, what);
+}
+
+std::ifstream
+openOrDie(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        hdcps_fatal("cannot open '%s' for reading", path.c_str());
+    return in;
+}
+
+template <typename T>
+void
+writeRaw(std::ostream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readRaw(std::istream &in, const std::string &name)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!in)
+        hdcps_fatal("%s: truncated binary graph", name.c_str());
+    return value;
+}
+
+} // namespace
+
+Graph
+loadDimacs(std::istream &in, const std::string &name)
+{
+    std::string line;
+    size_t lineNo = 0;
+    NodeId numNodes = 0;
+    bool haveHeader = false;
+    GraphBuilder builder(0);
+
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == 'c')
+            continue;
+        std::istringstream fields(line);
+        char kind;
+        fields >> kind;
+        if (kind == 'p') {
+            std::string problem;
+            uint64_t n = 0;
+            uint64_t m = 0;
+            fields >> problem >> n >> m;
+            if (!fields || problem != "sp")
+                parseError(name, lineNo, "bad 'p sp N M' header");
+            if (n == 0 || n > invalidNode)
+                parseError(name, lineNo, "node count out of range");
+            numNodes = static_cast<NodeId>(n);
+            builder = GraphBuilder(numNodes, true);
+            haveHeader = true;
+        } else if (kind == 'a') {
+            if (!haveHeader)
+                parseError(name, lineNo, "arc before 'p' header");
+            uint64_t u = 0;
+            uint64_t v = 0;
+            int64_t w = 0;
+            fields >> u >> v >> w;
+            if (!fields)
+                parseError(name, lineNo, "bad arc line");
+            if (u < 1 || u > numNodes || v < 1 || v > numNodes)
+                parseError(name, lineNo, "arc endpoint out of range");
+            if (w < 0)
+                parseError(name, lineNo, "negative arc weight");
+            builder.addEdge(static_cast<NodeId>(u - 1),
+                            static_cast<NodeId>(v - 1),
+                            static_cast<Weight>(w));
+        } else {
+            parseError(name, lineNo, "unknown record type");
+        }
+    }
+    if (!haveHeader)
+        hdcps_fatal("%s: no 'p sp' header found", name.c_str());
+    return builder.build(true);
+}
+
+Graph
+loadDimacsFile(const std::string &path)
+{
+    auto in = openOrDie(path);
+    return loadDimacs(in, path);
+}
+
+Graph
+loadMatrixMarket(std::istream &in, const std::string &name)
+{
+    std::string line;
+    size_t lineNo = 0;
+
+    // Banner: %%MatrixMarket matrix coordinate <field> <symmetry>
+    if (!std::getline(in, line))
+        hdcps_fatal("%s: empty file", name.c_str());
+    ++lineNo;
+    std::istringstream banner(line);
+    std::string tag, object, format, field, symmetry;
+    banner >> tag >> object >> format >> field >> symmetry;
+    if (tag != "%%MatrixMarket" || object != "matrix" ||
+        format != "coordinate") {
+        parseError(name, lineNo, "expected MatrixMarket coordinate banner");
+    }
+    const bool pattern = (field == "pattern");
+    const bool symmetric = (symmetry == "symmetric");
+    if (!pattern && field != "real" && field != "integer")
+        parseError(name, lineNo, "unsupported MatrixMarket field type");
+
+    // Size line (after comments).
+    uint64_t rows = 0;
+    uint64_t cols = 0;
+    uint64_t entries = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '%')
+            continue;
+        std::istringstream sizes(line);
+        sizes >> rows >> cols >> entries;
+        if (!sizes)
+            parseError(name, lineNo, "bad size line");
+        break;
+    }
+    if (rows == 0 || cols == 0)
+        hdcps_fatal("%s: missing size line", name.c_str());
+    uint64_t n = std::max(rows, cols);
+    if (n > invalidNode)
+        hdcps_fatal("%s: too many nodes", name.c_str());
+
+    GraphBuilder builder(static_cast<NodeId>(n), true);
+    uint64_t seen = 0;
+    while (seen < entries && std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '%')
+            continue;
+        std::istringstream entry(line);
+        uint64_t r = 0;
+        uint64_t c = 0;
+        double value = 1.0;
+        entry >> r >> c;
+        if (!entry)
+            parseError(name, lineNo, "bad entry line");
+        if (!pattern)
+            entry >> value;
+        if (r < 1 || r > n || c < 1 || c > n)
+            parseError(name, lineNo, "entry out of range");
+        // Off-diagonal structure becomes edges; value maps to a positive
+        // integer weight (CAGE weights are reals in (0,1]).
+        Weight w = 1;
+        if (!pattern) {
+            double mag = std::fabs(value);
+            w = static_cast<Weight>(
+                std::max(1.0, std::ceil(mag * 100.0)));
+        }
+        NodeId src = static_cast<NodeId>(r - 1);
+        NodeId dst = static_cast<NodeId>(c - 1);
+        if (src != dst) {
+            builder.addEdge(src, dst, w);
+            if (symmetric)
+                builder.addEdge(dst, src, w);
+        }
+        ++seen;
+    }
+    if (seen != entries)
+        hdcps_fatal("%s: expected %llu entries, found %llu", name.c_str(),
+                    static_cast<unsigned long long>(entries),
+                    static_cast<unsigned long long>(seen));
+    return builder.build(true);
+}
+
+Graph
+loadMatrixMarketFile(const std::string &path)
+{
+    auto in = openOrDie(path);
+    return loadMatrixMarket(in, path);
+}
+
+Graph
+loadEdgeList(std::istream &in, const std::string &name)
+{
+    std::string line;
+    size_t lineNo = 0;
+    struct RawEdge
+    {
+        uint64_t src;
+        uint64_t dst;
+        Weight weight;
+    };
+    std::vector<RawEdge> edges;
+    uint64_t maxNode = 0;
+
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '#' || line[0] == '%')
+            continue;
+        std::istringstream fields(line);
+        uint64_t u = 0;
+        uint64_t v = 0;
+        uint64_t w = 1;
+        fields >> u >> v;
+        if (!fields)
+            parseError(name, lineNo, "bad edge line");
+        fields >> w; // optional weight
+        if (!fields)
+            w = 1;
+        edges.push_back({u, v, static_cast<Weight>(w == 0 ? 1 : w)});
+        maxNode = std::max({maxNode, u, v});
+    }
+    if (edges.empty())
+        hdcps_fatal("%s: no edges found", name.c_str());
+    if (maxNode + 1 > invalidNode)
+        hdcps_fatal("%s: too many nodes", name.c_str());
+
+    GraphBuilder builder(static_cast<NodeId>(maxNode + 1), true);
+    for (const RawEdge &e : edges) {
+        builder.addEdge(static_cast<NodeId>(e.src),
+                        static_cast<NodeId>(e.dst), e.weight);
+    }
+    return builder.build(true);
+}
+
+Graph
+loadEdgeListFile(const std::string &path)
+{
+    auto in = openOrDie(path);
+    return loadEdgeList(in, path);
+}
+
+void
+saveDimacs(const Graph &g, std::ostream &out)
+{
+    out << "c written by hdcps\n"
+        << "p sp " << g.numNodes() << " " << g.numEdges() << "\n";
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        for (EdgeId e = g.edgeBegin(n); e < g.edgeEnd(n); ++e) {
+            out << "a " << n + 1 << " " << g.edgeDest(e) + 1 << " "
+                << g.edgeWeight(e) << "\n";
+        }
+    }
+}
+
+void
+saveDimacsFile(const Graph &g, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        hdcps_fatal("cannot open '%s' for writing", path.c_str());
+    saveDimacs(g, out);
+    if (!out)
+        hdcps_fatal("write to '%s' failed", path.c_str());
+}
+
+void
+saveEdgeList(const Graph &g, std::ostream &out)
+{
+    out << "# nodes " << g.numNodes() << " edges " << g.numEdges()
+        << "\n";
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        for (EdgeId e = g.edgeBegin(n); e < g.edgeEnd(n); ++e) {
+            out << n << " " << g.edgeDest(e) << " " << g.edgeWeight(e)
+                << "\n";
+        }
+    }
+}
+
+void
+saveEdgeListFile(const Graph &g, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        hdcps_fatal("cannot open '%s' for writing", path.c_str());
+    saveEdgeList(g, out);
+    if (!out)
+        hdcps_fatal("write to '%s' failed", path.c_str());
+}
+
+void
+saveBinary(const Graph &g, std::ostream &out)
+{
+    writeRaw(out, binaryMagic);
+    writeRaw(out, binaryVersion);
+    writeRaw<uint32_t>(out, g.hasCoordinates() ? 1 : 0);
+    writeRaw<uint64_t>(out, g.numNodes());
+    writeRaw<uint64_t>(out, g.numEdges());
+    writeRaw<uint32_t>(out, g.weighted() ? 1 : 0);
+
+    const auto &offsets = g.rawOffsets();
+    const auto &dests = g.rawDests();
+    const auto &weights = g.rawWeights();
+    out.write(reinterpret_cast<const char *>(offsets.data()),
+              static_cast<std::streamsize>(offsets.size() * sizeof(EdgeId)));
+    out.write(reinterpret_cast<const char *>(dests.data()),
+              static_cast<std::streamsize>(dests.size() * sizeof(NodeId)));
+    if (g.weighted()) {
+        out.write(
+            reinterpret_cast<const char *>(weights.data()),
+            static_cast<std::streamsize>(weights.size() * sizeof(Weight)));
+    }
+    if (g.hasCoordinates()) {
+        for (NodeId n = 0; n < g.numNodes(); ++n) {
+            writeRaw<int32_t>(out, g.coordX(n));
+            writeRaw<int32_t>(out, g.coordY(n));
+        }
+    }
+}
+
+void
+saveBinaryFile(const Graph &g, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        hdcps_fatal("cannot open '%s' for writing", path.c_str());
+    saveBinary(g, out);
+    if (!out)
+        hdcps_fatal("write to '%s' failed", path.c_str());
+}
+
+Graph
+loadBinary(std::istream &in, const std::string &name)
+{
+    if (readRaw<uint64_t>(in, name) != binaryMagic)
+        hdcps_fatal("%s: not an HD-CPS binary graph", name.c_str());
+    if (readRaw<uint32_t>(in, name) != binaryVersion)
+        hdcps_fatal("%s: unsupported binary graph version", name.c_str());
+    const bool hasCoords = readRaw<uint32_t>(in, name) != 0;
+    const uint64_t n = readRaw<uint64_t>(in, name);
+    const uint64_t m = readRaw<uint64_t>(in, name);
+    const bool weighted = readRaw<uint32_t>(in, name) != 0;
+    if (n + 1 > invalidNode)
+        hdcps_fatal("%s: node count out of range", name.c_str());
+
+    std::vector<EdgeId> offsets(n + 1);
+    std::vector<NodeId> dests(m);
+    std::vector<Weight> weights(weighted ? m : 0);
+    in.read(reinterpret_cast<char *>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size() * sizeof(EdgeId)));
+    in.read(reinterpret_cast<char *>(dests.data()),
+            static_cast<std::streamsize>(dests.size() * sizeof(NodeId)));
+    if (weighted) {
+        in.read(reinterpret_cast<char *>(weights.data()),
+                static_cast<std::streamsize>(weights.size() *
+                                             sizeof(Weight)));
+    }
+    if (!in)
+        hdcps_fatal("%s: truncated binary graph", name.c_str());
+    Graph g(std::move(offsets), std::move(dests), std::move(weights));
+    if (hasCoords) {
+        std::vector<std::pair<int32_t, int32_t>> coords(n);
+        for (uint64_t i = 0; i < n; ++i) {
+            coords[i].first = readRaw<int32_t>(in, name);
+            coords[i].second = readRaw<int32_t>(in, name);
+        }
+        g.setCoordinates(std::move(coords));
+    }
+    return g;
+}
+
+Graph
+loadBinaryFile(const std::string &path)
+{
+    auto in = openOrDie(path);
+    return loadBinary(in, path);
+}
+
+Graph
+loadAnyFile(const std::string &path)
+{
+    auto dot = path.rfind('.');
+    std::string ext = dot == std::string::npos ? "" : path.substr(dot + 1);
+    if (ext == "gr")
+        return loadDimacsFile(path);
+    if (ext == "mtx")
+        return loadMatrixMarketFile(path);
+    if (ext == "bin")
+        return loadBinaryFile(path);
+    return loadEdgeListFile(path);
+}
+
+} // namespace hdcps

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Graph file loaders and writers.
+ *
+ * Supported formats:
+ *  - DIMACS shortest-path (.gr): the format the USA road network ships
+ *    in ("p sp N M" header, "a u v w" arc lines, 1-based node ids).
+ *  - Matrix Market coordinate (.mtx): the format CAGE14 ships in;
+ *    pattern and real entries, general and symmetric layouts.
+ *  - Plain edge lists (.el): "u v [w]" per line, '#' comments, 0-based —
+ *    the SNAP convention used by Web-Google / LiveJournal.
+ *  - A fast binary container (.bin) for caching converted graphs.
+ *
+ * Loaders throw no exceptions: malformed input is a user error and
+ * reports through hdcps_fatal with a line number.
+ */
+
+#ifndef HDCPS_GRAPH_IO_H_
+#define HDCPS_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace hdcps {
+
+/** Load a DIMACS .gr stream. */
+Graph loadDimacs(std::istream &in, const std::string &name = "<stream>");
+/** Load a DIMACS .gr file. */
+Graph loadDimacsFile(const std::string &path);
+
+/** Load a Matrix Market coordinate stream. */
+Graph loadMatrixMarket(std::istream &in,
+                       const std::string &name = "<stream>");
+/** Load a Matrix Market coordinate file. */
+Graph loadMatrixMarketFile(const std::string &path);
+
+/** Load a SNAP-style edge list stream (0-based "u v [w]" lines). */
+Graph loadEdgeList(std::istream &in, const std::string &name = "<stream>");
+/** Load a SNAP-style edge list file. */
+Graph loadEdgeListFile(const std::string &path);
+
+/** Write DIMACS shortest-path format (1-based "a u v w" arcs). */
+void saveDimacs(const Graph &g, std::ostream &out);
+void saveDimacsFile(const Graph &g, const std::string &path);
+
+/** Write a SNAP-style edge list ("u v w" per line, 0-based). */
+void saveEdgeList(const Graph &g, std::ostream &out);
+void saveEdgeListFile(const Graph &g, const std::string &path);
+
+/** Write the binary container. */
+void saveBinary(const Graph &g, std::ostream &out);
+void saveBinaryFile(const Graph &g, const std::string &path);
+
+/** Read the binary container back. */
+Graph loadBinary(std::istream &in, const std::string &name = "<stream>");
+Graph loadBinaryFile(const std::string &path);
+
+/**
+ * Load any supported file by extension (.gr, .mtx, .el/.txt, .bin);
+ * falls back to edge list for unknown extensions.
+ */
+Graph loadAnyFile(const std::string &path);
+
+} // namespace hdcps
+
+#endif // HDCPS_GRAPH_IO_H_

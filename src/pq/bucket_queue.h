@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bucketed integer priority queue.
+ *
+ * Used by the sequential reference implementations (Dijkstra/delta-
+ * stepping baselines) where priorities are small integers. Pop returns
+ * an element from the lowest non-empty bucket; pushes below the cursor
+ * rewind it, so the queue also works for label-correcting algorithms
+ * whose priorities are not strictly monotone.
+ */
+
+#ifndef HDCPS_PQ_BUCKET_QUEUE_H_
+#define HDCPS_PQ_BUCKET_QUEUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace hdcps {
+
+/** FIFO-within-bucket integer priority queue. */
+template <typename T>
+class BucketQueue
+{
+  public:
+    bool empty() const { return count_ == 0; }
+    size_t size() const { return count_; }
+
+    void
+    push(uint64_t priority, T value)
+    {
+        if (priority >= buckets_.size())
+            buckets_.resize(priority + 1);
+        buckets_[priority].push_back(std::move(value));
+        if (priority < cursor_)
+            cursor_ = priority;
+        ++count_;
+    }
+
+    /** Priority of the lowest non-empty bucket. */
+    uint64_t
+    topPriority()
+    {
+        hdcps_check(count_ > 0, "topPriority() on empty bucket queue");
+        advance();
+        return cursor_;
+    }
+
+    T
+    pop()
+    {
+        hdcps_check(count_ > 0, "pop() on empty bucket queue");
+        advance();
+        T value = std::move(buckets_[cursor_].back());
+        buckets_[cursor_].pop_back();
+        --count_;
+        return value;
+    }
+
+  private:
+    void
+    advance()
+    {
+        while (cursor_ < buckets_.size() && buckets_[cursor_].empty())
+            ++cursor_;
+        hdcps_check(cursor_ < buckets_.size(),
+                    "bucket queue cursor ran off the end");
+    }
+
+    std::vector<std::vector<T>> buckets_;
+    size_t cursor_ = 0;
+    size_t count_ = 0;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_PQ_BUCKET_QUEUE_H_

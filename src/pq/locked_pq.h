@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Mutex-guarded concurrent priority queue.
+ *
+ * This is the per-core PQ of the RELD design: both local dequeues and
+ * remote enqueues take the same lock, which is exactly the serialization
+ * HD-CPS's receive queue removes (paper Section III-A). Kept
+ * deliberately simple so the contrast with the decoupled design is the
+ * scheduling policy, not queue micro-optimizations.
+ */
+
+#ifndef HDCPS_PQ_LOCKED_PQ_H_
+#define HDCPS_PQ_LOCKED_PQ_H_
+
+#include <mutex>
+
+#include "cps/task.h"
+#include "pq/dary_heap.h"
+
+namespace hdcps {
+
+/** Thread-safe min-priority queue of tasks. */
+class LockedTaskPq
+{
+  public:
+    void
+    push(const Task &task)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        heap_.push(task);
+    }
+
+    /** Pop the highest-priority task; false when empty. */
+    bool
+    tryPop(Task &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (heap_.empty())
+            return false;
+        out = heap_.pop();
+        return true;
+    }
+
+    /** Priority of the best task; false when empty. */
+    bool
+    peekPriority(Priority &out) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (heap_.empty())
+            return false;
+        out = heap_.top().priority;
+        return true;
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return heap_.size();
+    }
+
+    bool empty() const { return size() == 0; }
+
+  private:
+    mutable std::mutex mutex_;
+    DAryHeap<Task, TaskOrder> heap_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_PQ_LOCKED_PQ_H_

@@ -1,0 +1,156 @@
+#include "runtime/executor.h"
+
+#include <atomic>
+#include <thread>
+
+#include "support/compiler.h"
+#include "support/logging.h"
+#include "support/timer.h"
+
+namespace hdcps {
+
+namespace {
+
+/** Shared state visible to all workers of one run. */
+struct RunState
+{
+    Scheduler *sched = nullptr;
+    const ProcessFn *process = nullptr;
+    RunOptions options;
+    std::atomic<int64_t> pending{0};
+    DriftTracker drift;
+    DriftSeries series; ///< touched by worker 0 only
+
+    explicit RunState(unsigned numThreads) : drift(numThreads) {}
+};
+
+void
+workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
+{
+    Scheduler &sched = *state.sched;
+    const ProcessFn &process = *state.process;
+    const bool timed = state.options.recordBreakdown;
+    std::vector<Task> children;
+    children.reserve(64);
+    unsigned idleSpins = 0;
+    uint64_t popsSinceSample = 0;
+
+    while (true) {
+        uint64_t t0 = timed ? nowNs() : 0;
+        Task task;
+        bool got = sched.tryPop(tid, task);
+        uint64_t t1 = timed ? nowNs() : 0;
+
+        if (!got) {
+            if (timed)
+                breakdown[Component::Comm] += t1 - t0;
+            if (state.pending.load(std::memory_order_acquire) == 0)
+                return;
+            // Backoff: brief spin, then yield so oversubscribed hosts
+            // (threads > cores) still make progress.
+            if (++idleSpins > 32) {
+                std::this_thread::yield();
+                idleSpins = 0;
+            }
+            continue;
+        }
+        idleSpins = 0;
+
+        children.clear();
+        process(tid, task, children);
+        uint64_t t2 = timed ? nowNs() : 0;
+
+        if (!children.empty()) {
+            // Children enter the in-flight count *before* they become
+            // poppable, so the count can never transiently hit zero
+            // while work exists.
+            state.pending.fetch_add(
+                static_cast<int64_t>(children.size()),
+                std::memory_order_acq_rel);
+            sched.pushBatch(tid, children.data(), children.size());
+        }
+        state.pending.fetch_sub(1, std::memory_order_acq_rel);
+        uint64_t t3 = timed ? nowNs() : 0;
+
+        if (timed) {
+            breakdown[Component::Dequeue] += t1 - t0;
+            breakdown[Component::Compute] += t2 - t1;
+            breakdown[Component::Enqueue] += t3 - t2;
+        }
+        ++breakdown.tasksProcessed;
+        if (children.empty())
+            ++breakdown.emptyTasks;
+
+        // Design-independent drift reporting (Eq. 1): publish every
+        // pop, sample on worker 0's interval.
+        state.drift.publish(tid, task.priority);
+        if (tid == 0 &&
+            ++popsSinceSample >= state.options.driftSampleInterval) {
+            popsSinceSample = 0;
+            state.series.record(state.drift.computeDrift());
+        }
+    }
+}
+
+} // namespace
+
+RunResult
+run(Scheduler &sched, const std::vector<Task> &initial,
+    const ProcessFn &process, const RunOptions &options)
+{
+    hdcps_check(options.numThreads >= 1, "need at least one thread");
+    hdcps_check(options.numThreads == sched.numWorkers(),
+                "thread count (%u) != scheduler workers (%u)",
+                options.numThreads, sched.numWorkers());
+    hdcps_check(options.driftSampleInterval >= 1,
+                "drift sample interval must be >= 1");
+
+    RunState state(options.numThreads);
+    state.sched = &sched;
+    state.process = &process;
+    state.options = options;
+    state.pending.store(static_cast<int64_t>(initial.size()),
+                        std::memory_order_relaxed);
+
+    // Seed tasks in 16-task chunks interleaved across workers before
+    // any worker starts (single-threaded phase, so per-worker push is
+    // safe): chunks keep the initial list's spatial locality, the
+    // interleave spreads skewed regions.
+    constexpr size_t seed_chunk = 16;
+    for (size_t i = 0; i < initial.size(); ++i) {
+        sched.push(static_cast<unsigned>((i / seed_chunk) %
+                                         options.numThreads),
+                   initial[i]);
+    }
+
+    RunResult result;
+    result.perWorker.assign(options.numThreads, Breakdown{});
+
+    uint64_t startNs = nowNs();
+    if (options.numThreads == 1) {
+        workerLoop(state, 0, result.perWorker[0]);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(options.numThreads);
+        for (unsigned tid = 0; tid < options.numThreads; ++tid) {
+            threads.emplace_back([&state, &result, tid] {
+                workerLoop(state, tid, result.perWorker[tid]);
+            });
+        }
+        for (auto &t : threads)
+            t.join();
+    }
+    result.wallNs = nowNs() - startNs;
+
+    hdcps_check(state.pending.load() == 0,
+                "pending count nonzero after termination");
+
+    for (const Breakdown &b : result.perWorker)
+        result.total += b;
+    result.avgDrift = state.series.average();
+    result.maxDrift = state.series.maxSample();
+    result.driftSamples = state.series.samples();
+    return result;
+}
+
+} // namespace hdcps

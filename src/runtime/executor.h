@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The threaded execution engine: drives any Scheduler with any
+ * task-processing function on real host threads.
+ *
+ * Responsibilities:
+ *  - spawn workers and run the pop/process/push loop;
+ *  - termination detection via an in-flight task counter (a task is
+ *    accounted until its children have been pushed, so the count can
+ *    only reach zero when no task exists anywhere — queues, receive
+ *    buffers, or in-processing);
+ *  - per-worker completion-time breakdown (enqueue/dequeue/compute/
+ *    comm, Section IV-C of the paper);
+ *  - design-independent priority-drift reporting (Eq. 1), sampled by
+ *    worker 0 every driftSampleInterval of its own pops. This is the
+ *    metric Figure 3/5 plot for *every* CPS design, separate from the
+ *    HD-CPS-internal tracker that feeds the TDF heuristic.
+ */
+
+#ifndef HDCPS_RUNTIME_EXECUTOR_H_
+#define HDCPS_RUNTIME_EXECUTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/drift.h"
+#include "cps/scheduler.h"
+#include "stats/breakdown.h"
+
+namespace hdcps {
+
+/**
+ * Task-processing callback: consume `task`, append created children to
+ * `children` (pre-cleared). Must be thread-safe across distinct calls.
+ */
+using ProcessFn =
+    std::function<void(unsigned tid, const Task &task,
+                       std::vector<Task> &children)>;
+
+/** Executor tunables. */
+struct RunOptions
+{
+    unsigned numThreads = 1;
+    unsigned driftSampleInterval = 2000; ///< pops between Eq.1 samples
+    bool recordBreakdown = true;         ///< per-op timing on/off
+};
+
+/** Everything a figure harness needs from one execution. */
+struct RunResult
+{
+    Breakdown total;                   ///< merged over all workers
+    std::vector<Breakdown> perWorker;
+    uint64_t wallNs = 0;               ///< completion time
+    double avgDrift = 0.0;             ///< mean of Eq. 1 samples
+    double maxDrift = 0.0;
+    uint64_t driftSamples = 0;
+};
+
+/**
+ * Run `process` over `initial` and everything it spawns, scheduling
+ * through `sched`. Blocks until all tasks are done and workers joined.
+ */
+RunResult run(Scheduler &sched, const std::vector<Task> &initial,
+              const ProcessFn &process, const RunOptions &options);
+
+} // namespace hdcps
+
+#endif // HDCPS_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,133 @@
+#include "sim/cache.h"
+
+#include <algorithm>
+
+#include "support/compiler.h"
+#include "support/logging.h"
+
+namespace hdcps {
+
+void
+CacheModel::TagArray::init(unsigned numSets, unsigned numWays)
+{
+    ways = numWays;
+    sets.assign(numSets, {});
+    for (auto &set : sets)
+        set.reserve(numWays);
+}
+
+bool
+CacheModel::TagArray::touch(uint64_t line)
+{
+    auto &set = sets[line % sets.size()];
+    auto it = std::find(set.begin(), set.end(), line);
+    if (it == set.end())
+        return false;
+    // Move to front (MRU position).
+    set.erase(it);
+    set.insert(set.begin(), line);
+    return true;
+}
+
+void
+CacheModel::TagArray::insert(uint64_t line)
+{
+    auto &set = sets[line % sets.size()];
+    if (set.size() >= ways)
+        set.pop_back(); // silent LRU eviction
+    set.insert(set.begin(), line);
+}
+
+CacheModel::CacheModel(const SimConfig &config, NocMesh &noc)
+    : config_(config), noc_(noc), numCores_(config.numCores),
+      lineShift_(log2Exact(config.lineBytes)), l1_(config.numCores),
+      l2_(config.numCores)
+{
+    unsigned l1Sets = config.l1SizeBytes / (config.lineBytes * config.l1Ways);
+    unsigned l2Sets = config.l2SizeBytes / (config.lineBytes * config.l2Ways);
+    for (unsigned c = 0; c < numCores_; ++c) {
+        l1_[c].init(l1Sets, config.l1Ways);
+        l2_[c].init(l2Sets, config.l2Ways);
+    }
+}
+
+Cycle
+CacheModel::access(unsigned core, uint64_t addr, bool write, Cycle now)
+{
+    ++stats_.accesses;
+    const uint64_t line = addr >> lineShift_;
+    Cycle cost = config_.l1Latency;
+
+    DirEntry &dir = directory_[line];
+    auto noteWrite = [&] {
+        if (write) {
+            if (dir.lastWriter != ~0u && dir.lastWriter != core) {
+                // Steal the line: invalidation round trip to the
+                // previous writer (uncontended estimate).
+                ++stats_.invalidations;
+                cost += 2 * noc_.uncontendedLatency(core, dir.lastWriter,
+                                                    config_.flitBits);
+            }
+            dir.lastWriter = core;
+            dir.dirty = true;
+        }
+    };
+
+    if (l1_[core].touch(line)) {
+        ++stats_.l1Hits;
+        noteWrite();
+        return cost;
+    }
+    cost += config_.l2Latency;
+    if (l2_[core].touch(line)) {
+        ++stats_.l2Hits;
+        l1_[core].insert(line);
+        noteWrite();
+        return cost;
+    }
+
+    // L2 miss: go through the directory home tile.
+    const unsigned home = homeTile(line);
+    const uint32_t lineBits = config_.lineBytes * 8;
+    Cycle arrivalAtHome =
+        noc_.transfer(core, home, config_.flitBits, now + cost);
+    cost = arrivalAtHome - now;
+
+    if (dir.dirty && dir.lastWriter != ~0u && dir.lastWriter != core) {
+        // Dirty in another tile: forward + cache-to-cache transfer.
+        ++stats_.remoteFetches;
+        cost += noc_.uncontendedLatency(home, dir.lastWriter,
+                                        config_.flitBits);
+        cost += config_.l2Latency;
+        cost += noc_.uncontendedLatency(dir.lastWriter, core, lineBits);
+        if (!write)
+            dir.dirty = false; // downgraded to shared
+    } else {
+        // Serve from DRAM through the line's controller.
+        ++stats_.dramFetches;
+        cost += config_.dramLatency;
+        cost += noc_.uncontendedLatency(home, core, lineBits);
+    }
+
+    l2_[core].insert(line);
+    l1_[core].insert(line);
+    noteWrite();
+    return cost;
+}
+
+Cycle
+CacheModel::scan(unsigned core, uint64_t addr, uint64_t bytes, bool write,
+                 Cycle now)
+{
+    if (bytes == 0)
+        return 0;
+    Cycle cost = 0;
+    uint64_t first = addr >> lineShift_;
+    uint64_t last = (addr + bytes - 1) >> lineShift_;
+    for (uint64_t line = first; line <= last; ++line) {
+        cost += access(core, line << lineShift_, write, now + cost);
+    }
+    return cost;
+}
+
+} // namespace hdcps

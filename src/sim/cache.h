@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Two-level cache hierarchy with a directory-style coherence cost model.
+ *
+ * Each tile has a private L1 and a private-L2 slice (Table I geometry),
+ * modeled as real set-associative LRU tag arrays so locality effects —
+ * the reason the paper's *pull* bag transport wins (Figure 14) — emerge
+ * from actual line reuse rather than constants. Coherence is modeled at
+ * cost granularity: a directory home tile per line (address
+ * interleaved) tracks the last writer; reads that miss locally fetch
+ * from the dirty owner or DRAM over the mesh, and writes that steal a
+ * line from another core pay an invalidation round trip. Evictions are
+ * silent (no writeback traffic), a deliberate simplification noted in
+ * DESIGN.md.
+ */
+
+#ifndef HDCPS_SIM_CACHE_H_
+#define HDCPS_SIM_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/noc.h"
+
+namespace hdcps {
+
+/** Cache/coherence statistics for one simulation. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t l1Hits = 0;
+    uint64_t l2Hits = 0;
+    uint64_t remoteFetches = 0; ///< served dirty from another tile
+    uint64_t dramFetches = 0;
+    uint64_t invalidations = 0;
+};
+
+/** Cost-model cache hierarchy shared by all simulated cores. */
+class CacheModel
+{
+  public:
+    CacheModel(const SimConfig &config, NocMesh &noc);
+
+    /**
+     * Charge one data access by `core` to byte address `addr` at time
+     * `now`; returns the access latency in cycles.
+     */
+    Cycle access(unsigned core, uint64_t addr, bool write, Cycle now);
+
+    /**
+     * Charge a sequential scan of `bytes` starting at `addr` (edge
+     * arrays, bag payloads): one access() per distinct cache line.
+     */
+    Cycle scan(unsigned core, uint64_t addr, uint64_t bytes, bool write,
+               Cycle now);
+
+    const CacheStats &stats() const { return stats_; }
+
+    void resetStats() { stats_ = CacheStats{}; }
+
+  private:
+    /** One set-associative LRU tag array. */
+    struct TagArray
+    {
+        std::vector<std::vector<uint64_t>> sets; ///< MRU-first tag lists
+        unsigned ways = 0;
+
+        void init(unsigned numSets, unsigned numWays);
+        bool touch(uint64_t line);  ///< probe+update LRU; true on hit
+        void insert(uint64_t line); ///< fill, evicting LRU silently
+    };
+
+    struct DirEntry
+    {
+        unsigned lastWriter = ~0u;
+        bool dirty = false;
+    };
+
+    unsigned homeTile(uint64_t line) const
+    {
+        return static_cast<unsigned>(line % numCores_);
+    }
+
+    const SimConfig &config_;
+    NocMesh &noc_;
+    unsigned numCores_;
+    unsigned lineShift_;
+    std::vector<TagArray> l1_;
+    std::vector<TagArray> l2_;
+    std::unordered_map<uint64_t, DirEntry> directory_;
+    CacheStats stats_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_SIM_CACHE_H_

@@ -1,0 +1,49 @@
+#include "sim/config.h"
+
+#include "support/compiler.h"
+#include "support/logging.h"
+
+namespace hdcps {
+
+void
+SimConfig::check() const
+{
+    hdcps_check(numCores >= 1, "need at least one core");
+    hdcps_check(meshWidth >= 1 && numCores % meshWidth == 0,
+                "mesh width %u does not tile %u cores", meshWidth,
+                numCores);
+    hdcps_check(isPowerOf2(lineBytes), "line size must be a power of two");
+    hdcps_check(l1SizeBytes % (lineBytes * l1Ways) == 0,
+                "L1 geometry does not divide into sets");
+    hdcps_check(l2SizeBytes % (lineBytes * l2Ways) == 0,
+                "L2 geometry does not divide into sets");
+    hdcps_check(dramControllers >= 1, "need at least one DRAM controller");
+    hdcps_check(flitBits >= 8, "flit size too small");
+}
+
+void
+SimConfig::printTable(std::ostream &os) const
+{
+    os << "Number of Cores          " << numCores
+       << " RISC-V, In-Order @ 1 GHz\n"
+       << "L1-I, L1-D Cache per core  " << l1SizeBytes / 1024 << " KB, "
+       << l1Ways << "-way Assoc., " << l1Latency << " cycle\n"
+       << "L2 Inclusive Cache per core  " << l2SizeBytes / 1024
+       << " KB, " << l2Ways << "-way Assoc.\n"
+       << "Directory Protocol       Invalidation-based MESI cost model\n"
+       << "DRAM Controllers         " << dramControllers << ", "
+       << dramLatency << " ns latency\n"
+       << "Mesh                     " << meshWidth << "x" << meshHeight()
+       << " electrical 2-D, XY routing\n"
+       << "Hop Latency              " << hopLatency
+       << " cycles (1-router, 1-link)\n"
+       << "Contention Model         link contention, " << flitBits
+       << " bit flits\n"
+       << "Per-core Queue Entries   " << hrqEntries << " hRQ, "
+       << hpqEntries << " hPQ entries\n"
+       << "HW Queue Latency         " << hwQueueLatency
+       << " cycles per access\n"
+       << "Task and Bag ID Size     " << taskBits << "-bits\n";
+}
+
+} // namespace hdcps

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Simulated machine parameters — Table I of the paper.
+ *
+ * The simulator models the paper's 64-core tiled RISC-V multicore:
+ * in-order cores at 1 GHz, private L1 + per-core L2 slice with a
+ * MESI-style directory cost model, 8 DRAM controllers at 100 ns, an
+ * 8x8 electrical 2-D mesh with XY routing, 2-cycle hops, 64-bit flits
+ * and link contention, and the per-core hardware queues (32-entry hRQ,
+ * 48-entry hPQ, 5-cycle access, 128-bit entries).
+ *
+ * The software-cost parameters at the bottom model the instruction
+ * streams a real core executes for scheduler work (priority-queue
+ * rebalancing, atomic RMW round trips); they stand in for the Xeon
+ * machine of the paper's software experiments (see DESIGN.md).
+ */
+
+#ifndef HDCPS_SIM_CONFIG_H_
+#define HDCPS_SIM_CONFIG_H_
+
+#include <cstdint>
+#include <ostream>
+
+namespace hdcps {
+
+/** Simulation time in core cycles (1 GHz: 1 cycle == 1 ns). */
+using Cycle = uint64_t;
+
+/** Table I parameters plus the software-operation cost model. */
+struct SimConfig
+{
+    // Cores and mesh geometry.
+    unsigned numCores = 64;
+    unsigned meshWidth = 8; ///< 8x8 tiles; must satisfy w*h == numCores
+
+    // Memory subsystem.
+    uint32_t lineBytes = 64;
+    uint32_t l1SizeBytes = 32 * 1024;
+    uint32_t l1Ways = 4;
+    uint32_t l1Latency = 1;
+    uint32_t l2SizeBytes = 256 * 1024;
+    uint32_t l2Ways = 8;
+    uint32_t l2Latency = 8;
+    uint32_t dramControllers = 8;
+    uint32_t dramLatency = 100; ///< 100 ns @ 1 GHz
+
+    // Interconnect.
+    uint32_t hopLatency = 2; ///< 1 router + 1 link cycle per hop
+    uint32_t flitBits = 64;
+
+    // Hardware queues (HD-CPS:HW).
+    uint32_t hrqEntries = 32;
+    uint32_t hpqEntries = 48;
+    uint32_t hwQueueLatency = 5; ///< cycles per hRQ/hPQ access
+    uint32_t taskBits = 128;     ///< task/bag id size on the wire
+
+    // Software scheduler cost model (cycles).
+    uint32_t aluOpCost = 1;
+    uint32_t atomicRmwCost = 20;     ///< uncontended RMW round trip
+    uint32_t swPqBaseCost = 14;      ///< fixed part of a software PQ op
+    uint32_t swPqPerLevelCost = 7;   ///< per heap level rebalanced
+    uint32_t taskFixedCost = 12;     ///< per-task bookkeeping in compute
+    uint32_t perEdgeAluCost = 3;     ///< ALU work per scanned edge
+    uint32_t mapSearchBaseCost = 18; ///< OBIM global map lookup, fixed
+    uint32_t idlePollCycles = 40;    ///< re-poll interval when starved
+
+    /** Validate invariants; call after hand-editing fields. */
+    void check() const;
+
+    /** Mesh height derived from numCores and meshWidth. */
+    unsigned
+    meshHeight() const
+    {
+        return numCores / meshWidth;
+    }
+
+    /** Print the Table-I-style parameter listing. */
+    void printTable(std::ostream &os) const;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_SIM_CONFIG_H_

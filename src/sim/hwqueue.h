@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The per-core hardware queues of HD-CPS:HW (paper Section III-D).
+ *
+ * hRQ: a small FIFO that absorbs incoming hardware messages with no
+ * core involvement; when full, arrivals spill to the software receive
+ * path. hPQ: a small priority queue in front of the software PQ; an
+ * insert into a full hPQ evicts the *lowest*-priority entry to the
+ * software queue, so the hardware always holds the best tasks and a
+ * dequeue is a single 5-cycle access. Entries are 128 bits (one Task).
+ *
+ * Capacities are runtime parameters because Figure 7 sweeps them; a
+ * capacity of zero turns the queue off (pure software mode).
+ */
+
+#ifndef HDCPS_SIM_HWQUEUE_H_
+#define HDCPS_SIM_HWQUEUE_H_
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "cps/task.h"
+#include "support/logging.h"
+
+namespace hdcps {
+
+/** Hardware receive queue: bounded FIFO. */
+class HwRecvQueue
+{
+  public:
+    explicit HwRecvQueue(size_t capacity) : capacity_(capacity) {}
+
+    bool full() const { return fifo_.size() >= capacity_; }
+    bool empty() const { return fifo_.empty(); }
+    size_t size() const { return fifo_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    /** Accept an arriving message; false when full (spill to software). */
+    bool
+    tryPush(const Task &task)
+    {
+        if (full())
+            return false;
+        fifo_.push_back(task);
+        if (fifo_.size() > highWater_)
+            highWater_ = fifo_.size();
+        return true;
+    }
+
+    bool
+    tryPop(Task &out)
+    {
+        if (fifo_.empty())
+            return false;
+        out = fifo_.front();
+        fifo_.pop_front();
+        return true;
+    }
+
+    /** Largest occupancy seen (Figure 7's utilization analysis). */
+    size_t highWater() const { return highWater_; }
+
+  private:
+    std::deque<Task> fifo_;
+    size_t capacity_;
+    size_t highWater_ = 0;
+};
+
+/** Hardware priority queue: bounded min-PQ with evict-max-on-full. */
+class HwPriorityQueue
+{
+  public:
+    explicit HwPriorityQueue(size_t capacity) : capacity_(capacity)
+    {
+        entries_.reserve(capacity);
+    }
+
+    bool empty() const { return entries_.empty(); }
+    size_t size() const { return entries_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    /**
+     * Insert; when full, the lowest-priority (numerically largest)
+     * entry — possibly the incoming one — is returned for the software
+     * PQ to absorb.
+     */
+    std::optional<Task>
+    pushEvict(const Task &task)
+    {
+        if (capacity_ == 0)
+            return task;
+        if (entries_.size() < capacity_) {
+            entries_.push_back(task);
+            if (entries_.size() > highWater_)
+                highWater_ = entries_.size();
+            return std::nullopt;
+        }
+        size_t worst = 0;
+        for (size_t i = 1; i < entries_.size(); ++i) {
+            if (TaskOrder{}(entries_[worst], entries_[i]))
+                worst = i;
+        }
+        if (TaskOrder{}(task, entries_[worst])) {
+            Task evicted = entries_[worst];
+            entries_[worst] = task;
+            return evicted;
+        }
+        return task; // incoming entry is the worst: spill it directly
+    }
+
+    /** Priority of the best entry; empty() must be false. */
+    Priority
+    minPriority() const
+    {
+        hdcps_check(!entries_.empty(), "minPriority() on empty hPQ");
+        size_t best = bestIndex();
+        return entries_[best].priority;
+    }
+
+    Task
+    popMin()
+    {
+        hdcps_check(!entries_.empty(), "popMin() on empty hPQ");
+        size_t best = bestIndex();
+        Task out = entries_[best];
+        entries_[best] = entries_.back();
+        entries_.pop_back();
+        return out;
+    }
+
+    size_t highWater() const { return highWater_; }
+
+  private:
+    size_t
+    bestIndex() const
+    {
+        size_t best = 0;
+        for (size_t i = 1; i < entries_.size(); ++i) {
+            if (TaskOrder{}(entries_[i], entries_[best]))
+                best = i;
+        }
+        return best;
+    }
+
+    std::vector<Task> entries_;
+    size_t capacity_;
+    size_t highWater_ = 0;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_SIM_HWQUEUE_H_

@@ -1,0 +1,226 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/logging.h"
+
+namespace hdcps {
+
+SimMachine::SimMachine(const SimConfig &config, Workload &workload,
+                       uint64_t seed)
+    : config_(config), workload_(&workload), noc_(config),
+      cache_(config, noc_), busyUntil_(config.numCores, 0),
+      breakdown_(config.numCores), localBump_(config.numCores, 0),
+      mailboxes_(config.numCores), drift_(config.numCores)
+{
+    config_.check();
+    rngs_.reserve(config.numCores);
+    for (unsigned c = 0; c < config.numCores; ++c)
+        rngs_.emplace_back(mix64(seed) + c * 0x9e3779b9ull);
+}
+
+void
+SimMachine::advance(unsigned core, Cycle cycles, Component comp)
+{
+    busyUntil_[core] += cycles;
+    breakdown_[core][comp] += cycles;
+    if (comp != Component::Comm)
+        lastProductive_ = std::max(lastProductive_, busyUntil_[core]);
+}
+
+void
+SimMachine::stallUntil(unsigned core, Cycle cycle)
+{
+    if (cycle > busyUntil_[core]) {
+        breakdown_[core][Component::Comm] += cycle - busyUntil_[core];
+        busyUntil_[core] = cycle;
+    }
+}
+
+uint64_t
+SimMachine::allocLocal(unsigned core, uint64_t bytes)
+{
+    uint64_t offset = localBump_[core];
+    localBump_[core] = (offset + bytes) % localRegionBytes_;
+    return coreLocalAddr(core, offset);
+}
+
+Cycle
+SimMachine::chargeCompute(unsigned core, NodeId node, uint32_t edges,
+                          const NodeId *writes, size_t numWrites)
+{
+    Cycle start = busyUntil_[core];
+    Cycle cost = config_.taskFixedCost;
+    // Read the task's node record.
+    cost += cache_.access(core, nodeAddr(node), false, start + cost);
+    if (edges > 0) {
+        // Sequential scan of the out-edge array.
+        EdgeId base = workload_->graph().edgeBegin(node);
+        cost += cache_.scan(core, edgeAddr(base), uint64_t(edges) * 8,
+                            false, start + cost);
+        cost += uint64_t(edges) * config_.perEdgeAluCost;
+        // Touch each scanned destination's node record. Destinations
+        // come from the edge list (bounded by the actual out-degree;
+        // kernels like MST may report a different span — approximate
+        // with the first `edges` destinations of this node).
+        const Graph &g = workload_->graph();
+        EdgeId end = std::min<EdgeId>(base + edges, g.edgeEnd(node));
+        for (EdgeId e = base; e < end; ++e) {
+            cost += cache_.access(core, nodeAddr(g.edgeDest(e)), false,
+                                  start + cost);
+        }
+    }
+    // Writes for each produced child (label updates).
+    for (size_t i = 0; i < numWrites; ++i) {
+        cost += cache_.access(core, nodeAddr(writes[i]), true,
+                              start + cost);
+    }
+    advance(core, cost, Component::Compute);
+    ++breakdown_[core].tasksProcessed;
+    if (numWrites == 0 && edges == 0)
+        ++breakdown_[core].emptyTasks;
+    return cost;
+}
+
+Cycle
+SimMachine::processTask(unsigned core, const Task &task,
+                        std::vector<Task> &children)
+{
+    const size_t childrenBefore = children.size();
+    uint32_t edges = workload_->process(task, children);
+
+    scratchWrites_.clear();
+    for (size_t i = childrenBefore; i < children.size(); ++i)
+        scratchWrites_.push_back(children[i].node);
+    return chargeCompute(core, task.node, edges, scratchWrites_.data(),
+                         scratchWrites_.size());
+}
+
+void
+SimMachine::sendTaskMessage(unsigned src, unsigned dst, const Task &task,
+                            uint32_t payloadBits, Cycle extraDelay,
+                            uint32_t tag)
+{
+    Cycle depart = busyUntil_[src] + extraDelay;
+    Cycle arrival = noc_.transfer(src, dst, payloadBits, depart);
+    mailboxes_[dst].push(
+        SimMessage{arrival, dst, task, tag, messageSerial_++});
+    ++inFlight_;
+}
+
+void
+SimMachine::deliveredMessages(unsigned dst,
+                              std::vector<DeliveredMessage> &out)
+{
+    auto &box = mailboxes_[dst];
+    while (!box.empty() && box.top().arrival <= busyUntil_[dst]) {
+        out.push_back(DeliveredMessage{box.top().task, box.top().tag});
+        box.pop();
+        --inFlight_;
+    }
+}
+
+bool
+SimMachine::nextArrival(unsigned dst, Cycle &when) const
+{
+    if (mailboxes_[dst].empty())
+        return false;
+    when = mailboxes_[dst].top().arrival;
+    return true;
+}
+
+void
+SimMachine::notePopped(unsigned core, Priority priority)
+{
+    drift_.publish(core, priority);
+    if (++popsSinceSample_ >= driftInterval_) {
+        popsSinceSample_ = 0;
+        driftSeries_.record(drift_.computeDrift());
+    }
+}
+
+unsigned
+SimMachine::pickNextCore() const
+{
+    unsigned best = 0;
+    for (unsigned c = 1; c < config_.numCores; ++c) {
+        if (busyUntil_[c] < busyUntil_[best])
+            best = c;
+    }
+    return best;
+}
+
+SimResult
+SimMachine::run(SimDesign &design, unsigned driftInterval)
+{
+    hdcps_check(driftInterval >= 1, "drift interval must be >= 1");
+    driftInterval_ = driftInterval;
+
+    std::vector<Task> initial = workload_->initialTasks();
+    pending_ = static_cast<int64_t>(initial.size());
+    design.boot(*this, initial);
+
+    // Main loop: always step the core whose clock is furthest behind;
+    // this keeps cross-core interactions (messages, shared structures)
+    // causally ordered to within one scheduler operation. Cores that
+    // keep coming up empty back off exponentially (capped) so long
+    // starvation phases do not dominate host time; the extra wake-up
+    // latency lands in the comm component, where idleness belongs.
+    std::vector<unsigned> idleStreak(config_.numCores, 0);
+    const bool debug = std::getenv("HDCPS_SIM_DEBUG") != nullptr;
+    uint64_t steps = 0;
+    uint64_t tasksAtLastReport = 0;
+    while (pending_ > 0) {
+        if (debug && (++steps & ((1u << 22) - 1)) == 0) {
+            uint64_t tasks = 0;
+            for (const Breakdown &b : breakdown_)
+                tasks += b.tasksProcessed;
+            std::fprintf(stderr,
+                         "[sim] steps=%lluM pending=%lld tasks=%llu "
+                         "(+%llu) cycle=%llu\n",
+                         (unsigned long long)(steps >> 20),
+                         (long long)pending_,
+                         (unsigned long long)tasks,
+                         (unsigned long long)(tasks - tasksAtLastReport),
+                         (unsigned long long)busyUntil_[pickNextCore()]);
+            tasksAtLastReport = tasks;
+        }
+        unsigned core = pickNextCore();
+        bool progress = design.step(*this, core);
+        if (progress) {
+            idleStreak[core] = 0;
+            continue;
+        }
+        Cycle arrival;
+        if (nextArrival(core, arrival) && arrival > busyUntil_[core]) {
+            // A message is on the way: sleep exactly until it lands.
+            stallUntil(core, arrival);
+            idleStreak[core] = 0;
+        } else {
+            unsigned shift = std::min(idleStreak[core], 7u);
+            advance(core, Cycle(config_.idlePollCycles) << shift,
+                    Component::Comm);
+            ++idleStreak[core];
+        }
+    }
+    hdcps_check(inFlight_ == 0,
+                "tasks still in flight after termination");
+
+    SimResult result;
+    result.completionCycles = lastProductive_;
+    result.perCore = breakdown_;
+    for (const Breakdown &b : breakdown_)
+        result.total += b;
+    result.avgDrift = driftSeries_.average();
+    result.maxDrift = driftSeries_.maxSample();
+    result.noc = noc_.stats();
+    result.cache = cache_.stats();
+    std::string why;
+    result.verified = workload_->verify(&why);
+    result.verifyError = why;
+    return result;
+}
+
+} // namespace hdcps

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The simulated 64-core tiled multicore.
+ *
+ * SimMachine owns the per-core clocks, the mesh NoC, the cache model,
+ * the task-carrying message queue, breakdown/drift accounting, and the
+ * run loop. A *design* (simsched/) implements the scheduler behaviour:
+ * the machine repeatedly steps the core whose clock is furthest behind,
+ * and the design performs one scheduler-loop iteration on that core,
+ * charging cycles through the machine's services. Simulation is
+ * single-host-threaded and fully deterministic for a given seed.
+ *
+ * Task accounting mirrors the threaded runtime: a task is pending from
+ * creation until its processing (children included) finishes, so the
+ * run loop terminates exactly when no work exists anywhere — queues,
+ * in-flight messages, or bags.
+ */
+
+#ifndef HDCPS_SIM_MACHINE_H_
+#define HDCPS_SIM_MACHINE_H_
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "algos/workload.h"
+#include "core/drift.h"
+#include "cps/task.h"
+#include "sim/cache.h"
+#include "sim/config.h"
+#include "sim/noc.h"
+#include "stats/breakdown.h"
+#include "support/rng.h"
+
+namespace hdcps {
+
+class SimMachine;
+
+/** A scheduler design running on the simulated machine. */
+class SimDesign
+{
+  public:
+    virtual ~SimDesign() = default;
+
+    /** Design name for tables ("reld", "hdcps-hw", "swarm", ...). */
+    virtual const char *name() const = 0;
+
+    /** Distribute the initial task set before the clock starts. */
+    virtual void boot(SimMachine &m, const std::vector<Task> &initial) = 0;
+
+    /**
+     * One scheduler-loop iteration on `core`: drain queues, dequeue,
+     * process, distribute. Charge time via SimMachine::advance().
+     * Return false when the core found nothing to do (the machine then
+     * charges an idle poll).
+     */
+    virtual bool step(SimMachine &m, unsigned core) = 0;
+};
+
+/** Everything a figure harness reads out of one simulated execution. */
+struct SimResult
+{
+    Cycle completionCycles = 0;
+    Breakdown total;
+    std::vector<Breakdown> perCore;
+    double avgDrift = 0.0;
+    double maxDrift = 0.0;
+    NocStats noc;
+    CacheStats cache;
+    bool verified = false;
+    std::string verifyError;
+};
+
+/** A task in flight on the mesh. */
+struct SimMessage
+{
+    Cycle arrival;
+    unsigned dst;
+    Task task;
+    uint32_t tag; ///< design-defined (e.g. sender id for flow control)
+    uint64_t serial; ///< FIFO tie-break for equal arrival cycles
+
+    bool
+    operator>(const SimMessage &o) const
+    {
+        if (arrival != o.arrival)
+            return arrival > o.arrival;
+        return serial > o.serial;
+    }
+};
+
+/** A message delivered to its destination tile. */
+struct DeliveredMessage
+{
+    Task task;
+    uint32_t tag;
+};
+
+/** The simulated multicore. */
+class SimMachine
+{
+  public:
+    SimMachine(const SimConfig &config, Workload &workload,
+               uint64_t seed = 1);
+
+    const SimConfig &config() const { return config_; }
+    Workload &workload() { return *workload_; }
+    NocMesh &noc() { return noc_; }
+    CacheModel &cache() { return cache_; }
+    Rng &rng(unsigned core) { return rngs_[core]; }
+
+    // ---- time -----------------------------------------------------
+    Cycle now(unsigned core) const { return busyUntil_[core]; }
+
+    /** Charge `cycles` on `core`'s clock under breakdown `comp`. */
+    void advance(unsigned core, Cycle cycles, Component comp);
+
+    /** Mutable per-core breakdown (designs bump their own counters). */
+    Breakdown &breakdownOf(unsigned core) { return breakdown_[core]; }
+
+    /** Stall `core` until at least `cycle` (charged as comm/idle). */
+    void stallUntil(unsigned core, Cycle cycle);
+
+    // ---- address map ----------------------------------------------
+    uint64_t nodeAddr(NodeId n) const { return nodeBase_ + uint64_t(n) * 8; }
+    uint64_t edgeAddr(EdgeId e) const { return edgeBase_ + e * 8; }
+
+    /** Per-core private region (scheduler structures, bag payloads). */
+    uint64_t
+    coreLocalAddr(unsigned core, uint64_t offset) const
+    {
+        return localBase_ + uint64_t(core) * localRegionBytes_ +
+               (offset % localRegionBytes_);
+    }
+
+    /** Bump-allocate payload bytes in a core's local region. */
+    uint64_t allocLocal(unsigned core, uint64_t bytes);
+
+    // ---- task accounting -------------------------------------------
+    void taskCreated(uint64_t n = 1) { pending_ += static_cast<int64_t>(n); }
+    void taskRetired() { --pending_; }
+    int64_t pending() const { return pending_; }
+
+    /**
+     * Run the workload's semantics for one task and charge its compute
+     * cost (fixed overhead + edge-array scan + per-edge destination
+     * accesses through the cache model). Appends children; returns the
+     * compute cycles charged.
+     */
+    Cycle processTask(unsigned core, const Task &task,
+                      std::vector<Task> &children);
+
+    /**
+     * Charge only the compute cost of processing `node` (fixed cost,
+     * edge scan, destination touches, label writes) without running
+     * workload semantics — used by trace-replaying designs (Swarm).
+     */
+    Cycle chargeCompute(unsigned core, NodeId node, uint32_t edges,
+                        const NodeId *writes, size_t numWrites);
+
+    // ---- messaging --------------------------------------------------
+    /**
+     * Inject a task-carrying message from src (departing at src's
+     * current time + `extraDelay`) to dst; payloadBits on the wire.
+     * Delivery is asynchronous; poll with deliveredMessages().
+     */
+    void sendTaskMessage(unsigned src, unsigned dst, const Task &task,
+                         uint32_t payloadBits, Cycle extraDelay = 0,
+                         uint32_t tag = 0);
+
+    /** Pop all messages for dst that have arrived by dst's clock. */
+    void deliveredMessages(unsigned dst,
+                           std::vector<DeliveredMessage> &out);
+
+    /** Earliest pending arrival for dst (or 0 if none). */
+    bool nextArrival(unsigned dst, Cycle &when) const;
+
+    /** Messages still on the wire (all destinations). */
+    size_t messagesInFlight() const { return inFlight_; }
+
+    // ---- drift -------------------------------------------------------
+    /** Record the priority a core just processed (machine-level Eq. 1
+     *  reporting, independent of any design-internal tracker). */
+    void notePopped(unsigned core, Priority priority);
+
+    // ---- run ----------------------------------------------------------
+    /**
+     * Drive `design` until no pending work remains; verifies the
+     * workload and fills the result. driftInterval is in pops.
+     */
+    SimResult run(SimDesign &design, unsigned driftInterval = 2000);
+
+  private:
+    unsigned pickNextCore() const;
+
+    static constexpr uint64_t localRegionBytes_ = 16ull << 20;
+
+    SimConfig config_;
+    Workload *workload_;
+    NocMesh noc_;
+    CacheModel cache_;
+    std::vector<Rng> rngs_;
+    std::vector<Cycle> busyUntil_;
+    std::vector<Breakdown> breakdown_;
+    std::vector<uint64_t> localBump_;
+
+    // Per-destination arrival queues.
+    std::vector<std::priority_queue<SimMessage, std::vector<SimMessage>,
+                                    std::greater<SimMessage>>>
+        mailboxes_;
+    uint64_t messageSerial_ = 0;
+    size_t inFlight_ = 0;
+
+    int64_t pending_ = 0;
+    Cycle lastProductive_ = 0;
+
+    DriftTracker drift_;
+    DriftSeries driftSeries_;
+    uint64_t popsSinceSample_ = 0;
+    unsigned driftInterval_ = 2000;
+
+    uint64_t nodeBase_ = 0x10000000ull;
+    uint64_t edgeBase_ = 0x40000000ull;
+    uint64_t localBase_ = 0x100000000ull;
+    std::vector<NodeId> scratchWrites_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_SIM_MACHINE_H_

@@ -1,0 +1,128 @@
+#include "sim/noc.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace hdcps {
+
+namespace {
+
+// Direction encoding for the four mesh neighbours.
+constexpr unsigned dirEast = 0;
+constexpr unsigned dirWest = 1;
+constexpr unsigned dirNorth = 2;
+constexpr unsigned dirSouth = 3;
+
+} // namespace
+
+NocMesh::NocMesh(const SimConfig &config)
+    : width_(config.meshWidth), height_(config.meshHeight()),
+      hopLatency_(config.hopLatency), flitBits_(config.flitBits),
+      linkFree_(static_cast<size_t>(config.numCores) * 4, 0)
+{
+    hdcps_check(width_ * height_ == config.numCores,
+                "mesh geometry mismatch");
+}
+
+unsigned
+NocMesh::linkId(unsigned fromTile, unsigned direction) const
+{
+    return fromTile * 4 + direction;
+}
+
+unsigned
+NocMesh::hopCount(unsigned src, unsigned dst) const
+{
+    unsigned dx = tileX(src) > tileX(dst) ? tileX(src) - tileX(dst)
+                                          : tileX(dst) - tileX(src);
+    unsigned dy = tileY(src) > tileY(dst) ? tileY(src) - tileY(dst)
+                                          : tileY(dst) - tileY(src);
+    return dx + dy;
+}
+
+void
+NocMesh::pathLinks(unsigned src, unsigned dst,
+                   std::vector<unsigned> &out) const
+{
+    out.clear();
+    unsigned x = tileX(src);
+    unsigned y = tileY(src);
+    const unsigned tx = tileX(dst);
+    const unsigned ty = tileY(dst);
+    // X first, then Y (dimension-ordered routing).
+    while (x != tx) {
+        unsigned tile = y * width_ + x;
+        if (x < tx) {
+            out.push_back(linkId(tile, dirEast));
+            ++x;
+        } else {
+            out.push_back(linkId(tile, dirWest));
+            --x;
+        }
+    }
+    while (y != ty) {
+        unsigned tile = y * width_ + x;
+        if (y < ty) {
+            out.push_back(linkId(tile, dirSouth));
+            ++y;
+        } else {
+            out.push_back(linkId(tile, dirNorth));
+            --y;
+        }
+    }
+}
+
+Cycle
+NocMesh::uncontendedLatency(unsigned src, unsigned dst,
+                            uint32_t payloadBits) const
+{
+    if (src == dst)
+        return 0;
+    uint32_t flits = (payloadBits + flitBits_ - 1) / flitBits_;
+    if (flits == 0)
+        flits = 1;
+    return static_cast<Cycle>(hopCount(src, dst)) * hopLatency_ + flits -
+           1;
+}
+
+Cycle
+NocMesh::transfer(unsigned src, unsigned dst, uint32_t payloadBits,
+                  Cycle depart)
+{
+    if (src == dst)
+        return depart;
+
+    uint32_t flits = (payloadBits + flitBits_ - 1) / flitBits_;
+    if (flits == 0)
+        flits = 1;
+
+    pathLinks(src, dst, scratchPath_);
+    Cycle headArrival = depart;
+    for (unsigned link : scratchPath_) {
+        // The head flit waits for the link, then takes one hop; the
+        // link stays busy for the message's full flit train. The wait
+        // is capped: transfers are issued only approximately in time
+        // order (cores can be stalled far apart), so an uncapped
+        // reservation would let one far-future caller poison a link
+        // for every later, earlier-in-time caller. The cap bounds the
+        // modeled queueing delay per link while preserving the
+        // contention signal.
+        Cycle start = std::max(headArrival, linkFree_[link]);
+        if (start > headArrival + maxLinkQueue) {
+            start = headArrival + maxLinkQueue;
+        }
+        stats_.contentionCycles += start - headArrival;
+        linkFree_[link] = start + flits;
+        headArrival = start + hopLatency_;
+    }
+    // Tail flit trails the head by (flits - 1) cycles.
+    Cycle arrival = headArrival + flits - 1;
+
+    ++stats_.messages;
+    stats_.flits += flits;
+    stats_.hops += scratchPath_.size();
+    return arrival;
+}
+
+} // namespace hdcps

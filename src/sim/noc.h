@@ -1,0 +1,84 @@
+/**
+ * @file
+ * 2-D mesh on-chip network with XY routing and link contention.
+ *
+ * Matches Table I: electrical mesh, XY dimension-ordered routing,
+ * 2-cycle hop latency (1 router + 1 link), 64-bit flits, contention
+ * modeled on links only (infinite input buffers). A message of F flits
+ * occupies each link on its path for F cycles; the model tracks each
+ * directed link's next-free cycle and serializes messages that share a
+ * link, which is how scheduler-induced traffic hot spots slow task
+ * transfers down.
+ */
+
+#ifndef HDCPS_SIM_NOC_H_
+#define HDCPS_SIM_NOC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace hdcps {
+
+/** Aggregate NoC statistics for one simulation. */
+struct NocStats
+{
+    uint64_t messages = 0;
+    uint64_t flits = 0;
+    uint64_t hops = 0;
+    uint64_t contentionCycles = 0; ///< cycles spent queued on busy links
+};
+
+/** The mesh interconnect model. */
+class NocMesh
+{
+  public:
+    explicit NocMesh(const SimConfig &config);
+
+    /**
+     * Send payloadBits from tile src to tile dst, departing no earlier
+     * than `depart`. Returns the arrival cycle at dst, accounting hop
+     * latency, serialization, and per-link contention. src == dst
+     * returns `depart` (core-local).
+     */
+    Cycle transfer(unsigned src, unsigned dst, uint32_t payloadBits,
+                   Cycle depart);
+
+    /** Pure latency of a src->dst message with an idle network. */
+    Cycle uncontendedLatency(unsigned src, unsigned dst,
+                             uint32_t payloadBits) const;
+
+    /** Manhattan hop count between two tiles. */
+    unsigned hopCount(unsigned src, unsigned dst) const;
+
+    const NocStats &stats() const { return stats_; }
+
+    void resetStats() { stats_ = NocStats{}; }
+
+    /** Upper bound on modeled queueing delay per link (see transfer). */
+    static constexpr Cycle maxLinkQueue = 256;
+
+  private:
+    unsigned tileX(unsigned tile) const { return tile % width_; }
+    unsigned tileY(unsigned tile) const { return tile / width_; }
+
+    /** Directed link id from a tile toward a neighbour direction. */
+    unsigned linkId(unsigned fromTile, unsigned direction) const;
+
+    /** Enumerate the directed links of the XY path src -> dst. */
+    void pathLinks(unsigned src, unsigned dst,
+                   std::vector<unsigned> &out) const;
+
+    unsigned width_;
+    unsigned height_;
+    uint32_t hopLatency_;
+    uint32_t flitBits_;
+    std::vector<Cycle> linkFree_; ///< next free cycle per directed link
+    mutable std::vector<unsigned> scratchPath_;
+    NocStats stats_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_SIM_NOC_H_

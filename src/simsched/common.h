@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared helpers for scheduler designs on the simulated machine:
+ * software-PQ cost model, bag table, and task encodings.
+ */
+
+#ifndef HDCPS_SIMSCHED_COMMON_H_
+#define HDCPS_SIMSCHED_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cps/task.h"
+#include "sim/config.h"
+#include "support/compiler.h"
+
+namespace hdcps {
+
+/** Initial-task seeding chunk: locality within, interleave across. */
+constexpr size_t seedChunk = 16;
+
+/**
+ * Cycles one software priority-queue operation costs at a given queue
+ * size: a fixed part plus the rebalance walk, one level per doubling.
+ */
+inline Cycle
+swPqOpCost(const SimConfig &config, size_t queueSize)
+{
+    return config.swPqBaseCost +
+           Cycle(config.swPqPerLevelCost) * log2Ceil(queueSize + 2);
+}
+
+/** A bag living in simulated memory. */
+struct SimBag
+{
+    Priority priority = 0;
+    std::vector<Task> tasks;
+    unsigned creator = 0;
+    uint64_t payloadAddr = 0; ///< where the payload bytes live
+    bool consumed = false;
+};
+
+/**
+ * Registry of all bags created during one simulation. Bags are referred
+ * to by index; the index travels inside a Task's `data` field with
+ * `node == bagSentinel` (the 128-bit "bag ID" of the paper).
+ */
+class SimBagTable
+{
+  public:
+    static constexpr NodeId bagSentinel = invalidNode;
+
+    static bool isBag(const Task &task) { return task.node == bagSentinel; }
+
+    /** Register a bag; returns the metadata task encoding it. */
+    Task
+    add(Priority priority, std::vector<Task> tasks, unsigned creator,
+        uint64_t payloadAddr)
+    {
+        uint32_t index = static_cast<uint32_t>(bags_.size());
+        bags_.push_back(
+            SimBag{priority, std::move(tasks), creator, payloadAddr,
+                   false});
+        return Task{priority, bagSentinel, index};
+    }
+
+    SimBag &
+    get(const Task &metadata)
+    {
+        return bags_.at(metadata.data);
+    }
+
+    size_t numBags() const { return bags_.size(); }
+
+  private:
+    std::vector<SimBag> bags_;
+};
+
+/**
+ * A serialization point: a shared software structure (a locked PQ, the
+ * OBIM global map, one bag) on which operations from any core queue up.
+ * An actor performing an operation of `cost` cycles starting no earlier
+ * than `earliest` blocks until the resource frees, then holds it.
+ * Returns the cycle at which the operation completes.
+ *
+ * The wait is capped (default ~a few dozen queued ops): acquisitions
+ * arrive only approximately in time order, so an uncapped reservation
+ * would let one far-in-the-future caller stall every later caller to
+ * its horizon, compounding into runaway clocks. The cap keeps hot-lock
+ * convoys painful (the behaviour the RELD/OBIM cost models need)
+ * without the feedback explosion.
+ */
+class SerialResource
+{
+  public:
+    static constexpr Cycle maxWait = 4096;
+
+    Cycle
+    acquire(Cycle earliest, Cycle cost)
+    {
+        Cycle start = earliest > nextFree_ ? earliest : nextFree_;
+        if (start > earliest + maxWait)
+            start = earliest + maxWait;
+        nextFree_ = start + cost;
+        return start + cost;
+    }
+
+    Cycle nextFree() const { return nextFree_; }
+
+  private:
+    Cycle nextFree_ = 0;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_SIMSCHED_COMMON_H_

@@ -1,0 +1,165 @@
+#include "simsched/runner.h"
+
+#include "pq/dary_heap.h"
+#include "simsched/common.h"
+#include "simsched/sim_minnow.h"
+#include "simsched/sim_multiqueue.h"
+#include "simsched/sim_obim.h"
+#include "simsched/sim_reld.h"
+#include "simsched/sim_swarm.h"
+#include "support/logging.h"
+
+namespace hdcps {
+
+namespace {
+
+/** Single-core strict-priority-order execution (the "optimized
+ *  sequential implementation" of the paper's speedup baselines). */
+class SimSequential : public SimDesign
+{
+  public:
+    const char *name() const override { return "sequential"; }
+
+    void
+    boot(SimMachine &m, const std::vector<Task> &initial) override
+    {
+        (void)m;
+        pq_.clear();
+        for (const Task &task : initial)
+            pq_.push(task);
+    }
+
+    bool
+    step(SimMachine &m, unsigned core) override
+    {
+        if (pq_.empty())
+            return false;
+        const SimConfig &config = m.config();
+        m.advance(core, swPqOpCost(config, pq_.size()),
+                  Component::Dequeue);
+        Task task = pq_.pop();
+        m.notePopped(core, task.priority);
+        children_.clear();
+        m.processTask(core, task, children_);
+        m.taskCreated(children_.size());
+        for (const Task &child : children_) {
+            m.advance(core, swPqOpCost(config, pq_.size()),
+                      Component::Enqueue);
+            pq_.push(child);
+        }
+        m.taskRetired();
+        return true;
+    }
+
+  private:
+    DAryHeap<Task, TaskOrder> pq_;
+    std::vector<Task> children_;
+};
+
+} // namespace
+
+std::unique_ptr<SimDesign>
+makeDesign(const std::string &name)
+{
+    if (name == "reld")
+        return std::make_unique<SimReld>();
+    if (name == "multiqueue")
+        return std::make_unique<SimMultiQueue>();
+    if (name == "obim") {
+        return std::make_unique<SimObim>(SimObim::obimConfig(), "obim");
+    }
+    if (name == "pmod") {
+        return std::make_unique<SimObim>(SimObim::pmodConfig(), "pmod");
+    }
+    if (name == "swminnow") {
+        // 64 cores split ~9:1 like the paper's best 36-4 Xeon split.
+        return std::make_unique<SimObim>(SimObim::swMinnowConfig(6),
+                                         "swminnow");
+    }
+    if (name == "minnow-hw")
+        return std::make_unique<SimMinnowHw>();
+    if (name == "swarm")
+        return std::make_unique<SimSwarm>();
+    if (name == "hdcps-srq") {
+        return std::make_unique<SimHdCps>(SimHdCps::configSrq(),
+                                          "hdcps-srq");
+    }
+    if (name == "hdcps-srq-tdf") {
+        return std::make_unique<SimHdCps>(SimHdCps::configSrqTdf(),
+                                          "hdcps-srq-tdf");
+    }
+    if (name == "hdcps-srq-tdf-ac") {
+        return std::make_unique<SimHdCps>(SimHdCps::configSrqTdfAc(),
+                                          "hdcps-srq-tdf-ac");
+    }
+    if (name == "hdcps-sw") {
+        return std::make_unique<SimHdCps>(SimHdCps::configSw(),
+                                          "hdcps-sw");
+    }
+    if (name == "hdcps-hrq") {
+        return std::make_unique<SimHdCps>(SimHdCps::configHrqOnly(),
+                                          "hdcps-hrq");
+    }
+    if (name == "hdcps-hpq") {
+        return std::make_unique<SimHdCps>(SimHdCps::configHpqOnly(),
+                                          "hdcps-hpq");
+    }
+    if (name == "hdcps-hw") {
+        return std::make_unique<SimHdCps>(SimHdCps::configHw(),
+                                          "hdcps-hw");
+    }
+    if (name == "sequential")
+        return std::make_unique<SimSequential>();
+    hdcps_fatal("unknown design '%s'", name.c_str());
+}
+
+std::unique_ptr<SimDesign>
+makeHdCpsDesign(const SimHdCpsConfig &config, const std::string &name)
+{
+    return std::make_unique<SimHdCps>(config, name);
+}
+
+const char *const *
+designNames(size_t &count)
+{
+    static const char *const names[] = {
+        "reld",      "multiqueue", "obim",      "pmod",
+        "swminnow",  "hdcps-sw",   "hdcps-hrq", "hdcps-hw",
+        "minnow-hw", "swarm",
+    };
+    count = sizeof(names) / sizeof(names[0]);
+    return names;
+}
+
+SimResult
+simulate(SimDesign &design, Workload &workload, const SimConfig &config,
+         uint64_t seed, unsigned driftInterval)
+{
+    workload.reset();
+    SimMachine machine(config, workload, seed);
+    return machine.run(design, driftInterval);
+}
+
+SimResult
+simulate(const std::string &designName, Workload &workload,
+         const SimConfig &config, uint64_t seed, unsigned driftInterval)
+{
+    auto design = makeDesign(designName);
+    return simulate(*design, workload, config, seed, driftInterval);
+}
+
+Cycle
+simulateSequentialCycles(Workload &workload, const SimConfig &config,
+                         uint64_t seed)
+{
+    SimConfig sequential = config;
+    sequential.numCores = 1;
+    sequential.meshWidth = 1;
+    SimSequential design;
+    SimResult result = simulate(design, workload, sequential, seed);
+    hdcps_check(result.verified, "sequential baseline failed to verify: %s",
+                result.verifyError.c_str());
+    return result.completionCycles;
+}
+
+} // namespace hdcps

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Convenience entry points for the figure harnesses: construct any
+ * named design, run a workload through the simulated machine, and
+ * compute the optimized-sequential baseline the speedup figures
+ * normalize against.
+ */
+
+#ifndef HDCPS_SIMSCHED_RUNNER_H_
+#define HDCPS_SIMSCHED_RUNNER_H_
+
+#include <memory>
+#include <string>
+
+#include "algos/workload.h"
+#include "sim/machine.h"
+#include "simsched/sim_hdcps.h"
+
+namespace hdcps {
+
+/**
+ * Build a design by name:
+ *  reld | multiqueue | obim | pmod | swminnow | minnow-hw | swarm |
+ *  hdcps-srq | hdcps-srq-tdf | hdcps-srq-tdf-ac | hdcps-sw |
+ *  hdcps-hrq | hdcps-hpq | hdcps-hw
+ */
+std::unique_ptr<SimDesign> makeDesign(const std::string &name);
+
+/** Build an HD-CPS design with an explicit config (for sweeps). */
+std::unique_ptr<SimDesign> makeHdCpsDesign(const SimHdCpsConfig &config,
+                                           const std::string &name);
+
+/** All comparison design names in figure order. */
+const char *const *designNames(size_t &count);
+
+/**
+ * Run `designName` over `workload` on a machine with `config`.
+ * The workload is reset() first so one instance serves many runs.
+ */
+SimResult simulate(const std::string &designName, Workload &workload,
+                   const SimConfig &config, uint64_t seed = 1,
+                   unsigned driftInterval = 2000);
+
+/** Run a pre-built design (for swept configs). */
+SimResult simulate(SimDesign &design, Workload &workload,
+                   const SimConfig &config, uint64_t seed = 1,
+                   unsigned driftInterval = 2000);
+
+/**
+ * Cycles of the optimized sequential implementation: a single-core
+ * machine running tasks in strict priority order with a plain software
+ * PQ and no distribution overhead. Denominator of Figures 4 and 8.
+ */
+Cycle simulateSequentialCycles(Workload &workload,
+                               const SimConfig &config,
+                               uint64_t seed = 1);
+
+} // namespace hdcps
+
+#endif // HDCPS_SIMSCHED_RUNNER_H_

@@ -1,0 +1,100 @@
+#include "simsched/sim_minnow.h"
+
+#include "support/logging.h"
+
+namespace hdcps {
+
+void
+SimMinnowHw::boot(SimMachine &m, const std::vector<Task> &initial)
+{
+    bags_.clear();
+    cores_.assign(m.config().numCores, CoreState{});
+    for (const Task &task : initial) {
+        Priority base = (task.priority >> config_.delta) << config_.delta;
+        bags_[base].push_back(task);
+    }
+}
+
+void
+SimMinnowHw::helperRun(SimMachine &m, unsigned core)
+{
+    const SimConfig &config = m.config();
+    CoreState &self = cores_[core];
+
+    // 1. Flush the worker's outbox into the shared map (helper time).
+    for (const Task &child : self.outbox) {
+        Priority base =
+            (child.priority >> config_.delta) << config_.delta;
+        Cycle cost = config.atomicRmwCost + 2;
+        auto it = bags_.find(base);
+        if (it == bags_.end()) {
+            cost += config.mapSearchBaseCost;
+            it = bags_.emplace(base, std::vector<Task>{}).first;
+        }
+        self.helperFree = mapLock_.acquire(self.helperFree, cost);
+        it->second.push_back(child);
+    }
+    self.outbox.clear();
+
+    // 2. Refill the staging buffer while it is below target.
+    while (self.staging.size() < config_.stagingTarget) {
+        auto it = bags_.begin();
+        while (it != bags_.end() && it->second.empty())
+            it = bags_.erase(it);
+        if (it == bags_.end())
+            break;
+        size_t take = std::min(config_.chunkSize, it->second.size());
+        Cycle cost = config.mapSearchBaseCost +
+                     Cycle(config.swPqPerLevelCost) *
+                         log2Ceil(bags_.size() + 1) +
+                     Cycle(take) * 2 + config.atomicRmwCost;
+        self.helperFree = mapLock_.acquire(self.helperFree, cost);
+        for (size_t i = 0; i < take; ++i) {
+            self.staging.push_back(
+                StagedTask{it->second.back(), self.helperFree});
+            it->second.pop_back();
+        }
+        if (it->second.empty())
+            bags_.erase(it);
+    }
+    // The helper never lags behind wall-clock for bookkeeping purposes.
+    if (self.helperFree < m.now(core))
+        self.helperFree = m.now(core);
+}
+
+bool
+SimMinnowHw::step(SimMachine &m, unsigned core)
+{
+    CoreState &self = cores_[core];
+    helperRun(m, core);
+
+    if (self.staging.empty())
+        return false;
+    // If the helper is still fetching, the worker waits for the data —
+    // that residual latency is what decoupling cannot hide.
+    const StagedTask &head = self.staging.front();
+    if (head.availableAt > m.now(core))
+        m.stallUntil(core, head.availableAt);
+    Task task = head.task;
+    self.staging.pop_front();
+    m.advance(core, m.config().hwQueueLatency, Component::Dequeue);
+    m.notePopped(core, task.priority);
+
+    children_.clear();
+    m.processTask(core, task, children_);
+    m.taskCreated(children_.size());
+    if (!children_.empty()) {
+        // Hand the batch to the helper engine; per-batch cost only.
+        m.advance(core,
+                  config_.handoffCost +
+                      Cycle(children_.size()) * m.config().aluOpCost,
+                  Component::Enqueue);
+        m.breakdownOf(core).remoteEnqueues += children_.size();
+        self.outbox.insert(self.outbox.end(), children_.begin(),
+                           children_.end());
+    }
+    m.taskRetired();
+    return true;
+}
+
+} // namespace hdcps

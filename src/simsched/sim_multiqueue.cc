@@ -1,0 +1,86 @@
+#include "simsched/sim_multiqueue.h"
+
+#include "support/logging.h"
+
+namespace hdcps {
+
+void
+SimMultiQueue::boot(SimMachine &m, const std::vector<Task> &initial)
+{
+    hdcps_check(queuesPerCore_ >= 1, "need at least one queue per core");
+    queues_.clear();
+    queues_.resize(size_t(m.config().numCores) * queuesPerCore_);
+    // Chunked-interleaved seeding (see SimReld::boot).
+    for (size_t i = 0; i < initial.size(); ++i)
+        queues_[(i / seedChunk) % queues_.size()].pq.push(initial[i]);
+}
+
+bool
+SimMultiQueue::step(SimMachine &m, unsigned core)
+{
+    const SimConfig &config = m.config();
+
+    // Pop: peek two random queues (an atomic read each), then take
+    // the better top, paying that queue's lock + rebalance.
+    size_t pick = queues_.size();
+    for (int attempt = 0; attempt < 4 && pick == queues_.size();
+         ++attempt) {
+        size_t a = m.rng(core).below(queues_.size());
+        size_t b = m.rng(core).below(queues_.size());
+        m.advance(core, 2 * config.aluOpCost + 8, Component::Dequeue);
+        bool hasA = !queues_[a].pq.empty();
+        bool hasB = !queues_[b].pq.empty();
+        if (hasA && hasB) {
+            pick = TaskOrder{}(queues_[a].pq.top(), queues_[b].pq.top())
+                       ? a
+                       : b;
+        } else if (hasA) {
+            pick = a;
+        } else if (hasB) {
+            pick = b;
+        }
+    }
+    if (pick == queues_.size()) {
+        // Full scan fallback so no task is stranded.
+        for (size_t q = 0; q < queues_.size(); ++q) {
+            if (!queues_[q].pq.empty()) {
+                pick = q;
+                break;
+            }
+        }
+        if (pick == queues_.size())
+            return false;
+    }
+
+    QueueState &source = queues_[pick];
+    {
+        Cycle cost =
+            config.atomicRmwCost + swPqOpCost(config, source.pq.size());
+        Cycle done = source.lock.acquire(m.now(core), cost);
+        m.stallUntil(core, done - cost);
+        m.advance(core, cost, Component::Dequeue);
+    }
+    if (source.pq.empty())
+        return false; // raced with another core's pop this epoch
+    Task task = source.pq.pop();
+    m.notePopped(core, task.priority);
+
+    children_.clear();
+    m.processTask(core, task, children_);
+    m.taskCreated(children_.size());
+    for (const Task &child : children_) {
+        QueueState &dest =
+            queues_[m.rng(core).below(queues_.size())];
+        Cycle cost =
+            config.atomicRmwCost + swPqOpCost(config, dest.pq.size());
+        Cycle done = dest.lock.acquire(m.now(core), cost);
+        m.stallUntil(core, done - cost);
+        m.advance(core, cost, Component::Enqueue);
+        dest.pq.push(child);
+        ++m.breakdownOf(core).remoteEnqueues;
+    }
+    m.taskRetired();
+    return true;
+}
+
+} // namespace hdcps

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * MultiQueue (Rihani et al., SPAA'15) on the simulated machine — the
+ * relaxed-PQ baseline for the beyond-the-paper ablation. 2P lock-
+ * guarded queues; pushes go to a random queue, pops take the better of
+ * two random tops. Every operation pays the atomic + rebalance cost on
+ * the chosen queue's serialization point, like RELD, but contention
+ * spreads over twice as many queues and pops are drift-blind rather
+ * than drift-aware.
+ */
+
+#ifndef HDCPS_SIMSCHED_SIM_MULTIQUEUE_H_
+#define HDCPS_SIMSCHED_SIM_MULTIQUEUE_H_
+
+#include <vector>
+
+#include "pq/dary_heap.h"
+#include "sim/machine.h"
+#include "simsched/common.h"
+
+namespace hdcps {
+
+/** MultiQueue on the simulator. */
+class SimMultiQueue : public SimDesign
+{
+  public:
+    explicit SimMultiQueue(unsigned queuesPerCore = 2)
+        : queuesPerCore_(queuesPerCore)
+    {}
+
+    const char *name() const override { return "multiqueue"; }
+    void boot(SimMachine &m, const std::vector<Task> &initial) override;
+    bool step(SimMachine &m, unsigned core) override;
+
+  private:
+    struct QueueState
+    {
+        DAryHeap<Task, TaskOrder> pq;
+        SerialResource lock;
+    };
+
+    unsigned queuesPerCore_;
+    std::vector<QueueState> queues_;
+    std::vector<Task> children_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_SIMSCHED_SIM_MULTIQUEUE_H_

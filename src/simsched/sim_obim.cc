@@ -1,0 +1,220 @@
+#include "simsched/sim_obim.h"
+
+#include "support/logging.h"
+
+namespace hdcps {
+
+SimObim::SimObim(const Config &config, const char *name)
+    : config_(config), name_(name), delta_(config.delta)
+{
+    hdcps_check(config.chunkSize >= 1, "chunk size must be >= 1");
+}
+
+SimObim::Config
+SimObim::obimConfig(unsigned delta)
+{
+    Config config;
+    config.delta = delta;
+    return config;
+}
+
+SimObim::Config
+SimObim::pmodConfig(unsigned startDelta)
+{
+    Config config;
+    config.delta = startDelta;
+    config.adaptive = true;
+    return config;
+}
+
+SimObim::Config
+SimObim::swMinnowConfig(unsigned numMinnows, unsigned startDelta)
+{
+    Config config;
+    config.delta = startDelta;
+    config.numMinnows = numMinnows;
+    return config;
+}
+
+void
+SimObim::boot(SimMachine &m, const std::vector<Task> &initial)
+{
+    hdcps_check(config_.numMinnows < m.config().numCores,
+                "minnow cores must leave at least one worker");
+    numWorkers_ = m.config().numCores - config_.numMinnows;
+    delta_ = config_.delta;
+    bags_.clear();
+    cores_.assign(m.config().numCores, CoreState{});
+    retiredBags_ = retiredTasks_ = 0;
+    for (const Task &task : initial) {
+        Priority base = (task.priority >> delta_) << delta_;
+        bags_[base].tasks.push_back(task);
+    }
+}
+
+size_t
+SimObim::claimChunk(SimMachine &m, unsigned actor, Component comp,
+                    std::vector<Task> &out)
+{
+    auto it = bags_.begin();
+    while (it != bags_.end() && it->second.tasks.empty())
+        it = bags_.erase(it);
+    if (it == bags_.end())
+        return 0;
+
+    const SimConfig &config = m.config();
+    auto &bag = it->second.tasks;
+    size_t take = std::min(config_.chunkSize, bag.size());
+
+    // Map search + chunk copy, serialized on the global map lock.
+    Cycle cost = config.mapSearchBaseCost +
+                 Cycle(config.swPqPerLevelCost) *
+                     log2Ceil(bags_.size() + 1) +
+                 Cycle(take) * 2 + config.atomicRmwCost;
+    Cycle done = mapLock_.acquire(m.now(actor), cost);
+    m.stallUntil(actor, done - cost);
+    m.advance(actor, cost, comp);
+
+    for (size_t i = 0; i < take; ++i) {
+        out.push_back(bag.back());
+        bag.pop_back();
+    }
+    // PMOD bookkeeping: track how much each visited bucket yields.
+    CoreState &state = cores_[actor];
+    if (state.lastBucket != it->first) {
+        if (state.lastBucket != ~Priority(0))
+            onBagRetired(state.takenFromLast);
+        state.lastBucket = it->first;
+        state.takenFromLast = 0;
+    }
+    state.takenFromLast += take;
+    if (bag.empty())
+        bags_.erase(it);
+    return take;
+}
+
+void
+SimObim::onBagRetired(size_t taken)
+{
+    if (!config_.adaptive)
+        return;
+    retiredTasks_ += taken;
+    if (++retiredBags_ % config_.window != 0)
+        return;
+    // Windowed yield (see PmodScheduler::onBagExhausted).
+    uint64_t avgYield = retiredTasks_ / config_.window;
+    retiredTasks_ = 0;
+    if (avgYield < config_.lowYield && delta_ < config_.maxDelta)
+        ++delta_;
+    else if (avgYield > config_.highYield && delta_ > config_.minDelta)
+        --delta_;
+}
+
+void
+SimObim::pushChild(SimMachine &m, unsigned core, const Task &child)
+{
+    const SimConfig &config = m.config();
+    Priority base = (child.priority >> delta_) << delta_;
+    auto it = bags_.find(base);
+    if (it == bags_.end()) {
+        // Creating a bag touches the global map.
+        Cycle cost = config.mapSearchBaseCost + config.atomicRmwCost;
+        Cycle done = mapLock_.acquire(m.now(core), cost);
+        m.stallUntil(core, done - cost);
+        m.advance(core, cost, Component::Enqueue);
+        it = bags_.emplace(base, BagEntry{}).first;
+    }
+    // Insertion into the bag serializes on that bag only.
+    Cycle cost = config.atomicRmwCost + 2;
+    Cycle done = it->second.lock.acquire(m.now(core), cost);
+    m.stallUntil(core, done - cost);
+    m.advance(core, cost, Component::Enqueue);
+    it->second.tasks.push_back(child);
+    ++m.breakdownOf(core).remoteEnqueues;
+}
+
+bool
+SimObim::workerStep(SimMachine &m, unsigned core)
+{
+    CoreState &self = cores_[core];
+    Task task;
+    bool got = false;
+
+    if (!self.chunk.empty()) {
+        task = self.chunk.back();
+        self.chunk.pop_back();
+        m.advance(core, m.config().aluOpCost, Component::Dequeue);
+        got = true;
+    }
+    if (!got && !self.staging.empty()) {
+        // In Minnow mode the worker consumes prefetched work even when
+        // the helper has not finished fetching it yet (it waits for
+        // the data); that wait is the decoupling's residual cost.
+        if (self.staging.front().availableAt > m.now(core))
+            m.stallUntil(core, self.staging.front().availableAt);
+        task = self.staging.front().task;
+        self.staging.pop_front();
+        m.advance(core, 4, Component::Dequeue); // local buffer read
+        got = true;
+    }
+    if (!got) {
+        // Minnow workers never touch the shared map themselves — that
+        // is the whole point of the helper cores; they starve instead.
+        if (config_.numMinnows > 0)
+            return false;
+        if (claimChunk(m, core, Component::Dequeue, self.chunk) == 0)
+            return false;
+        task = self.chunk.back();
+        self.chunk.pop_back();
+        got = true;
+    }
+
+    m.notePopped(core, task.priority);
+    children_.clear();
+    m.processTask(core, task, children_);
+    m.taskCreated(children_.size());
+    for (const Task &child : children_)
+        pushChild(m, core, child);
+    m.taskRetired();
+    return true;
+}
+
+bool
+SimObim::minnowStep(SimMachine &m, unsigned core)
+{
+    // Minnow core: round-robin over assigned workers, refilling any
+    // staging buffer that has drained below the target.
+    const unsigned minnowId = core - numWorkers_;
+    bool didWork = false;
+    std::vector<Task> chunk;
+    for (unsigned w = minnowId; w < numWorkers_;
+         w += config_.numMinnows) {
+        CoreState &worker = cores_[w];
+        if (worker.staging.size() >= config_.stagingTarget)
+            continue;
+        chunk.clear();
+        if (claimChunk(m, core, Component::Dequeue, chunk) == 0)
+            continue;
+        didWork = true;
+        // Stage into the worker's local memory: the minnow pays the
+        // transfer, the worker later reads it cheaply.
+        Cycle cost = Cycle(chunk.size()) * 2;
+        cost += m.cache().access(
+            core, m.coreLocalAddr(w, 0x8000 + worker.staging.size() * 16),
+            true, m.now(core));
+        m.advance(core, cost, Component::Enqueue);
+        for (const Task &t : chunk)
+            worker.staging.push_back(StagedTask{t, m.now(core)});
+    }
+    return didWork;
+}
+
+bool
+SimObim::step(SimMachine &m, unsigned core)
+{
+    if (config_.numMinnows > 0 && isMinnow(core))
+        return minnowStep(m, core);
+    return workerStep(m, core);
+}
+
+} // namespace hdcps

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The OBIM family on the simulated machine: OBIM (fixed delta), PMOD
+ * (adaptive delta), and Software Minnow (OBIM plus cores repurposed as
+ * prefetch helpers).
+ *
+ * The global bag map is the shared structure all cores synchronize on:
+ * bag *claims* (finding and draining the best bag) serialize on a map
+ * lock, and pushes serialize per bag. Workers drain claimed chunks
+ * locally, which is where OBIM's synchronization savings over RELD come
+ * from; the map lock is where its scalability pressure lives.
+ *
+ * In Software-Minnow mode the last `numMinnows` cores run prefetch
+ * loops instead of processing tasks: they claim chunks on behalf of
+ * their assigned workers and stage them core-locally, hiding the map
+ * serialization from workers at the price of lost compute capacity
+ * (paper Section V-C).
+ */
+
+#ifndef HDCPS_SIMSCHED_SIM_OBIM_H_
+#define HDCPS_SIMSCHED_SIM_OBIM_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "sim/machine.h"
+#include "simsched/common.h"
+
+namespace hdcps {
+
+/** OBIM / PMOD / SW-Minnow on the simulator. */
+class SimObim : public SimDesign
+{
+  public:
+    struct Config
+    {
+        unsigned delta = 3;
+        size_t chunkSize = 16;
+        bool adaptive = false;   ///< PMOD delta tuning
+        unsigned numMinnows = 0; ///< > 0 enables Software-Minnow mode
+        size_t prefetchChunk = 8;
+        size_t stagingTarget = 8;  ///< refill threshold per worker
+        // PMOD thresholds (tasks drained per retired bag, per window).
+        size_t window = 32;
+        size_t lowYield = 2;
+        size_t highYield = 64;
+        unsigned minDelta = 0;
+        unsigned maxDelta = 8;
+    };
+
+    SimObim(const Config &config, const char *name);
+
+    /** Factories for the three named designs. */
+    static Config obimConfig(unsigned delta = 3);
+    static Config pmodConfig(unsigned startDelta = 3);
+    static Config swMinnowConfig(unsigned numMinnows,
+                                 unsigned startDelta = 3);
+
+    const char *name() const override { return name_; }
+    void boot(SimMachine &m, const std::vector<Task> &initial) override;
+    bool step(SimMachine &m, unsigned core) override;
+
+    unsigned currentDelta() const { return delta_; }
+
+  private:
+    struct StagedTask
+    {
+        Task task;
+        Cycle availableAt;
+    };
+
+    struct CoreState
+    {
+        std::vector<Task> chunk;
+        std::deque<StagedTask> staging; ///< minnow-filled buffer
+        Priority lastBucket = ~Priority(0);
+        size_t takenFromLast = 0;
+    };
+
+    struct BagEntry
+    {
+        std::vector<Task> tasks;
+        SerialResource lock;
+    };
+
+    bool isMinnow(unsigned core) const
+    {
+        return core >= numWorkers_;
+    }
+
+    /** Claim up to chunkSize tasks from the best bag on behalf of
+     *  `actor` (charged to its clock, component `comp`). */
+    size_t claimChunk(SimMachine &m, unsigned actor, Component comp,
+                      std::vector<Task> &out);
+
+    void pushChild(SimMachine &m, unsigned core, const Task &child);
+    void onBagRetired(size_t taken);
+    bool workerStep(SimMachine &m, unsigned core);
+    bool minnowStep(SimMachine &m, unsigned core);
+
+    Config config_;
+    const char *name_;
+    unsigned numWorkers_ = 0;
+    unsigned delta_;
+    std::map<Priority, BagEntry> bags_;
+    SerialResource mapLock_;
+    std::vector<CoreState> cores_;
+    std::vector<Task> children_;
+    uint64_t retiredBags_ = 0;
+    uint64_t retiredTasks_ = 0;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_SIMSCHED_SIM_OBIM_H_

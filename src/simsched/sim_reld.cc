@@ -1,0 +1,66 @@
+#include "simsched/sim_reld.h"
+
+namespace hdcps {
+
+void
+SimReld::boot(SimMachine &m, const std::vector<Task> &initial)
+{
+    cores_.clear();
+    cores_.resize(m.config().numCores);
+    // Chunked-interleaved seeding: consecutive initial tasks touch
+    // neighbouring graph data, so 16-task chunks preserve spatial
+    // locality, while interleaving chunks across cores avoids piling
+    // a skewed graph's hub region onto one core.
+    for (size_t i = 0; i < initial.size(); ++i)
+        cores_[(i / seedChunk) % cores_.size()].pq.push(initial[i]);
+}
+
+bool
+SimReld::step(SimMachine &m, unsigned core)
+{
+    CoreState &self = cores_[core];
+    if (self.pq.empty())
+        return false;
+
+    const SimConfig &config = m.config();
+
+    // Dequeue: take the lock (serializing against remote enqueues),
+    // then pay the heap pop.
+    {
+        Cycle cost =
+            config.atomicRmwCost + swPqOpCost(config, self.pq.size());
+        Cycle done = self.pqLock.acquire(m.now(core), cost);
+        m.stallUntil(core, done - cost); // lock wait shows up as comm
+        m.advance(core, cost, Component::Dequeue);
+    }
+    Task task = self.pq.pop();
+    m.notePopped(core, task.priority);
+
+    children_.clear();
+    m.processTask(core, task, children_);
+
+    // Distribute children: every task goes to a uniformly random core's
+    // PQ; the *sender* executes the remote enqueue and is blocked for
+    // the atomic + rebalance + coherent write into the remote heap.
+    m.taskCreated(children_.size());
+    for (const Task &child : children_) {
+        unsigned dest =
+            static_cast<unsigned>(m.rng(core).below(cores_.size()));
+        CoreState &remote = cores_[dest];
+        Cycle cost =
+            config.atomicRmwCost + swPqOpCost(config, remote.pq.size());
+        cost += m.cache().access(
+            core, m.coreLocalAddr(dest, remote.pq.size() * 16), true,
+            m.now(core));
+        Cycle done = remote.pqLock.acquire(m.now(core), cost);
+        m.stallUntil(core, done - cost);
+        m.advance(core, cost, Component::Enqueue);
+        remote.pq.push(child);
+        ++(dest == core ? m.breakdownOf(core).localEnqueues
+                        : m.breakdownOf(core).remoteEnqueues);
+    }
+    m.taskRetired();
+    return true;
+}
+
+} // namespace hdcps

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * RELD on the simulated machine (software cost mode).
+ *
+ * One locked software PQ per core. Every enqueue — local or remote —
+ * and every dequeue serializes on the destination core's PQ: the
+ * sender pays the atomic round trip plus the rebalance walk while it
+ * holds the queue, and the owner's dequeues queue up behind remote
+ * enqueues. This is the serialization HD-CPS's receive queue removes,
+ * and it is why RELD's comm/enqueue components blow up at high core
+ * counts (paper Figure 3/5 baselines).
+ */
+
+#ifndef HDCPS_SIMSCHED_SIM_RELD_H_
+#define HDCPS_SIMSCHED_SIM_RELD_H_
+
+#include <vector>
+
+#include "pq/dary_heap.h"
+#include "sim/machine.h"
+#include "simsched/common.h"
+
+namespace hdcps {
+
+/** Software RELD: per-core locked PQs, full random distribution. */
+class SimReld : public SimDesign
+{
+  public:
+    SimReld() = default;
+
+    const char *name() const override { return "reld"; }
+    void boot(SimMachine &m, const std::vector<Task> &initial) override;
+    bool step(SimMachine &m, unsigned core) override;
+
+  private:
+    struct CoreState
+    {
+        DAryHeap<Task, TaskOrder> pq;
+        SerialResource pqLock;
+    };
+
+    std::vector<CoreState> cores_;
+    std::vector<Task> children_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_SIMSCHED_SIM_RELD_H_

@@ -1,0 +1,218 @@
+#include "simsched/sim_swarm.h"
+
+#include <algorithm>
+
+#include "pq/dary_heap.h"
+#include "support/logging.h"
+
+namespace hdcps {
+
+void
+SimSwarm::buildTrace(SimMachine &m, const std::vector<Task> &initial)
+{
+    trace_.clear();
+    available_.clear();
+    uncommitted_.clear();
+    lastCommitWrite_.clear();
+    lastCommitCycle_ = 0;
+    aborts_ = 0;
+
+    // Strict priority-order sequential execution of the workload,
+    // recording every task, its children, and its memory footprint.
+    struct HeapEntry
+    {
+        Ts ts;
+        uint32_t index;
+    };
+    struct HeapLess
+    {
+        bool
+        operator()(const HeapEntry &a, const HeapEntry &b) const
+        {
+            return a.ts < b.ts;
+        }
+    };
+    DAryHeap<HeapEntry, HeapLess> heap;
+
+    auto createNode = [&](const Task &task, Priority parentPri) {
+        uint32_t index = static_cast<uint32_t>(trace_.size());
+        TraceNode node;
+        node.task = task;
+        // Swarm rule: a child's timestamp is never below its parent's.
+        node.ts = Ts{std::max(task.priority, parentPri), index};
+        trace_.push_back(std::move(node));
+        heap.push(HeapEntry{trace_.back().ts, index});
+        return index;
+    };
+
+    for (const Task &task : initial)
+        createNode(task, 0);
+
+    std::vector<Task> children;
+    Workload &workload = m.workload();
+    while (!heap.empty()) {
+        uint32_t index = heap.pop().index;
+        children.clear();
+        // Note: trace_ may reallocate inside createNode, so finish all
+        // reads of trace_[index] via a fresh reference each time.
+        uint32_t edges = workload.process(trace_[index].task, children);
+        trace_[index].edges = edges;
+        Priority parentPri = trace_[index].ts.priority;
+        // Swarm's kernels are formulated so a task reads and writes
+        // only its own node's state; neighbour updates happen in the
+        // child tasks themselves. Conflicts are therefore per-node.
+        trace_[index].writes.push_back(trace_[index].task.node);
+        for (const Task &child : children) {
+            uint32_t childIndex = createNode(child, parentPri);
+            trace_[index].children.push_back(childIndex);
+        }
+    }
+
+    liveByNode_.clear();
+    // Set up replay state: roots available, everything uncommitted.
+    for (uint32_t i = 0; i < trace_.size(); ++i)
+        uncommitted_.insert({trace_[i].ts, i});
+    for (size_t i = 0; i < initial.size(); ++i) {
+        trace_[i].state = State::Available;
+        available_.insert({trace_[i].ts, static_cast<uint32_t>(i)});
+    }
+}
+
+void
+SimSwarm::boot(SimMachine &m, const std::vector<Task> &initial)
+{
+    buildTrace(m, initial);
+}
+
+bool
+SimSwarm::validate(const TraceNode &node) const
+{
+    // Read set == write set == the task's own node (see buildTrace):
+    // the task conflicts iff a lower-timestamp task committed an
+    // update to the same node after this one started executing.
+    auto it = lastCommitWrite_.find(node.task.node);
+    return it == lastCommitWrite_.end() ||
+           it->second.cycle <= node.execStart;
+}
+
+void
+SimSwarm::advanceCommits(SimMachine &m, unsigned core)
+{
+    while (!uncommitted_.empty()) {
+        auto [ts, index] = *uncommitted_.begin();
+        TraceNode &node = trace_[index];
+        if (node.state != State::Executed)
+            break; // frontier not ready; nothing can commit past it
+
+        if (!validate(node)) {
+            // Commit-time validation failed: roll back and re-execute.
+            ++aborts_;
+            ++m.breakdownOf(core).aborts;
+            node.state = State::Available;
+            node.availableAt =
+                std::max(node.execDone, lastCommitCycle_);
+            auto live = liveByNode_.find(node.task.node);
+            if (live != liveByNode_.end() && --live->second == 0)
+                liveByNode_.erase(live);
+            available_.insert({ts, index});
+            break;
+        }
+
+        Cycle commitCycle = std::max(node.execDone, lastCommitCycle_);
+        lastCommitCycle_ = commitCycle;
+        for (NodeId w : node.writes)
+            lastCommitWrite_[w].cycle = commitCycle;
+        node.state = State::Committed;
+        auto live = liveByNode_.find(node.task.node);
+        if (live != liveByNode_.end() && --live->second == 0)
+            liveByNode_.erase(live);
+        uncommitted_.erase(uncommitted_.begin());
+        m.taskCreated(node.children.size());
+        m.taskRetired();
+    }
+}
+
+bool
+SimSwarm::step(SimMachine &m, unsigned core)
+{
+    graph_ = &m.workload().graph();
+    advanceCommits(m, core);
+    if (available_.empty())
+        return false;
+
+    // Prefer the earliest-timestamp task that is already dispatchable;
+    // Swarm's per-core task queues hold plenty of speculative work, so
+    // a core need not idle just because the global-min task's parent
+    // only finished a moment ago on another core. Tasks whose node
+    // already has an executed-uncommitted predecessor are held back:
+    // Swarm's spatial hints serialize same-hint tasks rather than let
+    // them misspeculate against each other.
+    auto it = available_.end();
+    auto fallback = available_.end();
+    unsigned scanned = 0;
+    for (auto i = available_.begin();
+         i != available_.end() && scanned < config_.dispatchWindow;
+         ++i, ++scanned) {
+        // The commit frontier must always be dispatchable, or a
+        // hint-serialized frontier would deadlock the commit stream.
+        bool isFrontier = !uncommitted_.empty() &&
+                          uncommitted_.begin()->second == i->second;
+        if (!isFrontier &&
+            liveByNode_.count(trace_[i->second].task.node)) {
+            continue;
+        }
+        if (fallback == available_.end())
+            fallback = i;
+        if (trace_[i->second].availableAt <= m.now(core)) {
+            it = i;
+            break;
+        }
+    }
+    if (it == available_.end())
+        it = fallback;
+    if (it == available_.end())
+        return false; // everything nearby is hint-serialized
+    TraceNode &node = trace_[it->second];
+    if (node.availableAt > m.now(core))
+        m.stallUntil(core, node.availableAt);
+    available_.erase(it);
+
+    // Hardware task unit dispatch.
+    m.advance(core, config_.dispatchCost, Component::Dequeue);
+    m.notePopped(core, node.ts.priority);
+
+    if (node.execCount > 0) {
+        // Rollback penalty for the prior misspeculation, charged to
+        // compute as the paper does.
+        m.advance(core,
+                  config_.abortBaseCost +
+                      config_.abortPerWrite * node.writes.size(),
+                  Component::Compute);
+    }
+    node.execStart = m.now(core);
+    m.chargeCompute(core, node.task.node, node.edges,
+                    node.writes.data(), node.writes.size());
+    node.execDone = m.now(core);
+    node.state = State::Executed;
+    ++node.execCount;
+    ++liveByNode_[node.task.node];
+
+    // Speculative children dispatch right away.
+    m.advance(core,
+              config_.commitCost +
+                  Cycle(node.children.size()) * m.config().aluOpCost,
+              Component::Enqueue);
+    for (uint32_t childIndex : node.children) {
+        TraceNode &child = trace_[childIndex];
+        if (child.state == State::Waiting) {
+            child.state = State::Available;
+            child.availableAt = node.execDone;
+            available_.insert({child.ts, childIndex});
+        }
+    }
+
+    advanceCommits(m, core);
+    return true;
+}
+
+} // namespace hdcps

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Swarm (Jeffrey et al., MICRO'15) modeled at task granularity.
+ *
+ * Swarm executes tasks speculatively out of order but commits them in
+ * timestamp order, with hardware conflict detection and cascading
+ * aborts. We model it by first recording the *ordered* execution trace
+ * (strict priority-order sequential run of the workload — exactly the
+ * work a correct ordered execution performs, which is why Swarm's work
+ * efficiency is the best of all designs), then replaying that trace on
+ * 64 cores:
+ *
+ *  - a task becomes available when its parent first *executes*
+ *    (speculative children, which is where Swarm's deep speculation
+ *    parallelism on high-diameter graphs comes from);
+ *  - cores always grab the lowest-timestamp available task;
+ *  - commits advance in timestamp order; at its commit point a task is
+ *    validated — if a lower-timestamp task committed a write into its
+ *    read set after it started executing, it aborts, pays the rollback
+ *    penalty, and re-executes (cascades are caught by the same
+ *    validation when descendants reach the frontier);
+ *  - child timestamps are clamped to be >= the parent's, matching
+ *    Swarm's program-order timestamp rule.
+ *
+ * Rollback cycles are charged to the compute component, as in the
+ * paper's breakdown (Section IV-C).
+ */
+
+#ifndef HDCPS_SIMSCHED_SIM_SWARM_H_
+#define HDCPS_SIMSCHED_SIM_SWARM_H_
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/machine.h"
+#include "simsched/common.h"
+
+namespace hdcps {
+
+/** Swarm speculative ordered execution. */
+class SimSwarm : public SimDesign
+{
+  public:
+    struct Config
+    {
+        Cycle dispatchCost = 5;   ///< hardware task-unit dequeue
+        Cycle commitCost = 5;     ///< per-child enqueue at commit
+        Cycle abortBaseCost = 30; ///< rollback fixed penalty
+        Cycle abortPerWrite = 10; ///< per rolled-back memory write
+        /** How far past the global-min timestamp a core may dispatch.
+         *  Small windows keep speculation near the commit frontier
+         *  (fewer aborts); large ones expose more parallelism. */
+        unsigned dispatchWindow = 8;
+    };
+
+    SimSwarm() : SimSwarm(Config{}) {}
+    explicit SimSwarm(const Config &config) : config_(config) {}
+
+    const char *name() const override { return "swarm"; }
+    void boot(SimMachine &m, const std::vector<Task> &initial) override;
+    bool step(SimMachine &m, unsigned core) override;
+
+    uint64_t totalAborts() const { return aborts_; }
+    size_t traceSize() const { return trace_.size(); }
+
+  private:
+    enum class State : uint8_t { Waiting, Available, Executed, Committed };
+
+    /** Timestamp: priority order, creation order as tie-break. */
+    struct Ts
+    {
+        Priority priority;
+        uint32_t index;
+
+        bool
+        operator<(const Ts &o) const
+        {
+            if (priority != o.priority)
+                return priority < o.priority;
+            return index < o.index;
+        }
+    };
+
+    struct TraceNode
+    {
+        Task task;
+        Ts ts;
+        uint32_t edges = 0;
+        std::vector<uint32_t> children;
+        std::vector<NodeId> writes;
+        State state = State::Waiting;
+        Cycle availableAt = 0;
+        Cycle execStart = 0;
+        Cycle execDone = 0;
+        uint32_t execCount = 0;
+    };
+
+    struct LastWrite
+    {
+        Cycle cycle = 0;
+    };
+
+    void buildTrace(SimMachine &m, const std::vector<Task> &initial);
+    void advanceCommits(SimMachine &m, unsigned core);
+    bool validate(const TraceNode &node) const;
+
+    Config config_;
+    const Graph *graph_ = nullptr;
+    std::vector<TraceNode> trace_;
+    std::set<std::pair<Ts, uint32_t>> available_;  ///< ready to execute
+    std::set<std::pair<Ts, uint32_t>> uncommitted_;
+    std::unordered_map<NodeId, LastWrite> lastCommitWrite_;
+    /** Executed-but-uncommitted task count per node; Swarm's spatial
+     *  hints serialize same-node tasks instead of misspeculating. */
+    std::unordered_map<NodeId, uint32_t> liveByNode_;
+    Cycle lastCommitCycle_ = 0;
+    uint64_t aborts_ = 0;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_SIMSCHED_SIM_SWARM_H_

@@ -1,0 +1,37 @@
+#include "stats/breakdown.h"
+
+#include <cstdio>
+
+namespace hdcps {
+
+const char *
+componentName(Component c)
+{
+    switch (c) {
+      case Component::Enqueue:
+        return "enqueue";
+      case Component::Dequeue:
+        return "dequeue";
+      case Component::Compute:
+        return "compute";
+      case Component::Comm:
+        return "comm";
+    }
+    return "?";
+}
+
+std::string
+Breakdown::toString() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "enq=%llu deq=%llu cmp=%llu comm=%llu tasks=%llu",
+                  static_cast<unsigned long long>(time[0]),
+                  static_cast<unsigned long long>(time[1]),
+                  static_cast<unsigned long long>(time[2]),
+                  static_cast<unsigned long long>(time[3]),
+                  static_cast<unsigned long long>(tasksProcessed));
+    return buf;
+}
+
+} // namespace hdcps

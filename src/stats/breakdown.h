@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Completion-time breakdown accounting.
+ *
+ * The paper (Section IV-C) decomposes completion time into four
+ * components: enqueue (inserting tasks/bags, including bag creation),
+ * dequeue (removing tasks/bags, including unpacking), compute (processing
+ * a task's semantic work; Swarm rollback is charged here too), and comm
+ * (transferring tasks plus idle time waiting for work). Both the threaded
+ * runtime (nanoseconds) and the simulator (cycles) accumulate into this
+ * structure; all figure harnesses consume it.
+ */
+
+#ifndef HDCPS_STATS_BREAKDOWN_H_
+#define HDCPS_STATS_BREAKDOWN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace hdcps {
+
+/** The four completion-time components from the paper's methodology. */
+enum class Component : unsigned {
+    Enqueue = 0,
+    Dequeue = 1,
+    Compute = 2,
+    Comm = 3,
+};
+
+constexpr unsigned numComponents = 4;
+
+/** Printable name for a breakdown component. */
+const char *componentName(Component c);
+
+/**
+ * Per-worker accumulator of time (ns or cycles) per component, plus the
+ * task-level counters used to compute work efficiency.
+ */
+struct Breakdown
+{
+    std::array<uint64_t, numComponents> time{};
+
+    /** Tasks whose processing completed (including wasted re-executions). */
+    uint64_t tasksProcessed = 0;
+    /** Tasks pushed to a remote worker. */
+    uint64_t remoteEnqueues = 0;
+    /** Tasks pushed to the local queue. */
+    uint64_t localEnqueues = 0;
+    /** Tasks whose processing found no work to do (empty relaxations). */
+    uint64_t emptyTasks = 0;
+    /** Bags created (Algorithm 1 line 7). */
+    uint64_t bagsCreated = 0;
+    /** Tasks shipped inside bags. */
+    uint64_t tasksInBags = 0;
+    /** Speculative aborts (Swarm only). */
+    uint64_t aborts = 0;
+
+    uint64_t &operator[](Component c) { return time[unsigned(c)]; }
+    uint64_t operator[](Component c) const { return time[unsigned(c)]; }
+
+    /** Sum of all four components. */
+    uint64_t
+    total() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t t : time)
+            sum += t;
+        return sum;
+    }
+
+    /** Element-wise accumulate (merging per-worker breakdowns). */
+    Breakdown &
+    operator+=(const Breakdown &other)
+    {
+        for (unsigned i = 0; i < numComponents; ++i)
+            time[i] += other.time[i];
+        tasksProcessed += other.tasksProcessed;
+        remoteEnqueues += other.remoteEnqueues;
+        localEnqueues += other.localEnqueues;
+        emptyTasks += other.emptyTasks;
+        bagsCreated += other.bagsCreated;
+        tasksInBags += other.tasksInBags;
+        aborts += other.aborts;
+        return *this;
+    }
+
+    /** Fraction of total time spent in a component (0 when total is 0). */
+    double
+    fraction(Component c) const
+    {
+        uint64_t sum = total();
+        return sum == 0 ? 0.0
+                        : static_cast<double>(time[unsigned(c)]) / sum;
+    }
+
+    /** One-line human-readable rendering, e.g. for log output. */
+    std::string toString() const;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_STATS_BREAKDOWN_H_

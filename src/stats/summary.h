@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Small statistical summaries used by the figure harnesses: geometric
+ * mean, arithmetic mean, and a fixed-width histogram for distributions
+ * such as receive-queue occupancy.
+ */
+
+#ifndef HDCPS_STATS_SUMMARY_H_
+#define HDCPS_STATS_SUMMARY_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace hdcps {
+
+/** Geometric mean of strictly positive values. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        hdcps_check(v > 0.0, "geomean requires positive values (got %f)", v);
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+/** Arithmetic mean; 0 for an empty set. */
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+/**
+ * Fixed-bucket histogram of unsigned samples; the last bucket absorbs
+ * overflow. Used for queue-occupancy distributions (Fig. 7 analysis).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(size_t buckets, uint64_t bucketWidth = 1)
+        : counts_(buckets, 0), width_(bucketWidth)
+    {
+        hdcps_check(buckets > 0 && bucketWidth > 0,
+                    "histogram needs buckets > 0 and width > 0");
+    }
+
+    void
+    record(uint64_t sample)
+    {
+        size_t idx = static_cast<size_t>(sample / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        ++counts_[idx];
+        ++total_;
+        sum_ += sample;
+        if (sample > max_)
+            max_ = sample;
+    }
+
+    uint64_t count(size_t bucket) const { return counts_.at(bucket); }
+    uint64_t totalSamples() const { return total_; }
+    uint64_t maxSample() const { return max_; }
+
+    double
+    meanSample() const
+    {
+        return total_ == 0
+                   ? 0.0
+                   : static_cast<double>(sum_) / static_cast<double>(total_);
+    }
+
+    /** Smallest sample value v such that >= frac of samples are <= v. */
+    uint64_t
+    percentile(double frac) const
+    {
+        if (total_ == 0)
+            return 0;
+        uint64_t threshold =
+            static_cast<uint64_t>(std::ceil(frac * double(total_)));
+        uint64_t running = 0;
+        for (size_t i = 0; i < counts_.size(); ++i) {
+            running += counts_[i];
+            if (running >= threshold)
+                return static_cast<uint64_t>(i) * width_;
+        }
+        return static_cast<uint64_t>(counts_.size() - 1) * width_;
+    }
+
+  private:
+    std::vector<uint64_t> counts_;
+    uint64_t width_;
+    uint64_t total_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t max_ = 0;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_STATS_SUMMARY_H_

@@ -1,0 +1,125 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "support/logging.h"
+
+namespace hdcps {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    hdcps_check(!header_.empty(), "table needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(std::string text)
+{
+    hdcps_check(!rows_.empty(), "cell() before row()");
+    hdcps_check(rows_.back().size() < header_.size(),
+                "row has more cells (%zu) than header columns (%zu)",
+                rows_.back().size() + 1, header_.size());
+    rows_.back().push_back(std::move(text));
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return cell(std::string(buf));
+}
+
+Table &
+Table::cell(uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(int64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+const std::string &
+Table::at(size_t row, size_t col) const
+{
+    if (row >= rows_.size() || col >= rows_[row].size())
+        throw std::out_of_range("Table::at");
+    return rows_[row][col];
+}
+
+void
+Table::printText(std::ostream &os, const std::string &title) const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    if (!title.empty())
+        os << "== " << title << " ==\n";
+
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < header_.size(); ++c) {
+            const std::string &text = c < cells.size() ? cells[c] : "";
+            os << text;
+            if (c + 1 < header_.size())
+                os << std::string(widths[c] - text.size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    emitRow(header_);
+    size_t ruleLen = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        ruleLen += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(ruleLen, '-') << "\n";
+    for (const auto &row : rows_)
+        emitRow(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emitCell = [&](const std::string &text) {
+        if (text.find_first_of(",\"\n") == std::string::npos) {
+            os << text;
+            return;
+        }
+        os << '"';
+        for (char ch : text) {
+            if (ch == '"')
+                os << '"';
+            os << ch;
+        }
+        os << '"';
+    };
+    auto emitRow = [&](const std::vector<std::string> &cells, size_t n) {
+        for (size_t c = 0; c < n; ++c) {
+            if (c)
+                os << ',';
+            if (c < cells.size())
+                emitCell(cells[c]);
+        }
+        os << "\n";
+    };
+    emitRow(header_, header_.size());
+    for (const auto &row : rows_)
+        emitRow(row, header_.size());
+}
+
+} // namespace hdcps

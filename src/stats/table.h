@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Aligned text tables and CSV output for the benchmark harnesses.
+ *
+ * Every figure/table reproduction prints a stable, machine-greppable
+ * table: a header row followed by data rows. Cells are strings; numeric
+ * helpers format with fixed precision so diffs between runs are readable.
+ */
+
+#ifndef HDCPS_STATS_TABLE_H_
+#define HDCPS_STATS_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hdcps {
+
+/** A column-aligned table that can render as text or CSV. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Start a new row; subsequent cell() calls append to it. */
+    Table &row();
+
+    /** Append a pre-formatted cell to the current row. */
+    Table &cell(std::string text);
+
+    /** Append a floating-point cell with the given precision. */
+    Table &cell(double value, int precision = 3);
+
+    /** Append an integer cell. */
+    Table &cell(uint64_t value);
+    Table &cell(int64_t value);
+    Table &cell(int value) { return cell(static_cast<int64_t>(value)); }
+    Table &cell(unsigned value) { return cell(static_cast<uint64_t>(value)); }
+
+    size_t numRows() const { return rows_.size(); }
+    size_t numCols() const { return header_.size(); }
+
+    /** Cell accessor (row-major); throws on out-of-range. */
+    const std::string &at(size_t row, size_t col) const;
+
+    /** Render with space-padded, column-aligned formatting. */
+    void printText(std::ostream &os, const std::string &title = "") const;
+
+    /** Render as RFC-4180-ish CSV (cells containing commas get quoted). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_STATS_TABLE_H_

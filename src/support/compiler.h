@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Compiler and hardware-layout helpers shared across modules.
+ */
+
+#ifndef HDCPS_SUPPORT_COMPILER_H_
+#define HDCPS_SUPPORT_COMPILER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hdcps {
+
+/**
+ * Cache line size assumed for padding. std::hardware_destructive_
+ * interference_size is not reliably available across toolchains, so the
+ * ubiquitous 64-byte value is used explicitly.
+ */
+constexpr size_t cacheLineBytes = 64;
+
+/** Round v up to the next multiple of align (align must be a power of 2). */
+constexpr uint64_t
+roundUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** True iff v is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 for power-of-two inputs. */
+constexpr unsigned
+log2Exact(uint64_t v)
+{
+    unsigned r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Integer ceil(log2(v)); log2Ceil(1) == 0. */
+constexpr unsigned
+log2Ceil(uint64_t v)
+{
+    unsigned r = 0;
+    uint64_t p = 1;
+    while (p < v) {
+        p <<= 1;
+        ++r;
+    }
+    return r;
+}
+
+/**
+ * A value padded out to its own cache line, preventing false sharing when
+ * placed in per-thread arrays.
+ */
+template <typename T>
+struct alignas(cacheLineBytes) Padded
+{
+    T value{};
+    char pad[cacheLineBytes > sizeof(T) ? cacheLineBytes - sizeof(T) : 1];
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_SUPPORT_COMPILER_H_

@@ -1,0 +1,89 @@
+#include "support/logging.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hdcps {
+
+namespace {
+
+std::atomic<bool> quietFlag{false};
+
+void
+vreport(const char *tag, const char *file, int line, const char *fmt,
+        va_list ap)
+{
+    std::fflush(stdout);
+    if (file) {
+        std::fprintf(stderr, "%s: %s:%d: ", tag, file, line);
+    } else {
+        std::fprintf(stderr, "%s: ", tag);
+    }
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+logQuiet()
+{
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", file, line, fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", file, line, fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    if (logQuiet())
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", nullptr, 0, fmt, ap);
+    va_end(ap);
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    if (logQuiet())
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("info", nullptr, 0, fmt, ap);
+    va_end(ap);
+}
+
+} // namespace detail
+
+} // namespace hdcps

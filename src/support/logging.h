@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (a bug in this library), fatal() for unrecoverable user errors (bad
+ * configuration, malformed input files), warn()/inform() for status
+ * messages that never stop execution.
+ */
+
+#ifndef HDCPS_SUPPORT_LOGGING_H_
+#define HDCPS_SUPPORT_LOGGING_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hdcps {
+
+/** Severity levels used by the message sink. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Quiet mode suppresses inform()/warn() output (used by tests). */
+void setLogQuiet(bool quiet);
+bool logQuiet();
+
+} // namespace hdcps
+
+/** Abort with a message: an internal invariant was violated (library bug). */
+#define hdcps_panic(...) \
+    ::hdcps::detail::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Exit with a message: the user supplied an unusable config or input. */
+#define hdcps_fatal(...) \
+    ::hdcps::detail::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Non-fatal warning to stderr. */
+#define hdcps_warn(...) ::hdcps::detail::warnImpl(__VA_ARGS__)
+
+/** Informational message to stderr. */
+#define hdcps_inform(...) ::hdcps::detail::informImpl(__VA_ARGS__)
+
+/**
+ * Always-on assertion used for cheap invariants on hot paths is left to
+ * assert(); this macro is for conditions that must hold in release builds.
+ */
+#define hdcps_check(cond, ...)                  \
+    do {                                        \
+        if (__builtin_expect(!(cond), 0)) {     \
+            hdcps_panic(__VA_ARGS__);           \
+        }                                       \
+    } while (0)
+
+#endif // HDCPS_SUPPORT_LOGGING_H_

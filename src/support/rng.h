@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomized components of the library (graph generators, RELD-style
+ * random victim selection, workload shuffling) draw from these generators
+ * so that every experiment is reproducible from a seed. The generator is
+ * xoshiro256**, seeded through SplitMix64, which is both fast and has
+ * far better statistical quality than std::minstd_rand while avoiding the
+ * large state of std::mt19937_64.
+ */
+
+#ifndef HDCPS_SUPPORT_RNG_H_
+#define HDCPS_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace hdcps {
+
+/** SplitMix64 step; used for seeding and cheap hash mixing. */
+inline uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless mix of a 64-bit value; useful for hashing ids. */
+inline uint64_t
+mix64(uint64_t x)
+{
+    uint64_t s = x;
+    return splitMix64(s);
+}
+
+/**
+ * xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can
+ * be used with <random> distributions when needed.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    explicit Rng(uint64_t seed = 0x8d7c3a2b1f0e5d4cULL) { reseed(seed); }
+
+    /** Re-initialize the full state from a single 64-bit seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    /** Next raw 64-bit output. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    uint64_t operator()() { return next(); }
+
+    static constexpr uint64_t min() { return 0; }
+    static constexpr uint64_t max() { return ~0ULL; }
+
+    /** Uniform integer in [0, bound) without modulo bias (Lemire). */
+    uint64_t
+    below(uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_SUPPORT_RNG_H_

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bounded single-producer/single-consumer ring buffer.
+ *
+ * Used for the Software-Minnow prefetch buffers: one minnow helper
+ * thread produces chunks of tasks into each worker's ring, the worker
+ * alone consumes them. Lock-free with acquire/release on the two
+ * cursors only.
+ */
+
+#ifndef HDCPS_SUPPORT_SPSC_RING_H_
+#define HDCPS_SUPPORT_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "support/compiler.h"
+#include "support/logging.h"
+
+namespace hdcps {
+
+/** Bounded SPSC queue; capacity must be a power of two. */
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(size_t capacity) : buffer_(capacity), mask_(capacity - 1)
+    {
+        hdcps_check(isPowerOf2(capacity),
+                    "SPSC ring capacity must be a power of two");
+    }
+
+    /** Producer side; false when full. */
+    bool
+    tryPush(const T &value)
+    {
+        size_t head = head_.load(std::memory_order_relaxed);
+        size_t tail = tail_.load(std::memory_order_acquire);
+        if (head - tail >= buffer_.size())
+            return false;
+        buffer_[head & mask_] = value;
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side; false when empty. */
+    bool
+    tryPop(T &out)
+    {
+        size_t tail = tail_.load(std::memory_order_relaxed);
+        size_t head = head_.load(std::memory_order_acquire);
+        if (tail == head)
+            return false;
+        out = buffer_[tail & mask_];
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Approximate occupancy (exact from either endpoint's own side). */
+    size_t
+    sizeApprox() const
+    {
+        return head_.load(std::memory_order_acquire) -
+               tail_.load(std::memory_order_acquire);
+    }
+
+    size_t capacity() const { return buffer_.size(); }
+
+  private:
+    std::vector<T> buffer_;
+    size_t mask_;
+    alignas(cacheLineBytes) std::atomic<size_t> head_{0};
+    alignas(cacheLineBytes) std::atomic<size_t> tail_{0};
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_SUPPORT_SPSC_RING_H_

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Wall-clock timing helpers for the threaded runtime.
+ *
+ * The simulator keeps its own cycle clock; these timers only serve the
+ * host-machine (threaded) execution paths and the breakdown accounting.
+ */
+
+#ifndef HDCPS_SUPPORT_TIMER_H_
+#define HDCPS_SUPPORT_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hdcps {
+
+/** Monotonic nanosecond timestamp. */
+inline uint64_t
+nowNs()
+{
+    using namespace std::chrono;
+    return static_cast<uint64_t>(
+        duration_cast<nanoseconds>(
+            steady_clock::now().time_since_epoch()).count());
+}
+
+/** Simple start/stop stopwatch accumulating nanoseconds. */
+class Stopwatch
+{
+  public:
+    void start() { startNs_ = nowNs(); }
+
+    /** Stop and add the elapsed interval to the running total. */
+    void
+    stop()
+    {
+        totalNs_ += nowNs() - startNs_;
+    }
+
+    /** Accumulated time in nanoseconds across all start/stop pairs. */
+    uint64_t elapsedNs() const { return totalNs_; }
+
+    double elapsedSec() const { return static_cast<double>(totalNs_) * 1e-9; }
+
+    void reset() { totalNs_ = 0; }
+
+  private:
+    uint64_t startNs_ = 0;
+    uint64_t totalNs_ = 0;
+};
+
+/** RAII guard accumulating the guarded scope's duration into a counter. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(uint64_t &sink) : sink_(sink), start_(nowNs()) {}
+
+    ~ScopedTimer() { sink_ += nowNs() - start_; }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    uint64_t &sink_;
+    uint64_t start_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_SUPPORT_TIMER_H_

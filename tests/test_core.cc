@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Unit tests for the paper's core mechanisms: the TDF controller
+ * (Algorithm 2), the drift tracker (Equation 1 / Algorithm 3), the
+ * selective bagging policy (Algorithm 1), and the HD-CPS:SW scheduler's
+ * own invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/bag_policy.h"
+#include "core/drift.h"
+#include "core/hdcps.h"
+#include "core/tdf.h"
+#include "support/rng.h"
+
+namespace hdcps {
+namespace {
+
+// ----------------------------------------------------------------- TDF
+
+TdfController::Config
+tdfConfig(unsigned initial = 50, unsigned step = 10)
+{
+    TdfController::Config config;
+    config.initial = initial;
+    config.step = step;
+    return config;
+}
+
+TEST(Tdf, StartsAtInitial)
+{
+    TdfController tdf(tdfConfig(70));
+    EXPECT_EQ(tdf.current(), 70u);
+}
+
+TEST(Tdf, FirstIntervalMakesNoChange)
+{
+    TdfController tdf(tdfConfig());
+    EXPECT_EQ(tdf.update(5.0), 50u); // records baseline only
+}
+
+TEST(Tdf, ImprovementContinuesLastDirection)
+{
+    // Drift improving: keep moving the same way (the controller
+    // starts with "increase" as its notional last move).
+    TdfController tdf(tdfConfig());
+    tdf.update(10.0);
+    EXPECT_EQ(tdf.update(5.0), 60u);
+    EXPECT_TRUE(tdf.lastWasIncrease());
+    EXPECT_EQ(tdf.update(3.0), 70u); // still improving: keep going up
+}
+
+TEST(Tdf, WorseAfterIncreaseDecreases)
+{
+    // Algorithm 2 line 5-7: communication increase didn't help.
+    TdfController tdf(tdfConfig());
+    tdf.update(10.0);
+    tdf.update(5.0);                  // improved -> increase (60)
+    EXPECT_EQ(tdf.update(12.0), 50u); // worsened after increase -> down
+    EXPECT_FALSE(tdf.lastWasIncrease());
+}
+
+TEST(Tdf, WorseAfterDecreaseIncreases)
+{
+    // Algorithm 2 line 8-10: backing off starved the task flow.
+    TdfController tdf(tdfConfig());
+    tdf.update(10.0);
+    tdf.update(5.0);  // improved -> increase (60)
+    tdf.update(12.0); // worse -> decrease (50)
+    EXPECT_EQ(tdf.update(14.0), 60u); // worse after decrease -> up
+    EXPECT_TRUE(tdf.lastWasIncrease());
+}
+
+TEST(Tdf, ClampsAtBounds)
+{
+    TdfController::Config config = tdfConfig(80, 10);
+    config.minTdf = 10;
+    config.maxTdf = 100;
+    TdfController tdf(config);
+    tdf.update(10.0);
+    // Repeated improvement walks up to the ceiling and stays there.
+    for (double d = 9.0; d > 0.5; d -= 1.0)
+        tdf.update(d);
+    EXPECT_EQ(tdf.current(), 100u);
+}
+
+TEST(Tdf, StepSizeRespected)
+{
+    TdfController tdf(tdfConfig(50, 30));
+    tdf.update(10.0);
+    EXPECT_EQ(tdf.update(5.0), 80u);
+}
+
+TEST(Tdf, DecisionsCounted)
+{
+    TdfController tdf(tdfConfig());
+    tdf.update(1.0);
+    tdf.update(2.0);
+    tdf.update(3.0);
+    EXPECT_EQ(tdf.decisions(), 2u); // first interval is baseline-only
+}
+
+TEST(Tdf, ResetRestoresState)
+{
+    TdfController tdf(tdfConfig());
+    tdf.update(1.0);
+    tdf.update(0.5);
+    tdf.reset(tdfConfig(80));
+    EXPECT_EQ(tdf.current(), 80u);
+    EXPECT_EQ(tdf.decisions(), 0u);
+}
+
+// --------------------------------------------------------------- drift
+
+TEST(Drift, Equation1AgainstHandComputation)
+{
+    DriftTracker drift(4);
+    drift.publish(0, 10);
+    drift.publish(1, 14);
+    drift.publish(2, 22);
+    drift.publish(3, 10);
+    // P0 = 10; |10-10| + |14-10| + |22-10| + |10-10| = 16; / 4 = 4.
+    EXPECT_DOUBLE_EQ(drift.computeDrift(), 4.0);
+}
+
+TEST(Drift, IgnoresUnpublishedCores)
+{
+    DriftTracker drift(4);
+    drift.publish(0, 100);
+    EXPECT_DOUBLE_EQ(drift.computeDrift(), 0.0); // < 2 cores published
+    drift.publish(2, 110);
+    EXPECT_DOUBLE_EQ(drift.computeDrift(), 5.0); // (0 + 10) / 2
+}
+
+TEST(Drift, ZeroWhenAllEqual)
+{
+    DriftTracker drift(3);
+    for (unsigned c = 0; c < 3; ++c)
+        drift.publish(c, 42);
+    EXPECT_DOUBLE_EQ(drift.computeDrift(), 0.0);
+}
+
+TEST(Drift, LatestPublishWins)
+{
+    DriftTracker drift(2);
+    drift.publish(0, 10);
+    drift.publish(1, 10);
+    drift.publish(1, 30);
+    EXPECT_DOUBLE_EQ(drift.computeDrift(), 10.0);
+    EXPECT_EQ(drift.published(1), 30u);
+}
+
+TEST(Drift, SeriesAveragesAndMax)
+{
+    DriftSeries series;
+    series.record(2.0);
+    series.record(4.0);
+    series.record(6.0);
+    EXPECT_DOUBLE_EQ(series.average(), 4.0);
+    EXPECT_DOUBLE_EQ(series.maxSample(), 6.0);
+    EXPECT_EQ(series.samples(), 3u);
+}
+
+TEST(Drift, ResetClearsMailboxes)
+{
+    DriftTracker drift(2);
+    drift.publish(0, 5);
+    drift.reset(3);
+    EXPECT_EQ(drift.numCores(), 3u);
+    EXPECT_EQ(drift.published(0), DriftTracker::unpublished);
+}
+
+// ----------------------------------------------------------------- bags
+
+std::vector<Task>
+tasksWithPriorities(const std::vector<Priority> &priorities)
+{
+    std::vector<Task> tasks;
+    for (size_t i = 0; i < priorities.size(); ++i)
+        tasks.push_back(Task{priorities[i], uint32_t(i), 0});
+    return tasks;
+}
+
+TEST(BagPolicy, NoneModePassesThrough)
+{
+    BagPolicy policy;
+    policy.mode = BagMode::None;
+    BagPlan plan = policy.plan(tasksWithPriorities({1, 1, 1, 1, 1}));
+    EXPECT_TRUE(plan.bags.empty());
+    EXPECT_EQ(plan.singles.size(), 5u);
+}
+
+TEST(BagPolicy, SelectiveBagsInsideWindow)
+{
+    BagPolicy policy; // min 3, max 10
+    BagPlan plan = policy.plan(tasksWithPriorities({7, 7, 7, 9}));
+    ASSERT_EQ(plan.bags.size(), 1u);
+    EXPECT_EQ(plan.bags[0].priority, 7u);
+    EXPECT_EQ(plan.bags[0].tasks.size(), 3u);
+    EXPECT_EQ(plan.singles.size(), 1u); // the lone 9
+}
+
+TEST(BagPolicy, SelectiveRejectsBelowMin)
+{
+    BagPolicy policy;
+    BagPlan plan = policy.plan(tasksWithPriorities({5, 5}));
+    EXPECT_TRUE(plan.bags.empty());
+    EXPECT_EQ(plan.singles.size(), 2u);
+}
+
+TEST(BagPolicy, SelectiveRejectsAtOrAboveMax)
+{
+    BagPolicy policy; // window [3, 10)
+    std::vector<Priority> priorities(10, 4);
+    BagPlan plan = policy.plan(tasksWithPriorities(priorities));
+    EXPECT_TRUE(plan.bags.empty());
+    EXPECT_EQ(plan.singles.size(), 10u);
+}
+
+TEST(BagPolicy, AlwaysModeBagsPairs)
+{
+    BagPolicy policy;
+    policy.mode = BagMode::Always;
+    BagPlan plan = policy.plan(tasksWithPriorities({3, 3}));
+    ASSERT_EQ(plan.bags.size(), 1u);
+    EXPECT_EQ(plan.bags[0].tasks.size(), 2u);
+}
+
+TEST(BagPolicy, AlwaysModeSplitsOversizedGroups)
+{
+    BagPolicy policy;
+    policy.mode = BagMode::Always;
+    std::vector<Priority> priorities(25, 6);
+    BagPlan plan = policy.plan(tasksWithPriorities(priorities));
+    size_t inBags = 0;
+    for (const Bag &bag : plan.bags) {
+        EXPECT_LT(bag.tasks.size(), policy.maxBagSize);
+        EXPECT_GE(bag.tasks.size(), 2u);
+        inBags += bag.tasks.size();
+    }
+    EXPECT_EQ(inBags + plan.singles.size(), 25u);
+}
+
+TEST(BagPolicy, MixedPrioritiesGroupedExactly)
+{
+    BagPolicy policy;
+    BagPlan plan =
+        policy.plan(tasksWithPriorities({1, 2, 2, 2, 3, 3, 4, 4, 4, 4}));
+    // Group sizes: 1 (single), 3 (bag), 2 (singles), 4 (bag).
+    ASSERT_EQ(plan.bags.size(), 2u);
+    EXPECT_EQ(plan.singles.size(), 3u);
+}
+
+class BagConservation : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BagConservation, EveryChildEndsUpSomewhere)
+{
+    BagPolicy policy;
+    policy.mode = GetParam() == 0 ? BagMode::Selective : BagMode::Always;
+    Rng rng(GetParam() + 99);
+    for (int round = 0; round < 200; ++round) {
+        size_t n = 1 + rng.below(40);
+        std::multiset<Priority> input;
+        std::vector<Task> tasks;
+        for (size_t i = 0; i < n; ++i) {
+            Priority p = rng.below(8);
+            input.insert(p);
+            tasks.push_back(Task{p, uint32_t(i), 0});
+        }
+        BagPlan plan = policy.plan(std::move(tasks));
+        std::multiset<Priority> output;
+        for (const Task &t : plan.singles)
+            output.insert(t.priority);
+        for (const Bag &bag : plan.bags) {
+            EXPECT_GE(bag.tasks.size(), 2u);
+            EXPECT_LT(bag.tasks.size(), policy.maxBagSize);
+            for (const Task &t : bag.tasks) {
+                EXPECT_EQ(t.priority, bag.priority);
+                output.insert(t.priority);
+            }
+        }
+        ASSERT_EQ(input, output);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BagConservation, testing::Values(0, 1));
+
+// -------------------------------------------------- HD-CPS:SW scheduler
+
+TEST(HdCpsScheduler, NamesFollowConfiguration)
+{
+    EXPECT_STREQ(HdCpsScheduler(2, HdCpsScheduler::configSrq()).name(),
+                 "hdcps-srq");
+    EXPECT_STREQ(HdCpsScheduler(2, HdCpsScheduler::configSrqTdf()).name(),
+                 "hdcps-srq-tdf");
+    EXPECT_STREQ(
+        HdCpsScheduler(2, HdCpsScheduler::configSrqTdfAc()).name(),
+        "hdcps-srq-tdf-ac");
+    EXPECT_STREQ(HdCpsScheduler(2, HdCpsScheduler::configSw()).name(),
+                 "hdcps-srq-tdf-sc");
+}
+
+TEST(HdCpsScheduler, SingleThreadPushPop)
+{
+    HdCpsScheduler sched(1, HdCpsScheduler::configSrq());
+    sched.push(0, Task{30, 3, 0});
+    sched.push(0, Task{10, 1, 0});
+    sched.push(0, Task{20, 2, 0});
+    Task t;
+    ASSERT_TRUE(sched.tryPop(0, t));
+    EXPECT_EQ(t.priority, 10u);
+    ASSERT_TRUE(sched.tryPop(0, t));
+    EXPECT_EQ(t.priority, 20u);
+    ASSERT_TRUE(sched.tryPop(0, t));
+    EXPECT_FALSE(sched.tryPop(0, t));
+}
+
+TEST(HdCpsScheduler, BatchWithBagsConservesTasks)
+{
+    HdCpsConfig config = HdCpsScheduler::configSw();
+    config.seed = 5;
+    HdCpsScheduler sched(1, config);
+    std::vector<Task> children;
+    for (int i = 0; i < 5; ++i)
+        children.push_back(Task{7, uint32_t(i), 0}); // bagged (5 in [3,10))
+    children.push_back(Task{9, 99, 0});
+    sched.pushBatch(0, children.data(), children.size());
+    EXPECT_EQ(sched.bagsCreated(), 1u);
+    EXPECT_EQ(sched.tasksInBags(), 5u);
+    int popped = 0;
+    Task t;
+    while (sched.tryPop(0, t))
+        ++popped;
+    EXPECT_EQ(popped, 6);
+}
+
+TEST(HdCpsScheduler, OverflowPathStillDelivers)
+{
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.rqCapacity = 2; // force overflow quickly
+    config.fixedTdf = 100; // all remote
+    config.seed = 11;
+    HdCpsScheduler sched(2, config);
+    for (int i = 0; i < 100; ++i)
+        sched.push(0, Task{uint64_t(i), uint32_t(i), 0});
+    EXPECT_GT(sched.overflowPushes(), 0u);
+    int total = 0;
+    Task t;
+    while (sched.tryPop(1, t))
+        ++total;
+    while (sched.tryPop(0, t))
+        ++total;
+    EXPECT_EQ(total, 100);
+}
+
+TEST(HdCpsScheduler, FixedTdfControlsDistribution)
+{
+    HdCpsConfig local = HdCpsScheduler::configSrq();
+    local.fixedTdf = 0; // keep everything local
+    HdCpsScheduler sched(4, local);
+    for (int i = 0; i < 50; ++i)
+        sched.push(2, Task{uint64_t(i), 0, 0});
+    EXPECT_EQ(sched.remoteEnqueues(), 0u);
+    EXPECT_EQ(sched.localEnqueues(), 50u);
+    Task t;
+    int popped = 0;
+    while (sched.tryPop(2, t))
+        ++popped;
+    EXPECT_EQ(popped, 50);
+}
+
+TEST(HdCpsScheduler, CurrentTdfWithinBounds)
+{
+    HdCpsConfig config = HdCpsScheduler::configSw();
+    HdCpsScheduler sched(2, config);
+    unsigned tdf = sched.currentTdf();
+    EXPECT_GE(tdf, config.tdf.minTdf);
+    EXPECT_LE(tdf, config.tdf.maxTdf);
+}
+
+} // namespace
+} // namespace hdcps

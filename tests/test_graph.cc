@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Unit tests for the graph substrate: CSR representation, builder,
+ * generators (including the Table II shape properties of the paper
+ * inputs), and the file loaders/writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+
+namespace hdcps {
+namespace {
+
+Graph
+triangle()
+{
+    GraphBuilder b(3);
+    b.addEdge(0, 1, 5);
+    b.addEdge(1, 2, 7);
+    b.addEdge(2, 0, 9);
+    return b.build();
+}
+
+TEST(GraphBuilder, BasicCsrLayout)
+{
+    Graph g = triangle();
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.degree(0), 1u);
+    EXPECT_EQ(g.edgeDest(g.edgeBegin(0)), 1u);
+    EXPECT_EQ(g.edgeWeight(g.edgeBegin(0)), 5u);
+}
+
+TEST(GraphBuilder, DropsSelfLoops)
+{
+    GraphBuilder b(2);
+    b.addEdge(0, 0, 1);
+    b.addEdge(0, 1, 2);
+    Graph g = b.build();
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(GraphBuilder, DedupKeepsMinimumWeight)
+{
+    GraphBuilder b(2);
+    b.addEdge(0, 1, 9);
+    b.addEdge(0, 1, 3);
+    b.addEdge(0, 1, 6);
+    Graph g = b.build(true);
+    EXPECT_EQ(g.numEdges(), 1u);
+    EXPECT_EQ(g.edgeWeight(0), 3u);
+}
+
+TEST(GraphBuilder, NoDedupKeepsParallelEdges)
+{
+    GraphBuilder b(2);
+    b.addEdge(0, 1, 9);
+    b.addEdge(0, 1, 3);
+    Graph g = b.build(false);
+    EXPECT_EQ(g.numEdges(), 2u);
+}
+
+TEST(GraphBuilder, UndirectedAddsBoth)
+{
+    GraphBuilder b(2);
+    b.addUndirectedEdge(0, 1, 4);
+    Graph g = b.build();
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.edgeWeight(g.edgeBegin(1)), 4u);
+}
+
+TEST(Graph, EdgeRangeIteration)
+{
+    GraphBuilder b(3);
+    b.addEdge(0, 1, 1);
+    b.addEdge(0, 2, 2);
+    Graph g = b.build();
+    uint32_t count = 0;
+    Weight total = 0;
+    for (Edge e : g.outEdges(0)) {
+        ++count;
+        total += e.weight;
+    }
+    EXPECT_EQ(count, 2u);
+    EXPECT_EQ(total, 3u);
+    EXPECT_EQ(g.outEdges(0).size(), 2u);
+    EXPECT_EQ(g.outEdges(1).size(), 0u);
+}
+
+TEST(Graph, TransposeReversesEdges)
+{
+    Graph g = triangle();
+    Graph t = g.transpose();
+    EXPECT_EQ(t.numEdges(), 3u);
+    EXPECT_EQ(t.edgeDest(t.edgeBegin(1)), 0u);
+    EXPECT_EQ(t.edgeWeight(t.edgeBegin(1)), 5u);
+}
+
+TEST(Graph, TransposeTwiceIsIdentity)
+{
+    Graph g = makeUniformRandom(50, 300, {.seed = 3});
+    Graph tt = g.transpose().transpose();
+    EXPECT_EQ(tt.rawOffsets(), g.rawOffsets());
+    EXPECT_EQ(tt.rawDests(), g.rawDests());
+    EXPECT_EQ(tt.rawWeights(), g.rawWeights());
+}
+
+TEST(Graph, ReachableFromCountsComponent)
+{
+    GraphBuilder b(4);
+    b.addEdge(0, 1);
+    b.addEdge(1, 2);
+    // node 3 disconnected
+    Graph g = b.build();
+    EXPECT_EQ(g.reachableFrom(0), 3u);
+    EXPECT_EQ(g.reachableFrom(3), 1u);
+}
+
+TEST(Graph, MaxWeight)
+{
+    Graph g = triangle();
+    EXPECT_EQ(g.maxWeight(), 9u);
+}
+
+TEST(Graph, StatsMatchStructure)
+{
+    Graph g = triangle();
+    GraphStats s = computeStats(g);
+    EXPECT_EQ(s.nodes, 3u);
+    EXPECT_EQ(s.edges, 3u);
+    EXPECT_DOUBLE_EQ(s.avgDegree, 1.0);
+    EXPECT_EQ(s.maxDegree, 1u);
+}
+
+TEST(Graph, CoordinatesRoundTrip)
+{
+    Graph g = triangle();
+    g.setCoordinates({{0, 0}, {3, 4}, {-1, 2}});
+    ASSERT_TRUE(g.hasCoordinates());
+    EXPECT_EQ(g.coordX(1), 3);
+    EXPECT_EQ(g.coordY(2), 2);
+}
+
+// ------------------------------------------------------------ generators
+
+TEST(Generators, RoadGridIsDeterministic)
+{
+    Graph a = makeRoadGrid(16, 16, {.seed = 5});
+    Graph b = makeRoadGrid(16, 16, {.seed = 5});
+    EXPECT_EQ(a.rawDests(), b.rawDests());
+    EXPECT_EQ(a.rawWeights(), b.rawWeights());
+}
+
+TEST(Generators, RoadGridHasCoordinates)
+{
+    Graph g = makeRoadGrid(8, 8, {.seed = 1});
+    ASSERT_TRUE(g.hasCoordinates());
+    EXPECT_EQ(g.numNodes(), 64u);
+    EXPECT_EQ(g.coordX(9), 1);
+    EXPECT_EQ(g.coordY(9), 1);
+}
+
+TEST(Generators, RoadGridIsSparse)
+{
+    Graph g = makeRoadGrid(32, 32, {.seed = 2});
+    GraphStats s = computeStats(g);
+    EXPECT_LT(s.avgDegree, 5.0); // road networks are sparse
+    EXPECT_GT(s.avgDegree, 1.0);
+}
+
+TEST(Generators, BandedHasBoundedMaxDegreeShape)
+{
+    Graph g = makeBanded(2000, 17, 40, {.seed = 3});
+    GraphStats s = computeStats(g);
+    EXPECT_GT(s.avgDegree, 8.0);  // quasi-regular, dense-ish
+    EXPECT_LT(s.maxDegree, 60u);  // bounded by the band
+}
+
+TEST(Generators, RmatIsSkewed)
+{
+    Graph g = makeRmat(12, 6u << 12, 0.57, 0.19, 0.19, {.seed = 4});
+    GraphStats s = computeStats(g);
+    // Power-law: max degree far above average (Web-Google shape).
+    EXPECT_GT(double(s.maxDegree), 10.0 * s.avgDegree);
+}
+
+TEST(Generators, UniformRandomEdgeCount)
+{
+    Graph g = makeUniformRandom(100, 500, {.seed = 6});
+    // Some edges dedup/self-loop away, the chain adds n-1.
+    EXPECT_GT(g.numEdges(), 400u);
+    EXPECT_LT(g.numEdges(), 650u);
+}
+
+TEST(Generators, WeightsRespectMaxWeight)
+{
+    GenParams params;
+    params.seed = 8;
+    params.maxWeight = 10;
+    Graph g = makeBanded(500, 5, 20, params);
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        EXPECT_GE(g.edgeWeight(e), 1u);
+        EXPECT_LE(g.edgeWeight(e), 10u);
+    }
+}
+
+TEST(Generators, PaperInputNamesEnumerate)
+{
+    size_t count = 0;
+    const char *const *names = paperInputNames(count);
+    EXPECT_EQ(count, 4u);
+    for (size_t i = 0; i < count; ++i) {
+        Graph g = makePaperInput(names[i], 1, 3);
+        EXPECT_GT(g.numNodes(), 100u) << names[i];
+        EXPECT_GT(g.numEdges(), 100u) << names[i];
+    }
+}
+
+TEST(Generators, PaperInputShapesMatchTable2)
+{
+    GraphStats usa = computeStats(makePaperInput("usa", 1, 1));
+    GraphStats cage = computeStats(makePaperInput("cage", 1, 1));
+    GraphStats wg = computeStats(makePaperInput("wg", 1, 1));
+    GraphStats lj = computeStats(makePaperInput("lj", 1, 1));
+    // Relative density ordering from Table II: usa sparse, cage/lj
+    // dense, wg skewed.
+    EXPECT_LT(usa.avgDegree, 5.0);
+    EXPECT_GT(cage.avgDegree, 10.0);
+    EXPECT_GT(double(wg.maxDegree), 8.0 * wg.avgDegree);
+    EXPECT_GT(lj.avgDegree, wg.avgDegree * 0.9);
+}
+
+TEST(Generators, RoadGridMostlyConnected)
+{
+    Graph g = makeRoadGrid(24, 24, {.seed = 9});
+    // Random 12% edge removal can isolate a few pockets, but the bulk
+    // of the grid must stay mutually reachable.
+    EXPECT_GT(g.reachableFrom(0), g.numNodes() * 8 / 10);
+}
+
+// --------------------------------------------------------------- loaders
+
+TEST(GraphIo, DimacsParsesHeaderAndArcs)
+{
+    std::istringstream in(
+        "c comment line\n"
+        "p sp 3 2\n"
+        "a 1 2 10\n"
+        "a 2 3 20\n");
+    Graph g = loadDimacs(in, "test.gr");
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.edgeDest(g.edgeBegin(0)), 1u);
+    EXPECT_EQ(g.edgeWeight(g.edgeBegin(1)), 20u);
+}
+
+TEST(GraphIo, DimacsRejectsGarbage)
+{
+    std::istringstream in("p sp 2 1\nz 1 2 3\n");
+    EXPECT_EXIT(loadDimacs(in, "bad.gr"), testing::ExitedWithCode(1),
+                "unknown record");
+}
+
+TEST(GraphIo, DimacsRejectsMissingHeader)
+{
+    std::istringstream in("a 1 2 3\n");
+    EXPECT_EXIT(loadDimacs(in, "bad.gr"), testing::ExitedWithCode(1),
+                "arc before");
+}
+
+TEST(GraphIo, DimacsRejectsOutOfRangeArc)
+{
+    std::istringstream in("p sp 2 1\na 1 5 3\n");
+    EXPECT_EXIT(loadDimacs(in, "bad.gr"), testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(GraphIo, MatrixMarketGeneralReal)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "3 3 2\n"
+        "1 2 0.5\n"
+        "3 1 1.0\n");
+    Graph g = loadMatrixMarket(in, "test.mtx");
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.edgeWeight(g.edgeBegin(0)), 50u); // 0.5 * 100
+}
+
+TEST(GraphIo, MatrixMarketSymmetricPattern)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        "3 3 2\n"
+        "2 1\n"
+        "3 2\n");
+    Graph g = loadMatrixMarket(in, "test.mtx");
+    EXPECT_EQ(g.numEdges(), 4u); // each entry mirrored
+}
+
+TEST(GraphIo, MatrixMarketSkipsDiagonal)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 1\n"
+        "1 2\n");
+    Graph g = loadMatrixMarket(in, "test.mtx");
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(GraphIo, MatrixMarketRejectsBadBanner)
+{
+    std::istringstream in("%%NotMatrixMarket nope\n");
+    EXPECT_EXIT(loadMatrixMarket(in, "bad.mtx"),
+                testing::ExitedWithCode(1), "banner");
+}
+
+TEST(GraphIo, EdgeListWithCommentsAndWeights)
+{
+    std::istringstream in(
+        "# SNAP-ish comment\n"
+        "0 1 7\n"
+        "1 2\n");
+    Graph g = loadEdgeList(in, "test.el");
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.edgeWeight(g.edgeBegin(0)), 7u);
+    EXPECT_EQ(g.edgeWeight(g.edgeBegin(1)), 1u); // default weight
+}
+
+TEST(GraphIo, EdgeListRejectsEmpty)
+{
+    std::istringstream in("# nothing\n");
+    EXPECT_EXIT(loadEdgeList(in, "bad.el"), testing::ExitedWithCode(1),
+                "no edges");
+}
+
+TEST(GraphIo, BinaryRoundTripPreservesEverything)
+{
+    Graph g = makeRoadGrid(8, 8, {.seed = 17});
+    std::stringstream buffer;
+    saveBinary(g, buffer);
+    Graph back = loadBinary(buffer, "mem.bin");
+    EXPECT_EQ(back.rawOffsets(), g.rawOffsets());
+    EXPECT_EQ(back.rawDests(), g.rawDests());
+    EXPECT_EQ(back.rawWeights(), g.rawWeights());
+    ASSERT_TRUE(back.hasCoordinates());
+    EXPECT_EQ(back.coordX(9), g.coordX(9));
+}
+
+TEST(GraphIo, BinaryRejectsBadMagic)
+{
+    std::stringstream buffer;
+    buffer << "this is not a graph file at all, sorry";
+    EXPECT_EXIT(loadBinary(buffer, "bad.bin"),
+                testing::ExitedWithCode(1), "not an HD-CPS");
+}
+
+TEST(GraphIo, DimacsWriteReadRoundTrip)
+{
+    Graph g = makeBanded(80, 5, 12, {.seed = 33});
+    std::stringstream buffer;
+    saveDimacs(g, buffer);
+    Graph back = loadDimacs(buffer, "mem.gr");
+    EXPECT_EQ(back.rawOffsets(), g.rawOffsets());
+    EXPECT_EQ(back.rawDests(), g.rawDests());
+    EXPECT_EQ(back.rawWeights(), g.rawWeights());
+}
+
+TEST(GraphIo, EdgeListWriteReadRoundTrip)
+{
+    Graph g = makeUniformRandom(60, 240, {.seed = 35});
+    std::stringstream buffer;
+    saveEdgeList(g, buffer);
+    Graph back = loadEdgeList(buffer, "mem.el");
+    EXPECT_EQ(back.rawOffsets(), g.rawOffsets());
+    EXPECT_EQ(back.rawDests(), g.rawDests());
+    EXPECT_EQ(back.rawWeights(), g.rawWeights());
+}
+
+TEST(GraphIo, DimacsFileWriter)
+{
+    Graph g = makeBanded(40, 3, 8, {.seed = 37});
+    std::string path = testing::TempDir() + "/hdcps_io_test.gr";
+    saveDimacsFile(g, path);
+    Graph back = loadAnyFile(path); // dispatches on .gr
+    EXPECT_EQ(back.numEdges(), g.numEdges());
+    std::remove(path.c_str());
+}
+
+TEST(GraphIo, BinaryFileRoundTrip)
+{
+    Graph g = makeBanded(100, 4, 10, {.seed = 21});
+    std::string path = testing::TempDir() + "/hdcps_io_test.bin";
+    saveBinaryFile(g, path);
+    Graph back = loadAnyFile(path);
+    EXPECT_EQ(back.numNodes(), g.numNodes());
+    EXPECT_EQ(back.numEdges(), g.numEdges());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace hdcps

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Unit and property tests for the queue substrate: d-ary heap, bucket
+ * queue, locked PQ, the HD-CPS software receive queue, and the
+ * simulated hardware queues.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/recv_queue.h"
+#include "cps/task.h"
+#include "pq/bucket_queue.h"
+#include "pq/dary_heap.h"
+#include "pq/locked_pq.h"
+#include "sim/hwqueue.h"
+#include "support/rng.h"
+
+namespace hdcps {
+namespace {
+
+TEST(DAryHeap, PopsInSortedOrder)
+{
+    DAryHeap<int> heap;
+    Rng rng(1);
+    std::vector<int> values;
+    for (int i = 0; i < 500; ++i) {
+        int v = static_cast<int>(rng.below(1000));
+        values.push_back(v);
+        heap.push(v);
+        ASSERT_TRUE(heap.isValidHeap());
+    }
+    std::sort(values.begin(), values.end());
+    for (int expected : values) {
+        ASSERT_FALSE(heap.empty());
+        EXPECT_EQ(heap.pop(), expected);
+    }
+    EXPECT_TRUE(heap.empty());
+}
+
+TEST(DAryHeap, TopDoesNotRemove)
+{
+    DAryHeap<int> heap;
+    heap.push(5);
+    heap.push(3);
+    EXPECT_EQ(heap.top(), 3);
+    EXPECT_EQ(heap.size(), 2u);
+}
+
+TEST(DAryHeap, MoveCounterGrows)
+{
+    DAryHeap<int> heap;
+    for (int i = 100; i > 0; --i)
+        heap.push(i);
+    EXPECT_GT(heap.movesPerformed(), 100u);
+    heap.resetMoveCounter();
+    EXPECT_EQ(heap.movesPerformed(), 0u);
+}
+
+TEST(DAryHeap, InterleavedPushPopProperty)
+{
+    DAryHeap<uint64_t> heap;
+    Rng rng(7);
+    uint64_t lastPopped = 0;
+    bool monotoneSinceEmpty = true;
+    for (int round = 0; round < 5000; ++round) {
+        if (heap.empty() || rng.chance(0.6)) {
+            heap.push(rng.below(1 << 20));
+            // Pushing below the last popped value may legitimately
+            // break pop monotonicity; reset the tracker.
+            monotoneSinceEmpty = false;
+        } else {
+            uint64_t v = heap.pop();
+            if (monotoneSinceEmpty)
+                ASSERT_GE(v, lastPopped);
+            lastPopped = v;
+            monotoneSinceEmpty = true;
+        }
+        ASSERT_TRUE(heap.isValidHeap());
+    }
+}
+
+TEST(DAryHeap, BinaryArityAlsoWorks)
+{
+    DAryHeap<int, std::less<int>, 2> heap;
+    for (int v : {9, 1, 8, 2, 7, 3})
+        heap.push(v);
+    EXPECT_EQ(heap.pop(), 1);
+    EXPECT_EQ(heap.pop(), 2);
+    EXPECT_TRUE(heap.isValidHeap());
+}
+
+TEST(BucketQueue, LowestBucketFirst)
+{
+    BucketQueue<int> q;
+    q.push(5, 50);
+    q.push(1, 10);
+    q.push(3, 30);
+    EXPECT_EQ(q.topPriority(), 1u);
+    EXPECT_EQ(q.pop(), 10);
+    EXPECT_EQ(q.pop(), 30);
+    EXPECT_EQ(q.pop(), 50);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueue, RewindsForLowerPush)
+{
+    BucketQueue<int> q;
+    q.push(10, 1);
+    EXPECT_EQ(q.pop(), 1);
+    q.push(2, 2); // below the cursor
+    EXPECT_EQ(q.topPriority(), 2u);
+    EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BucketQueue, SizeTracksContents)
+{
+    BucketQueue<int> q;
+    EXPECT_TRUE(q.empty());
+    q.push(0, 1);
+    q.push(0, 2);
+    EXPECT_EQ(q.size(), 2u);
+    q.pop();
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(LockedTaskPq, OrderedPops)
+{
+    LockedTaskPq pq;
+    pq.push(Task{30, 3, 0});
+    pq.push(Task{10, 1, 0});
+    pq.push(Task{20, 2, 0});
+    Task t;
+    ASSERT_TRUE(pq.tryPop(t));
+    EXPECT_EQ(t.priority, 10u);
+    Priority p;
+    ASSERT_TRUE(pq.peekPriority(p));
+    EXPECT_EQ(p, 20u);
+}
+
+TEST(LockedTaskPq, EmptyBehaviour)
+{
+    LockedTaskPq pq;
+    Task t;
+    Priority p;
+    EXPECT_FALSE(pq.tryPop(t));
+    EXPECT_FALSE(pq.peekPriority(p));
+    EXPECT_TRUE(pq.empty());
+}
+
+TEST(LockedTaskPq, ConcurrentPushPopConservesTasks)
+{
+    LockedTaskPq pq;
+    constexpr int perThread = 5000;
+    constexpr int producers = 3;
+    std::atomic<long long> popped{0};
+    std::atomic<int> done{0};
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < perThread; ++i)
+                pq.push(Task{uint64_t(i), uint32_t(p), 0});
+            ++done;
+        });
+    }
+    std::thread consumer([&] {
+        Task t;
+        while (done.load() < producers || !pq.empty()) {
+            if (pq.tryPop(t))
+                ++popped;
+        }
+    });
+    for (auto &t : threads)
+        t.join();
+    consumer.join();
+    Task t;
+    while (pq.tryPop(t))
+        ++popped;
+    EXPECT_EQ(popped.load(), static_cast<long long>(perThread) * producers);
+}
+
+// ------------------------------------------------------ receive queue
+
+TEST(ReceiveQueue, FifoSingleThread)
+{
+    ReceiveQueue<int> rq(8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(rq.tryPush(i));
+    EXPECT_FALSE(rq.tryPush(99)); // full
+    int out;
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(rq.tryPop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_FALSE(rq.tryPop(out));
+}
+
+TEST(ReceiveQueue, WrapsAround)
+{
+    ReceiveQueue<int> rq(4);
+    int out;
+    for (int round = 0; round < 20; ++round) {
+        EXPECT_TRUE(rq.tryPush(round));
+        ASSERT_TRUE(rq.tryPop(out));
+        EXPECT_EQ(out, round);
+    }
+}
+
+TEST(ReceiveQueue, SizeApprox)
+{
+    ReceiveQueue<int> rq(16);
+    EXPECT_EQ(rq.sizeApprox(), 0u);
+    rq.tryPush(1);
+    rq.tryPush(2);
+    EXPECT_EQ(rq.sizeApprox(), 2u);
+    EXPECT_EQ(rq.capacity(), 16u);
+}
+
+TEST(ReceiveQueue, MultiProducerExactlyOnce)
+{
+    ReceiveQueue<uint64_t> rq(64);
+    constexpr int producers = 4;
+    constexpr uint64_t perProducer = 5000;
+    std::atomic<int> done{0};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+            for (uint64_t i = 0; i < perProducer;) {
+                if (rq.tryPush(uint64_t(p) * perProducer + i))
+                    ++i;
+            }
+            ++done;
+        });
+    }
+    std::vector<uint8_t> seen(producers * perProducer, 0);
+    uint64_t received = 0;
+    uint64_t value;
+    while (received < producers * perProducer) {
+        if (rq.tryPop(value)) {
+            ASSERT_LT(value, seen.size());
+            ASSERT_EQ(seen[value], 0) << "duplicate delivery";
+            seen[value] = 1;
+            ++received;
+        }
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(done.load(), producers);
+}
+
+// ------------------------------------------------------ hardware queues
+
+TEST(HwRecvQueue, FifoAndFull)
+{
+    HwRecvQueue q(2);
+    EXPECT_TRUE(q.tryPush(Task{1, 1, 0}));
+    EXPECT_TRUE(q.tryPush(Task{2, 2, 0}));
+    EXPECT_FALSE(q.tryPush(Task{3, 3, 0}));
+    EXPECT_TRUE(q.full());
+    Task t;
+    ASSERT_TRUE(q.tryPop(t));
+    EXPECT_EQ(t.node, 1u);
+    EXPECT_EQ(q.highWater(), 2u);
+}
+
+TEST(HwRecvQueue, ZeroCapacityAlwaysFull)
+{
+    HwRecvQueue q(0);
+    EXPECT_FALSE(q.tryPush(Task{1, 1, 0}));
+}
+
+TEST(HwPriorityQueue, PopsMinimum)
+{
+    HwPriorityQueue q(8);
+    EXPECT_FALSE(q.pushEvict(Task{30, 3, 0}).has_value());
+    EXPECT_FALSE(q.pushEvict(Task{10, 1, 0}).has_value());
+    EXPECT_FALSE(q.pushEvict(Task{20, 2, 0}).has_value());
+    EXPECT_EQ(q.minPriority(), 10u);
+    EXPECT_EQ(q.popMin().priority, 10u);
+    EXPECT_EQ(q.popMin().priority, 20u);
+}
+
+TEST(HwPriorityQueue, EvictsWorstWhenFull)
+{
+    HwPriorityQueue q(2);
+    q.pushEvict(Task{10, 1, 0});
+    q.pushEvict(Task{20, 2, 0});
+    // Better task displaces the stored worst (20).
+    auto evicted = q.pushEvict(Task{5, 5, 0});
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->priority, 20u);
+    EXPECT_EQ(q.minPriority(), 5u);
+}
+
+TEST(HwPriorityQueue, SpillsIncomingWhenItIsWorst)
+{
+    HwPriorityQueue q(2);
+    q.pushEvict(Task{10, 1, 0});
+    q.pushEvict(Task{20, 2, 0});
+    auto evicted = q.pushEvict(Task{99, 9, 0});
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->priority, 99u);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(HwPriorityQueue, ZeroCapacityBouncesEverything)
+{
+    HwPriorityQueue q(0);
+    auto evicted = q.pushEvict(Task{10, 1, 0});
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->priority, 10u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(HwPriorityQueue, HighWaterTracksPeak)
+{
+    HwPriorityQueue q(4);
+    for (Priority p = 0; p < 4; ++p)
+        q.pushEvict(Task{p, uint32_t(p), 0});
+    q.popMin();
+    q.popMin();
+    EXPECT_EQ(q.highWater(), 4u);
+}
+
+// Property sweep: the hPQ behaves exactly like a capacity-filtered
+// min-heap — everything that comes out (pops + evictions) equals
+// everything that went in.
+class HwPqProperty : public testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(HwPqProperty, ConservesTasksAtAnyCapacity)
+{
+    const size_t capacity = GetParam();
+    HwPriorityQueue q(capacity);
+    Rng rng(capacity + 1);
+    std::multiset<uint64_t> inFlight;
+    std::multiset<uint64_t> external;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t pri = rng.below(1000);
+        inFlight.insert(pri);
+        auto evicted = q.pushEvict(Task{pri, uint32_t(i), 0});
+        if (evicted)
+            external.insert(evicted->priority);
+    }
+    while (!q.empty())
+        external.insert(q.popMin().priority);
+    EXPECT_EQ(external, inFlight);
+    EXPECT_LE(q.highWater(), capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, HwPqProperty,
+                         testing::Values(0, 1, 2, 8, 48, 128));
+
+} // namespace
+} // namespace hdcps

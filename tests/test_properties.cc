@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Randomized property tests: heavier fuzz-style sweeps over the
+ * library's algebraic invariants — CSR structure from arbitrary edge
+ * sets, drift computation against a naive reference, bag planning
+ * against a brute-force partition checker, heap behaviour against
+ * std::sort, and label-correcting schedule independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "algos/sequential.h"
+#include "algos/workload.h"
+#include "core/bag_policy.h"
+#include "core/drift.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "pq/dary_heap.h"
+#include "support/rng.h"
+
+namespace hdcps {
+namespace {
+
+class FuzzSeed : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FuzzSeed, CsrPreservesEdgeMultiset)
+{
+    Rng rng(GetParam());
+    NodeId n = 2 + NodeId(rng.below(60));
+    GraphBuilder builder(n);
+    std::map<std::pair<NodeId, NodeId>, Weight> expected;
+    size_t edges = rng.below(300);
+    for (size_t i = 0; i < edges; ++i) {
+        NodeId src = NodeId(rng.below(n));
+        NodeId dst = NodeId(rng.below(n));
+        Weight w = Weight(rng.range(1, 50));
+        builder.addEdge(src, dst, w);
+        if (src == dst)
+            continue; // dropped by build()
+        auto key = std::make_pair(src, dst);
+        auto it = expected.find(key);
+        if (it == expected.end())
+            expected[key] = w;
+        else
+            it->second = std::min(it->second, w);
+    }
+    Graph g = builder.build(true);
+    ASSERT_EQ(g.numEdges(), expected.size());
+    for (NodeId src = 0; src < n; ++src) {
+        for (EdgeId e = g.edgeBegin(src); e < g.edgeEnd(src); ++e) {
+            auto it = expected.find({src, g.edgeDest(e)});
+            ASSERT_NE(it, expected.end());
+            ASSERT_EQ(g.edgeWeight(e), it->second);
+        }
+    }
+}
+
+TEST_P(FuzzSeed, TransposePreservesEdgeMultiset)
+{
+    Graph g = makeUniformRandom(40, 200, {.seed = GetParam()});
+    Graph t = g.transpose();
+    ASSERT_EQ(t.numEdges(), g.numEdges());
+    std::multiset<std::tuple<NodeId, NodeId, Weight>> forward;
+    std::multiset<std::tuple<NodeId, NodeId, Weight>> backward;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e)
+            forward.insert({v, g.edgeDest(e), g.edgeWeight(e)});
+        for (EdgeId e = t.edgeBegin(v); e < t.edgeEnd(v); ++e)
+            backward.insert({t.edgeDest(e), v, t.edgeWeight(e)});
+    }
+    EXPECT_EQ(forward, backward);
+}
+
+TEST_P(FuzzSeed, DriftMatchesNaiveReference)
+{
+    Rng rng(GetParam() * 3 + 1);
+    unsigned cores = 2 + unsigned(rng.below(30));
+    DriftTracker tracker(cores);
+    std::vector<Priority> published(cores, DriftTracker::unpublished);
+    for (int round = 0; round < 50; ++round) {
+        unsigned core = unsigned(rng.below(cores));
+        Priority p = rng.below(10000);
+        tracker.publish(core, p);
+        published[core] = p;
+
+        // Naive Eq. 1.
+        Priority best = DriftTracker::unpublished;
+        unsigned count = 0;
+        for (Priority value : published) {
+            if (value == DriftTracker::unpublished)
+                continue;
+            ++count;
+            best = std::min(best, value);
+        }
+        double expected = 0.0;
+        if (count >= 2) {
+            for (Priority value : published) {
+                if (value != DriftTracker::unpublished)
+                    expected += double(value - best);
+            }
+            expected /= count;
+        }
+        ASSERT_DOUBLE_EQ(tracker.computeDrift(), expected);
+    }
+}
+
+TEST_P(FuzzSeed, BagPlanIsAPartitionRespectingTheWindow)
+{
+    Rng rng(GetParam() * 7 + 3);
+    BagPolicy policy;
+    policy.minBagSize = 2 + size_t(rng.below(3));
+    policy.maxBagSize = policy.minBagSize + 2 + size_t(rng.below(8));
+    policy.mode = rng.chance(0.5) ? BagMode::Selective : BagMode::Always;
+
+    std::vector<Task> children;
+    std::map<Priority, size_t> groupSizes;
+    size_t n = rng.below(60);
+    for (size_t i = 0; i < n; ++i) {
+        Priority p = rng.below(6);
+        children.push_back(Task{p, uint32_t(i), 0});
+        ++groupSizes[p];
+    }
+    BagPlan plan = policy.plan(children);
+
+    std::map<Priority, size_t> seen;
+    for (const Task &t : plan.singles)
+        ++seen[t.priority];
+    for (const Bag &bag : plan.bags) {
+        ASSERT_GE(bag.tasks.size(), 2u);
+        ASSERT_LT(bag.tasks.size(), policy.maxBagSize);
+        for (const Task &t : bag.tasks) {
+            ASSERT_EQ(t.priority, bag.priority);
+            ++seen[t.priority];
+        }
+        if (policy.mode == BagMode::Selective) {
+            // Selective only bags groups inside the window.
+            ASSERT_GE(groupSizes[bag.priority], policy.minBagSize);
+            ASSERT_LT(groupSizes[bag.priority], policy.maxBagSize);
+        }
+    }
+    ASSERT_EQ(seen, groupSizes);
+}
+
+TEST_P(FuzzSeed, HeapDrainEqualsSort)
+{
+    Rng rng(GetParam() * 11 + 5);
+    DAryHeap<uint64_t> heap;
+    std::vector<uint64_t> values;
+    size_t n = 1 + rng.below(500);
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t v = rng.below(1 << 16);
+        values.push_back(v);
+        heap.push(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (uint64_t expected : values)
+        ASSERT_EQ(heap.pop(), expected);
+}
+
+TEST_P(FuzzSeed, SsspScheduleIndependence)
+{
+    // Label correcting: ANY processing order yields the Dijkstra
+    // labels. Drive the workload with a randomly shuffled stack.
+    Graph g = makeUniformRandom(60, 300, {.seed = GetParam() + 17});
+    SeqPathResult ref = dijkstra(g, 0);
+    auto w = makeWorkload("sssp", g, 0);
+    Rng rng(GetParam() + 99);
+    std::vector<Task> pool = w->initialTasks();
+    std::vector<Task> children;
+    uint64_t processed = 0;
+    while (!pool.empty()) {
+        size_t pick = rng.below(pool.size());
+        Task t = pool[pick];
+        pool[pick] = pool.back();
+        pool.pop_back();
+        children.clear();
+        w->process(t, children);
+        pool.insert(pool.end(), children.begin(), children.end());
+        ASSERT_LT(++processed, 1000000u);
+    }
+    ASSERT_TRUE(w->verify(nullptr));
+}
+
+TEST_P(FuzzSeed, RoadGridWeightsRespectEuclideanBound)
+{
+    // The A* admissibility precondition: every edge's weight is at
+    // least twice the Euclidean distance between its endpoints.
+    Graph g = makeRoadGrid(12, 12, {.seed = GetParam() + 31});
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e) {
+            NodeId u = g.edgeDest(e);
+            double dx = double(g.coordX(v)) - g.coordX(u);
+            double dy = double(g.coordY(v)) - g.coordY(u);
+            double dist = std::sqrt(dx * dx + dy * dy);
+            ASSERT_GE(double(g.edgeWeight(e)) + 1e-9, 2.0 * dist)
+                << "edge " << v << "->" << u;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FuzzSeed,
+                         testing::Range<uint64_t>(1, 13));
+
+} // namespace
+} // namespace hdcps

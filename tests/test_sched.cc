@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Concurrency tests for every threaded CPS design plus the executor.
+ *
+ * The load-bearing invariant for a scheduler is *no task loss and no
+ * duplication*: every pushed task comes back from tryPop exactly once,
+ * under concurrent pushers and poppers. The executor tests check
+ * termination detection and the breakdown/drift bookkeeping on
+ * synthetic task trees with known sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/hdcps.h"
+#include "cps/multiqueue.h"
+#include "cps/obim.h"
+#include "cps/pmod.h"
+#include "cps/reld.h"
+#include "cps/swminnow.h"
+#include "runtime/executor.h"
+#include "support/rng.h"
+
+namespace hdcps {
+namespace {
+
+using SchedulerFactory =
+    std::function<std::unique_ptr<Scheduler>(unsigned workers)>;
+
+struct SchedulerCase
+{
+    const char *label;
+    SchedulerFactory make;
+};
+
+std::vector<SchedulerCase>
+allSchedulers()
+{
+    return {
+        {"reld",
+         [](unsigned n) { return std::make_unique<ReldScheduler>(n, 3); }},
+        {"obim",
+         [](unsigned n) { return std::make_unique<ObimScheduler>(n); }},
+        {"pmod",
+         [](unsigned n) { return std::make_unique<PmodScheduler>(n); }},
+        {"swminnow",
+         [](unsigned n) {
+             SwMinnowScheduler::MinnowConfig config;
+             config.numMinnows = 1;
+             return std::make_unique<SwMinnowScheduler>(n, config);
+         }},
+        {"hdcps-srq",
+         [](unsigned n) {
+             return std::make_unique<HdCpsScheduler>(
+                 n, HdCpsScheduler::configSrq());
+         }},
+        {"hdcps-sw",
+         [](unsigned n) {
+             return std::make_unique<HdCpsScheduler>(
+                 n, HdCpsScheduler::configSw());
+         }},
+        {"multiqueue",
+         [](unsigned n) {
+             return std::make_unique<MultiQueueScheduler>(n, 2, 5);
+         }},
+    };
+}
+
+class SchedulerMatrix : public testing::TestWithParam<size_t>
+{
+  protected:
+    SchedulerCase scase() const { return allSchedulers()[GetParam()]; }
+};
+
+TEST_P(SchedulerMatrix, SingleThreadConservation)
+{
+    auto sched = scase().make(1);
+    Rng rng(4);
+    constexpr int count = 2000;
+    long long pushedSum = 0;
+    for (int i = 0; i < count; ++i) {
+        uint64_t pri = rng.below(100);
+        pushedSum += static_cast<long long>(pri);
+        sched->push(0, Task{pri, uint32_t(i), 0});
+    }
+    long long poppedSum = 0;
+    int popped = 0;
+    Task t;
+    while (sched->tryPop(0, t)) {
+        poppedSum += static_cast<long long>(t.priority);
+        ++popped;
+    }
+    EXPECT_EQ(popped, count) << scase().label;
+    EXPECT_EQ(poppedSum, pushedSum) << scase().label;
+}
+
+TEST_P(SchedulerMatrix, ConcurrentExactlyOnce)
+{
+    constexpr unsigned workers = 4;
+    constexpr uint32_t perWorker = 4000;
+    auto sched = scase().make(workers);
+
+    std::vector<std::atomic<uint32_t>> seen(workers * perWorker);
+    for (auto &s : seen)
+        s.store(0);
+    std::atomic<uint64_t> totalPopped{0};
+    std::atomic<bool> stopPopping{false};
+
+    auto body = [&](unsigned tid) {
+        // Each worker pushes its share, then keeps popping.
+        for (uint32_t i = 0; i < perWorker; ++i) {
+            uint32_t id = tid * perWorker + i;
+            sched->push(tid, Task{uint64_t(id % 97), id, 0});
+        }
+        Task t;
+        while (!stopPopping.load(std::memory_order_acquire)) {
+            if (sched->tryPop(tid, t)) {
+                ASSERT_LT(t.node, seen.size());
+                uint32_t prev = seen[t.node].fetch_add(1);
+                ASSERT_EQ(prev, 0u)
+                    << scase().label << ": duplicate pop of " << t.node;
+                totalPopped.fetch_add(1);
+            } else if (totalPopped.load() >= workers * perWorker) {
+                break;
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    for (unsigned tid = 0; tid < workers; ++tid)
+        threads.emplace_back(body, tid);
+    for (auto &t : threads)
+        t.join();
+    stopPopping.store(true);
+
+    EXPECT_EQ(totalPopped.load(), uint64_t(workers) * perWorker)
+        << scase().label;
+    for (size_t i = 0; i < seen.size(); ++i)
+        ASSERT_EQ(seen[i].load(), 1u) << scase().label << " task " << i;
+}
+
+TEST_P(SchedulerMatrix, RoughPriorityOrderWhenQuiescent)
+{
+    // Relaxed schedulers make no strict promise, but a fully quiescent
+    // single worker must still see a strong bias toward high-priority
+    // (low-value) tasks: the first pop after pushing everything must
+    // be from the best bucket region, not the worst.
+    auto sched = scase().make(1);
+    for (uint32_t i = 0; i < 1000; ++i)
+        sched->push(0, Task{uint64_t(1000 - i), i, 0});
+    Task t;
+    ASSERT_TRUE(sched->tryPop(0, t));
+    EXPECT_LT(t.priority, 200u) << scase().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, SchedulerMatrix,
+                         testing::Range<size_t>(0, 7),
+                         [](const testing::TestParamInfo<size_t> &info) {
+                             std::string name =
+                                 allSchedulers()[info.param].label;
+                             for (char &ch : name) {
+                                 if (ch == '-')
+                                     ch = '_';
+                             }
+                             return name;
+                         });
+
+// ------------------------------------------------------------- executor
+
+/** Synthetic workload: a complete task tree of known size. */
+ProcessFn
+treeWorkload(unsigned fanout, unsigned depth)
+{
+    return [fanout, depth](unsigned, const Task &task,
+                           std::vector<Task> &children) {
+        unsigned level = task.data;
+        if (level >= depth)
+            return;
+        for (unsigned i = 0; i < fanout; ++i) {
+            children.push_back(Task{task.priority + 1,
+                                    task.node * fanout + i, level + 1});
+        }
+    };
+}
+
+uint64_t
+treeSize(unsigned fanout, unsigned depth)
+{
+    uint64_t total = 0;
+    uint64_t level = 1;
+    for (unsigned d = 0; d <= depth; ++d) {
+        total += level;
+        level *= fanout;
+    }
+    return total;
+}
+
+TEST(Executor, ProcessesWholeTreeSingleThread)
+{
+    ReldScheduler sched(1, 1);
+    RunOptions options;
+    options.numThreads = 1;
+    RunResult result = run(sched, {Task{0, 0, 0}}, treeWorkload(3, 6),
+                           options);
+    EXPECT_EQ(result.total.tasksProcessed, treeSize(3, 6));
+    EXPECT_GT(result.wallNs, 0u);
+}
+
+TEST(Executor, ProcessesWholeTreeMultiThread)
+{
+    constexpr unsigned threads = 4;
+    HdCpsScheduler sched(threads, HdCpsScheduler::configSw());
+    RunOptions options;
+    options.numThreads = threads;
+    RunResult result = run(sched, {Task{0, 0, 0}}, treeWorkload(3, 7),
+                           options);
+    EXPECT_EQ(result.total.tasksProcessed, treeSize(3, 7));
+    EXPECT_EQ(result.perWorker.size(), threads);
+}
+
+TEST(Executor, MultipleInitialTasks)
+{
+    ObimScheduler sched(2);
+    RunOptions options;
+    options.numThreads = 2;
+    std::vector<Task> initial;
+    for (uint32_t i = 0; i < 64; ++i)
+        initial.push_back(Task{i, i, 0});
+    RunResult result = run(sched, initial, treeWorkload(2, 3), options);
+    EXPECT_EQ(result.total.tasksProcessed, 64 * treeSize(2, 3));
+}
+
+TEST(Executor, EmptyInitialTerminatesImmediately)
+{
+    ReldScheduler sched(2, 1);
+    RunOptions options;
+    options.numThreads = 2;
+    RunResult result = run(sched, {}, treeWorkload(2, 2), options);
+    EXPECT_EQ(result.total.tasksProcessed, 0u);
+}
+
+TEST(Executor, BreakdownComponentsPopulated)
+{
+    PmodScheduler sched(2);
+    RunOptions options;
+    options.numThreads = 2;
+    RunResult result = run(sched, {Task{0, 0, 0}}, treeWorkload(4, 6),
+                           options);
+    EXPECT_GT(result.total[Component::Dequeue], 0u);
+    EXPECT_GT(result.total[Component::Compute], 0u);
+    EXPECT_GT(result.total[Component::Enqueue], 0u);
+}
+
+TEST(Executor, BreakdownCanBeDisabled)
+{
+    ReldScheduler sched(1, 1);
+    RunOptions options;
+    options.numThreads = 1;
+    options.recordBreakdown = false;
+    RunResult result = run(sched, {Task{0, 0, 0}}, treeWorkload(2, 4),
+                           options);
+    EXPECT_EQ(result.total.total(), 0u);
+    EXPECT_EQ(result.total.tasksProcessed, treeSize(2, 4));
+}
+
+TEST(Executor, DriftSamplesCollectedOnLongRuns)
+{
+    ReldScheduler sched(2, 1);
+    RunOptions options;
+    options.numThreads = 2;
+    options.driftSampleInterval = 50;
+    RunResult result = run(sched, {Task{0, 0, 0}}, treeWorkload(3, 8),
+                           options);
+    EXPECT_GT(result.driftSamples, 0u);
+    EXPECT_GE(result.maxDrift, result.avgDrift);
+}
+
+TEST(Executor, EmptyTasksCounted)
+{
+    ReldScheduler sched(1, 1);
+    RunOptions options;
+    options.numThreads = 1;
+    // Leaves produce no children, so the leaf count must show up.
+    RunResult result = run(sched, {Task{0, 0, 0}}, treeWorkload(2, 3),
+                           options);
+    EXPECT_EQ(result.total.emptyTasks, 8u); // 2^3 leaves
+}
+
+TEST(Executor, HdCpsTdfEngagesOnLargeRuns)
+{
+    constexpr unsigned threads = 3;
+    HdCpsConfig config = HdCpsScheduler::configSw();
+    config.sampleInterval = 100; // sample often enough for the test
+    HdCpsScheduler sched(threads, config);
+    RunOptions options;
+    options.numThreads = threads;
+    RunResult result = run(sched, {Task{0, 0, 0}}, treeWorkload(3, 9),
+                           options);
+    EXPECT_EQ(result.total.tasksProcessed, treeSize(3, 9));
+    // The controller must have made decisions and stayed in bounds.
+    EXPECT_GE(sched.currentTdf(), config.tdf.minTdf);
+    EXPECT_LE(sched.currentTdf(), config.tdf.maxTdf);
+}
+
+} // namespace
+} // namespace hdcps

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Unit tests for the multicore simulator substrate: config checking,
+ * the mesh NoC (XY routing, serialization, contention), the cache/
+ * coherence cost model, and SimMachine bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algos/workload.h"
+#include "graph/generators.h"
+#include "sim/cache.h"
+#include "sim/config.h"
+#include "sim/machine.h"
+#include "sim/noc.h"
+#include "simsched/common.h"
+#include "simsched/runner.h"
+
+namespace hdcps {
+namespace {
+
+SimConfig
+smallConfig()
+{
+    SimConfig config;
+    config.numCores = 16;
+    config.meshWidth = 4;
+    return config;
+}
+
+TEST(SimConfig, DefaultsAreTableI)
+{
+    SimConfig config;
+    config.check();
+    EXPECT_EQ(config.numCores, 64u);
+    EXPECT_EQ(config.meshHeight(), 8u);
+    EXPECT_EQ(config.hrqEntries, 32u);
+    EXPECT_EQ(config.hpqEntries, 48u);
+    EXPECT_EQ(config.hwQueueLatency, 5u);
+    EXPECT_EQ(config.taskBits, 128u);
+}
+
+TEST(SimConfig, PrintTableMentionsKeyParameters)
+{
+    SimConfig config;
+    std::ostringstream os;
+    config.printTable(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("64 RISC-V"), std::string::npos);
+    EXPECT_NE(out.find("32 hRQ, 48 hPQ"), std::string::npos);
+    EXPECT_NE(out.find("128-bits"), std::string::npos);
+}
+
+TEST(SimConfig, RejectsBadMesh)
+{
+    SimConfig config;
+    config.numCores = 10;
+    config.meshWidth = 4; // 10 % 4 != 0
+    EXPECT_DEATH(config.check(), "mesh width");
+}
+
+// ------------------------------------------------------------------ NoC
+
+TEST(Noc, HopCountIsManhattan)
+{
+    NocMesh noc(smallConfig());
+    EXPECT_EQ(noc.hopCount(0, 0), 0u);
+    EXPECT_EQ(noc.hopCount(0, 3), 3u);   // same row
+    EXPECT_EQ(noc.hopCount(0, 12), 3u);  // same column (4x4)
+    EXPECT_EQ(noc.hopCount(0, 15), 6u);  // corner to corner
+    EXPECT_EQ(noc.hopCount(15, 0), 6u);
+}
+
+TEST(Noc, UncontendedLatencyFormula)
+{
+    SimConfig config = smallConfig();
+    NocMesh noc(config);
+    // 1 hop, 1 flit: hop latency only.
+    EXPECT_EQ(noc.uncontendedLatency(0, 1, 64), Cycle(config.hopLatency));
+    // 2 flits add one serialization cycle.
+    EXPECT_EQ(noc.uncontendedLatency(0, 1, 128),
+              Cycle(config.hopLatency) + 1);
+    EXPECT_EQ(noc.uncontendedLatency(5, 5, 64), 0u);
+}
+
+TEST(Noc, TransferMatchesUncontendedWhenIdle)
+{
+    NocMesh noc(smallConfig());
+    Cycle arrival = noc.transfer(0, 15, 128, 100);
+    EXPECT_EQ(arrival, 100 + noc.uncontendedLatency(0, 15, 128));
+}
+
+TEST(Noc, LinkContentionSerializesMessages)
+{
+    NocMesh noc(smallConfig());
+    // Two messages leaving tile 0 eastward at the same cycle share the
+    // first link; the second must wait for the first's flits.
+    Cycle a = noc.transfer(0, 1, 64 * 8, 0); // 8 flits
+    Cycle b = noc.transfer(0, 1, 64 * 8, 0);
+    EXPECT_GT(b, a);
+    EXPECT_GT(noc.stats().contentionCycles, 0u);
+}
+
+TEST(Noc, DisjointPathsDoNotInterfere)
+{
+    NocMesh noc(smallConfig());
+    Cycle a = noc.transfer(0, 1, 64, 0);
+    Cycle b = noc.transfer(14, 15, 64, 0); // far away link
+    EXPECT_EQ(a, noc.uncontendedLatency(0, 1, 64));
+    EXPECT_EQ(b, noc.uncontendedLatency(14, 15, 64));
+}
+
+TEST(Noc, StatsAccumulate)
+{
+    NocMesh noc(smallConfig());
+    noc.transfer(0, 5, 128, 0);
+    EXPECT_EQ(noc.stats().messages, 1u);
+    EXPECT_EQ(noc.stats().flits, 2u);
+    EXPECT_GT(noc.stats().hops, 0u);
+    noc.resetStats();
+    EXPECT_EQ(noc.stats().messages, 0u);
+}
+
+TEST(Noc, SelfTransferIsFree)
+{
+    NocMesh noc(smallConfig());
+    EXPECT_EQ(noc.transfer(3, 3, 1024, 77), 77u);
+}
+
+// ---------------------------------------------------------------- cache
+
+TEST(Cache, FirstAccessMissesToDram)
+{
+    SimConfig config = smallConfig();
+    NocMesh noc(config);
+    CacheModel cache(config, noc);
+    Cycle cost = cache.access(0, 0x1000, false, 0);
+    EXPECT_GE(cost, Cycle(config.dramLatency));
+    EXPECT_EQ(cache.stats().dramFetches, 1u);
+}
+
+TEST(Cache, SecondAccessHitsL1)
+{
+    SimConfig config = smallConfig();
+    NocMesh noc(config);
+    CacheModel cache(config, noc);
+    cache.access(0, 0x1000, false, 0);
+    Cycle cost = cache.access(0, 0x1000, false, 10);
+    EXPECT_EQ(cost, Cycle(config.l1Latency));
+    EXPECT_EQ(cache.stats().l1Hits, 1u);
+}
+
+TEST(Cache, SameLineDifferentWordStillHits)
+{
+    SimConfig config = smallConfig();
+    NocMesh noc(config);
+    CacheModel cache(config, noc);
+    cache.access(0, 0x1000, false, 0);
+    EXPECT_EQ(cache.access(0, 0x1008, false, 1),
+              Cycle(config.l1Latency));
+}
+
+TEST(Cache, EvictedLineFallsBackToL2)
+{
+    SimConfig config = smallConfig();
+    NocMesh noc(config);
+    CacheModel cache(config, noc);
+    // Fill one L1 set beyond its ways; the L1 has
+    // l1SizeBytes/(64*4) sets, so stride by set count * 64.
+    unsigned sets = config.l1SizeBytes / (config.lineBytes * config.l1Ways);
+    uint64_t stride = uint64_t(sets) * config.lineBytes;
+    for (unsigned i = 0; i <= config.l1Ways; ++i)
+        cache.access(0, 0x100000 + i * stride, false, i);
+    // The first line is gone from L1 but still in the larger L2.
+    Cycle cost = cache.access(0, 0x100000, false, 100);
+    EXPECT_EQ(cost, Cycle(config.l1Latency + config.l2Latency));
+    EXPECT_GE(cache.stats().l2Hits, 1u);
+}
+
+TEST(Cache, DirtyRemoteLineFetchedFromOwner)
+{
+    SimConfig config = smallConfig();
+    NocMesh noc(config);
+    CacheModel cache(config, noc);
+    cache.access(1, 0x2000, true, 0); // core 1 dirties the line
+    Cycle cost = cache.access(0, 0x2000, false, 50);
+    EXPECT_EQ(cache.stats().remoteFetches, 1u);
+    // Cache-to-cache must be cheaper than a fresh DRAM round trip from
+    // the same distance (no 100-cycle DRAM latency in it).
+    EXPECT_LT(cost, Cycle(config.dramLatency) * 2);
+}
+
+TEST(Cache, WriteStealsLineAndCountsInvalidation)
+{
+    SimConfig config = smallConfig();
+    NocMesh noc(config);
+    CacheModel cache(config, noc);
+    cache.access(1, 0x3000, true, 0);
+    cache.access(0, 0x3000, true, 10);
+    EXPECT_GE(cache.stats().invalidations, 1u);
+}
+
+TEST(Cache, ScanChargesPerLine)
+{
+    SimConfig config = smallConfig();
+    NocMesh noc(config);
+    CacheModel cache(config, noc);
+    uint64_t before = cache.stats().accesses;
+    cache.scan(0, 0x4000, 256, false, 0); // 4 lines
+    EXPECT_EQ(cache.stats().accesses - before, 4u);
+    // Zero-byte scan is free.
+    EXPECT_EQ(cache.scan(0, 0x5000, 0, false, 0), 0u);
+}
+
+// -------------------------------------------------------------- machine
+
+TEST(Machine, AdvanceChargesClockAndBreakdown)
+{
+    Graph g = makeRoadGrid(8, 8, {.seed = 3});
+    auto w = makeWorkload("bfs", g, 0);
+    SimMachine m(smallConfig(), *w, 1);
+    m.advance(2, 100, Component::Compute);
+    EXPECT_EQ(m.now(2), 100u);
+    EXPECT_EQ(m.breakdownOf(2)[Component::Compute], 100u);
+    m.stallUntil(2, 250);
+    EXPECT_EQ(m.now(2), 250u);
+    EXPECT_EQ(m.breakdownOf(2)[Component::Comm], 150u);
+    m.stallUntil(2, 100); // no going backwards
+    EXPECT_EQ(m.now(2), 250u);
+}
+
+TEST(Machine, MessagesDeliverAfterArrival)
+{
+    Graph g = makeRoadGrid(8, 8, {.seed = 3});
+    auto w = makeWorkload("bfs", g, 0);
+    SimMachine m(smallConfig(), *w, 1);
+    m.sendTaskMessage(0, 15, Task{7, 3, 0}, 128, 0, 42);
+    EXPECT_EQ(m.messagesInFlight(), 1u);
+    std::vector<DeliveredMessage> out;
+    m.deliveredMessages(15, out);
+    EXPECT_TRUE(out.empty()); // core 15 is still at cycle 0
+    Cycle when = 0;
+    ASSERT_TRUE(m.nextArrival(15, when));
+    m.stallUntil(15, when);
+    m.deliveredMessages(15, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].task.priority, 7u);
+    EXPECT_EQ(out[0].tag, 42u);
+    EXPECT_EQ(m.messagesInFlight(), 0u);
+}
+
+TEST(Machine, PendingAccounting)
+{
+    Graph g = makeRoadGrid(8, 8, {.seed = 3});
+    auto w = makeWorkload("bfs", g, 0);
+    SimMachine m(smallConfig(), *w, 1);
+    EXPECT_EQ(m.pending(), 0);
+    m.taskCreated(3);
+    m.taskRetired();
+    EXPECT_EQ(m.pending(), 2);
+}
+
+TEST(Machine, ProcessTaskChargesComputeAndRunsSemantics)
+{
+    Graph g = makeRoadGrid(8, 8, {.seed = 3});
+    auto w = makeWorkload("sssp", g, 0);
+    SimMachine m(smallConfig(), *w, 1);
+    std::vector<Task> children;
+    Cycle cost = m.processTask(0, Task{0, 0, 0}, children);
+    EXPECT_GT(cost, 0u);
+    EXPECT_FALSE(children.empty()); // source relaxes its neighbours
+    EXPECT_EQ(m.breakdownOf(0).tasksProcessed, 1u);
+    EXPECT_GT(m.breakdownOf(0)[Component::Compute], 0u);
+}
+
+TEST(Machine, AllocLocalStaysInCoreRegion)
+{
+    Graph g = makeRoadGrid(8, 8, {.seed = 3});
+    auto w = makeWorkload("bfs", g, 0);
+    SimMachine m(smallConfig(), *w, 1);
+    uint64_t a = m.allocLocal(3, 64);
+    uint64_t b = m.allocLocal(3, 64);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, m.coreLocalAddr(3, 0));
+}
+
+TEST(Machine, SequentialRunVerifiesAndTerminates)
+{
+    Graph g = makeRoadGrid(10, 10, {.seed = 5});
+    auto w = makeWorkload("sssp", g, 0);
+    SimConfig config = smallConfig();
+    Cycle cycles = simulateSequentialCycles(*w, config, 1);
+    EXPECT_GT(cycles, 0u);
+}
+
+TEST(Machine, SerialResourceSerializes)
+{
+    SerialResource r;
+    EXPECT_EQ(r.acquire(10, 5), 15u);
+    EXPECT_EQ(r.acquire(0, 5), 20u);  // queued behind the first op
+    EXPECT_EQ(r.acquire(100, 5), 105u);
+    EXPECT_EQ(r.nextFree(), 105u);
+}
+
+TEST(Machine, SwPqCostGrowsWithSize)
+{
+    SimConfig config;
+    EXPECT_LT(swPqOpCost(config, 0), swPqOpCost(config, 1000));
+    EXPECT_EQ(swPqOpCost(config, 10),
+              config.swPqBaseCost + Cycle(config.swPqPerLevelCost) * 4);
+}
+
+TEST(BagTable, EncodesAndResolves)
+{
+    SimBagTable table;
+    std::vector<Task> payload = {Task{5, 1, 0}, Task{5, 2, 0}};
+    Task metadata = table.add(5, payload, 3, 0xdead);
+    EXPECT_TRUE(SimBagTable::isBag(metadata));
+    EXPECT_FALSE(SimBagTable::isBag(Task{5, 1, 0}));
+    SimBag &bag = table.get(metadata);
+    EXPECT_EQ(bag.priority, 5u);
+    EXPECT_EQ(bag.tasks.size(), 2u);
+    EXPECT_EQ(bag.creator, 3u);
+    EXPECT_EQ(table.numBags(), 1u);
+}
+
+} // namespace
+} // namespace hdcps

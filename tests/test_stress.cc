@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Stress and failure-injection tests: oversubscribed executors,
+ * adversarial scheduler churn, tiny queue capacities, randomized task
+ * trees, and property checks on the simulator's bounded-queueing
+ * models. These guard the invariants the calibrated benchmarks rely
+ * on under conditions the happy-path tests never reach.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "algos/workload.h"
+#include "core/hdcps.h"
+#include "cps/pmod.h"
+#include "cps/reld.h"
+#include "graph/generators.h"
+#include "runtime/executor.h"
+#include "sim/noc.h"
+#include "simsched/common.h"
+#include "simsched/runner.h"
+#include "support/rng.h"
+
+namespace hdcps {
+namespace {
+
+// ------------------------------------------------- threaded stress
+
+/** Random task tree: every task spawns 0-4 children up to a budget. */
+ProcessFn
+randomTree(std::atomic<int64_t> &budget)
+{
+    return [&budget](unsigned tid, const Task &task,
+                     std::vector<Task> &children) {
+        Rng rng(task.node * 2654435761u + task.priority + tid);
+        unsigned fanout = static_cast<unsigned>(rng.below(5));
+        for (unsigned i = 0; i < fanout; ++i) {
+            if (budget.fetch_sub(1, std::memory_order_relaxed) <= 0)
+                return;
+            children.push_back(Task{task.priority + rng.below(3),
+                                    static_cast<uint32_t>(rng.next()),
+                                    0});
+        }
+    };
+}
+
+TEST(Stress, OversubscribedExecutorTerminates)
+{
+    // 8 threads on however few host cores exist: forces heavy
+    // preemption inside scheduler critical sections.
+    constexpr unsigned threads = 8;
+    HdCpsScheduler sched(threads, HdCpsScheduler::configSw());
+    std::atomic<int64_t> budget{20000};
+    RunOptions options;
+    options.numThreads = threads;
+    RunResult result =
+        run(sched, {Task{0, 1, 0}}, randomTree(budget), options);
+    EXPECT_GE(result.total.tasksProcessed, 1u);
+    EXPECT_LE(result.total.tasksProcessed, 20002u);
+}
+
+TEST(Stress, TinyReceiveQueueForcesOverflowYetConserves)
+{
+    HdCpsConfig config = HdCpsScheduler::configSw();
+    config.rqCapacity = 2;
+    config.sampleInterval = 7;
+    constexpr unsigned threads = 4;
+    HdCpsScheduler sched(threads, config);
+    std::atomic<int64_t> budget{30000};
+    RunOptions options;
+    options.numThreads = threads;
+    RunResult result =
+        run(sched, {Task{0, 1, 0}}, randomTree(budget), options);
+    EXPECT_GT(result.total.tasksProcessed, 0u);
+    // The overflow path must have been exercised by capacity 2.
+    EXPECT_GT(sched.overflowPushes(), 0u);
+}
+
+TEST(Stress, ManySmallRunsReuseScheduler)
+{
+    // Scheduler-per-run construction/teardown under thread churn.
+    for (int round = 0; round < 20; ++round) {
+        PmodScheduler sched(3);
+        std::atomic<int64_t> budget{500};
+        RunOptions options;
+        options.numThreads = 3;
+        RunResult result = run(sched, {Task{0, uint32_t(round), 0}},
+                               randomTree(budget), options);
+        ASSERT_GE(result.total.tasksProcessed, 1u);
+    }
+}
+
+TEST(Stress, WorkloadRunsTwiceAfterReset)
+{
+    Graph g = makeRoadGrid(12, 12, {.seed = 5});
+    auto workload = makeWorkload("sssp", g, 0);
+    for (int round = 0; round < 2; ++round) {
+        workload->reset();
+        ReldScheduler sched(2, uint64_t(round) + 1);
+        RunOptions options;
+        options.numThreads = 2;
+        run(sched, workload->initialTasks(),
+            workloadProcessFn(*workload), options);
+        std::string why;
+        ASSERT_TRUE(workload->verify(&why)) << why;
+    }
+}
+
+TEST(Stress, MstHeavyContention)
+{
+    // Dense graph + many threads: exercises the merge retry and
+    // global-mutex escalation paths.
+    Graph g = makeUniformRandom(300, 4000, {.seed = 11});
+    auto workload = makeWorkload("mst", g, 0);
+    constexpr unsigned threads = 6;
+    HdCpsScheduler sched(threads, HdCpsScheduler::configSrq());
+    RunOptions options;
+    options.numThreads = threads;
+    run(sched, workload->initialTasks(), workloadProcessFn(*workload),
+        options);
+    std::string why;
+    ASSERT_TRUE(workload->verify(&why)) << why;
+}
+
+// ----------------------------------------------- simulator properties
+
+TEST(SimProperties, NocContentionIsBounded)
+{
+    SimConfig config;
+    config.numCores = 16;
+    config.meshWidth = 4;
+    NocMesh noc(config);
+    // Hammer one link from far-future and past callers alternately;
+    // the wait each caller experiences must respect the cap.
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        Cycle depart = rng.below(1000000);
+        Cycle arrival = noc.transfer(0, 1, 64 * 16, depart);
+        Cycle pure = noc.uncontendedLatency(0, 1, 64 * 16);
+        ASSERT_LE(arrival, depart + pure + NocMesh::maxLinkQueue);
+        ASSERT_GE(arrival, depart + pure);
+    }
+}
+
+TEST(SimProperties, SerialResourceWaitIsBounded)
+{
+    SerialResource r;
+    Rng rng(4);
+    for (int i = 0; i < 2000; ++i) {
+        Cycle earliest = rng.below(1000000);
+        Cycle cost = 1 + rng.below(100);
+        Cycle done = r.acquire(earliest, cost);
+        ASSERT_GE(done, earliest + cost);
+        ASSERT_LE(done, earliest + SerialResource::maxWait + cost);
+    }
+}
+
+class SeedSweep : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SeedSweep, AllDesignsVerifyAcrossSeeds)
+{
+    SimConfig config;
+    config.numCores = 8;
+    config.meshWidth = 4;
+    Graph g = makeRoadGrid(10, 10, {.seed = GetParam()});
+    auto workload = makeWorkload("sssp", g, 0);
+    for (const char *design :
+         {"reld", "pmod", "hdcps-sw", "hdcps-hw", "swarm"}) {
+        SimResult r = simulate(design, *workload, config, GetParam());
+        ASSERT_TRUE(r.verified)
+            << design << " seed " << GetParam() << ": "
+            << r.verifyError;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         testing::Values(2, 3, 5, 8, 13, 21, 34));
+
+class CoreCountSweep : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CoreCountSweep, HdCpsHwVerifiesAtAnyCoreCount)
+{
+    unsigned cores = GetParam();
+    SimConfig config;
+    config.numCores = cores;
+    config.meshWidth = 1;
+    for (unsigned w = 1; w <= cores; ++w) {
+        if (cores % w == 0 && w * w <= cores)
+            config.meshWidth = cores / w;
+    }
+    Graph g = makeRoadGrid(10, 10, {.seed = 2});
+    auto workload = makeWorkload("bfs", g, 0);
+    SimResult r = simulate("hdcps-hw", *workload, config, 1);
+    ASSERT_TRUE(r.verified) << cores << " cores: " << r.verifyError;
+    EXPECT_GT(r.completionCycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, CoreCountSweep,
+                         testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+TEST(SimProperties, MoreCoresNeverCatastrophicallyWorse)
+{
+    // Weak scaling sanity: 16 cores must beat 1 core by a real margin
+    // on a parallel-friendly input.
+    Graph g = makePaperInput("cage", 1, 3);
+    auto workload = makeWorkload("bfs", g, 0);
+    SimConfig one;
+    one.numCores = 1;
+    one.meshWidth = 1;
+    SimConfig sixteen;
+    sixteen.numCores = 16;
+    sixteen.meshWidth = 4;
+    Cycle c1 = simulate("hdcps-hw", *workload, one, 1).completionCycles;
+    Cycle c16 =
+        simulate("hdcps-hw", *workload, sixteen, 1).completionCycles;
+    EXPECT_LT(c16 * 2, c1); // at least 2x from 16 cores
+}
+
+TEST(SimProperties, DrainAlwaysCompletes)
+{
+    // Pathological config: 1-entry queues, 100% distribution, tiny
+    // sample interval — termination and verification must still hold.
+    Graph g = makeRoadGrid(8, 8, {.seed = 9});
+    auto workload = makeWorkload("sssp", g, 0);
+    SimHdCpsConfig config = SimHdCps::configHw();
+    config.hrqEntries = 1;
+    config.hpqEntries = 1;
+    config.tdfMode = SimHdCpsConfig::TdfMode::Fixed;
+    config.fixedTdf = 100;
+    config.sampleInterval = 1;
+    SimConfig machine;
+    machine.numCores = 16;
+    machine.meshWidth = 4;
+    auto design = makeHdCpsDesign(config, "pathological");
+    SimResult r = simulate(*design, *workload, machine, 1);
+    ASSERT_TRUE(r.verified) << r.verifyError;
+}
+
+} // namespace
+} // namespace hdcps

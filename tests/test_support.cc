@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Unit tests for the support and stats modules: RNG, bit utilities,
+ * padded wrappers, breakdown accounting, tables, and summaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "stats/breakdown.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "support/compiler.h"
+#include "support/rng.h"
+#include "support/spsc_ring.h"
+#include "support/timer.h"
+
+namespace hdcps {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowZeroBoundIsZero)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = rng.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values hit
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, ReseedRestoresSequence)
+{
+    Rng rng(123);
+    std::vector<uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(rng.next());
+    rng.reseed(123);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(rng.next(), first[i]);
+}
+
+TEST(Mix64, IsDeterministicAndSpread)
+{
+    EXPECT_EQ(mix64(1), mix64(1));
+    EXPECT_NE(mix64(1), mix64(2));
+}
+
+TEST(Compiler, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 8), 0u);
+    EXPECT_EQ(roundUp(1, 8), 8u);
+    EXPECT_EQ(roundUp(8, 8), 8u);
+    EXPECT_EQ(roundUp(9, 8), 16u);
+}
+
+TEST(Compiler, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(65));
+}
+
+TEST(Compiler, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(2), 1u);
+    EXPECT_EQ(log2Exact(64), 6u);
+}
+
+TEST(Compiler, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(64), 6u);
+    EXPECT_EQ(log2Ceil(65), 7u);
+}
+
+TEST(Compiler, PaddedFillsCacheLine)
+{
+    EXPECT_GE(sizeof(Padded<int>), cacheLineBytes);
+    EXPECT_EQ(alignof(Padded<int>), cacheLineBytes);
+}
+
+TEST(Timer, StopwatchAccumulates)
+{
+    Stopwatch sw;
+    sw.start();
+    sw.stop();
+    uint64_t once = sw.elapsedNs();
+    sw.start();
+    sw.stop();
+    EXPECT_GE(sw.elapsedNs(), once);
+    sw.reset();
+    EXPECT_EQ(sw.elapsedNs(), 0u);
+}
+
+TEST(Timer, ScopedTimerAddsToSink)
+{
+    uint64_t sink = 0;
+    {
+        ScopedTimer t(sink);
+    }
+    uint64_t first = sink;
+    {
+        ScopedTimer t(sink);
+    }
+    EXPECT_GE(sink, first);
+}
+
+TEST(Breakdown, IndexingAndTotal)
+{
+    Breakdown b;
+    b[Component::Enqueue] = 10;
+    b[Component::Dequeue] = 20;
+    b[Component::Compute] = 30;
+    b[Component::Comm] = 40;
+    EXPECT_EQ(b.total(), 100u);
+    EXPECT_DOUBLE_EQ(b.fraction(Component::Compute), 0.3);
+}
+
+TEST(Breakdown, FractionOfEmptyIsZero)
+{
+    Breakdown b;
+    EXPECT_DOUBLE_EQ(b.fraction(Component::Comm), 0.0);
+}
+
+TEST(Breakdown, MergeAccumulatesEverything)
+{
+    Breakdown a;
+    a[Component::Enqueue] = 5;
+    a.tasksProcessed = 3;
+    a.bagsCreated = 1;
+    Breakdown b;
+    b[Component::Enqueue] = 7;
+    b.tasksProcessed = 4;
+    b.aborts = 2;
+    a += b;
+    EXPECT_EQ(a[Component::Enqueue], 12u);
+    EXPECT_EQ(a.tasksProcessed, 7u);
+    EXPECT_EQ(a.bagsCreated, 1u);
+    EXPECT_EQ(a.aborts, 2u);
+}
+
+TEST(Breakdown, ComponentNames)
+{
+    EXPECT_STREQ(componentName(Component::Enqueue), "enqueue");
+    EXPECT_STREQ(componentName(Component::Dequeue), "dequeue");
+    EXPECT_STREQ(componentName(Component::Compute), "compute");
+    EXPECT_STREQ(componentName(Component::Comm), "comm");
+}
+
+TEST(Summary, GeomeanOfEqualValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(Summary, GeomeanMixed)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 2.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Summary, GeomeanEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Summary, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Summary, HistogramBasics)
+{
+    Histogram h(10, 1);
+    for (uint64_t v : {0ull, 1ull, 1ull, 5ull, 100ull})
+        h.record(v);
+    EXPECT_EQ(h.totalSamples(), 5u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(9), 1u); // overflow bucket
+    EXPECT_EQ(h.maxSample(), 100u);
+}
+
+TEST(Summary, HistogramPercentile)
+{
+    Histogram h(100, 1);
+    for (uint64_t v = 0; v < 100; ++v)
+        h.record(v);
+    EXPECT_EQ(h.percentile(0.5), 49u);
+    EXPECT_EQ(h.percentile(1.0), 99u);
+}
+
+TEST(Table, AlignedTextOutput)
+{
+    Table t({"name", "value"});
+    t.row().cell("alpha").cell(uint64_t(42));
+    t.row().cell("b").cell(3.14159, 2);
+    std::ostringstream os;
+    t.printText(os, "demo");
+    std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+    EXPECT_EQ(t.at(0, 1), "42");
+}
+
+TEST(Table, CsvEscaping)
+{
+    Table t({"a", "b"});
+    t.row().cell("x,y").cell("plain");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, AtThrowsOutOfRange)
+{
+    Table t({"a"});
+    EXPECT_THROW(t.at(0, 0), std::out_of_range);
+}
+
+TEST(SpscRing, FifoOrder)
+{
+    SpscRing<int> ring(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(ring.tryPush(i));
+    int out;
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_FALSE(ring.tryPop(out));
+}
+
+TEST(SpscRing, FullRejectsPush)
+{
+    SpscRing<int> ring(4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(ring.tryPush(i));
+    EXPECT_FALSE(ring.tryPush(99));
+    int out;
+    EXPECT_TRUE(ring.tryPop(out));
+    EXPECT_TRUE(ring.tryPush(99));
+}
+
+TEST(SpscRing, ConcurrentProducerConsumer)
+{
+    SpscRing<int> ring(64);
+    constexpr int count = 20000;
+    std::thread producer([&] {
+        for (int i = 0; i < count;) {
+            if (ring.tryPush(i))
+                ++i;
+        }
+    });
+    long long sum = 0;
+    int received = 0;
+    while (received < count) {
+        int v;
+        if (ring.tryPop(v)) {
+            sum += v;
+            ++received;
+        }
+    }
+    producer.join();
+    EXPECT_EQ(sum, static_cast<long long>(count) * (count - 1) / 2);
+}
+
+} // namespace
+} // namespace hdcps

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * hdcps — command-line driver for the library.
+ *
+ * Runs any workload over any scheduler design, on either the simulated
+ * Table-I multicore or the host machine's threads, against generated
+ * or loaded inputs, and reports completion, breakdown, drift, and
+ * verification. This is the "try it on your graph" entry point:
+ *
+ *   hdcps --kernel sssp --input usa --design hdcps-hw
+ *   hdcps --kernel bfs --input web-Google.txt --mode threads --threads 8
+ *   hdcps --kernel pagerank --input lj --design swarm --cores 16 --csv
+ *   hdcps --list
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "algos/workload.h"
+#include "core/hdcps.h"
+#include "cps/multiqueue.h"
+#include "cps/obim.h"
+#include "cps/pmod.h"
+#include "cps/reld.h"
+#include "cps/swminnow.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "runtime/executor.h"
+#include "simsched/runner.h"
+#include "stats/table.h"
+#include "support/logging.h"
+
+namespace {
+
+using namespace hdcps;
+
+struct Options
+{
+    std::string kernel = "sssp";
+    std::string input = "usa";
+    std::string design = "hdcps-sw";
+    std::string mode = "sim";
+    unsigned cores = 64;
+    unsigned threads = 4;
+    unsigned scale = 1;
+    uint64_t seed = 1;
+    NodeId source = 0;
+    bool csv = false;
+    bool list = false;
+    bool printConfig = false;
+    bool stats = false;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "usage: hdcps_cli [options]\n"
+        "  --kernel K    sssp|bfs|astar|mst|color|pagerank (default sssp)\n"
+        "  --input I     generated input (cage|usa|wg|lj) or a graph file\n"
+        "                (.gr DIMACS, .mtx MatrixMarket, .bin, else edge list)\n"
+        "  --design D    scheduler design (see --list); default hdcps-sw\n"
+        "  --mode M      sim (cycle-level 64-core machine) | threads (host)\n"
+        "  --cores N     simulated cores (default 64)\n"
+        "  --threads N   host threads in --mode threads (default 4)\n"
+        "  --scale N     generated-input scale factor (default 1)\n"
+        "  --seed S      generator/scheduler seed (default 1)\n"
+        "  --source N    source node for traversal kernels (default 0)\n"
+        "  --csv         machine-readable one-line output\n"
+        "  --stats       print the input graph's statistics and exit\n"
+        "  --config      print the simulated machine's Table-I parameters\n"
+        "  --list        list kernels and designs, then exit\n";
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options options;
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            hdcps_fatal("missing value for %s", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--kernel") {
+            options.kernel = value(i);
+        } else if (arg == "--input") {
+            options.input = value(i);
+        } else if (arg == "--design") {
+            options.design = value(i);
+        } else if (arg == "--mode") {
+            options.mode = value(i);
+        } else if (arg == "--cores") {
+            options.cores = unsigned(std::strtoul(value(i), nullptr, 10));
+        } else if (arg == "--threads") {
+            options.threads =
+                unsigned(std::strtoul(value(i), nullptr, 10));
+        } else if (arg == "--scale") {
+            options.scale = unsigned(std::strtoul(value(i), nullptr, 10));
+        } else if (arg == "--seed") {
+            options.seed = std::strtoull(value(i), nullptr, 10);
+        } else if (arg == "--source") {
+            options.source =
+                NodeId(std::strtoul(value(i), nullptr, 10));
+        } else if (arg == "--stats") {
+            options.stats = true;
+        } else if (arg == "--csv") {
+            options.csv = true;
+        } else if (arg == "--config") {
+            options.printConfig = true;
+        } else if (arg == "--list") {
+            options.list = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            hdcps_fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    return options;
+}
+
+Graph
+loadInput(const Options &options)
+{
+    for (const char *generated : {"cage", "usa", "wg", "lj"}) {
+        if (options.input == generated)
+            return makePaperInput(options.input, options.scale,
+                                  options.seed);
+    }
+    return loadAnyFile(options.input);
+}
+
+std::unique_ptr<Scheduler>
+makeThreaded(const Options &options)
+{
+    const unsigned t = options.threads;
+    if (options.design == "reld")
+        return std::make_unique<ReldScheduler>(t, options.seed);
+    if (options.design == "multiqueue")
+        return std::make_unique<MultiQueueScheduler>(t, 2, options.seed);
+    if (options.design == "obim")
+        return std::make_unique<ObimScheduler>(t);
+    if (options.design == "pmod")
+        return std::make_unique<PmodScheduler>(t);
+    if (options.design == "swminnow")
+        return std::make_unique<SwMinnowScheduler>(t);
+    if (options.design == "hdcps-srq") {
+        return std::make_unique<HdCpsScheduler>(
+            t, HdCpsScheduler::configSrq());
+    }
+    if (options.design == "hdcps-sw") {
+        return std::make_unique<HdCpsScheduler>(
+            t, HdCpsScheduler::configSw());
+    }
+    hdcps_fatal("design '%s' is not available in --mode threads "
+                "(hardware designs need --mode sim)",
+                options.design.c_str());
+}
+
+int
+runSim(const Options &options, Workload &workload)
+{
+    SimConfig config;
+    config.numCores = options.cores;
+    unsigned width = 1;
+    for (unsigned w = 1; w * w <= options.cores; ++w) {
+        if (options.cores % w == 0)
+            width = w;
+    }
+    config.meshWidth = options.cores / width;
+    if (options.printConfig)
+        config.printTable(std::cout);
+
+    SimResult r = simulate(options.design, workload, config,
+                           options.seed);
+    if (options.csv) {
+        std::cout << options.kernel << "," << options.input << ","
+                  << options.design << "," << options.cores << ","
+                  << r.completionCycles << ","
+                  << r.total.tasksProcessed << "," << r.avgDrift << ","
+                  << (r.verified ? "ok" : "FAIL") << "\n";
+    } else {
+        Table table({"metric", "value"});
+        table.row().cell("design").cell(options.design);
+        table.row().cell("completion (cycles)").cell(
+            r.completionCycles);
+        table.row().cell("tasks processed").cell(
+            r.total.tasksProcessed);
+        table.row().cell("sequential tasks").cell(
+            workload.sequentialTasks());
+        table.row().cell("avg drift (Eq. 1)").cell(r.avgDrift, 2);
+        table.row().cell("enqueue share").cell(
+            r.total.fraction(Component::Enqueue) * 100.0, 1);
+        table.row().cell("dequeue share").cell(
+            r.total.fraction(Component::Dequeue) * 100.0, 1);
+        table.row().cell("compute share").cell(
+            r.total.fraction(Component::Compute) * 100.0, 1);
+        table.row().cell("comm share").cell(
+            r.total.fraction(Component::Comm) * 100.0, 1);
+        table.row().cell("NoC messages").cell(r.noc.messages);
+        table.row().cell("verified").cell(r.verified ? "yes" : "NO");
+        table.printText(std::cout, options.kernel + " on " +
+                                       options.input + " (simulated " +
+                                       std::to_string(options.cores) +
+                                       " cores)");
+        if (!r.verified)
+            std::cout << "verification error: " << r.verifyError
+                      << "\n";
+    }
+    return r.verified ? 0 : 1;
+}
+
+int
+runThreads(const Options &options, Workload &workload)
+{
+    auto scheduler = makeThreaded(options);
+    RunOptions runOptions;
+    runOptions.numThreads = options.threads;
+    RunResult r = run(*scheduler, workload.initialTasks(),
+                      workloadProcessFn(workload), runOptions);
+    std::string why;
+    bool verified = workload.verify(&why);
+    if (options.csv) {
+        std::cout << options.kernel << "," << options.input << ","
+                  << options.design << "," << options.threads << ","
+                  << r.wallNs << "," << r.total.tasksProcessed << ","
+                  << r.avgDrift << "," << (verified ? "ok" : "FAIL")
+                  << "\n";
+    } else {
+        Table table({"metric", "value"});
+        table.row().cell("design").cell(std::string(scheduler->name()));
+        table.row().cell("wall time (ms)").cell(double(r.wallNs) / 1e6,
+                                                2);
+        table.row().cell("tasks processed").cell(
+            r.total.tasksProcessed);
+        table.row().cell("sequential tasks").cell(
+            workload.sequentialTasks());
+        table.row().cell("avg drift (Eq. 1)").cell(r.avgDrift, 2);
+        table.row().cell("verified").cell(verified ? "yes" : "NO");
+        table.printText(std::cout, options.kernel + " on " +
+                                       options.input + " (" +
+                                       std::to_string(options.threads) +
+                                       " host threads)");
+        if (!verified)
+            std::cout << "verification error: " << why << "\n";
+    }
+    return verified ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options = parseArgs(argc, argv);
+    if (options.list) {
+        size_t count = 0;
+        const char *const *kernels = workloadNames(count);
+        std::cout << "kernels:";
+        for (size_t i = 0; i < count; ++i)
+            std::cout << " " << kernels[i];
+        const char *const *designs = designNames(count);
+        std::cout << "\nsim designs:";
+        for (size_t i = 0; i < count; ++i)
+            std::cout << " " << designs[i];
+        std::cout << " hdcps-srq hdcps-srq-tdf hdcps-srq-tdf-ac"
+                  << "\nthreaded designs: reld multiqueue obim pmod "
+                     "swminnow hdcps-srq hdcps-sw\n";
+        return 0;
+    }
+
+    Graph graph = loadInput(options);
+    if (options.stats) {
+        GraphStats s = computeStats(graph);
+        std::cout << "nodes " << s.nodes << "\nedges " << s.edges
+                  << "\navg-degree " << s.avgDegree << "\nmax-degree "
+                  << s.maxDegree << "\nmin-degree " << s.minDegree
+                  << "\nmax-weight " << graph.maxWeight()
+                  << "\ncoordinates "
+                  << (graph.hasCoordinates() ? "yes" : "no") << "\n";
+        return 0;
+    }
+    hdcps_check(options.source < graph.numNodes(),
+                "--source out of range");
+    auto workload = makeWorkload(options.kernel, graph, options.source);
+
+    if (options.mode == "sim")
+        return runSim(options, *workload);
+    if (options.mode == "threads")
+        return runThreads(options, *workload);
+    hdcps_fatal("unknown --mode '%s' (want sim|threads)",
+                options.mode.c_str());
+}
