@@ -15,6 +15,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -174,6 +175,45 @@ benchReps()
 }
 
 /**
+ * Optional per-rep series dump: when HDCPS_BENCH_METRICS_DIR is set,
+ * every simulateMean() measurement appends its per-seed rows
+ * (completion cycles, drift, breakdown components, task counts) to
+ * `<dir>/<design>.csv` next to the printed table, so harness output
+ * can be analyzed as a series over seeds instead of one geomean.
+ */
+class SeriesDump
+{
+  public:
+    static void
+    record(const std::string &design, unsigned rep, uint64_t seed,
+           const SimResult &result)
+    {
+        const char *dir = std::getenv("HDCPS_BENCH_METRICS_DIR");
+        if (!dir)
+            return;
+        std::string path = std::string(dir) + "/" + design + ".csv";
+        bool fresh = !std::ifstream(path).good();
+        std::ofstream out(path, std::ios::app);
+        if (!out) {
+            std::cerr << "warning: cannot append bench series to "
+                      << path << "\n";
+            return;
+        }
+        if (fresh) {
+            out << "rep,seed,completion_cycles,avg_drift,max_drift,"
+                   "tasks_processed,enqueue,dequeue,compute,comm\n";
+        }
+        out << rep << "," << seed << "," << result.completionCycles
+            << "," << result.avgDrift << "," << result.maxDrift << ","
+            << result.total.tasksProcessed << ","
+            << result.total[Component::Enqueue] << ","
+            << result.total[Component::Dequeue] << ","
+            << result.total[Component::Compute] << ","
+            << result.total[Component::Comm] << "\n";
+    }
+};
+
+/**
  * Run a named design benchReps() times with consecutive seeds and
  * return the last run's statistics with completionCycles replaced by
  * the geometric mean across seeds. Every run is verified.
@@ -188,6 +228,7 @@ simulateMean(const std::string &design, Workload &workload,
     for (unsigned rep = 0; rep < reps; ++rep) {
         last = simulate(design, workload, config, benchSeed() + rep);
         requireVerified(last, design);
+        SeriesDump::record(design, rep, benchSeed() + rep, last);
         logSum += std::log(double(last.completionCycles));
     }
     last.completionCycles =
@@ -207,6 +248,7 @@ simulateMean(SimDesign &design, Workload &workload,
     for (unsigned rep = 0; rep < reps; ++rep) {
         last = simulate(design, workload, config, benchSeed() + rep);
         requireVerified(last, design.name());
+        SeriesDump::record(design.name(), rep, benchSeed() + rep, last);
         logSum += std::log(double(last.completionCycles));
     }
     last.completionCycles =

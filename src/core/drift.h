@@ -18,6 +18,7 @@
 #ifndef HDCPS_CORE_DRIFT_H_
 #define HDCPS_CORE_DRIFT_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -76,33 +77,62 @@ class DriftTracker
      * Equation 1 over all cores that have published. Cores that have
      * not yet published are excluded (at startup only the seed core has
      * work). Returns 0 when fewer than two cores have published.
+     *
+     * Each mailbox is read exactly once, into a local snapshot, before
+     * the reduction: re-loading during the sum would race with
+     * concurrent publish() calls, and a core publishing a new minimum
+     * between the best-scan and the sum makes the unsigned `p - best`
+     * wrap to an astronomically large value that poisons the TDF
+     * controller for the whole interval.
      */
     double
     computeDrift() const
     {
+        Priority snapshot[snapshotChunk];
         Priority best = unpublished;
         unsigned published = 0;
-        for (const auto &m : mailboxes_) {
-            Priority p = m.value.load(std::memory_order_relaxed);
-            if (p == unpublished)
-                continue;
-            ++published;
-            if (p < best)
-                best = p;
+        double sum = 0.0;
+        size_t base = 0;
+        // Chunked so arbitrary core counts need no heap allocation on
+        // this (frequent under small sampling intervals) path. `best`
+        // only decreases across chunks, so finishing a chunk before the
+        // final best is known can only over-count; the fixup below
+        // subtracts the accumulated error exactly.
+        while (base < mailboxes_.size()) {
+            size_t n = std::min(snapshotChunk,
+                                mailboxes_.size() - base);
+            Priority chunkBest = best;
+            for (size_t i = 0; i < n; ++i) {
+                Priority p = mailboxes_[base + i].value.load(
+                    std::memory_order_relaxed);
+                snapshot[i] = p;
+                if (p != unpublished && p < chunkBest)
+                    chunkBest = p;
+            }
+            if (chunkBest < best && published > 0) {
+                sum += static_cast<double>(published) *
+                       static_cast<double>(best - chunkBest);
+            }
+            best = chunkBest;
+            for (size_t i = 0; i < n; ++i) {
+                Priority p = snapshot[i];
+                if (p == unpublished)
+                    continue;
+                ++published;
+                sum += static_cast<double>(p - best);
+            }
+            base += n;
         }
         if (published < 2)
             return 0.0;
-        double sum = 0.0;
-        for (const auto &m : mailboxes_) {
-            Priority p = m.value.load(std::memory_order_relaxed);
-            if (p == unpublished)
-                continue;
-            sum += static_cast<double>(p - best);
-        }
         return sum / static_cast<double>(published);
     }
 
   private:
+    /** Stack-snapshot chunk size for computeDrift (covers the Table-I
+     *  64-core machine in one pass; larger counts loop). */
+    static constexpr size_t snapshotChunk = 64;
+
     std::vector<Padded<std::atomic<Priority>>> mailboxes_;
 };
 

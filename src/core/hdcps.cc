@@ -115,14 +115,20 @@ HdCpsScheduler::deliver(unsigned from, unsigned dest,
         drainIncoming(w);
         w.pq.push(PqEntry{envelope.task, envelope.bag});
         localEnqueues_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_)
+            metrics_->add(from, WorkerCounter::LocalEnqueues);
         return;
     }
     remoteEnqueues_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_)
+        metrics_->add(from, WorkerCounter::RemoteEnqueues);
     if (workers_[dest]->rq->tryPush(envelope))
         return;
     // sRQ full: spill to the destination's locked overflow queue. Bags
     // are unpacked here — the overflow path is the slow path anyway.
     overflowPushes_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_)
+        metrics_->add(dest, WorkerCounter::OverflowPushes);
     if (envelope.bag) {
         for (const Task &t : envelope.bag->tasks)
             workers_[dest]->overflow.push(t);
@@ -157,6 +163,11 @@ HdCpsScheduler::pushBatch(unsigned tid, const Task *tasks, size_t count)
         bagsCreated_.fetch_add(1, std::memory_order_relaxed);
         tasksInBags_.fetch_add(bag.tasks.size(),
                                std::memory_order_relaxed);
+        if (metrics_) {
+            metrics_->add(tid, WorkerCounter::BagsCreated);
+            metrics_->add(tid, WorkerCounter::TasksInBags,
+                          bag.tasks.size());
+        }
         Envelope envelope;
         envelope.task.priority = bag.priority;
         envelope.bag = new Bag(std::move(bag));
@@ -221,6 +232,10 @@ HdCpsScheduler::maybeSample(unsigned tid, Priority poppedPriority)
 
     // Algorithm 3: report the latest processed priority to the master.
     drift_.publish(tid, poppedPriority);
+    if (metrics_) {
+        metrics_->record(tid, WorkerSeries::SrqOccupancy,
+                         static_cast<double>(w.rq->sizeApprox()));
+    }
     if (!config_.useTdf)
         return;
 
@@ -237,10 +252,19 @@ HdCpsScheduler::maybeSample(unsigned tid, Priority poppedPriority)
         return;
     if (!updateMutex_.try_lock())
         return;
-    publishRound_.store(0, std::memory_order_relaxed);
+    // Subtracting one full round (rather than storing 0) keeps the
+    // reports that raced in between the winning fetch_add and this
+    // reset: discarding them stretched sampling intervals under
+    // contention.
+    publishRound_.fetch_sub(numWorkers(), std::memory_order_relaxed);
     double drift = drift_.computeDrift();
     driftSeries_.record(drift);
-    tdfController_.update(drift);
+    unsigned tdf = tdfController_.update(drift);
+    if (metrics_) {
+        metrics_->recordGlobal(GlobalSeries::TdfDrift, drift);
+        metrics_->recordGlobal(GlobalSeries::Tdf,
+                               static_cast<double>(tdf));
+    }
     updateMutex_.unlock();
 }
 

@@ -79,24 +79,34 @@ class ReceiveQueue
     bool
     tryPop(T &out)
     {
-        Slot &slot = slots_[readPtr_ & mask_];
+        // Only the owner writes readPtr_, so relaxed loads/stores keep
+        // the owner path as cheap as the old plain field while letting
+        // sizeApprox() read it from any thread without a data race.
+        size_t read = readPtr_.load(std::memory_order_relaxed);
+        Slot &slot = slots_[read & mask_];
         size_t seq = slot.seq.load(std::memory_order_acquire);
         if (static_cast<intptr_t>(seq) -
-                static_cast<intptr_t>(readPtr_ + 1) != 0) {
+                static_cast<intptr_t>(read + 1) != 0) {
             return false; // empty (or producer mid-write)
         }
         out = slot.value;
-        slot.seq.store(readPtr_ + mask_ + 1, std::memory_order_release);
-        ++readPtr_;
+        slot.seq.store(read + mask_ + 1, std::memory_order_release);
+        readPtr_.store(read + 1, std::memory_order_relaxed);
         return true;
     }
 
-    /** Approximate occupancy (exact for the owner when quiescent). */
+    /** Approximate occupancy (exact for the owner when quiescent).
+     *  Safe from any thread — both pointers are atomics. Loading
+     *  readPtr_ first keeps the difference non-negative (readPtr_ is
+     *  monotonic and never passes writePtr_); the clamp bounds the
+     *  overshoot a racing pop can add. */
     size_t
     sizeApprox() const
     {
+        size_t r = readPtr_.load(std::memory_order_relaxed);
         size_t w = writePtr_.load(std::memory_order_acquire);
-        return w - readPtr_;
+        size_t n = w - r;
+        return n > capacity() ? capacity() : n;
     }
 
     size_t capacity() const { return mask_ + 1; }
@@ -111,7 +121,9 @@ class ReceiveQueue
     std::unique_ptr<Slot[]> slots_;
     size_t mask_;
     alignas(cacheLineBytes) std::atomic<size_t> writePtr_{0};
-    alignas(cacheLineBytes) size_t readPtr_{0};
+    /** Owner-advanced; atomic so non-owner sizeApprox() reads are not
+     *  UB (TSan-clean). */
+    alignas(cacheLineBytes) std::atomic<size_t> readPtr_{0};
 };
 
 } // namespace hdcps

@@ -26,6 +26,12 @@ MultiQueueScheduler::push(unsigned tid, const Task &task)
 {
     size_t q = workers_[tid]->rng.below(queues_.size());
     queues_[q]->push(task);
+    if (metrics_) {
+        // A queue "belongs" to worker q / c for attribution purposes.
+        bool local = q / (queues_.size() / numWorkers()) == tid;
+        metrics_->add(tid, local ? WorkerCounter::LocalEnqueues
+                                 : WorkerCounter::RemoteEnqueues);
+    }
 }
 
 bool
@@ -50,13 +56,24 @@ MultiQueueScheduler::tryPop(unsigned tid, Task &out)
         } else {
             continue;
         }
-        if (queues_[pick]->tryPop(out))
+        if (queues_[pick]->tryPop(out)) {
+            if (metrics_ && metrics_->tick(tid)) {
+                metrics_->record(
+                    tid, WorkerSeries::QueueOccupancy,
+                    static_cast<double>(queues_[pick]->size()));
+            }
             return true;
+        }
     }
     // Fall back to a full scan so no task can be stranded.
     for (auto &queue : queues_) {
-        if (queue->tryPop(out))
+        if (queue->tryPop(out)) {
+            if (metrics_ && metrics_->tick(tid)) {
+                metrics_->record(tid, WorkerSeries::QueueOccupancy,
+                                 static_cast<double>(queue->size()));
+            }
             return true;
+        }
     }
     return false;
 }

@@ -16,8 +16,9 @@ ObimBase::ObimBase(unsigned numWorkers, const Config &config)
 }
 
 ObimBag *
-ObimBase::findOrCreateBag(Priority base)
+ObimBase::findOrCreateBag(Priority base, bool &created)
 {
+    created = false;
     {
         std::shared_lock<std::shared_mutex> lock(mapMutex_);
         auto it = bags_.find(base);
@@ -26,8 +27,10 @@ ObimBase::findOrCreateBag(Priority base)
     }
     std::unique_lock<std::shared_mutex> lock(mapMutex_);
     auto [it, inserted] = bags_.try_emplace(base, nullptr);
-    if (inserted)
+    if (inserted) {
         it->second = std::make_unique<ObimBag>(base);
+        created = true;
+    }
     return it->second.get();
 }
 
@@ -45,10 +48,16 @@ ObimBase::findBestBag()
 void
 ObimBase::push(unsigned tid, const Task &task)
 {
-    (void)tid;
     unsigned delta = delta_.load(std::memory_order_relaxed);
     Priority base = (task.priority >> delta) << delta;
-    findOrCreateBag(base)->push(task);
+    bool created = false;
+    findOrCreateBag(base, created)->push(task);
+    if (metrics_) {
+        // Every OBIM push lands in the shared map, i.e. is "remote".
+        metrics_->add(tid, WorkerCounter::RemoteEnqueues);
+        if (created)
+            metrics_->add(tid, WorkerCounter::BagsCreated);
+    }
 }
 
 bool
@@ -59,6 +68,7 @@ ObimBase::tryPop(unsigned tid, Task &out)
     if (!w.chunk.empty()) {
         out = w.chunk.back();
         w.chunk.pop_back();
+        sampleOccupancy(tid, w);
         return true;
     }
 
@@ -70,6 +80,7 @@ ObimBase::tryPop(unsigned tid, Task &out)
             w.takenFromCurrent += got;
             out = w.chunk.back();
             w.chunk.pop_back();
+            sampleOccupancy(tid, w);
             return true;
         }
         onBagExhausted(w.takenFromCurrent);
@@ -88,7 +99,19 @@ ObimBase::tryPop(unsigned tid, Task &out)
     w.takenFromCurrent = got;
     out = w.chunk.back();
     w.chunk.pop_back();
+    sampleOccupancy(tid, w);
     return true;
+}
+
+void
+ObimBase::sampleOccupancy(unsigned tid, WorkerState &w)
+{
+    if (!metrics_ || !metrics_->tick(tid))
+        return;
+    metrics_->record(tid, WorkerSeries::QueueOccupancy,
+                     static_cast<double>(w.chunk.size()));
+    metrics_->set(tid, WorkerGauge::QueueDepth,
+                  static_cast<double>(w.takenFromCurrent));
 }
 
 size_t

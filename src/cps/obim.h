@@ -118,15 +118,16 @@ class ObimBase : public Scheduler
     Config config_;
 
   private:
-    ObimBag *findOrCreateBag(Priority base);
-    ObimBag *findBestBag();
-
     struct alignas(cacheLineBytes) WorkerState
     {
         std::vector<Task> chunk;  ///< locally claimed tasks
         ObimBag *currentBag = nullptr;
         size_t takenFromCurrent = 0;
     };
+
+    ObimBag *findOrCreateBag(Priority base, bool &created);
+    ObimBag *findBestBag();
+    void sampleOccupancy(unsigned tid, WorkerState &w);
 
     mutable std::shared_mutex mapMutex_;
     std::map<Priority, std::unique_ptr<ObimBag>> bags_;

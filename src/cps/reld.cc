@@ -22,12 +22,22 @@ ReldScheduler::push(unsigned tid, const Task &task)
     unsigned dest = static_cast<unsigned>(
         workers_[tid]->rng.below(numWorkers()));
     workers_[dest]->pq.push(task);
+    if (metrics_) {
+        metrics_->add(tid, dest == tid ? WorkerCounter::LocalEnqueues
+                                       : WorkerCounter::RemoteEnqueues);
+    }
 }
 
 bool
 ReldScheduler::tryPop(unsigned tid, Task &out)
 {
-    return workers_[tid]->pq.tryPop(out);
+    if (!workers_[tid]->pq.tryPop(out))
+        return false;
+    if (metrics_ && metrics_->tick(tid)) {
+        metrics_->record(tid, WorkerSeries::QueueOccupancy,
+                         static_cast<double>(workers_[tid]->pq.size()));
+    }
+    return true;
 }
 
 size_t

@@ -27,6 +27,7 @@
 #include <cstddef>
 
 #include "cps/task.h"
+#include "obs/metrics.h"
 
 namespace hdcps {
 
@@ -66,6 +67,19 @@ class Scheduler
     virtual const char *name() const = 0;
 
     unsigned numWorkers() const { return numWorkers_; }
+
+    /**
+     * Attach an observability registry (nullptr detaches). Designs
+     * record occupancy series and distribution counters into it; when
+     * none is attached the hot paths pay one predictable branch.
+     * Must be called while no worker is inside push/tryPop.
+     */
+    void attachMetrics(MetricsRegistry *metrics) { metrics_ = metrics; }
+
+    MetricsRegistry *metrics() const { return metrics_; }
+
+  protected:
+    MetricsRegistry *metrics_ = nullptr;
 
   private:
     unsigned numWorkers_;

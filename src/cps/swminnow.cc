@@ -31,8 +31,14 @@ SwMinnowScheduler::tryPop(unsigned tid, Task &out)
 {
     // Staged work first: this is the decoupling benefit — the worker
     // avoids touching the shared map while its helper keeps up.
-    if (staging_[tid]->tryPop(out))
+    if (staging_[tid]->tryPop(out)) {
+        if (metrics_ && metrics_->tick(tid)) {
+            metrics_->record(
+                tid, WorkerSeries::QueueOccupancy,
+                static_cast<double>(staging_[tid]->sizeApprox()));
+        }
         return true;
+    }
     // Fall back to the plain OBIM path so a lagging helper can never
     // starve a worker or strand tasks.
     return ObimBase::tryPop(tid, out);

@@ -1,0 +1,167 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace hdcps {
+
+namespace {
+
+/** JSON number formatting: shortest round-trippable double; JSON has
+ *  no NaN/Inf, so non-finite values degrade to null. */
+void
+jsonNumber(std::ostream &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out << buf;
+}
+
+void
+jsonString(std::ostream &out, const std::string &s)
+{
+    out << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out << "\\\""; break;
+        case '\\': out << "\\\\"; break;
+        case '\n': out << "\\n"; break;
+        case '\t': out << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out << buf;
+            } else {
+                out << c;
+            }
+        }
+    }
+    out << '"';
+}
+
+} // namespace
+
+void
+writeMetricsJson(std::ostream &out, const MetricsSnapshot &snap)
+{
+    out << "{\n";
+    out << "  \"schema\": \"hdcps-metrics-v1\",\n";
+    out << "  \"epoch_ns\": " << snap.epochNs << ",\n";
+    out << "  \"taken_ns\": " << snap.takenNs << ",\n";
+    out << "  \"num_workers\": " << snap.numWorkers << ",\n";
+    out << "  \"sample_interval\": " << snap.sampleInterval << ",\n";
+
+    out << "  \"counters\": {";
+    for (size_t i = 0; i < snap.counters.size(); ++i) {
+        const auto &c = snap.counters[i];
+        out << (i ? ",\n    " : "\n    ");
+        jsonString(out, c.name);
+        out << ": {\"total\": " << c.total << ", \"per_worker\": [";
+        for (size_t w = 0; w < c.perWorker.size(); ++w)
+            out << (w ? ", " : "") << c.perWorker[w];
+        out << "]}";
+    }
+    out << "\n  },\n";
+
+    out << "  \"gauges\": {";
+    for (size_t i = 0; i < snap.gauges.size(); ++i) {
+        const auto &g = snap.gauges[i];
+        out << (i ? ",\n    " : "\n    ");
+        jsonString(out, g.name);
+        out << ": {\"per_worker\": [";
+        for (size_t w = 0; w < g.perWorker.size(); ++w) {
+            out << (w ? ", " : "");
+            jsonNumber(out, g.perWorker[w]);
+        }
+        out << "]}";
+    }
+    out << "\n  },\n";
+
+    out << "  \"series\": [";
+    for (size_t i = 0; i < snap.series.size(); ++i) {
+        const auto &s = snap.series[i];
+        out << (i ? ",\n    " : "\n    ");
+        out << "{\"name\": ";
+        jsonString(out, s.name);
+        out << ", \"worker\": ";
+        if (s.worker < 0)
+            out << "null";
+        else
+            out << s.worker;
+        uint64_t kept = s.samples.size();
+        out << ", \"total_recorded\": " << s.totalRecorded
+            << ", \"dropped\": " << (s.totalRecorded - kept)
+            << ", \"samples\": [";
+        for (size_t j = 0; j < s.samples.size(); ++j) {
+            out << (j ? ", " : "") << "[" << s.samples[j].t << ", ";
+            jsonNumber(out, s.samples[j].value);
+            out << "]";
+        }
+        out << "]}";
+    }
+    out << "\n  ]\n";
+    out << "}\n";
+}
+
+std::string
+metricsToJson(const MetricsSnapshot &snap)
+{
+    std::ostringstream out;
+    writeMetricsJson(out, snap);
+    return out.str();
+}
+
+void
+writeMetricsCsv(std::ostream &out, const MetricsSnapshot &snap)
+{
+    out << "kind,name,worker,t_ns,value\n";
+    for (const auto &c : snap.counters) {
+        out << "counter," << c.name << ",,," << c.total << "\n";
+        for (size_t w = 0; w < c.perWorker.size(); ++w) {
+            out << "counter," << c.name << "," << w << ",,"
+                << c.perWorker[w] << "\n";
+        }
+    }
+    char buf[32];
+    for (const auto &g : snap.gauges) {
+        for (size_t w = 0; w < g.perWorker.size(); ++w) {
+            std::snprintf(buf, sizeof(buf), "%.17g", g.perWorker[w]);
+            out << "gauge," << g.name << "," << w << ",," << buf << "\n";
+        }
+    }
+    for (const auto &s : snap.series) {
+        for (const MetricSample &sample : s.samples) {
+            out << "series," << s.name << ",";
+            if (s.worker >= 0)
+                out << s.worker;
+            out << "," << sample.t << ",";
+            std::snprintf(buf, sizeof(buf), "%.17g", sample.value);
+            out << buf << "\n";
+        }
+    }
+}
+
+bool
+writeMetricsFile(const std::string &path, const MetricsSnapshot &snap)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    size_t dot = path.find_last_of('.');
+    bool csv = dot != std::string::npos && path.substr(dot) == ".csv";
+    if (csv)
+        writeMetricsCsv(out, snap);
+    else
+        writeMetricsJson(out, snap);
+    return bool(out);
+}
+
+} // namespace hdcps

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Exporters for metrics snapshots: a self-describing JSON document and
+ * a long-format CSV. The schema is documented in README.md
+ * ("Observability: metrics output schema") — keep the two in sync.
+ */
+
+#ifndef HDCPS_OBS_EXPORT_H_
+#define HDCPS_OBS_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace hdcps {
+
+/** Write the snapshot as one JSON object (schema hdcps-metrics-v1). */
+void writeMetricsJson(std::ostream &out, const MetricsSnapshot &snap);
+
+/** The same document as a string (convenience for tests/tools). */
+std::string metricsToJson(const MetricsSnapshot &snap);
+
+/**
+ * Long-format CSV: header `kind,name,worker,t_ns,value`; one row per
+ * counter/gauge value and per series sample. `worker` is empty for
+ * global series and counter totals; `t_ns` is empty for counters and
+ * gauges.
+ */
+void writeMetricsCsv(std::ostream &out, const MetricsSnapshot &snap);
+
+/**
+ * Write the snapshot to `path`, picking the format by extension
+ * (".csv" -> CSV, anything else -> JSON). Returns false when the file
+ * cannot be opened.
+ */
+bool writeMetricsFile(const std::string &path,
+                      const MetricsSnapshot &snap);
+
+} // namespace hdcps
+
+#endif // HDCPS_OBS_EXPORT_H_

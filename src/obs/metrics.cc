@@ -1,0 +1,164 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace hdcps {
+
+const char *
+workerCounterName(WorkerCounter c)
+{
+    static const char *const names[unsigned(WorkerCounter::Count)] = {
+        "tasks_processed", "empty_tasks",   "local_enqueues",
+        "remote_enqueues", "overflow_pushes", "bags_created",
+        "tasks_in_bags",
+    };
+    return names[unsigned(c)];
+}
+
+const char *
+workerGaugeName(WorkerGauge g)
+{
+    static const char *const names[unsigned(WorkerGauge::Count)] = {
+        "queue_depth",
+        "pending_tasks",
+    };
+    return names[unsigned(g)];
+}
+
+const char *
+workerSeriesName(WorkerSeries s)
+{
+    static const char *const names[unsigned(WorkerSeries::Count)] = {
+        "srq_occupancy", "queue_occupancy", "enqueue_ns",
+        "dequeue_ns",    "compute_ns",      "comm_ns",
+    };
+    return names[unsigned(s)];
+}
+
+const char *
+globalSeriesName(GlobalSeries s)
+{
+    static const char *const names[unsigned(GlobalSeries::Count)] = {
+        "drift",
+        "tdf_drift",
+        "tdf",
+    };
+    return names[unsigned(s)];
+}
+
+MetricsRegistry::MetricsRegistry(unsigned numWorkers,
+                                 const Config &config)
+    : config_(config), epochNs_(nowNs())
+{
+    hdcps_check(numWorkers >= 1, "need at least one worker");
+    hdcps_check(config.seriesCapacity >= 1,
+                "series capacity must be >= 1");
+    hdcps_check(config.sampleInterval >= 1,
+                "sample interval must be >= 1");
+    workers_.reserve(numWorkers);
+    for (unsigned i = 0; i < numWorkers; ++i) {
+        auto slot = std::make_unique<WorkerSlot>();
+        slot->series.reserve(unsigned(WorkerSeries::Count));
+        for (unsigned s = 0; s < unsigned(WorkerSeries::Count); ++s) {
+            slot->series.push_back(std::make_unique<MetricTimeSeries>(
+                config.seriesCapacity));
+        }
+        workers_.push_back(std::move(slot));
+    }
+    global_.reserve(unsigned(GlobalSeries::Count));
+    for (unsigned s = 0; s < unsigned(GlobalSeries::Count); ++s) {
+        global_.push_back(
+            std::make_unique<MetricTimeSeries>(config.seriesCapacity));
+    }
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    snap.epochNs = epochNs_;
+    snap.takenNs = now();
+    snap.numWorkers = numWorkers();
+    snap.sampleInterval = config_.sampleInterval;
+
+    for (unsigned c = 0; c < unsigned(WorkerCounter::Count); ++c) {
+        MetricsSnapshot::Counter counter;
+        counter.name = workerCounterName(WorkerCounter(c));
+        counter.perWorker.reserve(workers_.size());
+        for (const auto &w : workers_) {
+            uint64_t v = w->counters[c].load(std::memory_order_relaxed);
+            counter.perWorker.push_back(v);
+            counter.total += v;
+        }
+        snap.counters.push_back(std::move(counter));
+    }
+
+    for (unsigned g = 0; g < unsigned(WorkerGauge::Count); ++g) {
+        MetricsSnapshot::Gauge gauge;
+        gauge.name = workerGaugeName(WorkerGauge(g));
+        gauge.perWorker.reserve(workers_.size());
+        for (const auto &w : workers_)
+            gauge.perWorker.push_back(
+                w->gauges[g].load(std::memory_order_relaxed));
+        snap.gauges.push_back(std::move(gauge));
+    }
+
+    auto addSeries = [&snap](const MetricTimeSeries &ts,
+                             const char *name, int worker) {
+        uint64_t total = ts.totalRecorded();
+        if (total == 0)
+            return; // never written: keep exports compact
+        MetricsSnapshot::Series series;
+        series.name = name;
+        series.worker = worker;
+        series.totalRecorded = total;
+        series.samples = ts.snapshot();
+        snap.series.push_back(std::move(series));
+    };
+
+    for (unsigned s = 0; s < unsigned(GlobalSeries::Count); ++s)
+        addSeries(*global_[s], globalSeriesName(GlobalSeries(s)), -1);
+    for (unsigned tid = 0; tid < workers_.size(); ++tid) {
+        for (unsigned s = 0; s < unsigned(WorkerSeries::Count); ++s) {
+            addSeries(*workers_[tid]->series[s],
+                      workerSeriesName(WorkerSeries(s)), int(tid));
+        }
+    }
+    return snap;
+}
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    numWorkers = std::max(numWorkers, other.numWorkers);
+    takenNs = std::max(takenNs, other.takenNs);
+    for (const Counter &theirs : other.counters) {
+        auto it = std::find_if(counters.begin(), counters.end(),
+                               [&theirs](const Counter &c) {
+                                   return c.name == theirs.name;
+                               });
+        if (it == counters.end()) {
+            counters.push_back(theirs);
+            continue;
+        }
+        it->total += theirs.total;
+        it->perWorker.resize(
+            std::max(it->perWorker.size(), theirs.perWorker.size()), 0);
+        for (size_t i = 0; i < theirs.perWorker.size(); ++i)
+            it->perWorker[i] += theirs.perWorker[i];
+    }
+    for (const Gauge &theirs : other.gauges) {
+        auto it = std::find_if(gauges.begin(), gauges.end(),
+                               [&theirs](const Gauge &g) {
+                                   return g.name == theirs.name;
+                               });
+        if (it == gauges.end())
+            gauges.push_back(theirs);
+        else
+            *it = theirs; // gauges are last-value: newest snapshot wins
+    }
+    for (const Series &theirs : other.series)
+        series.push_back(theirs);
+}
+
+} // namespace hdcps

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Low-overhead scheduler observability: per-worker, cache-padded metric
+ * slots (counters + gauges + fixed-capacity time-series ring buffers)
+ * behind one registry, with a snapshot/merge API.
+ *
+ * Motivation (MultiQueues engineering paper, PMOD): adaptive schedulers
+ * are only debuggable and tunable when their internal signals — drift,
+ * TDF decisions, receive-queue occupancy, bag creation — are visible
+ * *over time*, not just as end-of-run averages. A lone average hides
+ * exactly the pathologies that matter (e.g. a wrapped-subtraction drift
+ * spike poisons the TDF controller for one interval and then vanishes
+ * into the mean).
+ *
+ * Concurrency contract (kept deliberately loose so the hot path stays
+ * cheap):
+ *  - counter/gauge writes are relaxed atomics — safe from any thread;
+ *  - each TimeSeries has a single writer at a time (per-worker series
+ *    are written by the owning worker; global series by whichever
+ *    thread holds the sampling role, serialized by the caller);
+ *  - snapshot() may run concurrently with writers. Samples about to be
+ *    overwritten in a full ring can tear (timestamp from one sample,
+ *    value from another) — acceptable for observability, and all
+ *    accesses are atomic so there is no UB and TSan stays quiet.
+ */
+
+#ifndef HDCPS_OBS_METRICS_H_
+#define HDCPS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/compiler.h"
+#include "support/logging.h"
+#include "support/timer.h"
+
+namespace hdcps {
+
+/** One timestamped observation (t is ns since the registry's epoch). */
+struct MetricSample
+{
+    uint64_t t = 0;
+    double value = 0.0;
+};
+
+/**
+ * Fixed-capacity ring of timestamped samples. Overwrites the oldest
+ * sample when full; totalRecorded() exposes how many were ever written
+ * so exporters can report drops.
+ */
+class MetricTimeSeries
+{
+  public:
+    explicit MetricTimeSeries(size_t capacity) : capacity_(capacity)
+    {
+        hdcps_check(capacity >= 1, "time series capacity must be >= 1");
+        slots_ = std::make_unique<Slot[]>(capacity);
+    }
+
+    size_t capacity() const { return capacity_; }
+
+    /** Samples ever recorded (recorded - min(recorded, capacity) were
+     *  dropped by the ring). */
+    uint64_t
+    totalRecorded() const
+    {
+        return count_.load(std::memory_order_acquire);
+    }
+
+    /** Append one sample. Single writer at a time (see file comment). */
+    void
+    record(uint64_t t, double value)
+    {
+        uint64_t n = count_.load(std::memory_order_relaxed);
+        Slot &slot = slots_[n % capacity_];
+        slot.t.store(t, std::memory_order_relaxed);
+        slot.value.store(value, std::memory_order_relaxed);
+        count_.store(n + 1, std::memory_order_release);
+    }
+
+    /** The retained samples, oldest first. Safe concurrently with the
+     *  writer (wraparound tearing possible, see file comment). */
+    std::vector<MetricSample>
+    snapshot() const
+    {
+        uint64_t n = count_.load(std::memory_order_acquire);
+        uint64_t keep = n < capacity_ ? n : capacity_;
+        std::vector<MetricSample> out;
+        out.reserve(keep);
+        for (uint64_t i = n - keep; i < n; ++i) {
+            const Slot &slot = slots_[i % capacity_];
+            out.push_back(
+                MetricSample{slot.t.load(std::memory_order_relaxed),
+                             slot.value.load(std::memory_order_relaxed)});
+        }
+        return out;
+    }
+
+  private:
+    struct Slot
+    {
+        std::atomic<uint64_t> t{0};
+        std::atomic<double> value{0.0};
+    };
+
+    std::unique_ptr<Slot[]> slots_;
+    size_t capacity_;
+    std::atomic<uint64_t> count_{0};
+};
+
+/** Per-worker monotonic counters. */
+enum class WorkerCounter : unsigned {
+    TasksProcessed = 0, ///< pops whose processing completed
+    EmptyTasks,         ///< processed tasks that created no children
+    LocalEnqueues,      ///< tasks pushed to the worker's own queue
+    RemoteEnqueues,     ///< tasks pushed toward another worker
+    OverflowPushes,     ///< sRQ-full fallbacks to the spill path
+    BagsCreated,        ///< Algorithm 1 bags created
+    TasksInBags,        ///< tasks shipped inside bags
+    Count
+};
+
+/** Per-worker last-value gauges. */
+enum class WorkerGauge : unsigned {
+    QueueDepth = 0, ///< tasks buffered at the worker (design-defined)
+    PendingTasks,   ///< runtime in-flight count (sampled by worker 0)
+    Count
+};
+
+/** Per-worker time series. */
+enum class WorkerSeries : unsigned {
+    SrqOccupancy = 0, ///< HD-CPS receive-queue occupancy at sample time
+    QueueOccupancy,   ///< baseline designs' local buffered work
+    EnqueueNs,        ///< cumulative per-phase breakdown (threaded runtime)
+    DequeueNs,
+    ComputeNs,
+    CommNs,
+    Count
+};
+
+/** Global (master-written) time series. */
+enum class GlobalSeries : unsigned {
+    Drift = 0, ///< executor's design-independent Eq. 1 samples
+    TdfDrift,  ///< drift samples the TDF controller actually consumed
+    Tdf,       ///< TDF percentage after each Algorithm 2 decision
+    Count
+};
+
+const char *workerCounterName(WorkerCounter c);
+const char *workerGaugeName(WorkerGauge g);
+const char *workerSeriesName(WorkerSeries s);
+const char *globalSeriesName(GlobalSeries s);
+
+/** Everything a registry held at one instant, merged and nameable. */
+struct MetricsSnapshot
+{
+    struct Counter
+    {
+        std::string name;
+        uint64_t total = 0;
+        std::vector<uint64_t> perWorker;
+    };
+
+    struct Gauge
+    {
+        std::string name;
+        std::vector<double> perWorker;
+    };
+
+    struct Series
+    {
+        std::string name;
+        int worker = -1; ///< -1 = global
+        uint64_t totalRecorded = 0;
+        std::vector<MetricSample> samples;
+    };
+
+    uint64_t epochNs = 0;       ///< registry creation, absolute ns
+    uint64_t takenNs = 0;       ///< snapshot time relative to epoch
+    unsigned numWorkers = 0;
+    uint64_t sampleInterval = 0;
+    std::vector<Counter> counters;
+    std::vector<Gauge> gauges;
+    std::vector<Series> series; ///< only non-empty series
+
+    /**
+     * Fold another snapshot into this one (counters add element-wise by
+     * name, gauges keep the other's values where set, series are
+     * appended). Used to combine registries from repeated runs.
+     */
+    void merge(const MetricsSnapshot &other);
+};
+
+/**
+ * The registry: one cache-padded slot per worker plus the global
+ * series. Hot-path methods are branch-plus-relaxed-atomic cheap; the
+ * expensive work (naming, merging, export) happens in snapshot().
+ */
+class MetricsRegistry
+{
+  public:
+    struct Config
+    {
+        size_t seriesCapacity = 4096; ///< ring slots per time series
+        /** Pops between occupancy samples taken via tick(). */
+        uint64_t sampleInterval = 500;
+    };
+
+    explicit MetricsRegistry(unsigned numWorkers)
+        : MetricsRegistry(numWorkers, Config{})
+    {}
+
+    MetricsRegistry(unsigned numWorkers, const Config &config);
+
+    unsigned numWorkers() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    uint64_t sampleInterval() const { return config_.sampleInterval; }
+
+    /** Nanoseconds since the registry was created. */
+    uint64_t now() const { return nowNs() - epochNs_; }
+
+    /** Bump a per-worker counter (relaxed; safe from any thread). */
+    void
+    add(unsigned tid, WorkerCounter c, uint64_t n = 1)
+    {
+        workers_[tid]->counters[unsigned(c)].fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    /** Set a per-worker gauge (relaxed; safe from any thread). */
+    void
+    set(unsigned tid, WorkerGauge g, double value)
+    {
+        workers_[tid]->gauges[unsigned(g)].store(
+            value, std::memory_order_relaxed);
+    }
+
+    /** Record into a per-worker series (owning worker only). */
+    void
+    record(unsigned tid, WorkerSeries s, double value)
+    {
+        workers_[tid]->series[unsigned(s)]->record(now(), value);
+    }
+
+    /** Record into a global series (caller serializes writers). */
+    void
+    recordGlobal(GlobalSeries s, double value)
+    {
+        global_[unsigned(s)]->record(now(), value);
+    }
+
+    /**
+     * Per-worker sampling pacer: count one pop for tid and return true
+     * every sampleInterval-th call. Owning worker only — this is the
+     * one-liner that lets every scheduler design emit occupancy series
+     * without keeping its own sampling state.
+     */
+    bool
+    tick(unsigned tid)
+    {
+        WorkerSlot &w = *workers_[tid];
+        if (++w.ticks < config_.sampleInterval)
+            return false;
+        w.ticks = 0;
+        return true;
+    }
+
+    /** Name, merge and copy out everything currently held. */
+    MetricsSnapshot snapshot() const;
+
+  private:
+    struct alignas(cacheLineBytes) WorkerSlot
+    {
+        std::atomic<uint64_t>
+            counters[unsigned(WorkerCounter::Count)] = {};
+        std::atomic<double> gauges[unsigned(WorkerGauge::Count)] = {};
+        uint64_t ticks = 0; ///< owner-only tick() state
+        std::vector<std::unique_ptr<MetricTimeSeries>> series;
+    };
+
+    Config config_;
+    uint64_t epochNs_;
+    std::vector<std::unique_ptr<WorkerSlot>> workers_;
+    std::vector<std::unique_ptr<MetricTimeSeries>> global_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_OBS_METRICS_H_

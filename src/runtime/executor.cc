@@ -30,6 +30,7 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
     Scheduler &sched = *state.sched;
     const ProcessFn &process = *state.process;
     const bool timed = state.options.recordBreakdown;
+    MetricsRegistry *metrics = state.options.metrics;
     std::vector<Task> children;
     children.reserve(64);
     unsigned idleSpins = 0;
@@ -44,8 +45,17 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
         if (!got) {
             if (timed)
                 breakdown[Component::Comm] += t1 - t0;
-            if (state.pending.load(std::memory_order_acquire) == 0)
+            if (state.pending.load(std::memory_order_acquire) == 0) {
+                if (metrics) {
+                    // Per-worker totals land once, at loop exit — the
+                    // hot path itself stays metrics-free.
+                    metrics->add(tid, WorkerCounter::TasksProcessed,
+                                 breakdown.tasksProcessed);
+                    metrics->add(tid, WorkerCounter::EmptyTasks,
+                                 breakdown.emptyTasks);
+                }
                 return;
+            }
             // Backoff: brief spin, then yield so oversubscribed hosts
             // (threads > cores) still make progress.
             if (++idleSpins > 32) {
@@ -84,10 +94,36 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
         // Design-independent drift reporting (Eq. 1): publish every
         // pop, sample on worker 0's interval.
         state.drift.publish(tid, task.priority);
-        if (tid == 0 &&
-            ++popsSinceSample >= state.options.driftSampleInterval) {
+        if (++popsSinceSample >= state.options.driftSampleInterval) {
             popsSinceSample = 0;
-            state.series.record(state.drift.computeDrift());
+            if (tid == 0) {
+                double drift = state.drift.computeDrift();
+                state.series.record(drift);
+                if (metrics) {
+                    metrics->recordGlobal(GlobalSeries::Drift, drift);
+                    metrics->set(
+                        0, WorkerGauge::PendingTasks,
+                        static_cast<double>(state.pending.load(
+                            std::memory_order_relaxed)));
+                }
+            }
+            if (metrics && timed) {
+                // Cumulative per-phase breakdown as a series: the
+                // deltas between samples localize where time went
+                // within the run, which the end-of-run totals cannot.
+                metrics->record(
+                    tid, WorkerSeries::EnqueueNs,
+                    static_cast<double>(breakdown[Component::Enqueue]));
+                metrics->record(
+                    tid, WorkerSeries::DequeueNs,
+                    static_cast<double>(breakdown[Component::Dequeue]));
+                metrics->record(
+                    tid, WorkerSeries::ComputeNs,
+                    static_cast<double>(breakdown[Component::Compute]));
+                metrics->record(
+                    tid, WorkerSeries::CommNs,
+                    static_cast<double>(breakdown[Component::Comm]));
+            }
         }
     }
 }
@@ -104,6 +140,12 @@ run(Scheduler &sched, const std::vector<Task> &initial,
                 options.numThreads, sched.numWorkers());
     hdcps_check(options.driftSampleInterval >= 1,
                 "drift sample interval must be >= 1");
+    if (options.metrics) {
+        hdcps_check(options.metrics->numWorkers() >= options.numThreads,
+                    "metrics registry has %u workers, need %u",
+                    options.metrics->numWorkers(), options.numThreads);
+        sched.attachMetrics(options.metrics);
+    }
 
     RunState state(options.numThreads);
     state.sched = &sched;

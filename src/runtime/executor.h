@@ -25,6 +25,7 @@
 
 #include "core/drift.h"
 #include "cps/scheduler.h"
+#include "obs/metrics.h"
 #include "stats/breakdown.h"
 
 namespace hdcps {
@@ -43,6 +44,14 @@ struct RunOptions
     unsigned numThreads = 1;
     unsigned driftSampleInterval = 2000; ///< pops between Eq.1 samples
     bool recordBreakdown = true;         ///< per-op timing on/off
+    /**
+     * Optional observability sink. When set, run() attaches it to the
+     * scheduler and records time series on the drift sampling cadence:
+     * the Eq. 1 drift signal (worker 0), each worker's cumulative
+     * per-phase breakdown, and the in-flight task gauge. The registry
+     * must have at least numThreads workers and outlive run().
+     */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** Everything a figure harness needs from one execution. */

@@ -83,7 +83,9 @@ class CacheModel
         return static_cast<unsigned>(line % numCores_);
     }
 
-    const SimConfig &config_;
+    /** By value: a reference here dangled when SimMachine was built
+     *  from a temporary SimConfig (caught by the asan-ubsan preset). */
+    const SimConfig config_;
     NocMesh &noc_;
     unsigned numCores_;
     unsigned lineShift_;

@@ -8,11 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "core/bag_policy.h"
 #include "core/drift.h"
 #include "core/hdcps.h"
+#include "core/recv_queue.h"
 #include "core/tdf.h"
 #include "support/rng.h"
 
@@ -381,6 +386,181 @@ TEST(HdCpsScheduler, CurrentTdfWithinBounds)
     unsigned tdf = sched.currentTdf();
     EXPECT_GE(tdf, config.tdf.minTdf);
     EXPECT_LE(tdf, config.tdf.maxTdf);
+}
+
+// -------------------------------------------------- TDF deadband path
+
+TEST(TdfDeadband, HoldsWithinNoiseFloor)
+{
+    TdfController::Config config = tdfConfig(50, 10);
+    config.deadband = 0.2;
+    TdfController tdf(config);
+    tdf.update(100.0); // first interval: record only
+    // 10% relative change is under the 20% deadband: hold, and the
+    // held interval must not count as a decision.
+    EXPECT_EQ(tdf.update(110.0), 50u);
+    EXPECT_EQ(tdf.current(), 50u);
+    EXPECT_EQ(tdf.decisions(), 0u);
+}
+
+TEST(TdfDeadband, ReactsBeyondNoiseFloor)
+{
+    TdfController::Config config = tdfConfig(50, 10);
+    config.deadband = 0.2;
+    TdfController tdf(config);
+    tdf.update(100.0);
+    tdf.update(110.0); // held — but the comparison base advances
+    // (200 - 110) / 110 clears the deadband; drift worsened after the
+    // (initial) Increase direction, so the controller must decrease.
+    EXPECT_EQ(tdf.update(200.0), 40u);
+    EXPECT_EQ(tdf.decisions(), 1u);
+    EXPECT_FALSE(tdf.lastWasIncrease());
+}
+
+TEST(TdfDeadband, ZeroPreviousDriftDoesNotDivideByZero)
+{
+    TdfController::Config config = tdfConfig(50, 10);
+    config.deadband = 0.1;
+    TdfController tdf(config);
+    tdf.update(0.0);
+    // prev = 0: any nonzero drift is an infinite relative change and
+    // must escape the deadband, not crash or hold forever.
+    EXPECT_EQ(tdf.update(5.0), 40u);
+    // And flat-at-zero stays inside it.
+    TdfController flat(config);
+    flat.update(0.0);
+    EXPECT_EQ(flat.update(0.0), 50u);
+    EXPECT_EQ(flat.decisions(), 0u);
+}
+
+TEST(TdfDeadband, DisabledByDefault)
+{
+    TdfController tdf(tdfConfig(50, 10));
+    tdf.update(100.0);
+    // Without a deadband even a tiny worsening triggers a reversal.
+    EXPECT_EQ(tdf.update(100.5), 40u);
+    EXPECT_EQ(tdf.decisions(), 1u);
+}
+
+// -------------------------------------- drift concurrency regression
+
+/**
+ * Regression for the computeDrift() double-load bug: the old code
+ * scanned the mailboxes once for the best priority and then re-loaded
+ * them for the sum; a core publishing a new minimum between the two
+ * passes made the unsigned `p - best` wrap to ~2^64. With every
+ * publish confined to [lo, hi], Eq. 1 can never exceed (hi - lo), so
+ * any larger result is the wraparound.
+ */
+TEST(DriftConcurrency, ResultStaysWithinPublishedSpan)
+{
+    constexpr unsigned cores = 8;
+    constexpr Priority lo = 1000;
+    constexpr Priority hi = 2000;
+    DriftTracker tracker(cores);
+    for (unsigned c = 0; c < cores; ++c)
+        tracker.publish(c, lo + c);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> publishers;
+    constexpr unsigned numPublishers = 4;
+    for (unsigned p = 0; p < numPublishers; ++p) {
+        publishers.emplace_back([&tracker, &stop, p] {
+            Rng rng(0xd1f7 + p);
+            while (!stop.load(std::memory_order_relaxed)) {
+                unsigned core =
+                    p * (cores / numPublishers) +
+                    static_cast<unsigned>(
+                        rng.below(cores / numPublishers));
+                tracker.publish(core,
+                                lo + Priority(rng.below(hi - lo + 1)));
+            }
+        });
+    }
+
+    // Time-bound rather than iteration-bound: the race needs the
+    // reducer to lose the CPU mid-reduction to a publisher, so the
+    // loop must span many OS timeslices even on a single-core host.
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+    double bad = -1.0;
+    while (std::chrono::steady_clock::now() < deadline) {
+        double drift = tracker.computeDrift();
+        if (drift < 0.0 || drift > double(hi - lo)) {
+            bad = drift;
+            break;
+        }
+    }
+    stop.store(true);
+    for (auto &t : publishers)
+        t.join();
+    EXPECT_EQ(bad, -1.0)
+        << "wrapped subtraction leaked into Eq. 1: drift = " << bad;
+}
+
+TEST(DriftConcurrency, ManyCoreReductionCrossesChunkBoundary)
+{
+    // More cores than computeDrift's stack chunk (64), with the global
+    // minimum in the *last* chunk so the cross-chunk fixup path (best
+    // drops after earlier chunks were summed) is exercised.
+    constexpr unsigned cores = 150;
+    DriftTracker tracker(cores);
+    for (unsigned c = 0; c + 1 < cores; ++c)
+        tracker.publish(c, 1000 + c);
+    tracker.publish(cores - 1, 0);
+
+    double expected = 0.0;
+    for (unsigned c = 0; c + 1 < cores; ++c)
+        expected += double(1000 + c);
+    expected /= double(cores);
+    EXPECT_DOUBLE_EQ(tracker.computeDrift(), expected);
+}
+
+// ------------------------------------- sRQ occupancy from any thread
+
+TEST(ReceiveQueueSize, ExactWhenQuiescent)
+{
+    ReceiveQueue<int> queue(8);
+    EXPECT_EQ(queue.sizeApprox(), 0u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(queue.tryPush(i));
+    EXPECT_EQ(queue.sizeApprox(), 5u);
+    int v;
+    EXPECT_TRUE(queue.tryPop(v));
+    EXPECT_EQ(queue.sizeApprox(), 4u);
+}
+
+TEST(ReceiveQueueSize, ReadableFromNonOwnerThread)
+{
+    // The observability layer samples sizeApprox() from monitoring
+    // contexts; pre-fix the plain readPtr_ read was a data race (UB
+    // under TSan). Now it must be readable concurrently with the
+    // owner's pops and always land in [0, capacity].
+    ReceiveQueue<int> queue(16);
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> popped{0};
+
+    std::thread owner([&] { // consumer: owns tryPop
+        int v;
+        while (!stop.load(std::memory_order_relaxed)) {
+            if (queue.tryPop(v))
+                popped.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    std::thread producer([&] {
+        int i = 0;
+        while (!stop.load(std::memory_order_relaxed))
+            queue.tryPush(i++);
+    });
+
+    for (int iter = 0; iter < 20000; ++iter) {
+        size_t n = queue.sizeApprox();
+        ASSERT_LE(n, queue.capacity());
+    }
+    stop.store(true);
+    owner.join();
+    producer.join();
+    EXPECT_LE(queue.sizeApprox(), queue.capacity());
 }
 
 } // namespace

@@ -148,14 +148,23 @@ TEST_P(SchedulerMatrix, RoughPriorityOrderWhenQuiescent)
 {
     // Relaxed schedulers make no strict promise, but a fully quiescent
     // single worker must still see a strong bias toward high-priority
-    // (low-value) tasks: the first pop after pushing everything must
-    // be from the best bucket region, not the worst.
+    // (low-value) tasks soon after pushing everything. "Soon" rather
+    // than "first": swminnow's helper thread stages up to a ring's
+    // worth of tasks *while* the pushes are still arriving, so its
+    // first pops can predate the best pushes (timing-dependent — the
+    // sanitizer builds shift it). The best priority seen in the first
+    // 100 pops must still come from the best bucket region.
     auto sched = scase().make(1);
     for (uint32_t i = 0; i < 1000; ++i)
         sched->push(0, Task{uint64_t(1000 - i), i, 0});
+    Priority bestSeen = ~Priority(0);
     Task t;
-    ASSERT_TRUE(sched->tryPop(0, t));
-    EXPECT_LT(t.priority, 200u) << scase().label;
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(sched->tryPop(0, t)) << scase().label;
+        if (t.priority < bestSeen)
+            bestSeen = t.priority;
+    }
+    EXPECT_LT(bestSeen, 200u) << scase().label;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllDesigns, SchedulerMatrix,

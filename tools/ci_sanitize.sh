@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Build and run the tier-1 test suite under the sanitizer presets.
+#
+# Usage: tools/ci_sanitize.sh [preset...]
+#   (default: tsan asan-ubsan; see CMakePresets.json)
+#
+# The concurrency bugs this repo's scheduler can grow (racy drift
+# reductions, non-atomic queue-pointer reads) are exactly the kind
+# TSan catches and unit tests miss, so CI runs the whole suite under
+# both instrumented builds. Any sanitizer report fails the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+    presets=(tsan asan-ubsan)
+fi
+
+jobs=${HDCPS_CI_JOBS:-$(nproc)}
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 abort_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+
+# Only the test binaries and the CLI (for cli_metrics_smoke) are
+# needed: skipping the bench/example targets roughly halves each
+# instrumented build.
+targets=(hdcps_cli
+         test_support test_graph test_pq test_core test_obs test_sched
+         test_algos test_sim test_simdesigns test_stress test_simsched
+         test_properties)
+
+for preset in "${presets[@]}"; do
+    echo "=== [$preset] configure ==="
+    cmake --preset "$preset"
+    echo "=== [$preset] build ==="
+    cmake --build --preset "$preset" -j "$jobs" -- "${targets[@]}"
+    echo "=== [$preset] ctest ==="
+    ctest --preset "$preset" -j "$jobs"
+    echo "=== [$preset] OK ==="
+done

@@ -26,6 +26,8 @@
 #include "cps/swminnow.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "runtime/executor.h"
 #include "simsched/runner.h"
 #include "stats/table.h"
@@ -50,6 +52,9 @@ struct Options
     bool list = false;
     bool printConfig = false;
     bool stats = false;
+    bool modeExplicit = false;
+    std::string metricsOut;      ///< empty = no metrics export
+    unsigned metricsInterval = 0; ///< 0 = per-mode default
 };
 
 void
@@ -68,6 +73,11 @@ usage()
         "  --seed S      generator/scheduler seed (default 1)\n"
         "  --source N    source node for traversal kernels (default 0)\n"
         "  --csv         machine-readable one-line output\n"
+        "  --metrics-out P    export scheduler observability series\n"
+        "                (drift, TDF, queue occupancy, breakdowns) to P\n"
+        "                (.csv -> CSV, else JSON); implies --mode threads\n"
+        "  --metrics-interval N   pops between metric samples\n"
+        "                (default 500)\n"
         "  --stats       print the input graph's statistics and exit\n"
         "  --config      print the simulated machine's Table-I parameters\n"
         "  --list        list kernels and designs, then exit\n";
@@ -92,6 +102,12 @@ parseArgs(int argc, char **argv)
             options.design = value(i);
         } else if (arg == "--mode") {
             options.mode = value(i);
+            options.modeExplicit = true;
+        } else if (arg == "--metrics-out") {
+            options.metricsOut = value(i);
+        } else if (arg == "--metrics-interval") {
+            options.metricsInterval =
+                unsigned(std::strtoul(value(i), nullptr, 10));
         } else if (arg == "--cores") {
             options.cores = unsigned(std::strtoul(value(i), nullptr, 10));
         } else if (arg == "--threads") {
@@ -135,7 +151,7 @@ loadInput(const Options &options)
 }
 
 std::unique_ptr<Scheduler>
-makeThreaded(const Options &options)
+makeThreaded(const Options &options, unsigned sampleInterval)
 {
     const unsigned t = options.threads;
     if (options.design == "reld")
@@ -149,12 +165,14 @@ makeThreaded(const Options &options)
     if (options.design == "swminnow")
         return std::make_unique<SwMinnowScheduler>(t);
     if (options.design == "hdcps-srq") {
-        return std::make_unique<HdCpsScheduler>(
-            t, HdCpsScheduler::configSrq());
+        HdCpsConfig config = HdCpsScheduler::configSrq();
+        config.sampleInterval = sampleInterval;
+        return std::make_unique<HdCpsScheduler>(t, config);
     }
     if (options.design == "hdcps-sw") {
-        return std::make_unique<HdCpsScheduler>(
-            t, HdCpsScheduler::configSw());
+        HdCpsConfig config = HdCpsScheduler::configSw();
+        config.sampleInterval = sampleInterval;
+        return std::make_unique<HdCpsScheduler>(t, config);
     }
     hdcps_fatal("design '%s' is not available in --mode threads "
                 "(hardware designs need --mode sim)",
@@ -217,13 +235,40 @@ runSim(const Options &options, Workload &workload)
 int
 runThreads(const Options &options, Workload &workload)
 {
-    auto scheduler = makeThreaded(options);
+    // Metrics sampling defaults to a tighter interval than the TDF
+    // default (2000) so short CLI runs still yield usable series.
+    unsigned interval =
+        options.metricsInterval > 0 ? options.metricsInterval : 500;
+    unsigned sampleInterval = options.metricsOut.empty()
+                                  ? HdCpsConfig{}.sampleInterval
+                                  : interval;
+    auto scheduler = makeThreaded(options, sampleInterval);
+
+    std::unique_ptr<MetricsRegistry> metrics;
     RunOptions runOptions;
     runOptions.numThreads = options.threads;
+    if (!options.metricsOut.empty()) {
+        MetricsRegistry::Config config;
+        config.sampleInterval = interval;
+        metrics =
+            std::make_unique<MetricsRegistry>(options.threads, config);
+        runOptions.metrics = metrics.get();
+        runOptions.driftSampleInterval = interval;
+    }
+
     RunResult r = run(*scheduler, workload.initialTasks(),
                       workloadProcessFn(workload), runOptions);
     std::string why;
     bool verified = workload.verify(&why);
+
+    if (metrics) {
+        if (!writeMetricsFile(options.metricsOut, metrics->snapshot()))
+            hdcps_fatal("cannot write metrics to '%s'",
+                        options.metricsOut.c_str());
+        if (!options.csv)
+            std::cout << "metrics written to " << options.metricsOut
+                      << "\n";
+    }
     if (options.csv) {
         std::cout << options.kernel << "," << options.input << ","
                   << options.design << "," << options.threads << ","
@@ -287,6 +332,17 @@ main(int argc, char **argv)
     hdcps_check(options.source < graph.numNodes(),
                 "--source out of range");
     auto workload = makeWorkload(options.kernel, graph, options.source);
+
+    if (!options.metricsOut.empty() && options.mode == "sim") {
+        // Observability series come from the threaded runtime; the
+        // cycle-level simulator reports its own end-of-run statistics.
+        if (options.modeExplicit) {
+            hdcps_fatal("--metrics-out needs --mode threads "
+                        "(the simulator has no metrics hookup)");
+        }
+        std::cerr << "note: --metrics-out implies --mode threads\n";
+        options.mode = "threads";
+    }
 
     if (options.mode == "sim")
         return runSim(options, *workload);
