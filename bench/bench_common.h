@@ -5,9 +5,11 @@
  *
  * Every harness prints a stable text table with the same rows/series
  * the paper reports. Environment knobs:
- *   HDCPS_BENCH_SCALE  input scale factor (default 1)
- *   HDCPS_BENCH_CORES  simulated core count (default 64, Table I)
- *   HDCPS_BENCH_SEED   generator/scheduler seed (default 1)
+ *   HDCPS_BENCH_SCALE       input scale factor (default 1)
+ *   HDCPS_BENCH_CORES       simulated core count (default 64, Table I)
+ *   HDCPS_BENCH_SEED        generator/scheduler seed (default 1)
+ *   HDCPS_BENCH_FAULT_SPEC  fault-injection spec (site:mode[:arg],...
+ *                           see support/fault.h) armed for every run
  */
 
 #ifndef HDCPS_BENCH_BENCH_COMMON_H_
@@ -28,6 +30,7 @@
 #include "simsched/runner.h"
 #include "stats/summary.h"
 #include "stats/table.h"
+#include "support/fault.h"
 
 namespace hdcps::bench {
 
@@ -89,10 +92,38 @@ benchSeed()
     return envUnsigned("HDCPS_BENCH_SEED", 1);
 }
 
+/**
+ * Arm fault injection from HDCPS_BENCH_FAULT_SPEC, once per process.
+ * Lets any figure harness measure degraded-mode behavior (forced sRQ
+ * overflow, hRQ/hPQ spills, NoC delay) without recompiling; every run
+ * still goes through requireVerified(), so a spec that breaks
+ * exactly-once processing fails the harness loudly.
+ */
+inline void
+armBenchFaults()
+{
+    static bool once = [] {
+        const char *spec = std::getenv("HDCPS_BENCH_FAULT_SPEC");
+        if (!spec || !*spec)
+            return false;
+        static FaultRegistry faults(benchSeed());
+        std::string error;
+        if (!faults.parseSpec(spec, &error)) {
+            std::cerr << "FATAL: HDCPS_BENCH_FAULT_SPEC: " << error
+                      << "\n";
+            std::exit(1);
+        }
+        FaultRegistry::install(&faults);
+        return true;
+    }();
+    (void)once;
+}
+
 /** Table I machine, with an optional core-count override. */
 inline SimConfig
 benchConfig()
 {
+    armBenchFaults();
     SimConfig config;
     unsigned cores = envUnsigned("HDCPS_BENCH_CORES", 64);
     config.numCores = cores;

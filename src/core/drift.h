@@ -25,6 +25,7 @@
 
 #include "cps/task.h"
 #include "support/compiler.h"
+#include "support/fault.h"
 #include "support/logging.h"
 
 namespace hdcps {
@@ -63,6 +64,9 @@ class DriftTracker
     void
     publish(unsigned core, Priority priority)
     {
+        // Fault drill: stale mailboxes. Delaying the store models a
+        // slow "send" to the master, so the reduction sees old values.
+        faultSleep(faultsite::DriftPublishDelay);
         mailboxes_[core].value.store(priority, std::memory_order_relaxed);
     }
 

@@ -90,6 +90,20 @@ HdCpsScheduler::averageDrift() const
     return driftSeries_.average();
 }
 
+size_t
+HdCpsScheduler::sizeApprox() const
+{
+    // Only the cross-thread-safe structures are counted: sRQ pointers
+    // are atomics, the overflow queue locks. The private PQs and active
+    // bags belong to their owners and cannot be read without a race, so
+    // this undercounts — acceptable for the watchdog's stall dump,
+    // where the interesting signal is work stuck in transfer.
+    size_t total = 0;
+    for (const auto &w : workers_)
+        total += w->rq->sizeApprox() + w->overflow.size();
+    return total;
+}
+
 unsigned
 HdCpsScheduler::chooseDest(unsigned tid)
 {
@@ -122,8 +136,12 @@ HdCpsScheduler::deliver(unsigned from, unsigned dest,
     remoteEnqueues_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_)
         metrics_->add(from, WorkerCounter::RemoteEnqueues);
-    if (workers_[dest]->rq->tryPush(envelope))
+    // The fault site forces the spill without consuming sRQ slots, so
+    // the overflow path is testable independent of queue capacity.
+    if (!faultFires(faultsite::HdcpsOverflowSpill) &&
+        workers_[dest]->rq->tryPush(envelope)) {
         return;
+    }
     // sRQ full: spill to the destination's locked overflow queue. Bags
     // are unpacked here — the overflow path is the slow path anyway.
     overflowPushes_.fetch_add(1, std::memory_order_relaxed);

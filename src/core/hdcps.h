@@ -64,6 +64,10 @@ class HdCpsScheduler : public Scheduler
     bool tryPop(unsigned tid, Task &out) override;
     const char *name() const override { return name_.c_str(); }
 
+    /** Tasks visible in the cross-thread-safe buffers (sRQs + overflow
+     *  queues); the owner-private PQs are excluded. See Scheduler. */
+    size_t sizeApprox() const override;
+
     /** Paper configuration factories. */
     static HdCpsConfig configSrq();
     static HdCpsConfig configSrqTdf();

@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "support/compiler.h"
+#include "support/fault.h"
 #include "support/logging.h"
 
 namespace hdcps {
@@ -50,6 +51,10 @@ class ReceiveQueue
     bool
     tryPush(const T &value)
     {
+        // Fault drill: report full without touching the ring, so tests
+        // can force the overflow spill path at will.
+        if (faultFires(faultsite::SrqPushFull))
+            return false;
         size_t pos = writePtr_.load(std::memory_order_relaxed);
         while (true) {
             Slot &slot = slots_[pos & mask_];
@@ -79,6 +84,10 @@ class ReceiveQueue
     bool
     tryPop(T &out)
     {
+        // Fault drill: spurious emptiness. The deposited entries stay
+        // in place, so no task is lost — the owner just retries later.
+        if (faultFires(faultsite::SrqPopFail))
+            return false;
         // Only the owner writes readPtr_, so relaxed loads/stores keep
         // the owner path as cheap as the old plain field while letting
         // sizeApprox() read it from any thread without a data race.

@@ -66,6 +66,16 @@ class Scheduler
     /** Human-readable design name ("reld", "obim", ...). */
     virtual const char *name() const = 0;
 
+    /**
+     * Approximate number of buffered tasks, callable from *any* thread
+     * while workers run — used by the runtime watchdog's stall
+     * diagnostic. Implementations must only read race-free state
+     * (atomics or locked structures); owner-private buffers may be
+     * excluded, so the count can undershoot. The default, 0, means
+     * "unknown".
+     */
+    virtual size_t sizeApprox() const { return 0; }
+
     unsigned numWorkers() const { return numWorkers_; }
 
     /**

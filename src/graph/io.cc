@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdarg>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -18,18 +20,34 @@ namespace {
 constexpr uint64_t binaryMagic = 0x48444350534752ULL; // "HDCPSGR"
 constexpr uint32_t binaryVersion = 1;
 
+/** The module's single failure funnel: printf-formats the message and
+ *  throws GraphIoError (recoverable by the caller — see io.h). */
+[[noreturn]] void
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+ioError(const char *fmt, ...)
+{
+    char buffer[512];
+    va_list args;
+    va_start(args, fmt);
+    vsnprintf(buffer, sizeof(buffer), fmt, args);
+    va_end(args);
+    throw GraphIoError(buffer);
+}
+
 [[noreturn]] void
 parseError(const std::string &name, size_t line, const char *what)
 {
-    hdcps_fatal("%s:%zu: %s", name.c_str(), line, what);
+    ioError("%s:%zu: %s", name.c_str(), line, what);
 }
 
 std::ifstream
-openOrDie(const std::string &path)
+openOrThrow(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        hdcps_fatal("cannot open '%s' for reading", path.c_str());
+        ioError("cannot open '%s' for reading", path.c_str());
     return in;
 }
 
@@ -47,7 +65,7 @@ readRaw(std::istream &in, const std::string &name)
     T value{};
     in.read(reinterpret_cast<char *>(&value), sizeof(T));
     if (!in)
-        hdcps_fatal("%s: truncated binary graph", name.c_str());
+        ioError("%s: truncated binary graph", name.c_str());
     return value;
 }
 
@@ -102,14 +120,14 @@ loadDimacs(std::istream &in, const std::string &name)
         }
     }
     if (!haveHeader)
-        hdcps_fatal("%s: no 'p sp' header found", name.c_str());
+        ioError("%s: no 'p sp' header found", name.c_str());
     return builder.build(true);
 }
 
 Graph
 loadDimacsFile(const std::string &path)
 {
-    auto in = openOrDie(path);
+    auto in = openOrThrow(path);
     return loadDimacs(in, path);
 }
 
@@ -121,7 +139,7 @@ loadMatrixMarket(std::istream &in, const std::string &name)
 
     // Banner: %%MatrixMarket matrix coordinate <field> <symmetry>
     if (!std::getline(in, line))
-        hdcps_fatal("%s: empty file", name.c_str());
+        ioError("%s: empty file", name.c_str());
     ++lineNo;
     std::istringstream banner(line);
     std::string tag, object, format, field, symmetry;
@@ -150,10 +168,10 @@ loadMatrixMarket(std::istream &in, const std::string &name)
         break;
     }
     if (rows == 0 || cols == 0)
-        hdcps_fatal("%s: missing size line", name.c_str());
+        ioError("%s: missing size line", name.c_str());
     uint64_t n = std::max(rows, cols);
     if (n > invalidNode)
-        hdcps_fatal("%s: too many nodes", name.c_str());
+        ioError("%s: too many nodes", name.c_str());
 
     GraphBuilder builder(static_cast<NodeId>(n), true);
     uint64_t seen = 0;
@@ -190,16 +208,16 @@ loadMatrixMarket(std::istream &in, const std::string &name)
         ++seen;
     }
     if (seen != entries)
-        hdcps_fatal("%s: expected %llu entries, found %llu", name.c_str(),
-                    static_cast<unsigned long long>(entries),
-                    static_cast<unsigned long long>(seen));
+        ioError("%s: expected %llu entries, found %llu", name.c_str(),
+                static_cast<unsigned long long>(entries),
+                static_cast<unsigned long long>(seen));
     return builder.build(true);
 }
 
 Graph
 loadMatrixMarketFile(const std::string &path)
 {
-    auto in = openOrDie(path);
+    auto in = openOrThrow(path);
     return loadMatrixMarket(in, path);
 }
 
@@ -235,9 +253,9 @@ loadEdgeList(std::istream &in, const std::string &name)
         maxNode = std::max({maxNode, u, v});
     }
     if (edges.empty())
-        hdcps_fatal("%s: no edges found", name.c_str());
+        ioError("%s: no edges found", name.c_str());
     if (maxNode + 1 > invalidNode)
-        hdcps_fatal("%s: too many nodes", name.c_str());
+        ioError("%s: too many nodes", name.c_str());
 
     GraphBuilder builder(static_cast<NodeId>(maxNode + 1), true);
     for (const RawEdge &e : edges) {
@@ -250,7 +268,7 @@ loadEdgeList(std::istream &in, const std::string &name)
 Graph
 loadEdgeListFile(const std::string &path)
 {
-    auto in = openOrDie(path);
+    auto in = openOrThrow(path);
     return loadEdgeList(in, path);
 }
 
@@ -272,10 +290,10 @@ saveDimacsFile(const Graph &g, const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
-        hdcps_fatal("cannot open '%s' for writing", path.c_str());
+        ioError("cannot open '%s' for writing", path.c_str());
     saveDimacs(g, out);
     if (!out)
-        hdcps_fatal("write to '%s' failed", path.c_str());
+        ioError("write to '%s' failed", path.c_str());
 }
 
 void
@@ -296,10 +314,10 @@ saveEdgeListFile(const Graph &g, const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
-        hdcps_fatal("cannot open '%s' for writing", path.c_str());
+        ioError("cannot open '%s' for writing", path.c_str());
     saveEdgeList(g, out);
     if (!out)
-        hdcps_fatal("write to '%s' failed", path.c_str());
+        ioError("write to '%s' failed", path.c_str());
 }
 
 void
@@ -337,25 +355,25 @@ saveBinaryFile(const Graph &g, const std::string &path)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out)
-        hdcps_fatal("cannot open '%s' for writing", path.c_str());
+        ioError("cannot open '%s' for writing", path.c_str());
     saveBinary(g, out);
     if (!out)
-        hdcps_fatal("write to '%s' failed", path.c_str());
+        ioError("write to '%s' failed", path.c_str());
 }
 
 Graph
 loadBinary(std::istream &in, const std::string &name)
 {
     if (readRaw<uint64_t>(in, name) != binaryMagic)
-        hdcps_fatal("%s: not an HD-CPS binary graph", name.c_str());
+        ioError("%s: not an HD-CPS binary graph", name.c_str());
     if (readRaw<uint32_t>(in, name) != binaryVersion)
-        hdcps_fatal("%s: unsupported binary graph version", name.c_str());
+        ioError("%s: unsupported binary graph version", name.c_str());
     const bool hasCoords = readRaw<uint32_t>(in, name) != 0;
     const uint64_t n = readRaw<uint64_t>(in, name);
     const uint64_t m = readRaw<uint64_t>(in, name);
     const bool weighted = readRaw<uint32_t>(in, name) != 0;
     if (n + 1 > invalidNode)
-        hdcps_fatal("%s: node count out of range", name.c_str());
+        ioError("%s: node count out of range", name.c_str());
 
     std::vector<EdgeId> offsets(n + 1);
     std::vector<NodeId> dests(m);
@@ -370,7 +388,7 @@ loadBinary(std::istream &in, const std::string &name)
                                              sizeof(Weight)));
     }
     if (!in)
-        hdcps_fatal("%s: truncated binary graph", name.c_str());
+        ioError("%s: truncated binary graph", name.c_str());
     Graph g(std::move(offsets), std::move(dests), std::move(weights));
     if (hasCoords) {
         std::vector<std::pair<int32_t, int32_t>> coords(n);
@@ -386,7 +404,7 @@ loadBinary(std::istream &in, const std::string &name)
 Graph
 loadBinaryFile(const std::string &path)
 {
-    auto in = openOrDie(path);
+    auto in = openOrThrow(path);
     return loadBinary(in, path);
 }
 

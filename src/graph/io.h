@@ -11,19 +11,33 @@
  *    the SNAP convention used by Web-Google / LiveJournal.
  *  - A fast binary container (.bin) for caching converted graphs.
  *
- * Loaders throw no exceptions: malformed input is a user error and
- * reports through hdcps_fatal with a line number.
+ * Malformed or unreadable input is reported by throwing GraphIoError
+ * with the file name and line number in the message. It is the only
+ * exception type this module throws deliberately, so callers (the CLI,
+ * conversion scripts) can catch it at their boundary, print the
+ * message, and exit cleanly — a bad input file is a user error, not a
+ * reason to abort the process from deep inside a library.
  */
 
 #ifndef HDCPS_GRAPH_IO_H_
 #define HDCPS_GRAPH_IO_H_
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "graph/graph.h"
 
 namespace hdcps {
+
+/** Thrown by every loader/saver here on bad input or I/O failure. */
+class GraphIoError : public std::runtime_error
+{
+  public:
+    explicit GraphIoError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
 
 /** Load a DIMACS .gr stream. */
 Graph loadDimacs(std::istream &in, const std::string &name = "<stream>");

@@ -1,9 +1,15 @@
 #include "runtime/executor.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "support/compiler.h"
+#include "support/fault.h"
 #include "support/logging.h"
 #include "support/timer.h"
 
@@ -21,8 +27,110 @@ struct RunState
     DriftTracker drift;
     DriftSeries series; ///< touched by worker 0 only
 
-    explicit RunState(unsigned numThreads) : drift(numThreads) {}
+    /** Failure latch: stop tells workers to drain out; failed guards
+     *  the first-error claim; error is written once, under errorMutex,
+     *  by the claim winner and read only after all workers joined. */
+    std::atomic<bool> stop{false};
+    std::atomic<bool> failed{false};
+    std::mutex errorMutex;
+    std::string error;
+
+    /** Per-worker pop counters for the watchdog's progress check —
+     *  padded so the unconditional relaxed increment never contends. */
+    std::vector<Padded<std::atomic<uint64_t>>> pops;
+
+    explicit RunState(unsigned numThreads)
+        : drift(numThreads), pops(numThreads)
+    {}
 };
+
+/**
+ * Latch the first failure and tell every worker to stop. Later callers
+ * lose the claim race and only reinforce the stop flag — the error a
+ * caller reads afterwards is always the first one.
+ */
+void
+failRun(RunState &state, std::string message)
+{
+    bool expected = false;
+    if (state.failed.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+        std::lock_guard<std::mutex> lock(state.errorMutex);
+        state.error = std::move(message);
+    }
+    state.stop.store(true, std::memory_order_release);
+}
+
+uint64_t
+totalPops(const RunState &state)
+{
+    uint64_t total = 0;
+    for (const auto &p : state.pops)
+        total += p.value.load(std::memory_order_relaxed);
+    return total;
+}
+
+/** Everything a human needs to debug a stalled run, as one string. */
+std::string
+stallDiagnostic(const RunState &state)
+{
+    std::ostringstream out;
+    out << "watchdog: no task popped for " << state.options.watchdogMs
+        << " ms with " << state.pending.load(std::memory_order_acquire)
+        << " tasks in flight; scheduler '" << state.sched->name()
+        << "' reports ~" << state.sched->sizeApprox()
+        << " buffered tasks (0 = unknown); pops per worker:";
+    for (size_t tid = 0; tid < state.pops.size(); ++tid) {
+        out << (tid == 0 ? " " : ", ") << "w" << tid << "="
+            << state.pops[tid].value.load(std::memory_order_relaxed);
+    }
+    if (state.options.metrics) {
+        out << "; counters:";
+        MetricsSnapshot snap = state.options.metrics->snapshot();
+        bool first = true;
+        for (const auto &counter : snap.counters) {
+            if (counter.total == 0)
+                continue;
+            out << (first ? " " : ", ") << counter.name << "="
+                << counter.total;
+            first = false;
+        }
+        if (first)
+            out << " (all zero)";
+    }
+    return out.str();
+}
+
+/**
+ * Monitor loop for the opt-in progress watchdog. Sleeps on `cv` in
+ * window-sized slices; a window with pending work but an unchanged
+ * global pop count is a stall, which fails the run. The cv (rather
+ * than a plain sleep) lets run() retire the watchdog immediately once
+ * the workers are done.
+ */
+void
+watchdogLoop(RunState &state, std::mutex &mutex,
+             std::condition_variable &cv, const bool &done)
+{
+    const auto window = std::chrono::milliseconds(state.options.watchdogMs);
+    uint64_t lastPops = totalPops(state);
+    std::unique_lock<std::mutex> lock(mutex);
+    while (!done) {
+        if (cv.wait_for(lock, window, [&done] { return done; }))
+            return;
+        if (state.stop.load(std::memory_order_acquire))
+            return;
+        uint64_t pops = totalPops(state);
+        bool stalled =
+            pops == lastPops &&
+            state.pending.load(std::memory_order_acquire) > 0;
+        if (stalled) {
+            failRun(state, stallDiagnostic(state));
+            return;
+        }
+        lastPops = pops;
+    }
+}
 
 void
 workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
@@ -37,25 +145,26 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
     uint64_t popsSinceSample = 0;
 
     while (true) {
+        // Drain out as soon as any worker (or the watchdog) failed the
+        // run — checked every iteration, so an idling worker reacts
+        // within one backoff round rather than spinning until its own
+        // pending==0 view changes.
+        if (state.stop.load(std::memory_order_acquire))
+            break;
+
         uint64_t t0 = timed ? nowNs() : 0;
         Task task;
-        bool got = sched.tryPop(tid, task);
+        // Fault drill: the pop itself misfires. The task stays queued,
+        // so the worker simply takes one idle round.
+        bool got = !faultFires(faultsite::ExecPopFail) &&
+                   sched.tryPop(tid, task);
         uint64_t t1 = timed ? nowNs() : 0;
 
         if (!got) {
             if (timed)
                 breakdown[Component::Comm] += t1 - t0;
-            if (state.pending.load(std::memory_order_acquire) == 0) {
-                if (metrics) {
-                    // Per-worker totals land once, at loop exit — the
-                    // hot path itself stays metrics-free.
-                    metrics->add(tid, WorkerCounter::TasksProcessed,
-                                 breakdown.tasksProcessed);
-                    metrics->add(tid, WorkerCounter::EmptyTasks,
-                                 breakdown.emptyTasks);
-                }
-                return;
-            }
+            if (state.pending.load(std::memory_order_acquire) == 0)
+                break;
             // Backoff: brief spin, then yield so oversubscribed hosts
             // (threads > cores) still make progress.
             if (++idleSpins > 32) {
@@ -65,9 +174,30 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
             continue;
         }
         idleSpins = 0;
+        state.pops[tid].value.fetch_add(1, std::memory_order_relaxed);
 
         children.clear();
-        process(tid, task, children);
+        try {
+            // Fault drill: stand-in for a ProcessFn that throws.
+            if (faultFires(faultsite::ExecProcessThrow)) {
+                throw FaultInjectedError(
+                    "injected ProcessFn failure (exec.process.throw)");
+            }
+            process(tid, task, children);
+        } catch (const std::exception &e) {
+            // The popped task dies here: no children were pushed (the
+            // push happens below), so decrementing its in-flight slot
+            // keeps the count consistent for the drain.
+            state.pending.fetch_sub(1, std::memory_order_acq_rel);
+            failRun(state, "worker " + std::to_string(tid) +
+                               ": ProcessFn threw: " + e.what());
+            break;
+        } catch (...) {
+            state.pending.fetch_sub(1, std::memory_order_acq_rel);
+            failRun(state, "worker " + std::to_string(tid) +
+                               ": ProcessFn threw a non-std exception");
+            break;
+        }
         uint64_t t2 = timed ? nowNs() : 0;
 
         if (!children.empty()) {
@@ -126,6 +256,15 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
             }
         }
     }
+
+    if (metrics) {
+        // Per-worker totals land once, at loop exit — the hot path
+        // itself stays metrics-free.
+        metrics->add(tid, WorkerCounter::TasksProcessed,
+                     breakdown.tasksProcessed);
+        metrics->add(tid, WorkerCounter::EmptyTasks,
+                     breakdown.emptyTasks);
+    }
 }
 
 } // namespace
@@ -168,6 +307,18 @@ run(Scheduler &sched, const std::vector<Task> &initial,
     RunResult result;
     result.perWorker.assign(options.numThreads, Breakdown{});
 
+    // The watchdog rides alongside the workers; `done` + cv retire it
+    // the moment they all exit, failed run or not.
+    std::mutex watchdogMutex;
+    std::condition_variable watchdogCv;
+    bool watchdogDone = false;
+    std::thread watchdog;
+    if (options.watchdogMs > 0) {
+        watchdog = std::thread([&] {
+            watchdogLoop(state, watchdogMutex, watchdogCv, watchdogDone);
+        });
+    }
+
     uint64_t startNs = nowNs();
     if (options.numThreads == 1) {
         workerLoop(state, 0, result.perWorker[0]);
@@ -184,8 +335,25 @@ run(Scheduler &sched, const std::vector<Task> &initial,
     }
     result.wallNs = nowNs() - startNs;
 
-    hdcps_check(state.pending.load() == 0,
-                "pending count nonzero after termination");
+    if (watchdog.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(watchdogMutex);
+            watchdogDone = true;
+        }
+        watchdogCv.notify_all();
+        watchdog.join();
+    }
+
+    result.failed = state.failed.load(std::memory_order_acquire);
+    if (result.failed) {
+        // No lock needed: the latch winner published error before any
+        // join, but take it anyway — it is cold and silences linters.
+        std::lock_guard<std::mutex> lock(state.errorMutex);
+        result.error = state.error;
+    } else {
+        hdcps_check(state.pending.load() == 0,
+                    "pending count nonzero after termination");
+    }
 
     for (const Breakdown &b : result.perWorker)
         result.total += b;

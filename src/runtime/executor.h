@@ -14,13 +14,21 @@
  *  - design-independent priority-drift reporting (Eq. 1), sampled by
  *    worker 0 every driftSampleInterval of its own pops. This is the
  *    metric Figure 3/5 plot for *every* CPS design, separate from the
- *    HD-CPS-internal tracker that feeds the TDF heuristic.
+ *    HD-CPS-internal tracker that feeds the TDF heuristic;
+ *  - graceful failure: a ProcessFn that throws fails the run instead of
+ *    terminating the process — the first error is latched into the
+ *    RunResult, every worker drains out via a stop flag, and all
+ *    threads are joined before run() returns;
+ *  - an opt-in progress watchdog (RunOptions::watchdogMs) that fails a
+ *    run stuck with in-flight tasks but no pops, attaching a
+ *    diagnostic dump instead of hanging forever.
  */
 
 #ifndef HDCPS_RUNTIME_EXECUTOR_H_
 #define HDCPS_RUNTIME_EXECUTOR_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/drift.h"
@@ -45,6 +53,14 @@ struct RunOptions
     unsigned driftSampleInterval = 2000; ///< pops between Eq.1 samples
     bool recordBreakdown = true;         ///< per-op timing on/off
     /**
+     * Progress watchdog window in milliseconds; 0 disables it. When
+     * enabled, a monitor thread checks every window: if tasks are still
+     * in flight but no worker popped anything for a full window, the
+     * run is failed with a diagnostic dump (per-worker pop counts,
+     * scheduler occupancy, metrics totals) instead of hanging.
+     */
+    uint64_t watchdogMs = 0;
+    /**
      * Optional observability sink. When set, run() attaches it to the
      * scheduler and records time series on the drift sampling cadence:
      * the Eq. 1 drift signal (worker 0), each worker's cumulative
@@ -63,11 +79,24 @@ struct RunResult
     double avgDrift = 0.0;             ///< mean of Eq. 1 samples
     double maxDrift = 0.0;
     uint64_t driftSamples = 0;
+    /**
+     * Failure latch. When a ProcessFn throws or the watchdog detects a
+     * stall, the run drains out early: failed flips true, error holds
+     * the *first* failure's message, and the remaining counters reflect
+     * only the work done before the stop. On a failed run tasks may be
+     * left unprocessed — callers must not trust partial results.
+     */
+    bool failed = false;
+    std::string error;
+
+    bool ok() const { return !failed; }
 };
 
 /**
  * Run `process` over `initial` and everything it spawns, scheduling
  * through `sched`. Blocks until all tasks are done and workers joined.
+ * Never terminates the process on a ProcessFn exception — inspect
+ * RunResult::ok() / error instead.
  */
 RunResult run(Scheduler &sched, const std::vector<Task> &initial,
               const ProcessFn &process, const RunOptions &options);

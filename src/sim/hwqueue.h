@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cps/task.h"
+#include "support/fault.h"
 #include "support/logging.h"
 
 namespace hdcps {
@@ -40,7 +41,9 @@ class HwRecvQueue
     bool
     tryPush(const Task &task)
     {
-        if (full())
+        // The fault site reports full regardless of occupancy, driving
+        // the spill-to-software path at any capacity.
+        if (full() || faultFires(faultsite::SimHrqFull))
             return false;
         fifo_.push_back(task);
         if (fifo_.size() > highWater_)
@@ -90,7 +93,11 @@ class HwPriorityQueue
     {
         if (capacity_ == 0)
             return task;
-        if (entries_.size() < capacity_) {
+        // The fault site pretends the hPQ is full (only meaningful when
+        // it holds something to evict), exercising the evict path early.
+        const bool forceFull =
+            faultFires(faultsite::SimHpqEvict) && !entries_.empty();
+        if (!forceFull && entries_.size() < capacity_) {
             entries_.push_back(task);
             if (entries_.size() > highWater_)
                 highWater_ = entries_.size();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/fault.h"
 #include "support/logging.h"
 
 namespace hdcps {
@@ -116,8 +117,10 @@ NocMesh::transfer(unsigned src, unsigned dst, uint32_t payloadBits,
         linkFree_[link] = start + flits;
         headArrival = start + hopLatency_;
     }
-    // Tail flit trails the head by (flits - 1) cycles.
-    Cycle arrival = headArrival + flits - 1;
+    // Tail flit trails the head by (flits - 1) cycles, plus any
+    // fault-injected slowdown (models a congested or degraded link).
+    Cycle arrival = headArrival + flits - 1 +
+                    static_cast<Cycle>(faultAmount(faultsite::SimNocDelay));
 
     ++stats_.messages;
     stats_.flits += flits;

@@ -119,6 +119,7 @@ SimHdCps::boot(SimMachine &m, const std::vector<Task> &initial)
     publishesSinceUpdate_ = 0;
     bagsCreated_ = 0;
     hrqSpills_ = 0;
+    hpqEvictions_ = 0;
     // Chunked-interleaved seeding (see SimReld::boot).
     for (size_t i = 0; i < initial.size(); ++i)
         cores_[(i / seedChunk) % numCores_].swPq.push(initial[i]);
@@ -200,6 +201,7 @@ SimHdCps::pushLocal(SimMachine &m, unsigned core, const Task &task,
         m.advance(core, config.hwQueueLatency, comp);
         std::optional<Task> evicted = self.hpq.pushEvict(task);
         if (evicted) {
+            ++hpqEvictions_;
             // Spill to the software PQ in the background: dedicated
             // logic rebalances while the core keeps running.
             self.swPq.push(*evicted);

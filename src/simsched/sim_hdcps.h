@@ -84,6 +84,8 @@ class SimHdCps : public SimDesign
     unsigned currentTdf() const;
     uint64_t bagsCreated() const { return bagsCreated_; }
     uint64_t hrqSpills() const { return hrqSpills_; }
+    /** hPQ inserts that evicted an entry to the software PQ. */
+    uint64_t hpqEvictions() const { return hpqEvictions_; }
     size_t hrqHighWater() const;
     size_t hpqHighWater() const;
 
@@ -131,6 +133,7 @@ class SimHdCps : public SimDesign
     unsigned publishesSinceUpdate_ = 0;
     uint64_t bagsCreated_ = 0;
     uint64_t hrqSpills_ = 0;
+    uint64_t hpqEvictions_ = 0;
     std::vector<Task> children_;
     std::vector<DeliveredMessage> delivered_;
 };

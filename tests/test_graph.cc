@@ -247,6 +247,20 @@ TEST(Generators, RoadGridMostlyConnected)
 
 // --------------------------------------------------------------- loaders
 
+/** Expect fn() to throw GraphIoError with `sub` in the message. */
+template <typename Fn>
+void
+expectIoError(Fn &&fn, const std::string &sub)
+{
+    try {
+        fn();
+        FAIL() << "expected GraphIoError containing '" << sub << "'";
+    } catch (const GraphIoError &e) {
+        EXPECT_NE(std::string(e.what()).find(sub), std::string::npos)
+            << "message was: " << e.what();
+    }
+}
+
 TEST(GraphIo, DimacsParsesHeaderAndArcs)
 {
     std::istringstream in(
@@ -264,22 +278,19 @@ TEST(GraphIo, DimacsParsesHeaderAndArcs)
 TEST(GraphIo, DimacsRejectsGarbage)
 {
     std::istringstream in("p sp 2 1\nz 1 2 3\n");
-    EXPECT_EXIT(loadDimacs(in, "bad.gr"), testing::ExitedWithCode(1),
-                "unknown record");
+    expectIoError([&] { loadDimacs(in, "bad.gr"); }, "unknown record");
 }
 
 TEST(GraphIo, DimacsRejectsMissingHeader)
 {
     std::istringstream in("a 1 2 3\n");
-    EXPECT_EXIT(loadDimacs(in, "bad.gr"), testing::ExitedWithCode(1),
-                "arc before");
+    expectIoError([&] { loadDimacs(in, "bad.gr"); }, "arc before");
 }
 
 TEST(GraphIo, DimacsRejectsOutOfRangeArc)
 {
     std::istringstream in("p sp 2 1\na 1 5 3\n");
-    EXPECT_EXIT(loadDimacs(in, "bad.gr"), testing::ExitedWithCode(1),
-                "out of range");
+    expectIoError([&] { loadDimacs(in, "bad.gr"); }, "out of range");
 }
 
 TEST(GraphIo, MatrixMarketGeneralReal)
@@ -321,8 +332,7 @@ TEST(GraphIo, MatrixMarketSkipsDiagonal)
 TEST(GraphIo, MatrixMarketRejectsBadBanner)
 {
     std::istringstream in("%%NotMatrixMarket nope\n");
-    EXPECT_EXIT(loadMatrixMarket(in, "bad.mtx"),
-                testing::ExitedWithCode(1), "banner");
+    expectIoError([&] { loadMatrixMarket(in, "bad.mtx"); }, "banner");
 }
 
 TEST(GraphIo, EdgeListWithCommentsAndWeights)
@@ -341,8 +351,7 @@ TEST(GraphIo, EdgeListWithCommentsAndWeights)
 TEST(GraphIo, EdgeListRejectsEmpty)
 {
     std::istringstream in("# nothing\n");
-    EXPECT_EXIT(loadEdgeList(in, "bad.el"), testing::ExitedWithCode(1),
-                "no edges");
+    expectIoError([&] { loadEdgeList(in, "bad.el"); }, "no edges");
 }
 
 TEST(GraphIo, BinaryRoundTripPreservesEverything)
@@ -362,8 +371,14 @@ TEST(GraphIo, BinaryRejectsBadMagic)
 {
     std::stringstream buffer;
     buffer << "this is not a graph file at all, sorry";
-    EXPECT_EXIT(loadBinary(buffer, "bad.bin"),
-                testing::ExitedWithCode(1), "not an HD-CPS");
+    expectIoError([&] { loadBinary(buffer, "bad.bin"); },
+                  "not an HD-CPS");
+}
+
+TEST(GraphIo, MissingFileThrows)
+{
+    expectIoError([] { loadAnyFile("/nonexistent/nope.gr"); },
+                  "cannot open");
 }
 
 TEST(GraphIo, DimacsWriteReadRoundTrip)

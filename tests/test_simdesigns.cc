@@ -15,6 +15,7 @@
 #include "simsched/runner.h"
 #include "simsched/sim_hdcps.h"
 #include "simsched/sim_swarm.h"
+#include "support/fault.h"
 
 namespace hdcps {
 namespace {
@@ -208,6 +209,54 @@ TEST(SimDesigns, HrqSpillsWhenTiny)
     SimResult r = simulate(design, *w, cores16(), 1);
     EXPECT_TRUE(r.verified);
     EXPECT_GT(design.hrqSpills(), 0u);
+}
+
+TEST(SimDesigns, FaultForcedHrqSpillStillVerifies)
+{
+    // sim.hrq.full pretends the hRQ is full on a fraction of arrivals,
+    // driving the spill-to-software path at the default (generous)
+    // capacity — tasks detour but must all arrive exactly once, which
+    // verify() checks against the sequential reference.
+    Graph g = makePaperInput("cage", 1, 7);
+    auto w = makeWorkload("sssp", g, 0);
+    ScopedFaultInjection faults(13);
+    faults->arm(faultsite::SimHrqFull, FaultMode::Probability, 0.5);
+    SimHdCps design(SimHdCps::configHw(), "hw-faulty-hrq");
+    SimResult r = simulate(design, *w, cores16(), 1);
+    EXPECT_TRUE(r.verified) << r.verifyError;
+    EXPECT_GT(design.hrqSpills(), 0u);
+    EXPECT_GT(faults->fireCount(faultsite::SimHrqFull), 0u);
+}
+
+TEST(SimDesigns, FaultForcedHpqEvictStillVerifies)
+{
+    // sim.hpq.evict forces the evict-to-software path long before the
+    // hPQ actually fills; the software PQ absorbs the evictions and
+    // the run must still be exactly-once correct.
+    Graph g = makePaperInput("cage", 1, 7);
+    auto w = makeWorkload("sssp", g, 0);
+    ScopedFaultInjection faults(17);
+    faults->arm(faultsite::SimHpqEvict, FaultMode::EveryNth, 2);
+    SimHdCps design(SimHdCps::configHw(), "hw-faulty-hpq");
+    SimResult r = simulate(design, *w, cores16(), 1);
+    EXPECT_TRUE(r.verified) << r.verifyError;
+    EXPECT_GT(design.hpqEvictions(), 0u);
+}
+
+TEST(SimDesigns, FaultInjectedNocDelayOnlySlowsTheRun)
+{
+    // A degraded NoC (extra cycles per transfer) changes timing, never
+    // correctness — and must strictly increase completion time on a
+    // communication-heavy run.
+    Graph g = makeRoadGrid(12, 12, {.seed = 51});
+    auto w = makeWorkload("sssp", g, 0);
+    Cycle healthy = simulate("hdcps-hw", *w, cores16(), 1)
+                        .completionCycles;
+    ScopedFaultInjection faults;
+    faults->arm(faultsite::SimNocDelay, FaultMode::Delay, 200);
+    SimResult r = simulate("hdcps-hw", *w, cores16(), 1);
+    EXPECT_TRUE(r.verified) << r.verifyError;
+    EXPECT_GT(r.completionCycles, healthy);
 }
 
 TEST(SimDesigns, FixedTdfSweepAllVerify)

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "algos/workload.h"
@@ -21,6 +23,7 @@
 #include "sim/noc.h"
 #include "simsched/common.h"
 #include "simsched/runner.h"
+#include "support/fault.h"
 #include "support/rng.h"
 
 namespace hdcps {
@@ -220,6 +223,197 @@ TEST(SimProperties, MoreCoresNeverCatastrophicallyWorse)
     Cycle c16 =
         simulate("hdcps-hw", *workload, sixteen, 1).completionCycles;
     EXPECT_LT(c16 * 2, c1); // at least 2x from 16 cores
+}
+
+// ------------------------------- failure semantics and the watchdog
+
+/** Steady binary tree: every task spawns two children until the
+ *  budget runs out, so the frontier cannot die off randomly. */
+ProcessFn
+steadyTree(std::atomic<int64_t> &budget)
+{
+    return [&budget](unsigned, const Task &task,
+                     std::vector<Task> &children) {
+        for (uint32_t i = 0; i < 2; ++i) {
+            if (budget.fetch_sub(1, std::memory_order_relaxed) <= 0)
+                return;
+            children.push_back(
+                Task{task.priority + 1,
+                     static_cast<uint32_t>(mix64(task.node + i + 1)), 0});
+        }
+    };
+}
+
+TEST(FailureSemantics, ThrowingProcessFnFailsTheRunGracefully)
+{
+    // The PR's acceptance drill: a ProcessFn that throws mid-run must
+    // yield a failed RunResult — no std::terminate, no hang, every
+    // thread joined (implied by run() returning at all).
+    constexpr unsigned threads = 4;
+    HdCpsScheduler sched(threads, HdCpsScheduler::configSw());
+    std::atomic<int64_t> budget{1000000};
+    std::atomic<uint64_t> processed{0};
+    ProcessFn tree = steadyTree(budget);
+    ProcessFn throwing = [&](unsigned tid, const Task &task,
+                             std::vector<Task> &children) {
+        if (processed.fetch_add(1, std::memory_order_relaxed) == 100)
+            throw std::runtime_error("injected failure at task 100");
+        tree(tid, task, children);
+    };
+    RunOptions options;
+    options.numThreads = threads;
+    RunResult result = run(sched, {Task{0, 1, 0}}, throwing, options);
+    EXPECT_TRUE(result.failed);
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("injected failure at task 100"),
+              std::string::npos)
+        << result.error;
+    EXPECT_NE(result.error.find("ProcessFn threw"), std::string::npos)
+        << result.error;
+}
+
+TEST(FailureSemantics, ProcessThrowFaultSiteFailsTheRun)
+{
+    // Same contract, driven through the fault site instead of a custom
+    // ProcessFn — the path the CLI's --fault-spec exercises.
+    ScopedFaultInjection faults;
+    faults->arm(faultsite::ExecProcessThrow, FaultMode::OneShot, 50);
+    constexpr unsigned threads = 4;
+    HdCpsScheduler sched(threads, HdCpsScheduler::configSw());
+    std::atomic<int64_t> budget{1000000};
+    RunOptions options;
+    options.numThreads = threads;
+    RunResult result =
+        run(sched, {Task{0, 1, 0}}, steadyTree(budget), options);
+    EXPECT_TRUE(result.failed);
+    EXPECT_NE(result.error.find("exec.process.throw"), std::string::npos)
+        << result.error;
+    EXPECT_EQ(faults->fireCount(faultsite::ExecProcessThrow), 1u);
+}
+
+TEST(FailureSemantics, SpuriousPopFailuresOnlySlowTheRun)
+{
+    // exec.pop.fail misfires leave the task queued; the run must still
+    // complete and process the whole budget.
+    ScopedFaultInjection faults(5);
+    faults->arm(faultsite::ExecPopFail, FaultMode::Probability, 0.3);
+    constexpr unsigned threads = 4;
+    HdCpsScheduler sched(threads, HdCpsScheduler::configSw());
+    std::atomic<int64_t> budget{5000};
+    RunOptions options;
+    options.numThreads = threads;
+    RunResult result =
+        run(sched, {Task{0, 1, 0}}, steadyTree(budget), options);
+    EXPECT_TRUE(result.ok()) << result.error;
+    EXPECT_GT(faults->fireCount(faultsite::ExecPopFail), 0u);
+    EXPECT_LE(budget.load(), 0);
+}
+
+TEST(FailureSemantics, SsspCorrectUnderForcedSrqFull)
+{
+    // The PR's second acceptance drill: with *every* remote push
+    // reporting sRQ-full (all transfer through the locked overflow
+    // queue), SSSP must still process each task exactly once and land
+    // on the same answer as the fault-free run — both are checked
+    // against the same sequential reference by verify().
+    Graph g = makeRoadGrid(12, 12, {.seed = 51});
+    auto workload = makeWorkload("sssp", g, 0);
+    constexpr unsigned threads = 4;
+
+    workload->reset();
+    {
+        HdCpsConfig config = HdCpsScheduler::configSrq();
+        config.fixedTdf = 100;
+        HdCpsScheduler sched(threads, config);
+        RunOptions options;
+        options.numThreads = threads;
+        RunResult r = run(sched, workload->initialTasks(),
+                          workloadProcessFn(*workload), options);
+        ASSERT_TRUE(r.ok()) << r.error;
+        std::string why;
+        ASSERT_TRUE(workload->verify(&why)) << "fault-free: " << why;
+        EXPECT_EQ(sched.overflowPushes(), 0u);
+    }
+
+    workload->reset();
+    {
+        ScopedFaultInjection faults;
+        faults->arm(faultsite::SrqPushFull, FaultMode::EveryNth, 1);
+        HdCpsConfig config = HdCpsScheduler::configSrq();
+        config.fixedTdf = 100;
+        HdCpsScheduler sched(threads, config);
+        RunOptions options;
+        options.numThreads = threads;
+        options.watchdogMs = 10000; // the spill path must not stall
+        RunResult r = run(sched, workload->initialTasks(),
+                          workloadProcessFn(*workload), options);
+        ASSERT_TRUE(r.ok()) << r.error;
+        EXPECT_GT(sched.overflowPushes(), 0u);
+        std::string why;
+        ASSERT_TRUE(workload->verify(&why)) << "forced spill: " << why;
+    }
+}
+
+/** Swallows every push and never returns work: the canonical stall. */
+class BlackholeScheduler : public Scheduler
+{
+  public:
+    explicit BlackholeScheduler(unsigned n) : Scheduler(n) {}
+
+    void
+    push(unsigned, const Task &) override
+    {
+        swallowed_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    bool tryPop(unsigned, Task &) override { return false; }
+    const char *name() const override { return "blackhole"; }
+
+    size_t
+    sizeApprox() const override
+    {
+        return swallowed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> swallowed_{0};
+};
+
+TEST(Watchdog, FiresOnStalledRunWithDiagnostic)
+{
+    constexpr unsigned threads = 3;
+    BlackholeScheduler sched(threads);
+    RunOptions options;
+    options.numThreads = threads;
+    options.watchdogMs = 50;
+    std::atomic<int64_t> budget{100};
+    RunResult result =
+        run(sched, {Task{0, 1, 0}}, steadyTree(budget), options);
+    EXPECT_TRUE(result.failed);
+    EXPECT_NE(result.error.find("watchdog"), std::string::npos)
+        << result.error;
+    // The diagnostic names the scheduler, its buffered-task estimate,
+    // and the per-worker pop counts.
+    EXPECT_NE(result.error.find("blackhole"), std::string::npos)
+        << result.error;
+    EXPECT_NE(result.error.find("pops per worker"), std::string::npos)
+        << result.error;
+    EXPECT_NE(result.error.find("w0=0"), std::string::npos)
+        << result.error;
+}
+
+TEST(Watchdog, QuietOnHealthyRun)
+{
+    constexpr unsigned threads = 4;
+    HdCpsScheduler sched(threads, HdCpsScheduler::configSw());
+    std::atomic<int64_t> budget{20000};
+    RunOptions options;
+    options.numThreads = threads;
+    options.watchdogMs = 2000;
+    RunResult result =
+        run(sched, {Task{0, 1, 0}}, steadyTree(budget), options);
+    EXPECT_TRUE(result.ok()) << result.error;
+    EXPECT_LE(budget.load(), 0);
 }
 
 TEST(SimProperties, DrainAlwaysCompletes)

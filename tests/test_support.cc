@@ -6,16 +6,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "stats/breakdown.h"
 #include "stats/summary.h"
 #include "stats/table.h"
 #include "support/compiler.h"
 #include "support/rng.h"
+#include "support/fault.h"
 #include "support/spsc_ring.h"
 #include "support/timer.h"
 
@@ -329,6 +333,149 @@ TEST(SpscRing, ConcurrentProducerConsumer)
     }
     producer.join();
     EXPECT_EQ(sum, static_cast<long long>(count) * (count - 1) / 2);
+}
+
+TEST(Fault, InactiveHelpersAreNoOps)
+{
+    ASSERT_EQ(FaultRegistry::active(), nullptr);
+    EXPECT_FALSE(faultFires(faultsite::SrqPushFull));
+    EXPECT_EQ(faultAmount(faultsite::SimNocDelay), 0u);
+    faultSleep(faultsite::DriftPublishDelay); // must be a no-op
+}
+
+TEST(Fault, UnarmedSiteNeverFires)
+{
+    ScopedFaultInjection faults;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(faultFires(faultsite::SrqPushFull));
+    EXPECT_EQ(faults->invocations(faultsite::SrqPushFull), 0u);
+    EXPECT_EQ(faults->armedCount(), 0u);
+}
+
+TEST(Fault, ScopedInstallUninstalls)
+{
+    EXPECT_EQ(FaultRegistry::active(), nullptr);
+    {
+        ScopedFaultInjection faults;
+        EXPECT_EQ(FaultRegistry::active(), &faults.registry());
+    }
+    EXPECT_EQ(FaultRegistry::active(), nullptr);
+}
+
+TEST(Fault, EveryNthFiresOnExactMultiples)
+{
+    ScopedFaultInjection faults;
+    faults->arm(faultsite::SrqPushFull, FaultMode::EveryNth, 3);
+    int fired = 0;
+    for (int i = 1; i <= 30; ++i) {
+        bool f = faultFires(faultsite::SrqPushFull);
+        EXPECT_EQ(f, i % 3 == 0) << "invocation " << i;
+        fired += f;
+    }
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(faults->invocations(faultsite::SrqPushFull), 30u);
+    EXPECT_EQ(faults->fireCount(faultsite::SrqPushFull), 10u);
+}
+
+TEST(Fault, OneShotFiresOnTheNthInvocationOnly)
+{
+    ScopedFaultInjection faults;
+    faults->arm(faultsite::ExecProcessThrow, FaultMode::OneShot, 5);
+    for (int i = 1; i <= 20; ++i) {
+        EXPECT_EQ(faultFires(faultsite::ExecProcessThrow), i == 5)
+            << "invocation " << i;
+    }
+    EXPECT_EQ(faults->fireCount(faultsite::ExecProcessThrow), 1u);
+}
+
+TEST(Fault, ProbabilityIsDeterministicPerSeed)
+{
+    auto sample = [](uint64_t seed) {
+        ScopedFaultInjection faults(seed);
+        faults->arm(faultsite::SrqPopFail, FaultMode::Probability, 0.3);
+        std::vector<bool> out;
+        for (int i = 0; i < 400; ++i)
+            out.push_back(faultFires(faultsite::SrqPopFail));
+        return out;
+    };
+    std::vector<bool> a = sample(77);
+    EXPECT_EQ(a, sample(77));
+    EXPECT_NE(a, sample(78));
+    int fired = static_cast<int>(std::count(a.begin(), a.end(), true));
+    EXPECT_GT(fired, 60);  // ~120 expected; loose 3-sigma-ish bounds
+    EXPECT_LT(fired, 180);
+}
+
+TEST(Fault, ProbabilityExtremes)
+{
+    ScopedFaultInjection faults;
+    faults->arm(faultsite::SrqPopFail, FaultMode::Probability, 0.0);
+    faults->arm(faultsite::SrqPushFull, FaultMode::Probability, 1.0);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(faultFires(faultsite::SrqPopFail));
+        EXPECT_TRUE(faultFires(faultsite::SrqPushFull));
+    }
+}
+
+TEST(Fault, DelayModeReportsAmountEveryTime)
+{
+    ScopedFaultInjection faults;
+    faults->arm(faultsite::SimNocDelay, FaultMode::Delay, 7);
+    EXPECT_EQ(faultAmount(faultsite::SimNocDelay), 7u);
+    EXPECT_EQ(faultAmount(faultsite::SimNocDelay), 7u);
+    EXPECT_EQ(faults->fireCount(faultsite::SimNocDelay), 2u);
+}
+
+TEST(Fault, RearmResetsCounters)
+{
+    ScopedFaultInjection faults;
+    faults->arm(faultsite::SrqPushFull, FaultMode::EveryNth, 1);
+    EXPECT_TRUE(faultFires(faultsite::SrqPushFull));
+    faults->arm(faultsite::SrqPushFull, FaultMode::EveryNth, 2);
+    EXPECT_EQ(faults->invocations(faultsite::SrqPushFull), 0u);
+    EXPECT_FALSE(faultFires(faultsite::SrqPushFull)); // 1st of nth:2
+    EXPECT_TRUE(faultFires(faultsite::SrqPushFull));
+    EXPECT_EQ(faults->armedCount(), 1u); // re-armed, not duplicated
+}
+
+TEST(Fault, ParseSpecArmsSites)
+{
+    ScopedFaultInjection faults;
+    std::string error;
+    ASSERT_TRUE(faults->parseSpec("srq.push.full:nth:2,"
+                                  "sim.noc.delay:delay:100,"
+                                  "exec.process.throw:once",
+                                  &error))
+        << error;
+    EXPECT_EQ(faults->armedCount(), 3u);
+    EXPECT_FALSE(faultFires(faultsite::SrqPushFull));
+    EXPECT_TRUE(faultFires(faultsite::SrqPushFull));
+    EXPECT_EQ(faultAmount(faultsite::SimNocDelay), 100u);
+    EXPECT_TRUE(faultFires(faultsite::ExecProcessThrow)); // once -> N=1
+    EXPECT_FALSE(faultFires(faultsite::ExecProcessThrow));
+}
+
+TEST(Fault, ParseSpecRejectsBadInput)
+{
+    ScopedFaultInjection faults;
+    std::string error;
+    EXPECT_FALSE(faults->parseSpec("nocolon", &error));
+    EXPECT_FALSE(faults->parseSpec("site:wat:1", &error));
+    EXPECT_NE(error.find("unknown mode"), std::string::npos) << error;
+    EXPECT_FALSE(faults->parseSpec("site:nth", &error));
+    EXPECT_FALSE(faults->parseSpec("site:prob:1.5", &error));
+    EXPECT_FALSE(faults->parseSpec("site:nth:abc", &error));
+    EXPECT_FALSE(faults->parseSpec(":nth:1", &error));
+}
+
+TEST(Fault, SiteCatalogNamesAreKnown)
+{
+    size_t count = 0;
+    const FaultSiteInfo *sites = faultSiteCatalog(count);
+    ASSERT_GE(count, 9u);
+    for (size_t i = 0; i < count; ++i)
+        EXPECT_TRUE(faultSiteKnown(sites[i].name)) << sites[i].name;
+    EXPECT_FALSE(faultSiteKnown("no.such.site"));
 }
 
 } // namespace

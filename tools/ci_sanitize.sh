@@ -30,12 +30,40 @@ targets=(hdcps_cli
          test_algos test_sim test_simdesigns test_stress test_simsched
          test_properties)
 
+# Fault-injection stress: re-run the failure-semantics, watchdog and
+# fault-drill suites under the instrumented build (the injected error
+# paths exercise unwinding and drain-stop code ctest already covers,
+# but the CLI plumbing below does not run under ctest), then drive the
+# CLI end to end with faults armed. A degraded-but-healthy spec must
+# still succeed; an injected ProcessFn throw must fail the run with
+# the graceful exit code 2, not a crash or a hang.
+fault_stress() {
+    local builddir=$1
+    "$builddir"/tests/test_stress --gtest_filter='FailureSemantics.*:Watchdog.*'
+    "$builddir"/tests/test_core --gtest_filter='FaultDrill.*'
+    "$builddir"/tools/hdcps_cli --kernel sssp --input cage --design hdcps-sw \
+        --mode threads --threads 4 --watchdog-ms 60000 --csv \
+        --fault-spec 'srq.push.full:nth:3,exec.pop.fail:prob:0.05,srq.pop.fail:prob:0.05'
+    local rc=0
+    "$builddir"/tools/hdcps_cli --kernel sssp --input cage --design hdcps-sw \
+        --mode threads --threads 4 --watchdog-ms 60000 --csv \
+        --fault-spec 'exec.process.throw:once:100' || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "FAIL: injected ProcessFn throw exited $rc, want 2" >&2
+        return 1
+    fi
+}
+
 for preset in "${presets[@]}"; do
+    builddir=build
+    [ "$preset" != default ] && builddir="build-$preset"
     echo "=== [$preset] configure ==="
     cmake --preset "$preset"
     echo "=== [$preset] build ==="
     cmake --build --preset "$preset" -j "$jobs" -- "${targets[@]}"
     echo "=== [$preset] ctest ==="
     ctest --preset "$preset" -j "$jobs"
+    echo "=== [$preset] fault-injection stress ==="
+    fault_stress "$builddir"
     echo "=== [$preset] OK ==="
 done

@@ -13,8 +13,11 @@
  *   hdcps --list
  */
 
+#include <cctype>
+#include <cerrno>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "algos/workload.h"
@@ -31,6 +34,7 @@
 #include "runtime/executor.h"
 #include "simsched/runner.h"
 #include "stats/table.h"
+#include "support/fault.h"
 #include "support/logging.h"
 
 namespace {
@@ -55,6 +59,8 @@ struct Options
     bool modeExplicit = false;
     std::string metricsOut;      ///< empty = no metrics export
     unsigned metricsInterval = 0; ///< 0 = per-mode default
+    std::string faultSpec;       ///< empty = no fault injection
+    uint64_t watchdogMs = 0;     ///< 0 = watchdog off
 };
 
 void
@@ -78,9 +84,41 @@ usage()
         "                (.csv -> CSV, else JSON); implies --mode threads\n"
         "  --metrics-interval N   pops between metric samples\n"
         "                (default 500)\n"
+        "  --fault-spec S     arm fault-injection sites for the run:\n"
+        "                site:mode[:arg][,...] with modes nth|prob|once|\n"
+        "                delay (site names under --list); seeded by --seed\n"
+        "  --watchdog-ms N    fail a threaded run when no task is popped\n"
+        "                for N ms while work is pending (default off)\n"
         "  --stats       print the input graph's statistics and exit\n"
         "  --config      print the simulated machine's Table-I parameters\n"
-        "  --list        list kernels and designs, then exit\n";
+        "  --list        list kernels, designs and fault sites, then exit\n";
+}
+
+/**
+ * Strict decimal parse for numeric option values. strtoul-style
+ * laissez-faire parsing silently turned "--threads -1" into 4 billion
+ * threads and "--cores 8x" into 8; here anything but a plain
+ * non-negative decimal number within [0, max] is a fatal usage error.
+ */
+uint64_t
+parseUint(const char *flag, const char *text, uint64_t max)
+{
+    if (text[0] == '\0' || text[0] == '-' || text[0] == '+' ||
+        std::isspace(static_cast<unsigned char>(text[0]))) {
+        hdcps_fatal("%s: want a non-negative integer, got '%s'", flag,
+                    text);
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        hdcps_fatal("%s: want a non-negative integer, got '%s'", flag,
+                    text);
+    if (errno == ERANGE || parsed > max) {
+        hdcps_fatal("%s: value '%s' out of range (max %llu)", flag, text,
+                    static_cast<unsigned long long>(max));
+    }
+    return parsed;
 }
 
 Options
@@ -92,6 +130,8 @@ parseArgs(int argc, char **argv)
             hdcps_fatal("missing value for %s", argv[i]);
         return argv[++i];
     };
+    constexpr uint64_t maxUnsigned =
+        std::numeric_limits<unsigned>::max();
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--kernel") {
@@ -106,20 +146,32 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--metrics-out") {
             options.metricsOut = value(i);
         } else if (arg == "--metrics-interval") {
-            options.metricsInterval =
-                unsigned(std::strtoul(value(i), nullptr, 10));
+            options.metricsInterval = unsigned(
+                parseUint("--metrics-interval", value(i), maxUnsigned));
         } else if (arg == "--cores") {
-            options.cores = unsigned(std::strtoul(value(i), nullptr, 10));
+            options.cores =
+                unsigned(parseUint("--cores", value(i), maxUnsigned));
         } else if (arg == "--threads") {
             options.threads =
-                unsigned(std::strtoul(value(i), nullptr, 10));
+                unsigned(parseUint("--threads", value(i), maxUnsigned));
         } else if (arg == "--scale") {
-            options.scale = unsigned(std::strtoul(value(i), nullptr, 10));
+            options.scale =
+                unsigned(parseUint("--scale", value(i), maxUnsigned));
         } else if (arg == "--seed") {
-            options.seed = std::strtoull(value(i), nullptr, 10);
+            options.seed =
+                parseUint("--seed", value(i),
+                          std::numeric_limits<uint64_t>::max());
         } else if (arg == "--source") {
-            options.source =
-                NodeId(std::strtoul(value(i), nullptr, 10));
+            options.source = NodeId(
+                parseUint("--source", value(i),
+                          std::numeric_limits<NodeId>::max()));
+        } else if (arg == "--fault-spec") {
+            options.faultSpec = value(i);
+        } else if (arg == "--watchdog-ms") {
+            // Capped to a day: anything larger is a typo, and the cap
+            // keeps window * 1ms arithmetic trivially overflow-free.
+            options.watchdogMs =
+                parseUint("--watchdog-ms", value(i), 86400000ULL);
         } else if (arg == "--stats") {
             options.stats = true;
         } else if (arg == "--csv") {
@@ -147,7 +199,14 @@ loadInput(const Options &options)
             return makePaperInput(options.input, options.scale,
                                   options.seed);
     }
-    return loadAnyFile(options.input);
+    // The loaders throw instead of exiting (they are library code);
+    // the CLI is the boundary that turns a bad input file back into
+    // the classic message-plus-nonzero-exit behavior.
+    try {
+        return loadAnyFile(options.input);
+    } catch (const GraphIoError &e) {
+        hdcps_fatal("%s", e.what());
+    }
 }
 
 std::unique_ptr<Scheduler>
@@ -247,6 +306,7 @@ runThreads(const Options &options, Workload &workload)
     std::unique_ptr<MetricsRegistry> metrics;
     RunOptions runOptions;
     runOptions.numThreads = options.threads;
+    runOptions.watchdogMs = options.watchdogMs;
     if (!options.metricsOut.empty()) {
         MetricsRegistry::Config config;
         config.sampleInterval = interval;
@@ -258,6 +318,10 @@ runThreads(const Options &options, Workload &workload)
 
     RunResult r = run(*scheduler, workload.initialTasks(),
                       workloadProcessFn(workload), runOptions);
+    if (!r.ok()) {
+        std::cerr << "run failed: " << r.error << "\n";
+        return 2;
+    }
     std::string why;
     bool verified = workload.verify(&why);
 
@@ -314,8 +378,33 @@ main(int argc, char **argv)
             std::cout << " " << designs[i];
         std::cout << " hdcps-srq hdcps-srq-tdf hdcps-srq-tdf-ac"
                   << "\nthreaded designs: reld multiqueue obim pmod "
-                     "swminnow hdcps-srq hdcps-sw\n";
+                     "swminnow hdcps-srq hdcps-sw\n"
+                  << "fault sites (--fault-spec):\n";
+        const FaultSiteInfo *sites = faultSiteCatalog(count);
+        for (size_t i = 0; i < count; ++i) {
+            std::cout << "  " << sites[i].name << "  ("
+                      << sites[i].description << ")\n";
+        }
         return 0;
+    }
+
+    // Fault injection is armed before any input or scheduler work so
+    // every instrumented path of this process sees the same registry.
+    // The registry is static because workers may consult it right up
+    // to the end of main.
+    static FaultRegistry faults(options.seed);
+    if (!options.faultSpec.empty()) {
+        std::string error;
+        if (!faults.parseSpec(options.faultSpec, &error))
+            hdcps_fatal("--fault-spec: %s", error.c_str());
+        for (const std::string &site : faults.armedSites()) {
+            if (!faultSiteKnown(site)) {
+                hdcps_fatal("--fault-spec: unknown fault site '%s' "
+                            "(see --list)",
+                            site.c_str());
+            }
+        }
+        FaultRegistry::install(&faults);
     }
 
     Graph graph = loadInput(options);
