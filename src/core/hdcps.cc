@@ -1,6 +1,49 @@
 #include "core/hdcps.h"
 
+#include <algorithm>
+#include <thread>
+
+#include "support/timer.h"
+
 namespace hdcps {
+
+namespace {
+
+/**
+ * The per-worker reclamation lock: a tiny spinlock. Owners block-spin
+ * (their critical sections only contend with a reclaimer mid-drain,
+ * which is short and rare); reclaimers must use the try variant so the
+ * only blocking acquire anyone performs is on their *own* lock —
+ * cross-worker acquisition never waits, hence never deadlocks.
+ */
+inline bool
+tryLockReclaim(std::atomic<uint32_t> &lock)
+{
+    uint32_t expected = 0;
+    return lock.compare_exchange_strong(expected, 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed);
+}
+
+inline void
+lockReclaim(std::atomic<uint32_t> &lock)
+{
+    unsigned spins = 0;
+    while (!tryLockReclaim(lock)) {
+        if (++spins > 64) {
+            std::this_thread::yield();
+            spins = 0;
+        }
+    }
+}
+
+inline void
+unlockReclaim(std::atomic<uint32_t> &lock)
+{
+    lock.store(0, std::memory_order_release);
+}
+
+} // namespace
 
 HdCpsScheduler::HdCpsScheduler(unsigned numWorkers,
                                const HdCpsConfig &config)
@@ -20,10 +63,12 @@ HdCpsScheduler::HdCpsScheduler(unsigned numWorkers,
         name_ += "-sc";
 
     workers_.reserve(numWorkers);
+    const uint64_t now = nowNs();
     for (unsigned i = 0; i < numWorkers; ++i) {
         auto w = std::make_unique<WorkerState>();
         w->rq = std::make_unique<ReceiveQueue<Envelope>>(config.rqCapacity);
         w->rng.reseed(mix64(config.seed + 0x9e37) + i);
+        w->heartbeatNs.store(now, std::memory_order_relaxed);
         workers_.push_back(std::move(w));
     }
 }
@@ -93,15 +138,37 @@ HdCpsScheduler::averageDrift() const
 size_t
 HdCpsScheduler::sizeApprox() const
 {
-    // Only the cross-thread-safe structures are counted: sRQ pointers
-    // are atomics, the overflow queue locks. The private PQs and active
-    // bags belong to their owners and cannot be read without a race, so
-    // this undercounts — acceptable for the watchdog's stall dump,
-    // where the interesting signal is work stuck in transfer.
+    // Only race-free state is read: sRQ pointers are atomics, the
+    // overflow queue locks, and the private PQ + active bag are covered
+    // by the owner's self-published localBuffered estimate (which can
+    // lag by one operation). Good enough for the watchdog's stall dump
+    // and the reclaimers' is-anything-stranded pre-check.
     size_t total = 0;
-    for (const auto &w : workers_)
-        total += w->rq->sizeApprox() + w->overflow.size();
+    for (const auto &w : workers_) {
+        total += w->rq->sizeApprox() + w->overflow.size() +
+                 w->localBuffered.load(std::memory_order_relaxed);
+    }
     return total;
+}
+
+void
+HdCpsScheduler::setReclaimAfterMs(uint64_t ms)
+{
+    reclaimAfterNs_.store(ms * 1000000, std::memory_order_relaxed);
+    // Fresh heartbeats: the time a scheduler sat configured-but-idle
+    // before the run must not count toward anyone's staleness.
+    const uint64_t now = nowNs();
+    for (auto &w : workers_) {
+        w->heartbeatNs.store(now, std::memory_order_relaxed);
+        w->reclaimBackoffNs = 0;
+        w->reclaimBackoffUntilNs = 0;
+    }
+}
+
+uint64_t
+HdCpsScheduler::heartbeatPops(unsigned tid) const
+{
+    return workers_[tid]->heartbeatPops.load(std::memory_order_relaxed);
 }
 
 unsigned
@@ -124,10 +191,19 @@ HdCpsScheduler::deliver(unsigned from, unsigned dest,
 {
     if (dest == from) {
         // Local enqueue goes straight into the private PQ — no receive
-        // queue hop needed (Figure 2, path 1a).
+        // queue hop needed (Figure 2, path 1a). With reclamation on,
+        // the PQ is no longer owner-exclusive, so take our own lock.
         WorkerState &w = *workers_[from];
+        const bool guarded =
+            reclaimAfterNs_.load(std::memory_order_relaxed) != 0;
+        if (guarded)
+            lockReclaim(w.reclaimLock);
         drainIncoming(w);
         w.pq.push(PqEntry{envelope.task, envelope.bag});
+        w.localBuffered.store(w.pq.size() + w.activeBag.size(),
+                              std::memory_order_relaxed);
+        if (guarded)
+            unlockReclaim(w.reclaimLock);
         localEnqueues_.fetch_add(1, std::memory_order_relaxed);
         if (metrics_)
             metrics_->add(from, WorkerCounter::LocalEnqueues);
@@ -211,20 +287,44 @@ bool
 HdCpsScheduler::tryPop(unsigned tid, Task &out)
 {
     WorkerState &w = *workers_[tid];
+    const uint64_t staleNs = reclaimAfterNs_.load(std::memory_order_relaxed);
+    if (staleNs == 0)
+        return popLocal(tid, w, out); // original lock-free fast path
 
+    // Heartbeat first: a worker that reaches here is alive even if it
+    // finds nothing, and publishing before the lock keeps a long drain
+    // from making *us* look stale to everyone else.
+    w.heartbeatNs.store(nowNs(), std::memory_order_relaxed);
+    lockReclaim(w.reclaimLock);
+    bool got = popLocal(tid, w, out);
+    if (!got)
+        got = reclaimFromStraggler(tid, staleNs, out);
+    unlockReclaim(w.reclaimLock);
+    if (got)
+        w.heartbeatPops.fetch_add(1, std::memory_order_relaxed);
+    return got;
+}
+
+bool
+HdCpsScheduler::popLocal(unsigned tid, WorkerState &w, Task &out)
+{
     // A dequeued bag binds the core until its tasks are done
     // (Section III-B) — serve the active bag first.
     if (!w.activeBag.empty()) {
         out = w.activeBag.back();
         w.activeBag.pop_back();
+        w.localBuffered.store(w.pq.size() + w.activeBag.size(),
+                              std::memory_order_relaxed);
         maybeSample(tid, out.priority);
         return true;
     }
 
     drainIncoming(w);
 
-    if (w.pq.empty())
+    if (w.pq.empty()) {
+        w.localBuffered.store(0, std::memory_order_relaxed);
         return false;
+    }
 
     PqEntry entry = w.pq.pop();
     if (entry.bag) {
@@ -236,8 +336,94 @@ HdCpsScheduler::tryPop(unsigned tid, Task &out)
     } else {
         out = entry.task;
     }
+    w.localBuffered.store(w.pq.size() + w.activeBag.size(),
+                          std::memory_order_relaxed);
     maybeSample(tid, out.priority);
     return true;
+}
+
+bool
+HdCpsScheduler::reclaimFromStraggler(unsigned tid, uint64_t staleNs,
+                                     Task &out)
+{
+    WorkerState &me = *workers_[tid];
+    const uint64_t now = nowNs();
+    if (now < me.reclaimBackoffUntilNs)
+        return false;
+
+    bool sawStale = false;
+    size_t moved = 0;
+    const unsigned n = numWorkers();
+    for (unsigned k = 1; k < n && moved == 0; ++k) {
+        unsigned vid = (tid + k) % n;
+        WorkerState &victim = *workers_[vid];
+        uint64_t hb = victim.heartbeatNs.load(std::memory_order_relaxed);
+        if (hb <= now && now - hb < staleNs)
+            continue; // fresh heartbeat: not a straggler
+        // Lock-free pre-check: a stale-but-empty peer strands nothing.
+        if (victim.rq->sizeApprox() == 0 && victim.overflow.size() == 0 &&
+            victim.localBuffered.load(std::memory_order_relaxed) == 0) {
+            continue;
+        }
+        sawStale = true;
+        if (!tryLockReclaim(victim.reclaimLock)) {
+            // Either the owner woke up or another reclaimer beat us —
+            // both resolve the stall, so just record the race and move
+            // on. Never block here (deadlock-freedom, see header).
+            reclaimRaces_.fetch_add(1, std::memory_order_relaxed);
+            if (metrics_)
+                metrics_->add(tid, WorkerCounter::ReclaimRaces);
+            continue;
+        }
+        // Drain *everything* the victim buffered — sRQ, overflow spill,
+        // active bag, and its private PQ. Leaving the PQ behind would
+        // strand locally-delivered children of tasks the victim ran
+        // before stalling.
+        Envelope envelope;
+        while (victim.rq->tryPop(envelope)) {
+            moved += envelope.bag ? envelope.bag->tasks.size() : 1;
+            me.pq.push(PqEntry{envelope.task, envelope.bag});
+        }
+        Task task;
+        while (victim.overflow.tryPop(task)) {
+            ++moved;
+            me.pq.push(PqEntry{task, nullptr});
+        }
+        for (const Task &t : victim.activeBag) {
+            ++moved;
+            me.pq.push(PqEntry{t, nullptr});
+        }
+        victim.activeBag.clear();
+        while (!victim.pq.empty()) {
+            PqEntry entry = victim.pq.pop();
+            moved += entry.bag ? entry.bag->tasks.size() : 1;
+            me.pq.push(entry);
+        }
+        victim.localBuffered.store(0, std::memory_order_relaxed);
+        unlockReclaim(victim.reclaimLock);
+    }
+
+    if (moved == 0) {
+        if (sawStale) {
+            // Contended or raced-away straggler: back off exponentially
+            // so a pack of idle workers doesn't spin on one victim.
+            const uint64_t base =
+                std::max<uint64_t>(staleNs / 16, 50 * 1000);
+            me.reclaimBackoffNs =
+                me.reclaimBackoffNs == 0
+                    ? base
+                    : std::min(me.reclaimBackoffNs * 2, staleNs);
+            me.reclaimBackoffUntilNs = now + me.reclaimBackoffNs;
+        }
+        return false;
+    }
+
+    me.reclaimBackoffNs = 0;
+    me.reclaimBackoffUntilNs = 0;
+    reclaimedTasks_.fetch_add(moved, std::memory_order_relaxed);
+    if (metrics_)
+        metrics_->add(tid, WorkerCounter::ReclaimedTasks, moved);
+    return popLocal(tid, me, out);
 }
 
 void

@@ -17,6 +17,20 @@
  *
  * The paper's named configurations map to the factories below:
  * sRQ, sRQ+TDF, sRQ+TDF+AC, sRQ+TDF+SC (== HD-CPS:SW).
+ *
+ * **Straggler resilience (sRQ reclamation).** The sRQ design's weak
+ * spot is a stalled owner: remote enqueues keep landing in its receive
+ * queue, and every task parked there is stranded until the owner runs
+ * again. With reclamation enabled (setReclaimAfterMs), each worker
+ * publishes a relaxed heartbeat (pop counter + monotonic epoch) on
+ * every tryPop; when a peer's heartbeat is stale past the window, an
+ * idle worker acquires the victim's per-worker reclamation lock
+ * (try-lock with exponential backoff on contention) and drains the
+ * victim's sRQ, overflow spill, active bag, and private PQ into its
+ * own private PQ. Owners guard their single-consumer structures with
+ * their own lock whenever reclamation is enabled, so the handoff is
+ * race-free; with reclamation off (the default) the original
+ * lock-free paths run unchanged. See DESIGN.md §10.
  */
 
 #ifndef HDCPS_CORE_HDCPS_H_
@@ -65,8 +79,15 @@ class HdCpsScheduler : public Scheduler
     const char *name() const override { return name_.c_str(); }
 
     /** Tasks visible in the cross-thread-safe buffers (sRQs + overflow
-     *  queues); the owner-private PQs are excluded. See Scheduler. */
+     *  queues) plus each owner's self-published private-PQ estimate
+     *  (may lag by one operation). See Scheduler. */
     size_t sizeApprox() const override;
+
+    /** Enable sRQ reclamation from stragglers whose heartbeat is older
+     *  than `ms` milliseconds (0 disables, the default). Refreshes all
+     *  heartbeats so pre-run idleness is not mistaken for a stall.
+     *  Must not race with push/tryPop. */
+    void setReclaimAfterMs(uint64_t ms) override;
 
     /** Paper configuration factories. */
     static HdCpsConfig configSrq();
@@ -109,6 +130,21 @@ class HdCpsScheduler : public Scheduler
         return overflowPushes_.load(std::memory_order_relaxed);
     }
 
+    /** Tasks drained from stragglers' queues by peers (reclamation). */
+    uint64_t reclaimedTasks() const
+    {
+        return reclaimedTasks_.load(std::memory_order_relaxed);
+    }
+
+    /** Reclamation lock attempts lost to a racing peer. */
+    uint64_t reclaimRaces() const
+    {
+        return reclaimRaces_.load(std::memory_order_relaxed);
+    }
+
+    /** Worker `tid`'s heartbeat pop counter (tests, diagnostics). */
+    uint64_t heartbeatPops(unsigned tid) const;
+
     const HdCpsConfig &config() const { return config_; }
 
   private:
@@ -147,12 +183,38 @@ class HdCpsScheduler : public Scheduler
         std::vector<Task> activeBag; ///< tasks of the bag being drained
         Rng rng;
         uint64_t popsSinceSample = 0;
+
+        /**
+         * Reclamation lock guarding pq/activeBag and the consume side
+         * of rq/overflow. With reclamation off nobody touches it; with
+         * it on, the owner holds it across every local queue access and
+         * reclaimers take it via try-lock only (so lock order is always
+         * own-then-victim with no blocking second acquire → no
+         * deadlock).
+         */
+        std::atomic<uint32_t> reclaimLock{0};
+        /** Heartbeat: monotonic ns of the last tryPop attempt, and the
+         *  count of successful pops. Relaxed — freshness only. */
+        std::atomic<uint64_t> heartbeatNs{0};
+        std::atomic<uint64_t> heartbeatPops{0};
+        /** Owner-published |pq| + |activeBag| estimate: lets peers (and
+         *  sizeApprox) see private buffered work without racing it. */
+        std::atomic<size_t> localBuffered{0};
+        /** Reclaimer-local backoff state (owner-only fields). */
+        uint64_t reclaimBackoffNs = 0;
+        uint64_t reclaimBackoffUntilNs = 0;
     };
 
     void deliver(unsigned from, unsigned dest, const Envelope &envelope);
     unsigned chooseDest(unsigned tid);
     void drainIncoming(WorkerState &w);
     void maybeSample(unsigned tid, Priority poppedPriority);
+    /** The original tryPop body: activeBag, drain, private PQ. Caller
+     *  holds w.reclaimLock when reclamation is enabled. */
+    bool popLocal(unsigned tid, WorkerState &w, Task &out);
+    /** Scan peers for a stale heartbeat and drain one straggler's
+     *  queues into tid's PQ. Caller holds tid's own reclaimLock. */
+    bool reclaimFromStraggler(unsigned tid, uint64_t staleNs, Task &out);
 
     HdCpsConfig config_;
     std::string name_;
@@ -167,6 +229,10 @@ class HdCpsScheduler : public Scheduler
     std::atomic<uint64_t> remoteEnqueues_{0};
     std::atomic<uint64_t> localEnqueues_{0};
     std::atomic<uint64_t> overflowPushes_{0};
+    /** Straggler-reclamation knob and counters (0 window = off). */
+    std::atomic<uint64_t> reclaimAfterNs_{0};
+    std::atomic<uint64_t> reclaimedTasks_{0};
+    std::atomic<uint64_t> reclaimRaces_{0};
 };
 
 } // namespace hdcps

@@ -79,12 +79,28 @@ class Scheduler
     unsigned numWorkers() const { return numWorkers_; }
 
     /**
+     * Straggler-resilience knob: when a worker's heartbeat is stale by
+     * more than `ms` milliseconds, idle peers may reclaim its buffered
+     * tasks (0 disables). The threaded runtime forwards
+     * RunOptions::reclaimAfterMs here before the workers start, so the
+     * RunOptions value is authoritative for executor-driven runs.
+     * Designs without per-worker buffers ignore it (the default).
+     * Must be called while no worker is inside push/tryPop.
+     */
+    virtual void setReclaimAfterMs(uint64_t ms) { (void)ms; }
+
+    /**
      * Attach an observability registry (nullptr detaches). Designs
      * record occupancy series and distribution counters into it; when
      * none is attached the hot paths pay one predictable branch.
-     * Must be called while no worker is inside push/tryPop.
+     * Wrapper schedulers override this to forward the registry to the
+     * wrapped design. Must be called while no worker is inside
+     * push/tryPop.
      */
-    void attachMetrics(MetricsRegistry *metrics) { metrics_ = metrics; }
+    virtual void attachMetrics(MetricsRegistry *metrics)
+    {
+        metrics_ = metrics;
+    }
 
     MetricsRegistry *metrics() const { return metrics_; }
 

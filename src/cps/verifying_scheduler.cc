@@ -1,0 +1,236 @@
+#include "cps/verifying_scheduler.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace hdcps {
+
+VerifyingScheduler::VerifyingScheduler(Scheduler &inner)
+    : VerifyingScheduler(inner, Config())
+{}
+
+VerifyingScheduler::VerifyingScheduler(Scheduler &inner,
+                                       const Config &config)
+    : Scheduler(inner.numWorkers()), inner_(inner), config_(config)
+{
+    hdcps_check(config.sampleInterval >= 1,
+                "sample interval must be >= 1");
+    name_ = std::string("verifying(") + inner.name() + ")";
+}
+
+size_t
+VerifyingScheduler::TaskBitsHash::operator()(const TaskBits &k) const
+{
+    return static_cast<size_t>(mix64(k.hi ^ mix64(k.lo)));
+}
+
+VerifyingScheduler::TaskBits
+VerifyingScheduler::taskKey(const Task &task)
+{
+    TaskBits key;
+    key.hi = task.priority;
+    key.lo = (static_cast<uint64_t>(task.node) << 32) | task.data;
+    return key;
+}
+
+VerifyingScheduler::Shard &
+VerifyingScheduler::shardFor(const TaskBits &key)
+{
+    return shards_[TaskBitsHash{}(key) % kShards];
+}
+
+void
+VerifyingScheduler::recordPush(const Task &task)
+{
+    pushes_.fetch_add(1, std::memory_order_relaxed);
+    TaskBits key = taskKey(task);
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.counts[key];
+    ++shard.byPriority[task.priority];
+}
+
+void
+VerifyingScheduler::recordPop(const Task &task)
+{
+    pops_.fetch_add(1, std::memory_order_relaxed);
+    TaskBits key = taskKey(task);
+    Shard &shard = shardFor(key);
+    bool bad = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        int64_t &count = shard.counts[key];
+        if (count <= 0) {
+            // Leave the count at its floor instead of going negative:
+            // one duplicated pop then reads as one violation, not as a
+            // violation plus a phantom "loss" canceling elsewhere.
+            bad = true;
+            if (count == 0)
+                shard.counts.erase(key);
+        } else {
+            if (--count == 0)
+                shard.counts.erase(key);
+            auto it = shard.byPriority.find(task.priority);
+            if (it != shard.byPriority.end() && --it->second == 0)
+                shard.byPriority.erase(it);
+        }
+    }
+    if (bad) {
+        std::ostringstream out;
+        out << "task {priority=" << task.priority
+            << ", node=" << task.node << ", data=" << task.data
+            << "} popped with no outstanding push "
+               "(duplicated or invented)";
+        flagViolation(out.str());
+    }
+}
+
+void
+VerifyingScheduler::flagViolation(const std::string &message)
+{
+    violations_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(samplesMutex_);
+    if (violationSamples_.size() < config_.maxViolationSamples)
+        violationSamples_.push_back(message);
+}
+
+void
+VerifyingScheduler::sampleRankError(const Task &popped)
+{
+    // Global minimum outstanding priority, *after* the pop was
+    // recorded: if the popped task was the unique best, the gap is 0.
+    bool any = false;
+    Priority min = 0;
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (shard.byPriority.empty())
+            continue;
+        Priority p = shard.byPriority.begin()->first;
+        if (!any || p < min) {
+            any = true;
+            min = p;
+        }
+    }
+    double error =
+        (any && popped.priority > min)
+            ? static_cast<double>(popped.priority - min)
+            : 0.0;
+
+    rankSamples_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t bits = maxRankErrorBits_.load(std::memory_order_relaxed);
+    double current;
+    std::memcpy(&current, &bits, sizeof(current));
+    while (error > current) {
+        uint64_t desired;
+        std::memcpy(&desired, &error, sizeof(desired));
+        if (maxRankErrorBits_.compare_exchange_weak(
+                bits, desired, std::memory_order_relaxed)) {
+            break;
+        }
+        std::memcpy(&current, &bits, sizeof(current));
+    }
+    if (metrics_) {
+        // GlobalSeries rings are single-writer; samplers race freely
+        // across workers, so serialize (try_lock: dropping a sample
+        // beats blocking a worker).
+        if (samplesMutex_.try_lock()) {
+            metrics_->recordGlobal(GlobalSeries::RankError, error);
+            samplesMutex_.unlock();
+        }
+    }
+}
+
+void
+VerifyingScheduler::push(unsigned tid, const Task &task)
+{
+    recordPush(task); // before: a racing pop must find the count
+    inner_.push(tid, task);
+}
+
+void
+VerifyingScheduler::pushBatch(unsigned tid, const Task *tasks,
+                              size_t count)
+{
+    for (size_t i = 0; i < count; ++i)
+        recordPush(tasks[i]);
+    // Forward the *batch* so bag-forming designs still see it whole.
+    inner_.pushBatch(tid, tasks, count);
+}
+
+bool
+VerifyingScheduler::tryPop(unsigned tid, Task &out)
+{
+    if (!inner_.tryPop(tid, out))
+        return false;
+    recordPop(out); // after: the task has fully left the inner design
+    uint64_t n = pops_.load(std::memory_order_relaxed);
+    if (n % config_.sampleInterval == 0)
+        sampleRankError(out);
+    return true;
+}
+
+void
+VerifyingScheduler::attachMetrics(MetricsRegistry *metrics)
+{
+    metrics_ = metrics;
+    inner_.attachMetrics(metrics);
+}
+
+VerifyingScheduler::Report
+VerifyingScheduler::report() const
+{
+    Report report;
+    report.pushes = pushes_.load(std::memory_order_relaxed);
+    report.pops = pops_.load(std::memory_order_relaxed);
+    report.violations = violations_.load(std::memory_order_relaxed);
+    report.rankSamples = rankSamples_.load(std::memory_order_relaxed);
+    uint64_t bits = maxRankErrorBits_.load(std::memory_order_relaxed);
+    std::memcpy(&report.maxRankError, &bits,
+                sizeof(report.maxRankError));
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (const auto &entry : shard.counts) {
+            if (entry.second > 0)
+                report.outstanding +=
+                    static_cast<uint64_t>(entry.second);
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(samplesMutex_);
+        report.violationSamples = violationSamples_;
+    }
+    return report;
+}
+
+bool
+VerifyingScheduler::checkComplete(bool runFailed,
+                                  std::string *whyNot) const
+{
+    Report r = report();
+    std::ostringstream out;
+    bool ok = true;
+    if (r.violations > 0) {
+        ok = false;
+        out << r.violations << " conservation violation(s)";
+        for (const std::string &sample : r.violationSamples)
+            out << "\n  - " << sample;
+    }
+    // A failed run drains out with tasks still queued — loss is only a
+    // verdict on runs that claimed to finish.
+    if (!runFailed && r.outstanding > 0) {
+        if (!ok)
+            out << "\n";
+        ok = false;
+        out << r.outstanding << " task(s) pushed but never popped ("
+            << r.pushes << " pushes, " << r.pops << " pops)";
+    }
+    if (!ok && whyNot)
+        *whyNot = out.str();
+    return ok;
+}
+
+} // namespace hdcps

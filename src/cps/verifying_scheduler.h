@@ -1,0 +1,156 @@
+/**
+ * @file
+ * An invariant-checking wrapper around any Scheduler.
+ *
+ * The scheduler contract (cps/scheduler.h) promises task conservation:
+ * every pushed task comes back from tryPop exactly once, none invented,
+ * none lost. Chaos testing (fault injection, straggler pauses, sRQ
+ * reclamation) stresses exactly the paths where a buggy design would
+ * break that promise — so the soak harness runs every design behind
+ * this wrapper, which maintains an exact multiset of outstanding tasks
+ * and flags:
+ *
+ *  - **duplication / invention**: a tryPop returns a task whose
+ *    outstanding count is zero (popped twice, or never pushed);
+ *  - **loss**: after a *successful* run, tasks remain outstanding that
+ *    no tryPop ever returned (failed runs legitimately strand pending
+ *    tasks while draining out, so only the duplication check applies);
+ *  - **unbounded rank error**: every sampleInterval-th pop compares the
+ *    popped priority against the global minimum outstanding priority —
+ *    the relaxed-order contract allows inversions, but the sampled gap
+ *    makes "how relaxed" observable (GlobalSeries::RankError when a
+ *    metrics registry is attached, max + count in the Report).
+ *
+ * Bookkeeping is a 64-shard hash of mutex-protected count maps: pushes
+ * record *before* entering the inner scheduler and pops record *after*
+ * leaving it, so a concurrently popped task can never transiently look
+ * unknown. The wrapper serves correctness harnesses, not benchmarks —
+ * two shard-lock acquisitions per task is the accepted price.
+ *
+ * Ownership: non-owning. The wrapped scheduler must outlive the
+ * wrapper; numWorkers is inherited from it.
+ */
+
+#ifndef HDCPS_CPS_VERIFYING_SCHEDULER_H_
+#define HDCPS_CPS_VERIFYING_SCHEDULER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cps/scheduler.h"
+#include "support/compiler.h"
+
+namespace hdcps {
+
+/** Invariant-checking Scheduler wrapper (see file comment). */
+class VerifyingScheduler : public Scheduler
+{
+  public:
+    struct Config
+    {
+        /** Pops between rank-error samples (the min-scan locks every
+         *  shard, so sampling keeps it off the per-task path). */
+        uint64_t sampleInterval = 64;
+        /** Violation messages retained verbatim (the count is exact,
+         *  the texts are capped). */
+        size_t maxViolationSamples = 8;
+    };
+
+    /** End-of-run accounting for harnesses and tests. */
+    struct Report
+    {
+        uint64_t pushes = 0;
+        uint64_t pops = 0;
+        uint64_t violations = 0;   ///< duplication/invention events
+        uint64_t outstanding = 0;  ///< pushed but never popped
+        uint64_t rankSamples = 0;
+        double maxRankError = 0.0; ///< worst sampled priority inversion
+        std::vector<std::string> violationSamples;
+    };
+
+    explicit VerifyingScheduler(Scheduler &inner);
+    VerifyingScheduler(Scheduler &inner, const Config &config);
+
+    void push(unsigned tid, const Task &task) override;
+    void pushBatch(unsigned tid, const Task *tasks, size_t count) override;
+    bool tryPop(unsigned tid, Task &out) override;
+    const char *name() const override { return name_.c_str(); }
+    size_t sizeApprox() const override { return inner_.sizeApprox(); }
+    void attachMetrics(MetricsRegistry *metrics) override;
+    void setReclaimAfterMs(uint64_t ms) override
+    {
+        inner_.setReclaimAfterMs(ms);
+    }
+
+    Scheduler &inner() { return inner_; }
+
+    /** Snapshot the bookkeeping (callable after the run drained). */
+    Report report() const;
+
+    /**
+     * The end-of-run verdict: true when every invariant held. Pass
+     * `runFailed` for runs that drained out early (loss is then
+     * expected and not flagged). On failure, *whyNot (optional) gets a
+     * human-readable explanation including retained samples.
+     */
+    bool checkComplete(bool runFailed, std::string *whyNot = nullptr) const;
+
+  private:
+    static constexpr size_t kShards = 64;
+
+    /** A task's full 128 bits, hashable — the multiset key is exact,
+     *  so distinct tasks never alias. */
+    struct TaskBits
+    {
+        uint64_t hi = 0; ///< priority
+        uint64_t lo = 0; ///< node:data
+
+        friend bool
+        operator==(const TaskBits &a, const TaskBits &b)
+        {
+            return a.hi == b.hi && a.lo == b.lo;
+        }
+    };
+
+    struct TaskBitsHash
+    {
+        size_t operator()(const TaskBits &k) const;
+    };
+
+    /** Exact multiset shard: per-task outstanding counts plus a
+     *  priority histogram for the min-outstanding scan. */
+    struct alignas(cacheLineBytes) Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<TaskBits, int64_t, TaskBitsHash> counts;
+        std::map<Priority, int64_t> byPriority; ///< prio → live
+    };
+
+    static TaskBits taskKey(const Task &task);
+    Shard &shardFor(const TaskBits &key);
+    void recordPush(const Task &task);
+    void recordPop(const Task &task);
+    void flagViolation(const std::string &message);
+    void sampleRankError(const Task &popped);
+
+    Scheduler &inner_;
+    Config config_;
+    std::string name_;
+    Shard shards_[kShards];
+    std::atomic<uint64_t> pushes_{0};
+    std::atomic<uint64_t> pops_{0};
+    std::atomic<uint64_t> violations_{0};
+    std::atomic<uint64_t> rankSamples_{0};
+    std::atomic<uint64_t> maxRankErrorBits_{0}; ///< double, CAS-maxed
+    mutable std::mutex samplesMutex_; ///< violationSamples_ + series
+    std::vector<std::string> violationSamples_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_CPS_VERIFYING_SCHEDULER_H_

@@ -10,7 +10,7 @@ workerCounterName(WorkerCounter c)
     static const char *const names[unsigned(WorkerCounter::Count)] = {
         "tasks_processed", "empty_tasks",   "local_enqueues",
         "remote_enqueues", "overflow_pushes", "bags_created",
-        "tasks_in_bags",
+        "tasks_in_bags",   "reclaimed_tasks", "reclaim_races",
     };
     return names[unsigned(c)];
 }
@@ -42,6 +42,7 @@ globalSeriesName(GlobalSeries s)
         "drift",
         "tdf_drift",
         "tdf",
+        "rank_error",
     };
     return names[unsigned(s)];
 }

@@ -120,6 +120,8 @@ enum class WorkerCounter : unsigned {
     OverflowPushes,     ///< sRQ-full fallbacks to the spill path
     BagsCreated,        ///< Algorithm 1 bags created
     TasksInBags,        ///< tasks shipped inside bags
+    ReclaimedTasks,     ///< tasks drained from a straggler's queues
+    ReclaimRaces,       ///< reclamation lock attempts lost to a peer
     Count
 };
 
@@ -146,6 +148,7 @@ enum class GlobalSeries : unsigned {
     Drift = 0, ///< executor's design-independent Eq. 1 samples
     TdfDrift,  ///< drift samples the TDF controller actually consumed
     Tdf,       ///< TDF percentage after each Algorithm 2 decision
+    RankError, ///< verifying wrapper's sampled priority-inversion gap
     Count
 };
 

@@ -11,6 +11,7 @@
 #include "support/compiler.h"
 #include "support/fault.h"
 #include "support/logging.h"
+#include "support/straggler.h"
 #include "support/timer.h"
 
 namespace hdcps {
@@ -38,9 +39,15 @@ struct RunState
     /** Per-worker pop counters for the watchdog's progress check —
      *  padded so the unconditional relaxed increment never contends. */
     std::vector<Padded<std::atomic<uint64_t>>> pops;
+    /** Monotonic ns of each worker's last successful pop (seeded with
+     *  the run start), written only when the watchdog is armed — lets
+     *  the stall diagnostic name *which* worker went quiet and for how
+     *  long, not just who popped least overall. */
+    std::vector<Padded<std::atomic<uint64_t>>> lastPopNs;
+    uint64_t startNs = 0;
 
     explicit RunState(unsigned numThreads)
-        : drift(numThreads), pops(numThreads)
+        : drift(numThreads), pops(numThreads), lastPopNs(numThreads)
     {}
 };
 
@@ -80,9 +87,18 @@ stallDiagnostic(const RunState &state)
         << " tasks in flight; scheduler '" << state.sched->name()
         << "' reports ~" << state.sched->sizeApprox()
         << " buffered tasks (0 = unknown); pops per worker:";
+    const uint64_t now = nowNs();
     for (size_t tid = 0; tid < state.pops.size(); ++tid) {
-        out << (tid == 0 ? " " : ", ") << "w" << tid << "="
-            << state.pops[tid].value.load(std::memory_order_relaxed);
+        uint64_t pops =
+            state.pops[tid].value.load(std::memory_order_relaxed);
+        uint64_t last =
+            state.lastPopNs[tid].value.load(std::memory_order_relaxed);
+        uint64_t ageMs = now > last ? (now - last) / 1000000 : 0;
+        out << (tid == 0 ? " " : ", ") << "w" << tid << "=" << pops;
+        if (pops == 0)
+            out << " (no pops, " << ageMs << " ms since start)";
+        else
+            out << " (last pop " << ageMs << " ms ago)";
     }
     if (state.options.metrics) {
         out << "; counters:";
@@ -152,6 +168,12 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
         if (state.stop.load(std::memory_order_acquire))
             break;
 
+        // Straggler drill: with an injector installed, this worker may
+        // cooperatively sleep here — the only blocking point in the
+        // loop, placed before the pop so a paused worker looks exactly
+        // like a descheduled one (stale heartbeat, stranded queues).
+        stragglerPausePoint(tid);
+
         uint64_t t0 = timed ? nowNs() : 0;
         Task task;
         // Fault drill: the pop itself misfires. The task stays queued,
@@ -175,6 +197,10 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
         }
         idleSpins = 0;
         state.pops[tid].value.fetch_add(1, std::memory_order_relaxed);
+        if (state.options.watchdogMs > 0) {
+            state.lastPopNs[tid].value.store(timed ? t1 : nowNs(),
+                                             std::memory_order_relaxed);
+        }
 
         children.clear();
         try {
@@ -285,6 +311,10 @@ run(Scheduler &sched, const std::vector<Task> &initial,
                     options.metrics->numWorkers(), options.numThreads);
         sched.attachMetrics(options.metrics);
     }
+    // Unconditional: RunOptions is authoritative, so a scheduler reused
+    // across runs cannot carry a stale window into a run that wants the
+    // default (off).
+    sched.setReclaimAfterMs(options.reclaimAfterMs);
 
     RunState state(options.numThreads);
     state.sched = &sched;
@@ -292,6 +322,9 @@ run(Scheduler &sched, const std::vector<Task> &initial,
     state.options = options;
     state.pending.store(static_cast<int64_t>(initial.size()),
                         std::memory_order_relaxed);
+    state.startNs = nowNs();
+    for (auto &slot : state.lastPopNs)
+        slot.value.store(state.startNs, std::memory_order_relaxed);
 
     // Seed tasks in 16-task chunks interleaved across workers before
     // any worker starts (single-threaded phase, so per-worker push is

@@ -21,7 +21,12 @@
  *    threads are joined before run() returns;
  *  - an opt-in progress watchdog (RunOptions::watchdogMs) that fails a
  *    run stuck with in-flight tasks but no pops, attaching a
- *    diagnostic dump instead of hanging forever.
+ *    diagnostic dump (per-worker pop counts *and* last-pop ages)
+ *    instead of hanging forever;
+ *  - straggler hooks: each worker passes a cooperative pause point
+ *    (support/straggler.h) every loop iteration so tests can stall
+ *    chosen workers deterministically, and RunOptions::reclaimAfterMs
+ *    arms scheduler-side reclamation of a stalled worker's queues.
  */
 
 #ifndef HDCPS_RUNTIME_EXECUTOR_H_
@@ -60,6 +65,15 @@ struct RunOptions
      * scheduler occupancy, metrics totals) instead of hanging.
      */
     uint64_t watchdogMs = 0;
+    /**
+     * Straggler-reclamation window in milliseconds; 0 disables it.
+     * Forwarded to Scheduler::setReclaimAfterMs before workers start
+     * (always — the RunOptions value is authoritative), so designs with
+     * per-worker buffers let idle peers drain a worker whose heartbeat
+     * has been stale for longer than this window. Designs without such
+     * buffers ignore the knob.
+     */
+    uint64_t reclaimAfterMs = 0;
     /**
      * Optional observability sink. When set, run() attaches it to the
      * scheduler and records time series on the drift sampling cadence:

@@ -1,5 +1,6 @@
 #include "support/fault.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -118,6 +119,7 @@ FaultRegistry::parseSpec(const std::string &spec, std::string *error)
         return false;
     };
 
+    std::vector<std::string> seen;
     size_t pos = 0;
     while (pos < spec.size()) {
         size_t end = spec.find(',', pos);
@@ -132,6 +134,14 @@ FaultRegistry::parseSpec(const std::string &spec, std::string *error)
         if (firstColon == std::string::npos || firstColon == 0)
             return fail("'" + entry + "': want site:mode[:arg]");
         std::string site = entry.substr(0, firstColon);
+        // Duplicate sites within one spec are almost always a typo'd
+        // edit of the wrong entry; silently letting the last one win
+        // (arm() re-arm semantics) hid that, so name the offender.
+        if (std::find(seen.begin(), seen.end(), site) != seen.end()) {
+            return fail("'" + entry + "': duplicate site '" + site +
+                        "' (each site may appear once per spec)");
+        }
+        seen.push_back(site);
         size_t secondColon = entry.find(':', firstColon + 1);
         std::string mode = entry.substr(
             firstColon + 1, secondColon == std::string::npos

@@ -113,8 +113,11 @@ class FaultRegistry
     /**
      * Arm sites from a `site:mode:arg[,site:mode:arg...]` string, e.g.
      * "srq.push.full:nth:1,sim.noc.delay:delay:300". Modes: nth, prob,
-     * once (arg optional, default 1), delay. Returns false and fills
-     * *error on malformed input (already-parsed entries stay armed).
+     * once (arg optional, default 1), delay. A site may appear at most
+     * once per spec — duplicates are rejected with the offending token
+     * named, since silently keeping the last entry hid typos. Returns
+     * false and fills *error on malformed input (already-parsed entries
+     * stay armed).
      */
     bool parseSpec(const std::string &spec, std::string *error = nullptr);
 

@@ -1,0 +1,180 @@
+#include "support/straggler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "support/compiler.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace hdcps {
+
+std::atomic<StragglerInjector *> StragglerInjector::active_{nullptr};
+
+/** Per-worker state; padded so hot counters never share a line. The
+ *  events/rng are touched only by the owning worker once installed;
+ *  the check counter is atomic so tests may read it live. */
+struct alignas(cacheLineBytes) StragglerInjector::WorkerSlot
+{
+    std::atomic<uint64_t> checks{0};
+    Rng rng;
+    std::vector<PauseEvent> events; ///< sorted by atCheck
+    size_t nextEvent = 0;
+};
+
+StragglerInjector::StragglerInjector(unsigned numWorkers, uint64_t seed)
+    : seed_(seed)
+{
+    hdcps_check(numWorkers >= 1, "need at least one worker");
+    slots_.reserve(numWorkers);
+    for (unsigned i = 0; i < numWorkers; ++i) {
+        auto slot = std::make_unique<WorkerSlot>();
+        slot->rng.reseed(mix64(seed + 0x57a6) + i);
+        slots_.push_back(std::move(slot));
+    }
+}
+
+StragglerInjector::~StragglerInjector() = default;
+
+unsigned
+StragglerInjector::numWorkers() const
+{
+    return static_cast<unsigned>(slots_.size());
+}
+
+void
+StragglerInjector::add(const PauseEvent &event)
+{
+    hdcps_check(event.worker < slots_.size(),
+                "straggler worker %u out of range (have %zu workers)",
+                event.worker, slots_.size());
+    hdcps_check(event.atCheck >= 1, "straggler atCheck is 1-based");
+    auto &events = slots_[event.worker]->events;
+    events.push_back(event);
+    std::sort(events.begin(), events.end(),
+              [](const PauseEvent &a, const PauseEvent &b) {
+                  return a.atCheck < b.atCheck;
+              });
+}
+
+void
+StragglerInjector::randomPauses(double probability, uint64_t maxPauseMs)
+{
+    hdcps_check(probability >= 0.0 && probability <= 1.0,
+                "straggler probability must be in [0, 1]");
+    hdcps_check(maxPauseMs >= 1, "straggler max pause must be >= 1 ms");
+    probability_ = probability;
+    maxPauseMs_ = maxPauseMs;
+}
+
+bool
+StragglerInjector::parseSpec(const std::string &spec, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    auto field = [](const std::string &entry, size_t &pos,
+                    std::string &out) {
+        size_t colon = entry.find(':', pos);
+        out = entry.substr(pos, colon == std::string::npos
+                                    ? std::string::npos
+                                    : colon - pos);
+        pos = colon == std::string::npos ? entry.size() : colon + 1;
+        return !out.empty();
+    };
+    auto number = [](const std::string &text, double &out) {
+        char *end = nullptr;
+        out = std::strtod(text.c_str(), &end);
+        return end != text.c_str() && *end == '\0';
+    };
+
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty())
+            continue;
+
+        size_t at = 0;
+        std::string a, b, c;
+        if (!field(entry, at, a) || !field(entry, at, b) ||
+            !field(entry, at, c) || at < entry.size()) {
+            return fail("'" + entry +
+                        "': want worker:atCheck:pauseMs or rand:P:MAXMS");
+        }
+        double vb = 0.0, vc = 0.0;
+        if (!number(b, vb) || !number(c, vc))
+            return fail("'" + entry + "': bad numeric field");
+
+        if (a == "rand") {
+            if (vb < 0.0 || vb > 1.0)
+                return fail("'" + entry + "': rand needs P in [0, 1]");
+            if (vc < 1.0)
+                return fail("'" + entry + "': rand needs MAXMS >= 1");
+            randomPauses(vb, static_cast<uint64_t>(vc));
+            continue;
+        }
+        double va = 0.0;
+        if (!number(a, va) || va < 0.0 ||
+            va >= static_cast<double>(slots_.size())) {
+            return fail("'" + entry + "': worker id out of range (have " +
+                        std::to_string(slots_.size()) + " workers)");
+        }
+        if (vb < 1.0)
+            return fail("'" + entry + "': atCheck is 1-based");
+        if (vc < 1.0)
+            return fail("'" + entry + "': pauseMs must be >= 1");
+        add(PauseEvent{static_cast<unsigned>(va),
+                       static_cast<uint64_t>(vb),
+                       static_cast<uint64_t>(vc)});
+    }
+    return true;
+}
+
+void
+StragglerInjector::sleepMs(uint64_t ms)
+{
+    pauses_.fetch_add(1, std::memory_order_relaxed);
+    pausedMs_.fetch_add(ms, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void
+StragglerInjector::pausePoint(unsigned tid)
+{
+    WorkerSlot &slot = *slots_[tid];
+    uint64_t check =
+        slot.checks.fetch_add(1, std::memory_order_relaxed) + 1;
+    while (slot.nextEvent < slot.events.size() &&
+           slot.events[slot.nextEvent].atCheck <= check) {
+        sleepMs(slot.events[slot.nextEvent].pauseMs);
+        ++slot.nextEvent;
+    }
+    if (probability_ > 0.0) {
+        double draw = static_cast<double>(slot.rng.next() >> 11) *
+                      0x1.0p-53;
+        if (draw < probability_)
+            sleepMs(1 + slot.rng.below(maxPauseMs_));
+    }
+}
+
+uint64_t
+StragglerInjector::checks(unsigned tid) const
+{
+    return slots_[tid]->checks.load(std::memory_order_relaxed);
+}
+
+void
+StragglerInjector::install(StragglerInjector *injector)
+{
+    active_.store(injector, std::memory_order_release);
+}
+
+} // namespace hdcps

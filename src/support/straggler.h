@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Deterministic straggler injection for the threaded runtime.
+ *
+ * A straggler is a worker thread that stops making progress for a
+ * while — descheduled by the OS, stalled on a page fault, or paused by
+ * a debugger. HD-CPS routes remote enqueues into the victim's private
+ * receive queue (sRQ), so a straggler strands every task parked there;
+ * the sRQ reclamation protocol (core/hdcps.h) exists to survive exactly
+ * this. To *test* that protocol the runtime needs stragglers on demand,
+ * which this injector provides as SIGSTOP-style but cooperative pauses:
+ * the executor's worker loop consults pausePoint() once per iteration
+ * (a point where the worker holds no task and no scheduler lock), and
+ * the injector puts the thread to sleep when a scheduled or randomly
+ * drawn pause is due.
+ *
+ * Determinism: each worker has its own check counter and its own seeded
+ * RNG stream, so a given (spec, seed) produces the same pauses at the
+ * same per-worker loop iterations on every run — no cross-thread index
+ * assignment is involved, unlike the fault registry's shared counters.
+ *
+ * Cost model mirrors support/fault.h: with no injector installed the
+ * pause point is one relaxed atomic load plus a predicted-not-taken
+ * branch, cheap enough for the worker loop's hot path.
+ */
+
+#ifndef HDCPS_SUPPORT_STRAGGLER_H_
+#define HDCPS_SUPPORT_STRAGGLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hdcps {
+
+/**
+ * Schedules cooperative pauses for worker threads. Configure (add/
+ * randomPauses/parseSpec) before install(); pausePoint() is then safe
+ * from any worker whose tid is below numWorkers.
+ */
+class StragglerInjector
+{
+  public:
+    /** One scheduled pause: worker `worker` sleeps `pauseMs` when its
+     *  own pause-point counter reaches `atCheck` (1-based). */
+    struct PauseEvent
+    {
+        unsigned worker = 0;
+        uint64_t atCheck = 1;
+        uint64_t pauseMs = 0;
+    };
+
+    explicit StragglerInjector(unsigned numWorkers, uint64_t seed = 1);
+    ~StragglerInjector();
+
+    StragglerInjector(const StragglerInjector &) = delete;
+    StragglerInjector &operator=(const StragglerInjector &) = delete;
+
+    unsigned numWorkers() const;
+
+    /** Schedule one pause. Events may stack on one worker. */
+    void add(const PauseEvent &event);
+
+    /**
+     * Arm seeded random pauses: at every pause point, each worker
+     * independently draws with `probability`; a hit sleeps a duration
+     * uniform in [1, maxPauseMs] milliseconds from the worker's own
+     * RNG stream.
+     */
+    void randomPauses(double probability, uint64_t maxPauseMs);
+
+    /**
+     * Configure from `worker:atCheck:pauseMs[,...]` entries, e.g.
+     * "2:100:250" (worker 2 sleeps 250 ms at its 100th loop
+     * iteration). The entry "rand:P:MAXMS" arms randomPauses(P, MAXMS)
+     * instead. Returns false and fills *error on malformed input.
+     */
+    bool parseSpec(const std::string &spec, std::string *error = nullptr);
+
+    /**
+     * The executor's hook: count one loop iteration for `tid` and
+     * sleep if a pause is due. Called by the owning worker only.
+     */
+    void pausePoint(unsigned tid);
+
+    /** Pauses actually slept so far (all workers). */
+    uint64_t pausesInjected() const
+    {
+        return pauses_.load(std::memory_order_relaxed);
+    }
+
+    /** Total milliseconds slept so far (all workers). */
+    uint64_t pausedMsTotal() const
+    {
+        return pausedMs_.load(std::memory_order_relaxed);
+    }
+
+    /** Pause-point consultations by `tid` (test assertions). */
+    uint64_t checks(unsigned tid) const;
+
+    /**
+     * Make `injector` the process-wide active injector (nullptr
+     * deactivates). The caller keeps ownership, keeps it alive while
+     * installed, and freezes its configuration first.
+     */
+    static void install(StragglerInjector *injector);
+
+    static StragglerInjector *
+    active()
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct WorkerSlot;
+
+    void sleepMs(uint64_t ms);
+
+    uint64_t seed_;
+    double probability_ = 0.0;
+    uint64_t maxPauseMs_ = 0;
+    std::vector<std::unique_ptr<WorkerSlot>> slots_;
+    std::atomic<uint64_t> pauses_{0};
+    std::atomic<uint64_t> pausedMs_{0};
+
+    static std::atomic<StragglerInjector *> active_;
+};
+
+/** Worker-loop hook: one relaxed load + branch when no injector is
+ *  installed. tids beyond the injector's worker count are ignored. */
+inline void
+stragglerPausePoint(unsigned tid)
+{
+    StragglerInjector *injector = StragglerInjector::active();
+    if (__builtin_expect(injector == nullptr, 1))
+        return;
+    if (tid < injector->numWorkers())
+        injector->pausePoint(tid);
+}
+
+/** RAII installer for tests: installs on construction, deactivates on
+ *  scope exit so stragglers never leak across tests. */
+class ScopedStragglerInjection
+{
+  public:
+    explicit ScopedStragglerInjection(unsigned numWorkers,
+                                      uint64_t seed = 1)
+        : injector_(numWorkers, seed)
+    {
+        StragglerInjector::install(&injector_);
+    }
+
+    ~ScopedStragglerInjection() { StragglerInjector::install(nullptr); }
+
+    ScopedStragglerInjection(const ScopedStragglerInjection &) = delete;
+    ScopedStragglerInjection &
+    operator=(const ScopedStragglerInjection &) = delete;
+
+    StragglerInjector *operator->() { return &injector_; }
+    StragglerInjector &injector() { return injector_; }
+
+  private:
+    StragglerInjector injector_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_SUPPORT_STRAGGLER_H_

@@ -655,9 +655,111 @@ TEST(HdCpsScheduler, SizeApproxCountsTransferBuffers)
     EXPECT_EQ(sched.sizeApprox(), 10u);
     Task t;
     ASSERT_TRUE(sched.tryPop(1, t));
-    // The drain moved the rest into the private PQ, which sizeApprox
-    // deliberately excludes (owner-private, unreadable without races).
+    // The drain moved the rest into the private PQ, which the owner
+    // advertises through its published localBuffered estimate.
+    EXPECT_EQ(sched.sizeApprox(), 9u);
+}
+
+// --------------------------------------------------- sRQ reclamation
+
+TEST(Reclaim, OffByDefaultStrandsAStragglersTasks)
+{
+    // The control case: without the knob, tasks parked at a worker
+    // that never pops are unreachable from its peers.
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.fixedTdf = 100; // every push goes to the other worker
+    HdCpsScheduler sched(2, config);
+    for (uint32_t i = 0; i < 10; ++i)
+        sched.push(0, Task{i, i, 0});
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    Task t;
+    EXPECT_FALSE(sched.tryPop(0, t));
+    EXPECT_EQ(sched.reclaimedTasks(), 0u);
+    EXPECT_EQ(sched.sizeApprox(), 10u); // stranded in worker 1's sRQ
+}
+
+TEST(Reclaim, IdleWorkerDrainsAStaleStragglersSrq)
+{
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.fixedTdf = 100;
+    HdCpsScheduler sched(2, config);
+    sched.setReclaimAfterMs(20);
+    for (uint32_t i = 0; i < 10; ++i)
+        sched.push(0, Task{i, i, 0});
+
+    // Worker 1's heartbeat is still fresh (setReclaimAfterMs refreshed
+    // it): reclamation must not fire early.
+    Task t;
+    EXPECT_FALSE(sched.tryPop(0, t));
+    EXPECT_EQ(sched.reclaimedTasks(), 0u);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    unsigned popped = 0;
+    Priority last = 0;
+    while (sched.tryPop(0, t)) {
+        EXPECT_GE(t.priority, last); // reclaimed work keeps PQ order
+        last = t.priority;
+        ++popped;
+    }
+    EXPECT_EQ(popped, 10u); // every stranded task, exactly once
+    EXPECT_EQ(sched.reclaimedTasks(), 10u);
+    EXPECT_EQ(sched.heartbeatPops(0), 10u);
     EXPECT_EQ(sched.sizeApprox(), 0u);
+}
+
+TEST(Reclaim, DrainsOverflowAndPrivatePqToo)
+{
+    // A straggler's buffered work can sit in three more places than
+    // the sRQ: the locked overflow spill, its active bag, and its
+    // private PQ (filled by its own earlier drains). Reclamation must
+    // take all of them, or a paused worker's locally-buffered children
+    // stay stranded.
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.fixedTdf = 100;
+    config.rqCapacity = 2; // force the overflow path
+    HdCpsScheduler sched(2, config);
+    sched.setReclaimAfterMs(20);
+    for (uint32_t i = 0; i < 10; ++i)
+        sched.push(0, Task{i, i, 0});
+
+    // Worker 1 pops once: the drain moves everything into its private
+    // PQ, then it "stalls" with 9 tasks buffered locally.
+    Task t;
+    ASSERT_TRUE(sched.tryPop(1, t));
+    EXPECT_EQ(sched.sizeApprox(), 9u);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    unsigned popped = 0;
+    while (sched.tryPop(0, t))
+        ++popped;
+    EXPECT_EQ(popped, 9u);
+    EXPECT_EQ(sched.reclaimedTasks(), 9u);
+}
+
+TEST(Reclaim, DrainsAStragglersActiveBag)
+{
+    HdCpsConfig config = HdCpsScheduler::configSrqTdfAc();
+    config.useTdf = false;
+    config.fixedTdf = 100;
+    HdCpsScheduler sched(2, config);
+    sched.setReclaimAfterMs(20);
+    // Four equal-priority children form one bag shipped to worker 1.
+    std::vector<Task> batch;
+    for (uint32_t i = 0; i < 4; ++i)
+        batch.push_back(Task{7, i, 0});
+    sched.pushBatch(0, batch.data(), batch.size());
+    ASSERT_EQ(sched.bagsCreated(), 1u);
+
+    // Worker 1 starts the bag (binding it to the core) then stalls.
+    Task t;
+    ASSERT_TRUE(sched.tryPop(1, t));
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    unsigned popped = 0;
+    while (sched.tryPop(0, t))
+        ++popped;
+    EXPECT_EQ(popped, 3u); // the bag's unserved remainder
+    EXPECT_EQ(sched.reclaimedTasks(), 3u);
 }
 
 } // namespace

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <thread>
@@ -23,6 +24,7 @@
 #include "cps/pmod.h"
 #include "cps/reld.h"
 #include "cps/swminnow.h"
+#include "cps/verifying_scheduler.h"
 #include "runtime/executor.h"
 #include "support/rng.h"
 
@@ -314,6 +316,172 @@ TEST(Executor, HdCpsTdfEngagesOnLargeRuns)
     // The controller must have made decisions and stayed in bounds.
     EXPECT_GE(sched.currentTdf(), config.tdf.minTdf);
     EXPECT_LE(sched.currentTdf(), config.tdf.maxTdf);
+}
+
+// ------------------------------------------- the verifying wrapper
+
+TEST(VerifyingWrapper, CleanConcurrentRunPassesAllChecks)
+{
+    constexpr unsigned threads = 4;
+    HdCpsScheduler inner(threads, HdCpsScheduler::configSw());
+    VerifyingScheduler sched(inner);
+    EXPECT_STREQ(sched.name(), "verifying(hdcps-srq-tdf-sc)");
+
+    RunOptions options;
+    options.numThreads = threads;
+    RunResult result = run(sched, {Task{0, 0, 0}}, treeWorkload(3, 7),
+                           options);
+    ASSERT_TRUE(result.ok()) << result.error;
+
+    VerifyingScheduler::Report report = sched.report();
+    EXPECT_EQ(report.pushes, treeSize(3, 7));
+    EXPECT_EQ(report.pops, report.pushes);
+    EXPECT_EQ(report.violations, 0u);
+    EXPECT_EQ(report.outstanding, 0u);
+    std::string why;
+    EXPECT_TRUE(sched.checkComplete(false, &why)) << why;
+}
+
+TEST(VerifyingWrapper, FlagsLossOnSuccessfulRunsOnly)
+{
+    // Pop fewer tasks than were pushed: loss on a "successful" run,
+    // tolerated drain-out residue on a failed one.
+    ReldScheduler inner(1, 1);
+    VerifyingScheduler sched(inner);
+    for (uint32_t i = 0; i < 5; ++i)
+        sched.push(0, Task{i, i, 0});
+    Task out;
+    ASSERT_TRUE(sched.tryPop(0, out));
+    ASSERT_TRUE(sched.tryPop(0, out));
+
+    std::string why;
+    EXPECT_FALSE(sched.checkComplete(false, &why));
+    EXPECT_NE(why.find("never popped"), std::string::npos) << why;
+    EXPECT_EQ(sched.report().outstanding, 3u);
+    EXPECT_TRUE(sched.checkComplete(true)); // failed runs may strand
+}
+
+/** Returns every buffered task twice — the duplication bug on demand. */
+class DuplicatingScheduler : public Scheduler
+{
+  public:
+    explicit DuplicatingScheduler(unsigned n) : Scheduler(n) {}
+
+    void push(unsigned, const Task &task) override
+    {
+        tasks_.push_back(task);
+    }
+
+    bool
+    tryPop(unsigned, Task &out) override
+    {
+        if (next_ >= tasks_.size())
+            return false;
+        out = tasks_[next_];
+        if (servedOnce_)
+            ++next_;
+        servedOnce_ = !servedOnce_;
+        return true;
+    }
+
+    const char *name() const override { return "duplicating"; }
+
+  private:
+    std::vector<Task> tasks_;
+    size_t next_ = 0;
+    bool servedOnce_ = false;
+};
+
+TEST(VerifyingWrapper, FlagsDuplicatedPops)
+{
+    DuplicatingScheduler inner(1);
+    VerifyingScheduler sched(inner);
+    for (uint32_t i = 0; i < 3; ++i)
+        sched.push(0, Task{i, i, 0});
+    Task out;
+    while (sched.tryPop(0, out)) {
+    }
+    VerifyingScheduler::Report report = sched.report();
+    EXPECT_EQ(report.violations, 3u); // each task served twice
+    EXPECT_FALSE(report.violationSamples.empty());
+    std::string why;
+    EXPECT_FALSE(sched.checkComplete(false, &why));
+    EXPECT_NE(why.find("conservation violation"), std::string::npos)
+        << why;
+    // Duplication is a violation even on failed runs.
+    EXPECT_FALSE(sched.checkComplete(true));
+}
+
+/** LIFO scheduler: pops the *newest* task — maximal priority inversion
+ *  when pushes arrive best-first. */
+class StackScheduler : public Scheduler
+{
+  public:
+    explicit StackScheduler(unsigned n) : Scheduler(n) {}
+
+    void push(unsigned, const Task &task) override
+    {
+        tasks_.push_back(task);
+    }
+
+    bool
+    tryPop(unsigned, Task &out) override
+    {
+        if (tasks_.empty())
+            return false;
+        out = tasks_.back();
+        tasks_.pop_back();
+        return true;
+    }
+
+    const char *name() const override { return "stack"; }
+
+  private:
+    std::vector<Task> tasks_;
+};
+
+TEST(VerifyingWrapper, SamplesRankErrorOnInvertedOrder)
+{
+    StackScheduler inner(1);
+    VerifyingScheduler::Config config;
+    config.sampleInterval = 1; // sample every pop
+    VerifyingScheduler sched(inner, config);
+    for (uint32_t i = 0; i < 50; ++i)
+        sched.push(0, Task{i, i, 0});
+    Task out;
+    ASSERT_TRUE(sched.tryPop(0, out));
+    EXPECT_EQ(out.priority, 49u); // LIFO pops the worst task first
+
+    VerifyingScheduler::Report report = sched.report();
+    EXPECT_GE(report.rankSamples, 1u);
+    // Priority 49 popped while 0 was pending: the gap must register.
+    EXPECT_DOUBLE_EQ(report.maxRankError, 49.0);
+    // Inversions are allowed by the contract — not violations.
+    EXPECT_EQ(report.violations, 0u);
+}
+
+TEST(VerifyingWrapper, ForwardsReclaimKnobToInner)
+{
+    // The wrapper must pass setReclaimAfterMs through, or chaos runs
+    // would silently test the wrong configuration.
+    constexpr unsigned threads = 2;
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.fixedTdf = 100; // all pushes go remote
+    HdCpsScheduler inner(threads, config);
+    VerifyingScheduler sched(inner);
+    sched.setReclaimAfterMs(25);
+    // Worker 0 pushes remotely toward worker 1, which never pops; once
+    // the heartbeat goes stale, worker 0 reclaims through the wrapper.
+    for (uint32_t i = 0; i < 10; ++i)
+        sched.push(0, Task{i, i, 0});
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    Task out;
+    unsigned popped = 0;
+    while (sched.tryPop(0, out))
+        ++popped;
+    EXPECT_EQ(popped, 10u);
+    EXPECT_GT(inner.reclaimedTasks(), 0u);
+    EXPECT_TRUE(sched.checkComplete(false));
 }
 
 } // namespace

@@ -17,6 +17,7 @@
 #include "sim/noc.h"
 #include "simsched/common.h"
 #include "simsched/runner.h"
+#include "support/fault.h"
 
 namespace hdcps {
 namespace {
@@ -324,6 +325,58 @@ TEST(BagTable, EncodesAndResolves)
     EXPECT_EQ(bag.tasks.size(), 2u);
     EXPECT_EQ(bag.creator, 3u);
     EXPECT_EQ(table.numBags(), 1u);
+}
+
+// ---------------------- termination protocol under injected faults
+
+/**
+ * The machine's run loop terminates on pending==0 and then asserts
+ * inFlight==0 — the simulated counterpart of the runtime's in-flight
+ * protocol. Injected hRQ-full rejections and NoC delays reroute and
+ * reorder events; neither may break termination or the result.
+ */
+TEST(MachineTermination, SurvivesInjectedHrqFullRejections)
+{
+    Graph g = makeRoadGrid(10, 10, {.seed = 13});
+    auto w = makeWorkload("sssp", g, 0);
+    ScopedFaultInjection faults(3);
+    // Every 3rd hardware-queue push reports full, forcing the
+    // spill/retry machinery throughout the run.
+    faults->arm(faultsite::SimHrqFull, FaultMode::EveryNth, 3);
+    SimResult r = simulate("hdcps-hw", *w, smallConfig(), 1);
+    EXPECT_GT(faults->fireCount(faultsite::SimHrqFull), 0u);
+    ASSERT_TRUE(r.verified) << r.verifyError;
+    EXPECT_GT(r.completionCycles, 0u);
+}
+
+TEST(MachineTermination, SurvivesInjectedNocDelays)
+{
+    Graph g = makeRoadGrid(10, 10, {.seed = 13});
+    auto w = makeWorkload("bfs", g, 0);
+    Cycle baseline =
+        simulate("hdcps-hw", *w, smallConfig(), 1).completionCycles;
+
+    ScopedFaultInjection faults(4);
+    // Every message crossing the NoC eats an extra 500-cycle delay:
+    // arrival order scrambles relative to issue order.
+    faults->arm(faultsite::SimNocDelay, FaultMode::Delay, 500);
+    SimResult r = simulate("hdcps-hw", *w, smallConfig(), 1);
+    EXPECT_GT(faults->fireCount(faultsite::SimNocDelay), 0u);
+    ASSERT_TRUE(r.verified) << r.verifyError;
+    // Delays must cost cycles, never deadlock the event loop.
+    EXPECT_GT(r.completionCycles, baseline);
+}
+
+TEST(MachineTermination, SurvivesCombinedHrqFullAndNocDelay)
+{
+    Graph g = makeRoadGrid(8, 8, {.seed = 17});
+    auto w = makeWorkload("sssp", g, 0);
+    ScopedFaultInjection faults(5);
+    faults->arm(faultsite::SimHrqFull, FaultMode::Probability, 0.2);
+    faults->arm(faultsite::SimNocDelay, FaultMode::Delay, 200);
+    SimResult r = simulate("hdcps-hw", *w, smallConfig(), 1);
+    ASSERT_TRUE(r.verified) << r.verifyError;
+    EXPECT_GT(r.completionCycles, 0u);
 }
 
 } // namespace

@@ -18,6 +18,7 @@
 #include "core/hdcps.h"
 #include "cps/pmod.h"
 #include "cps/reld.h"
+#include "cps/verifying_scheduler.h"
 #include "graph/generators.h"
 #include "runtime/executor.h"
 #include "sim/noc.h"
@@ -25,6 +26,7 @@
 #include "simsched/runner.h"
 #include "support/fault.h"
 #include "support/rng.h"
+#include "support/straggler.h"
 
 namespace hdcps {
 namespace {
@@ -400,6 +402,12 @@ TEST(Watchdog, FiresOnStalledRunWithDiagnostic)
         << result.error;
     EXPECT_NE(result.error.find("w0=0"), std::string::npos)
         << result.error;
+    // Workers that never popped report their age since run start, so a
+    // straggler is identifiable from the dump alone.
+    EXPECT_NE(result.error.find("no pops"), std::string::npos)
+        << result.error;
+    EXPECT_NE(result.error.find("ms since start"), std::string::npos)
+        << result.error;
 }
 
 TEST(Watchdog, QuietOnHealthyRun)
@@ -414,6 +422,71 @@ TEST(Watchdog, QuietOnHealthyRun)
         run(sched, {Task{0, 1, 0}}, steadyTree(budget), options);
     EXPECT_TRUE(result.ok()) << result.error;
     EXPECT_LE(budget.load(), 0);
+}
+
+// ----------------------------------- straggler resilience (tentpole)
+
+/**
+ * The PR's acceptance pair: the same SSSP run with one worker paused
+ * far longer than the progress windows. Without reclamation the tasks
+ * parked in the straggler's sRQ strand the run — the watchdog is the
+ * only thing standing between that and an infinite hang. With
+ * reclamation armed, idle peers drain the straggler's queues and the
+ * run completes correctly.
+ */
+TEST(StragglerResilience, PausedWorkerStallsRunWithoutReclamation)
+{
+    Graph g = makeRoadGrid(20, 20, {.seed = 23});
+    auto workload = makeWorkload("sssp", g, 0);
+    constexpr unsigned threads = 4;
+
+    // Worker 1 pauses at its 30th loop iteration for 900 ms: longer
+    // than several watchdog windows, so the stall is unambiguous.
+    ScopedStragglerInjection stragglers(threads, 1);
+    stragglers->add(StragglerInjector::PauseEvent{1, 30, 900});
+
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.fixedTdf = 100; // every push crosses workers via the sRQs
+    HdCpsScheduler sched(threads, config);
+    RunOptions options;
+    options.numThreads = threads;
+    options.watchdogMs = 150;
+    RunResult r = run(sched, workload->initialTasks(),
+                      workloadProcessFn(*workload), options);
+    ASSERT_TRUE(r.failed)
+        << "expected the stranded-sRQ stall to trip the watchdog";
+    EXPECT_NE(r.error.find("watchdog"), std::string::npos) << r.error;
+    EXPECT_GE(stragglers->pausesInjected(), 1u);
+    EXPECT_EQ(sched.reclaimedTasks(), 0u);
+}
+
+TEST(StragglerResilience, ReclamationRidesOutThePausedWorker)
+{
+    Graph g = makeRoadGrid(20, 20, {.seed = 23});
+    auto workload = makeWorkload("sssp", g, 0);
+    constexpr unsigned threads = 4;
+
+    ScopedStragglerInjection stragglers(threads, 1);
+    stragglers->add(StragglerInjector::PauseEvent{1, 30, 900});
+
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.fixedTdf = 100;
+    HdCpsScheduler sched(threads, config);
+    VerifyingScheduler verified(sched);
+    RunOptions options;
+    options.numThreads = threads;
+    options.watchdogMs = 2000; // only a genuine hang may trip it now
+    options.reclaimAfterMs = 25;
+    RunResult r = run(verified, workload->initialTasks(),
+                      workloadProcessFn(*workload), options);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_GE(stragglers->pausesInjected(), 1u);
+    EXPECT_GT(sched.reclaimedTasks(), 0u)
+        << "peers should have drained the paused worker's queues";
+
+    std::string why;
+    EXPECT_TRUE(verified.checkComplete(false, &why)) << why;
+    ASSERT_TRUE(workload->verify(&why)) << why;
 }
 
 TEST(SimProperties, DrainAlwaysCompletes)

@@ -21,6 +21,7 @@
 #include "support/rng.h"
 #include "support/fault.h"
 #include "support/spsc_ring.h"
+#include "support/straggler.h"
 #include "support/timer.h"
 
 namespace hdcps {
@@ -476,6 +477,105 @@ TEST(Fault, SiteCatalogNamesAreKnown)
     for (size_t i = 0; i < count; ++i)
         EXPECT_TRUE(faultSiteKnown(sites[i].name)) << sites[i].name;
     EXPECT_FALSE(faultSiteKnown("no.such.site"));
+}
+
+TEST(Fault, ParseSpecRejectsDuplicateSites)
+{
+    // A repeated site would silently re-arm (last entry wins), which
+    // turns a soak-script typo into a misleading experiment — reject
+    // it and name the offender.
+    ScopedFaultInjection faults;
+    std::string error;
+    EXPECT_FALSE(faults->parseSpec(
+        "srq.push.full:nth:2,exec.pop.fail:prob:0.5,srq.push.full:once:9",
+        &error));
+    EXPECT_NE(error.find("duplicate site"), std::string::npos) << error;
+    EXPECT_NE(error.find("srq.push.full"), std::string::npos) << error;
+    // Distinct sites still parse.
+    EXPECT_TRUE(faults->parseSpec(
+        "srq.push.full:nth:2,exec.pop.fail:prob:0.5", &error))
+        << error;
+}
+
+// ----------------------------------------------- straggler injection
+
+TEST(Straggler, InactivePausePointIsANoOp)
+{
+    ASSERT_EQ(StragglerInjector::active(), nullptr);
+    stragglerPausePoint(0); // must not crash or block
+    stragglerPausePoint(99);
+}
+
+TEST(Straggler, ScheduledPauseFiresAtItsCheck)
+{
+    StragglerInjector injector(2, 7);
+    injector.add(StragglerInjector::PauseEvent{1, 3, 1});
+    EXPECT_EQ(injector.pausesInjected(), 0u);
+    injector.pausePoint(1);
+    injector.pausePoint(1);
+    EXPECT_EQ(injector.pausesInjected(), 0u); // not yet due
+    injector.pausePoint(1);
+    EXPECT_EQ(injector.pausesInjected(), 1u);
+    EXPECT_GE(injector.pausedMsTotal(), 1u);
+    // Worker 0 never pauses: events are per-worker.
+    for (int i = 0; i < 10; ++i)
+        injector.pausePoint(0);
+    EXPECT_EQ(injector.pausesInjected(), 1u);
+    EXPECT_EQ(injector.checks(0), 10u);
+    EXPECT_EQ(injector.checks(1), 3u);
+}
+
+TEST(Straggler, RandomPausesAreDeterministicPerSeed)
+{
+    auto countPauses = [](uint64_t seed) {
+        StragglerInjector injector(2, seed);
+        injector.randomPauses(0.05, 1);
+        for (int i = 0; i < 200; ++i) {
+            injector.pausePoint(0);
+            injector.pausePoint(1);
+        }
+        return injector.pausesInjected();
+    };
+    EXPECT_EQ(countPauses(42), countPauses(42));
+    EXPECT_GT(countPauses(42), 0u);
+}
+
+TEST(Straggler, ParseSpecAcceptsEventsAndRand)
+{
+    StragglerInjector injector(4, 1);
+    std::string error;
+    ASSERT_TRUE(injector.parseSpec("2:100:250,rand:0.01:5", &error))
+        << error;
+    // Worker 2 pauses at its 100th check.
+    for (int i = 0; i < 99; ++i)
+        injector.pausePoint(2);
+    uint64_t before = injector.pausesInjected();
+    injector.pausePoint(2);
+    EXPECT_GE(injector.pausesInjected(), before + 1);
+}
+
+TEST(Straggler, ParseSpecRejectsBadInput)
+{
+    StragglerInjector injector(2, 1);
+    std::string error;
+    EXPECT_FALSE(injector.parseSpec("nocolons", &error));
+    EXPECT_FALSE(injector.parseSpec("9:1:1", &error)); // worker range
+    EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+    EXPECT_FALSE(injector.parseSpec("0:0:5", &error)); // atCheck 1-based
+    EXPECT_FALSE(injector.parseSpec("0:1:0", &error)); // pauseMs >= 1
+    EXPECT_FALSE(injector.parseSpec("rand:1.5:10", &error));
+    EXPECT_FALSE(injector.parseSpec("rand:0.5:0", &error));
+    EXPECT_FALSE(injector.parseSpec("0:abc:1", &error));
+}
+
+TEST(Straggler, ScopedInstallUninstalls)
+{
+    ASSERT_EQ(StragglerInjector::active(), nullptr);
+    {
+        ScopedStragglerInjection scoped(2, 1);
+        EXPECT_EQ(StragglerInjector::active(), &scoped.injector());
+    }
+    EXPECT_EQ(StragglerInjector::active(), nullptr);
 }
 
 } // namespace

@@ -25,7 +25,7 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 # Only the test binaries and the CLI (for cli_metrics_smoke) are
 # needed: skipping the bench/example targets roughly halves each
 # instrumented build.
-targets=(hdcps_cli
+targets=(hdcps_cli hdcps_soak
          test_support test_graph test_pq test_core test_obs test_sched
          test_algos test_sim test_simdesigns test_stress test_simsched
          test_properties)
@@ -54,6 +54,20 @@ fault_stress() {
     fi
 }
 
+# Chaos soak: randomized kernel x scheduler x fault-spec x straggler
+# scenarios, every scheduler wrapped in the invariant-checking
+# VerifyingScheduler and diffed against the sequential oracle. The
+# seed is fixed so CI replays the same scenario stream every time,
+# and --budget-ms stops cleanly (still a pass) if the instrumented
+# build is too slow to finish all runs inside roughly a minute. Any
+# invariant violation — task loss or duplication, unsafe termination,
+# a non-injected failure — exits non-zero and fails the stage.
+chaos_soak() {
+    local builddir=$1
+    "$builddir"/tools/hdcps_soak --runs 24 --seed 7 --threads 4 \
+        --budget-ms 60000
+}
+
 for preset in "${presets[@]}"; do
     builddir=build
     [ "$preset" != default ] && builddir="build-$preset"
@@ -65,5 +79,7 @@ for preset in "${presets[@]}"; do
     ctest --preset "$preset" -j "$jobs"
     echo "=== [$preset] fault-injection stress ==="
     fault_stress "$builddir"
+    echo "=== [$preset] chaos soak ==="
+    chaos_soak "$builddir"
     echo "=== [$preset] OK ==="
 done

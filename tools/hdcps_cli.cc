@@ -36,6 +36,7 @@
 #include "stats/table.h"
 #include "support/fault.h"
 #include "support/logging.h"
+#include "support/straggler.h"
 
 namespace {
 
@@ -61,6 +62,8 @@ struct Options
     unsigned metricsInterval = 0; ///< 0 = per-mode default
     std::string faultSpec;       ///< empty = no fault injection
     uint64_t watchdogMs = 0;     ///< 0 = watchdog off
+    uint64_t reclaimAfterMs = 0; ///< 0 = sRQ reclamation off
+    std::string stragglerSpec;   ///< empty = no straggler injection
 };
 
 void
@@ -89,6 +92,12 @@ usage()
         "                delay (site names under --list); seeded by --seed\n"
         "  --watchdog-ms N    fail a threaded run when no task is popped\n"
         "                for N ms while work is pending (default off)\n"
+        "  --reclaim-after-ms N   let idle workers reclaim a stalled\n"
+        "                worker's queued tasks once its heartbeat is\n"
+        "                stale by N ms (threads mode; default off)\n"
+        "  --straggler-spec S     pause worker threads on purpose:\n"
+        "                worker:atCheck:pauseMs[,...] or rand:P:MAXMS\n"
+        "                (threads mode; seeded by --seed)\n"
         "  --stats       print the input graph's statistics and exit\n"
         "  --config      print the simulated machine's Table-I parameters\n"
         "  --list        list kernels, designs and fault sites, then exit\n";
@@ -172,6 +181,12 @@ parseArgs(int argc, char **argv)
             // keeps window * 1ms arithmetic trivially overflow-free.
             options.watchdogMs =
                 parseUint("--watchdog-ms", value(i), 86400000ULL);
+        } else if (arg == "--reclaim-after-ms") {
+            // Same day-cap rationale as --watchdog-ms.
+            options.reclaimAfterMs =
+                parseUint("--reclaim-after-ms", value(i), 86400000ULL);
+        } else if (arg == "--straggler-spec") {
+            options.stragglerSpec = value(i);
         } else if (arg == "--stats") {
             options.stats = true;
         } else if (arg == "--csv") {
@@ -307,6 +322,19 @@ runThreads(const Options &options, Workload &workload)
     RunOptions runOptions;
     runOptions.numThreads = options.threads;
     runOptions.watchdogMs = options.watchdogMs;
+    runOptions.reclaimAfterMs = options.reclaimAfterMs;
+
+    // Straggler injection lives for the run only; the RAII scope keeps
+    // the injector installed exactly while workers may pause.
+    std::unique_ptr<ScopedStragglerInjection> stragglers;
+    if (!options.stragglerSpec.empty()) {
+        stragglers = std::make_unique<ScopedStragglerInjection>(
+            options.threads, options.seed);
+        std::string error;
+        if (!stragglers->injector().parseSpec(options.stragglerSpec,
+                                              &error))
+            hdcps_fatal("--straggler-spec: %s", error.c_str());
+    }
     if (!options.metricsOut.empty()) {
         MetricsRegistry::Config config;
         config.sampleInterval = interval;
@@ -430,6 +458,18 @@ main(int argc, char **argv)
                         "(the simulator has no metrics hookup)");
         }
         std::cerr << "note: --metrics-out implies --mode threads\n";
+        options.mode = "threads";
+    }
+    if ((options.reclaimAfterMs > 0 || !options.stragglerSpec.empty()) &&
+        options.mode == "sim") {
+        // Both knobs act on host worker threads; the cycle-level
+        // simulator has neither heartbeats nor pause points.
+        if (options.modeExplicit) {
+            hdcps_fatal("--reclaim-after-ms and --straggler-spec need "
+                        "--mode threads");
+        }
+        std::cerr << "note: --reclaim-after-ms/--straggler-spec imply "
+                     "--mode threads\n";
         options.mode = "threads";
     }
 

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * hdcps_soak — randomized chaos soak for the threaded schedulers.
+ *
+ * Each iteration draws a scenario from a seeded RNG — kernel × input ×
+ * scheduler design × benign fault injection × straggler pauses — runs
+ * it under the invariant-checking VerifyingScheduler wrapper with sRQ
+ * reclamation and the watchdog armed, and diffs the result against the
+ * workload's sequential oracle. A slice of the iterations arms a
+ * fatal fault (exec.process.throw) on purpose and instead asserts the
+ * *graceful-failure* contract: the run fails with the injected error,
+ * no crash, and task conservation still holds.
+ *
+ * Everything is deterministic from --seed (per-run seeds are derived
+ * with mix64), so any failing line reproduces standalone:
+ *
+ *   hdcps_soak --runs 40 --seed 7 --threads 4 --budget-ms 45000
+ *
+ * Exit status: 0 when every iteration met its contract, 1 otherwise.
+ * CI runs this under tsan and asan-ubsan (tools/ci_sanitize.sh) where
+ * the chaos doubles as a data-race and lifetime-bug detector.
+ */
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <iterator>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algos/workload.h"
+#include "core/hdcps.h"
+#include "cps/multiqueue.h"
+#include "cps/obim.h"
+#include "cps/pmod.h"
+#include "cps/reld.h"
+#include "cps/swminnow.h"
+#include "cps/verifying_scheduler.h"
+#include "graph/generators.h"
+#include "obs/metrics.h"
+#include "runtime/executor.h"
+#include "support/fault.h"
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/straggler.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace hdcps;
+
+struct Options
+{
+    uint64_t runs = 20;
+    uint64_t seed = 1;
+    unsigned threads = 4;
+    uint64_t budgetMs = 0; ///< 0 = unbounded
+    bool verbose = false;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "usage: hdcps_soak [options]\n"
+        "  --runs N       scenario iterations (default 20)\n"
+        "  --seed S       base seed; run i uses mix64(S + i) (default 1)\n"
+        "  --threads N    worker threads per run (default 4)\n"
+        "  --budget-ms N  stop cleanly after N ms of wall time "
+        "(default unbounded)\n"
+        "  --verbose      print every scenario, not just failures\n";
+}
+
+uint64_t
+parseUint(const char *flag, const char *text, uint64_t max)
+{
+    if (text[0] == '\0' || text[0] == '-' || text[0] == '+' ||
+        std::isspace(static_cast<unsigned char>(text[0]))) {
+        hdcps_fatal("%s: want a non-negative integer, got '%s'", flag,
+                    text);
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        hdcps_fatal("%s: want a non-negative integer, got '%s'", flag,
+                    text);
+    if (errno == ERANGE || parsed > max) {
+        hdcps_fatal("%s: value '%s' out of range (max %llu)", flag, text,
+                    static_cast<unsigned long long>(max));
+    }
+    return parsed;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options options;
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            hdcps_fatal("missing value for %s", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--runs") {
+            options.runs = parseUint("--runs", value(i), 1000000);
+        } else if (arg == "--seed") {
+            options.seed =
+                parseUint("--seed", value(i),
+                          std::numeric_limits<uint64_t>::max());
+        } else if (arg == "--threads") {
+            options.threads = unsigned(
+                parseUint("--threads", value(i), 256));
+        } else if (arg == "--budget-ms") {
+            options.budgetMs =
+                parseUint("--budget-ms", value(i), 86400000ULL);
+        } else if (arg == "--verbose") {
+            options.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            hdcps_fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    hdcps_check(options.threads >= 1, "--threads must be >= 1");
+    return options;
+}
+
+/** One drawn scenario, printable for reproduction. */
+struct Scenario
+{
+    uint64_t seed = 0;
+    std::string kernel;
+    std::string input;
+    std::string design;
+    std::string faultSpec;     ///< benign fault sites, may be empty
+    std::string stragglerSpec; ///< pause events, may be empty
+    bool expectFailure = false; ///< exec.process.throw armed
+};
+
+const char *const kKernels[] = {"sssp", "bfs"};
+const char *const kInputs[] = {"usa", "cage"};
+const char *const kDesigns[] = {"hdcps-sw",   "hdcps-srq", "reld",
+                                "multiqueue", "obim",      "pmod",
+                                "swminnow"};
+
+/** Windows (ms): pauses are ~2x the reclaim window so a paused worker
+ *  reliably crosses staleness, and the watchdog is far beyond both so
+ *  it only fires for genuine hangs. */
+constexpr uint64_t kReclaimAfterMs = 25;
+constexpr uint64_t kWatchdogMs = 3000;
+
+Scenario
+drawScenario(Rng &rng, uint64_t runSeed, unsigned threads)
+{
+    Scenario s;
+    s.seed = runSeed;
+    s.kernel = kKernels[rng.below(std::size(kKernels))];
+    s.input = kInputs[rng.below(std::size(kInputs))];
+    s.design = kDesigns[rng.below(std::size(kDesigns))];
+
+    // Benign chaos: occasional pop misfires and forced overflow spills
+    // exercise the retry and spill paths without changing semantics.
+    if (rng.chance(0.5))
+        s.faultSpec = "exec.pop.fail:prob:0.002";
+    if (rng.chance(0.4)) {
+        if (!s.faultSpec.empty())
+            s.faultSpec += ",";
+        s.faultSpec += "hdcps.overflow.spill:prob:0.01";
+    }
+
+    // Straggler pauses: one early pause well past the reclaim window,
+    // sometimes on two workers at once.
+    if (threads >= 2 && rng.chance(0.6)) {
+        unsigned victim = 1 + unsigned(rng.below(threads - 1));
+        uint64_t atCheck = 20 + rng.below(300);
+        uint64_t pauseMs = 2 * kReclaimAfterMs + rng.below(30);
+        s.stragglerSpec = std::to_string(victim) + ":" +
+                          std::to_string(atCheck) + ":" +
+                          std::to_string(pauseMs);
+        if (threads >= 3 && rng.chance(0.25)) {
+            unsigned other = 1 + unsigned(rng.below(threads - 1));
+            if (other == victim)
+                other = 1 + (other % (threads - 1));
+            s.stragglerSpec += "," + std::to_string(other) + ":" +
+                               std::to_string(20 + rng.below(300)) +
+                               ":" + std::to_string(2 * kReclaimAfterMs);
+        }
+    }
+
+    // A slice of runs tests graceful failure instead of completion.
+    if (rng.chance(0.2)) {
+        s.expectFailure = true;
+        uint64_t nth = 100 + rng.below(400);
+        if (!s.faultSpec.empty())
+            s.faultSpec += ",";
+        s.faultSpec += "exec.process.throw:nth:" + std::to_string(nth);
+    }
+    return s;
+}
+
+std::unique_ptr<Scheduler>
+makeDesign(const Scenario &s, unsigned threads)
+{
+    if (s.design == "reld")
+        return std::make_unique<ReldScheduler>(threads, s.seed);
+    if (s.design == "multiqueue")
+        return std::make_unique<MultiQueueScheduler>(threads, 2, s.seed);
+    if (s.design == "obim")
+        return std::make_unique<ObimScheduler>(threads);
+    if (s.design == "pmod")
+        return std::make_unique<PmodScheduler>(threads);
+    if (s.design == "swminnow")
+        return std::make_unique<SwMinnowScheduler>(threads);
+    HdCpsConfig config = s.design == "hdcps-srq"
+                             ? HdCpsScheduler::configSrq()
+                             : HdCpsScheduler::configSw();
+    config.seed = s.seed;
+    return std::make_unique<HdCpsScheduler>(threads, config);
+}
+
+std::string
+describe(const Scenario &s)
+{
+    std::string out = s.kernel + "/" + s.input + "/" + s.design +
+                      " seed=" + std::to_string(s.seed);
+    if (!s.faultSpec.empty())
+        out += " faults=" + s.faultSpec;
+    if (!s.stragglerSpec.empty())
+        out += " stragglers=" + s.stragglerSpec;
+    if (s.expectFailure)
+        out += " (expect graceful failure)";
+    return out;
+}
+
+/** Sum of one named counter over all workers in a snapshot. */
+uint64_t
+counterTotal(const MetricsSnapshot &snap, const std::string &name)
+{
+    for (const auto &counter : snap.counters) {
+        if (counter.name == name)
+            return counter.total;
+    }
+    return 0;
+}
+
+struct Tally
+{
+    uint64_t ran = 0;
+    uint64_t failed = 0;
+    uint64_t expectedFailures = 0;
+    uint64_t reclaimedTasks = 0;
+    uint64_t reclaimRuns = 0; ///< runs where reclamation moved tasks
+    uint64_t pausesInjected = 0;
+};
+
+/** Run one scenario; returns true when it met its contract. */
+bool
+runScenario(const Scenario &s, const Options &options,
+            const std::map<std::string, Graph> &graphs, Tally &tally)
+{
+    auto fail = [&](const std::string &why) {
+        std::cerr << "FAIL " << describe(s) << "\n  " << why << "\n";
+        return false;
+    };
+
+    auto workload =
+        makeWorkload(s.kernel, graphs.at(s.input), /*source=*/0);
+
+    ScopedFaultInjection faults(s.seed);
+    if (!s.faultSpec.empty()) {
+        std::string error;
+        hdcps_check(faults->parseSpec(s.faultSpec, &error),
+                    "soak generated a bad fault spec: %s",
+                    error.c_str());
+    }
+
+    ScopedStragglerInjection stragglers(options.threads, s.seed);
+    if (!s.stragglerSpec.empty()) {
+        std::string error;
+        hdcps_check(stragglers.injector().parseSpec(s.stragglerSpec,
+                                                    &error),
+                    "soak generated a bad straggler spec: %s",
+                    error.c_str());
+    }
+
+    auto inner = makeDesign(s, options.threads);
+    VerifyingScheduler verified(*inner);
+    MetricsRegistry metrics(options.threads);
+
+    RunOptions runOptions;
+    runOptions.numThreads = options.threads;
+    runOptions.watchdogMs = kWatchdogMs;
+    runOptions.reclaimAfterMs = kReclaimAfterMs;
+    runOptions.metrics = &metrics;
+    runOptions.recordBreakdown = false;
+
+    RunResult r = run(verified, workload->initialTasks(),
+                      workloadProcessFn(*workload), runOptions);
+    tally.pausesInjected += stragglers.injector().pausesInjected();
+
+    // Invariants first: they must hold on every run, failed or not.
+    std::string why;
+    if (!verified.checkComplete(r.failed, &why))
+        return fail("invariant violation: " + why);
+
+    uint64_t reclaimed =
+        counterTotal(metrics.snapshot(), "reclaimed_tasks");
+    tally.reclaimedTasks += reclaimed;
+    if (reclaimed > 0)
+        ++tally.reclaimRuns;
+
+    if (s.expectFailure) {
+        if (!r.failed)
+            return fail("expected the injected ProcessFn throw to fail "
+                        "the run, but it completed");
+        if (r.error.find("injected") == std::string::npos)
+            return fail("run failed, but not with the injected error: " +
+                        r.error);
+        ++tally.expectedFailures;
+        return true;
+    }
+
+    if (r.failed)
+        return fail("run failed: " + r.error);
+    if (!workload->verify(&why))
+        return fail("oracle mismatch: " + why);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options = parseArgs(argc, argv);
+
+    // Generate each input once; scenarios share the (immutable) graphs.
+    std::map<std::string, Graph> graphs;
+    for (const char *input : kInputs)
+        graphs.emplace(input, makePaperInput(input, 1, options.seed));
+
+    Tally tally;
+    uint64_t failures = 0;
+    uint64_t startNs = nowNs();
+    uint64_t i = 0;
+    for (; i < options.runs; ++i) {
+        if (options.budgetMs > 0 &&
+            (nowNs() - startNs) / 1000000 >= options.budgetMs) {
+            std::cout << "budget reached after " << i << "/"
+                      << options.runs << " runs\n";
+            break;
+        }
+        uint64_t runSeed = mix64(options.seed + i);
+        Rng rng(runSeed);
+        Scenario s = drawScenario(rng, runSeed, options.threads);
+        if (options.verbose)
+            std::cout << "run " << i << ": " << describe(s) << "\n";
+        ++tally.ran;
+        if (!runScenario(s, options, graphs, tally)) {
+            ++failures;
+            ++tally.failed;
+        }
+    }
+
+    std::cout << "soak: " << tally.ran << " runs, " << failures
+              << " failures, " << tally.expectedFailures
+              << " graceful injected failures, " << tally.reclaimedTasks
+              << " tasks reclaimed across " << tally.reclaimRuns
+              << " runs, " << tally.pausesInjected
+              << " straggler pauses\n";
+    return failures == 0 ? 0 : 1;
+}
