@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algos/workload.h"
@@ -294,6 +295,94 @@ percent(double fraction)
     char buf[16];
     std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
     return buf;
+}
+
+// ---------------------------------------------------------------------
+// Perf gate: machine-readable microbenchmark results (BENCH_micro.json)
+// consumed by tools/bench_compare. Schema "hdcps-bench-micro-v1":
+//   { "schema": ..., "git_rev": ..., "host_cores": N,
+//     "benchmarks": [ { "name", "scenario", "items_per_second",
+//                       "real_time_ns", "iterations" }, ... ] }
+// ---------------------------------------------------------------------
+
+/** One benchmark measurement destined for the perf-gate JSON. */
+struct PerfGateResult
+{
+    std::string name;
+    std::string scenario; ///< coarse grouping, e.g. "remote_heavy"
+    double itemsPerSecond = 0.0;
+    double realTimeNs = 0.0; ///< per iteration
+    int64_t iterations = 0;
+};
+
+/** Git revision baked in at configure time (see bench/CMakeLists.txt). */
+inline const char *
+gitRev()
+{
+#ifdef HDCPS_GIT_REV
+    return HDCPS_GIT_REV;
+#else
+    return "unknown";
+#endif
+}
+
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Write the perf-gate JSON; false (with a stderr note) on I/O error. */
+inline bool
+writePerfGateJson(const std::string &path,
+                  const std::vector<PerfGateResult> &results)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "error: cannot write perf gate JSON to " << path
+                  << "\n";
+        return false;
+    }
+    out << "{\n";
+    out << "  \"schema\": \"hdcps-bench-micro-v1\",\n";
+    out << "  \"git_rev\": \"" << jsonEscape(gitRev()) << "\",\n";
+    out << "  \"host_cores\": " << std::thread::hardware_concurrency()
+        << ",\n";
+    out << "  \"benchmarks\": [";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const PerfGateResult &r = results[i];
+        out << (i ? "," : "") << "\n    {\"name\": \""
+            << jsonEscape(r.name) << "\", \"scenario\": \""
+            << jsonEscape(r.scenario) << "\", \"items_per_second\": "
+            << r.itemsPerSecond << ", \"real_time_ns\": " << r.realTimeNs
+            << ", \"iterations\": " << r.iterations << "}";
+    }
+    out << "\n  ]\n}\n";
+    out.flush();
+    if (!out) {
+        std::cerr << "error: short write of perf gate JSON to " << path
+                  << "\n";
+        return false;
+    }
+    return true;
 }
 
 } // namespace hdcps::bench

@@ -1,22 +1,46 @@
 /**
  * @file
- * Google-benchmark microbenchmarks for the queue substrate: the
- * operations whose latency the paper's hardware queues exist to hide.
- * These quantify, on the host, the software PQ rebalance cost growth
- * with occupancy and the cost gap between the locked PQ (RELD's
- * enqueue path) and the receive queue (HD-CPS's enqueue path) — the
- * software-side motivation for Figure 5's sRQ gains.
+ * Google-benchmark microbenchmarks for the queue substrate plus the
+ * scheduler-level throughput scenarios the perf gate tracks.
+ *
+ * The micro section quantifies, on the host, the software PQ rebalance
+ * cost growth with occupancy and the cost gap between the locked PQ
+ * (RELD's enqueue path) and the receive queue (HD-CPS's enqueue path)
+ * — the software-side motivation for Figure 5's sRQ gains. The
+ * scenario section drives a whole HdCpsScheduler (and the threaded
+ * runtime) through remote-heavy traffic so batched sRQ transfer,
+ * pooled bags, and distributed termination show up as one number.
+ *
+ * Results are mirrored into a machine-readable JSON file (default
+ * BENCH_micro.json, override with HDCPS_BENCH_JSON_OUT) that
+ * tools/bench_compare validates and diffs across revisions.
+ *
+ * HDCPS_BENCH_HAVE_BATCH_API gates benchmarks of APIs added with the
+ * batching overhaul, so this same file also compiles against the
+ * pre-overhaul tree to produce baseline numbers.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "core/bag_policy.h"
+#include "core/hdcps.h"
 #include "core/recv_queue.h"
 #include "cps/task.h"
 #include "pq/dary_heap.h"
 #include "pq/locked_pq.h"
+#include "runtime/executor.h"
 #include "sim/hwqueue.h"
 #include "support/rng.h"
+
+#include "bench_common.h"
+
+#ifdef HDCPS_BENCH_HAVE_BATCH_API
+#include "core/bag_pool.h"
+#endif
 
 namespace {
 
@@ -102,6 +126,211 @@ BM_BagPolicyPlan(benchmark::State &state)
 }
 BENCHMARK(BM_BagPolicyPlan);
 
+#ifdef HDCPS_BENCH_HAVE_BATCH_API
+
+void
+BM_ReceiveQueueBatchTransfer(benchmark::State &state)
+{
+    // Batched sRQ transfer: one multi-slot claim moves the whole run,
+    // versus one CAS per task in BM_ReceiveQueueTransfer.
+    const size_t batchSize = static_cast<size_t>(state.range(0));
+    ReceiveQueue<Task> rq(1024);
+    Rng rng(6);
+    std::vector<Task> batch(batchSize);
+    for (auto _ : state) {
+        for (size_t i = 0; i < batchSize; ++i)
+            batch[i] = Task{rng.below(1 << 20), uint32_t(i), 0};
+        size_t pushed = 0;
+        while (pushed < batchSize)
+            pushed += rq.tryPushN(batch.data() + pushed,
+                                  batchSize - pushed);
+        Task t;
+        for (size_t i = 0; i < batchSize; ++i) {
+            rq.tryPop(t);
+            benchmark::DoNotOptimize(t);
+        }
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(batchSize) * 2);
+}
+BENCHMARK(BM_ReceiveQueueBatchTransfer)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_BagPoolAcquireRelease(benchmark::State &state)
+{
+    // The pooled-envelope cycle that replaces new/delete per bag.
+    BagPool pool(2);
+    Rng rng(7);
+    std::vector<Task> payload;
+    for (int i = 0; i < 8; ++i)
+        payload.push_back(Task{rng.below(16), uint32_t(i), 0});
+    for (auto _ : state) {
+        Bag *bag = pool.acquire(0);
+        bag->priority = payload[0].priority;
+        bag->tasks.assign(payload.begin(), payload.end());
+        benchmark::DoNotOptimize(bag);
+        pool.release(0, bag);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_BagPoolAcquireRelease);
+
+#endif // HDCPS_BENCH_HAVE_BATCH_API
+
+/**
+ * The perf gate's headline scenario: remote-heavy traffic (95% TDF, 8
+ * workers, per-task envelopes) through a full HdCpsScheduler, driven
+ * round-robin by one thread so the number is deterministic and
+ * host-core-count independent. Every iteration pushes one 256-task
+ * batch as worker k — ~34 tasks per remote destination, enough that
+ * send combining engages — and pops all 256 back out (rotating over
+ * workers until found), so throughput prices the whole transfer
+ * pipeline: envelope routing, sRQ claims, drain, bulk heap build.
+ * Bagged transfer has its own end-to-end scenario (pipeline_spawn);
+ * this one keeps BagMode::None so the number isolates the per-task
+ * path that batching overhauled.
+ */
+void
+BM_HdCpsRemoteHeavy(benchmark::State &state)
+{
+    constexpr unsigned kWorkers = 8;
+    constexpr size_t kBatch = 256;
+    HdCpsConfig config;
+    config.useTdf = false;
+    config.fixedTdf = 95;
+    config.bags.mode = BagMode::None;
+    HdCpsScheduler sched(kWorkers, config);
+    Rng rng(8);
+    std::vector<Task> batch(kBatch);
+    uint32_t node = 0;
+    unsigned tid = 0;
+    for (auto _ : state) {
+        for (size_t i = 0; i < kBatch; ++i)
+            batch[i] = Task{rng.below(64), node++, 0};
+        sched.pushBatch(tid, batch.data(), kBatch);
+        size_t popped = 0;
+        unsigned p = tid;
+        while (popped < kBatch) {
+            Task t;
+            if (sched.tryPop(p, t)) {
+                ++popped;
+                benchmark::DoNotOptimize(t);
+            } else {
+                p = (p + 1) % kWorkers;
+            }
+        }
+        tid = (tid + 1) % kWorkers;
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(kBatch));
+}
+BENCHMARK(BM_HdCpsRemoteHeavy);
+
+/**
+ * End-to-end runtime scenario: run() executes a deterministic spawn
+ * tree (4 same-priority children per task, depth 4) over 8 threads, so
+ * the measurement includes the termination-detection cost the
+ * distributed counters removed from the per-task path.
+ */
+void
+BM_HdCpsPipelineSpawn(benchmark::State &state)
+{
+    constexpr unsigned kThreads = 8;
+    uint64_t tasks = 0;
+    for (auto _ : state) {
+        HdCpsConfig config;
+        config.useTdf = false;
+        config.fixedTdf = 95;
+        config.bags.mode = BagMode::Selective;
+        config.seed = 9;
+        HdCpsScheduler sched(kThreads, config);
+        std::vector<Task> initial;
+        for (uint32_t i = 0; i < 32; ++i)
+            initial.push_back(Task{i % 4, i, 4});
+        RunOptions options;
+        options.numThreads = kThreads;
+        options.recordBreakdown = false;
+        RunResult result = hdcps::run(
+            sched, initial,
+            [](unsigned, const Task &task, std::vector<Task> &children) {
+                if (task.data == 0)
+                    return;
+                // Same priority for all four siblings: bag-sized group.
+                for (uint32_t i = 0; i < 4; ++i) {
+                    children.push_back(Task{task.priority + 1,
+                                            task.node * 4 + i,
+                                            task.data - 1});
+                }
+            },
+            options);
+        if (result.failed)
+            state.SkipWithError(result.error.c_str());
+        tasks += result.total.tasksProcessed;
+        benchmark::DoNotOptimize(result.wallNs);
+    }
+    state.SetItemsProcessed(int64_t(tasks));
+}
+BENCHMARK(BM_HdCpsPipelineSpawn);
+
+/** Coarse scenario tag for the perf-gate JSON. */
+std::string
+scenarioOf(const std::string &name)
+{
+    if (name.find("BM_HdCpsRemoteHeavy") == 0)
+        return "remote_heavy";
+    if (name.find("BM_HdCpsPipelineSpawn") == 0)
+        return "pipeline_spawn";
+    return "micro";
+}
+
+/** Console reporter that also captures rows for the perf-gate JSON. */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &report) override
+    {
+        for (const Run &run : report) {
+            if (run.error_occurred || run.run_type != Run::RT_Iteration)
+                continue;
+            hdcps::bench::PerfGateResult r;
+            r.name = run.benchmark_name();
+            r.scenario = scenarioOf(r.name);
+            auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                r.itemsPerSecond = double(it->second);
+            r.iterations = int64_t(run.iterations);
+            r.realTimeNs =
+                run.iterations
+                    ? run.real_accumulated_time * 1e9 /
+                          double(run.iterations)
+                    : run.real_accumulated_time * 1e9;
+            results.push_back(std::move(r));
+        }
+        ConsoleReporter::ReportRuns(report);
+    }
+
+    std::vector<hdcps::bench::PerfGateResult> results;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    const char *out = std::getenv("HDCPS_BENCH_JSON_OUT");
+    std::string path = out && *out ? out : "BENCH_micro.json";
+    if (!hdcps::bench::writePerfGateJson(path, reporter.results))
+        return 1;
+    std::cout << "perf gate JSON: " << path << " ("
+              << reporter.results.size() << " benchmarks, rev "
+              << hdcps::bench::gitRev() << ")\n";
+    return 0;
+}

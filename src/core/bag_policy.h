@@ -63,19 +63,29 @@ struct BagPolicy
     size_t maxBagSize = 10; ///< "... but < 10"; also the split bound
 
     /**
-     * Partition children into singles and bags. Children are grouped by
-     * exact priority (COUNT_PRIORITY in Algorithm 1); each group is
-     * bagged when the mode and the size window say so, and groups larger
-     * than maxBagSize are split into multiple bags so no single dequeue
-     * monopolizes a core.
+     * Allocation-free planning core: group `children` in place and hand
+     * each decision to a callback instead of materializing a BagPlan.
+     * `single(const Task &)` fires for every individually-distributed
+     * task; `bagRange(const Task *first, const Task *last, Priority)`
+     * fires for every bag-sized chunk, with [first, last) pointing into
+     * the (sorted) `children` buffer. Children are grouped by exact
+     * priority (COUNT_PRIORITY in Algorithm 1); each group is bagged
+     * when the mode and the size window say so, and groups larger than
+     * maxBagSize are split into multiple bags so no single dequeue
+     * monopolizes a core. Callers that reuse `children` across batches
+     * pay no allocation at all.
      */
-    BagPlan
-    plan(std::vector<Task> children) const
+    template <typename SingleFn, typename BagRangeFn>
+    void
+    planRanges(std::vector<Task> &children, SingleFn &&single,
+               BagRangeFn &&bagRange) const
     {
-        BagPlan out;
-        if (mode == BagMode::None || children.empty()) {
-            out.singles = std::move(children);
-            return out;
+        if (children.empty())
+            return;
+        if (mode == BagMode::None) {
+            for (const Task &t : children)
+                single(t);
+            return;
         }
         hdcps_check(minBagSize >= 1 && minBagSize < maxBagSize,
                     "bag size window must satisfy 1 <= min < max");
@@ -104,23 +114,45 @@ struct BagPolicy
                     size_t take = std::min(maxBagSize - 1, end - pos);
                     if (take < 2) {
                         // A 1-task remainder is cheaper as a single.
-                        out.singles.push_back(children[pos]);
+                        single(children[pos]);
                         ++pos;
                         continue;
                     }
-                    Bag bag;
-                    bag.priority = children[start].priority;
-                    bag.tasks.assign(children.begin() + pos,
-                                     children.begin() + pos + take);
-                    out.bags.push_back(std::move(bag));
+                    bagRange(children.data() + pos,
+                             children.data() + pos + take,
+                             children[start].priority);
                     pos += take;
                 }
             } else {
                 for (size_t i = start; i < end; ++i)
-                    out.singles.push_back(children[i]);
+                    single(children[i]);
             }
             start = end;
         }
+    }
+
+    /**
+     * Partition children into singles and bags (materialized variant of
+     * planRanges, kept for harnesses that want the plan as data).
+     */
+    BagPlan
+    plan(std::vector<Task> children) const
+    {
+        BagPlan out;
+        if (mode == BagMode::None || children.empty()) {
+            out.singles = std::move(children);
+            return out;
+        }
+        planRanges(
+            children,
+            [&out](const Task &t) { out.singles.push_back(t); },
+            [&out](const Task *first, const Task *last,
+                   Priority priority) {
+                Bag bag;
+                bag.priority = priority;
+                bag.tasks.assign(first, last);
+                out.bags.push_back(std::move(bag));
+            });
         return out;
     }
 };

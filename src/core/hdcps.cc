@@ -48,11 +48,13 @@ unlockReclaim(std::atomic<uint32_t> &lock)
 HdCpsScheduler::HdCpsScheduler(unsigned numWorkers,
                                const HdCpsConfig &config)
     : Scheduler(numWorkers), config_(config), drift_(numWorkers),
-      tdfController_(config.tdf)
+      tdfController_(config.tdf), pool_(numWorkers)
 {
     hdcps_check(numWorkers >= 1, "need at least one worker");
     hdcps_check(config.sampleInterval >= 1, "sample interval must be >= 1");
     hdcps_check(config.fixedTdf <= 100, "fixedTdf is a percentage");
+    hdcps_check(config.sendFlushThreshold >= 1,
+                "send flush threshold must be >= 1");
 
     name_ = "hdcps-srq";
     if (config_.useTdf)
@@ -69,20 +71,37 @@ HdCpsScheduler::HdCpsScheduler(unsigned numWorkers,
         w->rq = std::make_unique<ReceiveQueue<Envelope>>(config.rqCapacity);
         w->rng.reseed(mix64(config.seed + 0x9e37) + i);
         w->heartbeatNs.store(now, std::memory_order_relaxed);
+        w->sendArena.resize(size_t(numWorkers) *
+                            config.sendFlushThreshold);
+        w->sendCount.assign(numWorkers, 0);
         workers_.push_back(std::move(w));
     }
 }
 
 HdCpsScheduler::~HdCpsScheduler()
 {
-    // Free any bags still in flight (runs cut short by tests).
-    for (auto &w : workers_) {
+    // Return any bags still in flight to the pool (runs cut short by
+    // tests); the pool frees the backing nodes when it destructs.
+    for (unsigned tid = 0; tid < numWorkers(); ++tid) {
+        WorkerState &w = *workers_[tid];
         Envelope envelope;
-        while (w->rq->tryPop(envelope))
-            delete envelope.bag;
-        while (!w->pq.empty()) {
-            PqEntry entry = w->pq.pop();
-            delete entry.bag;
+        while (w.rq->tryPop(envelope)) {
+            if (envelope.bag)
+                pool_.release(tid, envelope.bag);
+        }
+        for (unsigned d = 0; d < numWorkers(); ++d) {
+            const Envelope *seg =
+                w.sendArena.data() + size_t(d) * config_.sendFlushThreshold;
+            for (uint32_t i = 0; i < w.sendCount[d]; ++i) {
+                if (seg[i].bag)
+                    pool_.release(tid, seg[i].bag);
+            }
+            w.sendCount[d] = 0;
+        }
+        while (!w.pq.empty()) {
+            PqEntry entry = w.pq.pop();
+            if (entry.bag)
+                pool_.release(tid, entry.bag);
         }
     }
 }
@@ -146,7 +165,8 @@ HdCpsScheduler::sizeApprox() const
     size_t total = 0;
     for (const auto &w : workers_) {
         total += w->rq->sizeApprox() + w->overflow.size() +
-                 w->localBuffered.load(std::memory_order_relaxed);
+                 w->localBuffered.load(std::memory_order_relaxed) +
+                 w->stagedTasks.load(std::memory_order_relaxed);
     }
     return total;
 }
@@ -172,17 +192,62 @@ HdCpsScheduler::heartbeatPops(unsigned tid) const
 }
 
 unsigned
-HdCpsScheduler::chooseDest(unsigned tid)
+HdCpsScheduler::chooseDest(unsigned tid, unsigned tdf)
 {
     WorkerState &w = *workers_[tid];
-    unsigned tdf = currentTdf();
-    if (numWorkers() == 1 || w.rng.below(100) >= tdf)
+    const unsigned n = numWorkers();
+    if (n == 1)
         return tid;
-    // Remote: uniform over the other workers.
-    unsigned dest = static_cast<unsigned>(w.rng.below(numWorkers() - 1));
+    // One draw decides both: the bound factorizes as 100 * (n - 1), so
+    // r % 100 (the TDF roll) and r / 100 (the remote pick, uniform over
+    // the other workers) are independent uniforms — half the generator
+    // cost of two separate draws on the hottest routing path.
+    const uint64_t r = w.rng.below(uint64_t(100) * (n - 1));
+    if (static_cast<unsigned>(r % 100) >= tdf)
+        return tid;
+    unsigned dest = static_cast<unsigned>(r / 100);
     if (dest >= tid)
         ++dest;
     return dest;
+}
+
+void
+HdCpsScheduler::enqueueLocal(unsigned tid, WorkerState &w,
+                             const Envelope &envelope)
+{
+    // Local enqueue goes straight into the private PQ — no receive
+    // queue hop needed (Figure 2, path 1a). Incoming remote work is
+    // NOT drained here: popLocal integrates it before every dequeue
+    // decision, which is the only place ordering depends on it.
+    // Caller holds the owner's reclaimLock when reclamation is armed.
+    w.pq.push(makeEntry(envelope.task, envelope.bag));
+    w.localBuffered.store(w.pq.size() + w.activeBag.size(),
+                          std::memory_order_relaxed);
+    bumpCounter(w.stats.localEnqueues);
+    if (metrics_)
+        metrics_->add(tid, WorkerCounter::LocalEnqueues);
+}
+
+void
+HdCpsScheduler::spillToOverflow(unsigned from, unsigned dest,
+                                const Envelope &envelope)
+{
+    // sRQ full (or fault-forced): spill to the destination's locked
+    // overflow queue. Bags are unpacked here — the overflow path is the
+    // slow path anyway — and their envelopes go back to the pool.
+    // Counters attribute to `from`: the *acting* thread, so the
+    // registry's relaxed-write contract holds and per-worker numbers
+    // answer "who spilled", not "who was spilled onto".
+    bumpCounter(workers_[from]->stats.overflowPushes);
+    if (metrics_)
+        metrics_->add(from, WorkerCounter::OverflowPushes);
+    if (envelope.bag) {
+        for (const Task &t : envelope.bag->tasks)
+            workers_[dest]->overflow.push(t);
+        pool_.release(from, envelope.bag);
+    } else {
+        workers_[dest]->overflow.push(envelope.task);
+    }
 }
 
 void
@@ -190,26 +255,19 @@ HdCpsScheduler::deliver(unsigned from, unsigned dest,
                         const Envelope &envelope)
 {
     if (dest == from) {
-        // Local enqueue goes straight into the private PQ — no receive
-        // queue hop needed (Figure 2, path 1a). With reclamation on,
-        // the PQ is no longer owner-exclusive, so take our own lock.
+        // With reclamation on, the PQ is no longer owner-exclusive, so
+        // take our own lock.
         WorkerState &w = *workers_[from];
         const bool guarded =
             reclaimAfterNs_.load(std::memory_order_relaxed) != 0;
         if (guarded)
             lockReclaim(w.reclaimLock);
-        drainIncoming(w);
-        w.pq.push(PqEntry{envelope.task, envelope.bag});
-        w.localBuffered.store(w.pq.size() + w.activeBag.size(),
-                              std::memory_order_relaxed);
+        enqueueLocal(from, w, envelope);
         if (guarded)
             unlockReclaim(w.reclaimLock);
-        localEnqueues_.fetch_add(1, std::memory_order_relaxed);
-        if (metrics_)
-            metrics_->add(from, WorkerCounter::LocalEnqueues);
         return;
     }
-    remoteEnqueues_.fetch_add(1, std::memory_order_relaxed);
+    bumpCounter(workers_[from]->stats.remoteEnqueues);
     if (metrics_)
         metrics_->add(from, WorkerCounter::RemoteEnqueues);
     // The fault site forces the spill without consuming sRQ slots, so
@@ -218,55 +276,163 @@ HdCpsScheduler::deliver(unsigned from, unsigned dest,
         workers_[dest]->rq->tryPush(envelope)) {
         return;
     }
-    // sRQ full: spill to the destination's locked overflow queue. Bags
-    // are unpacked here — the overflow path is the slow path anyway.
-    overflowPushes_.fetch_add(1, std::memory_order_relaxed);
+    spillToOverflow(from, dest, envelope);
+}
+
+void
+HdCpsScheduler::stageRemote(unsigned from, unsigned dest,
+                            const Envelope &envelope)
+{
+    // Combining buffer: park the envelope per destination; flushDest
+    // ships the whole run with one multi-slot sRQ claim. Caller holds
+    // the owner's reclaimLock when reclamation is armed, so a reclaimer
+    // never observes a half-staged buffer.
+    WorkerState &w = *workers_[from];
+    bumpCounter(w.stats.remoteEnqueues);
     if (metrics_)
-        metrics_->add(dest, WorkerCounter::OverflowPushes);
-    if (envelope.bag) {
-        for (const Task &t : envelope.bag->tasks)
-            workers_[dest]->overflow.push(t);
-        delete envelope.bag;
-    } else {
-        workers_[dest]->overflow.push(envelope.task);
+        metrics_->add(from, WorkerCounter::RemoteEnqueues);
+    const size_t cap = config_.sendFlushThreshold;
+    uint32_t n = w.sendCount[dest];
+    if (n == 0)
+        w.dirtySends.push_back(dest);
+    w.sendArena[size_t(dest) * cap + n] = envelope;
+    w.sendCount[dest] = ++n;
+    bumpCounter(w.stagedTasks, envelope.bag ? envelope.bag->tasks.size()
+                                            : size_t(1));
+    if (n >= cap)
+        flushDest(from, dest);
+}
+
+void
+HdCpsScheduler::flushDest(unsigned from, unsigned dest)
+{
+    WorkerState &w = *workers_[from];
+    const uint32_t staged = w.sendCount[dest];
+    if (staged == 0)
+        return;
+    const Envelope *buf =
+        w.sendArena.data() + size_t(dest) * config_.sendFlushThreshold;
+    bumpCounter(w.stats.srqBatchFlushes);
+    if (metrics_)
+        metrics_->add(from, WorkerCounter::SrqBatchFlushes);
+    // Tally the staged weight from the (cache-warm) segment at flush
+    // time, rather than maintaining a per-destination running total on
+    // every staged task. Must happen before the spill fallback below:
+    // spilling a bag releases its envelope back to the pool.
+    size_t weight = 0;
+    for (uint32_t i = 0; i < staged; ++i)
+        weight += buf[i].bag ? buf[i].bag->tasks.size() : size_t(1);
+    size_t pushed = 0;
+    // One fault check per flush: a firing site forces the whole run
+    // down the spill path, same observable outcome as a full sRQ.
+    if (!faultFires(faultsite::HdcpsOverflowSpill)) {
+        ReceiveQueue<Envelope> &rq = *workers_[dest]->rq;
+        while (pushed < staged) {
+            size_t n = rq.tryPushN(buf + pushed, staged - pushed);
+            if (n == 0)
+                break; // destination full: spill the remainder
+            pushed += n;
+        }
     }
+    for (size_t i = pushed; i < staged; ++i)
+        spillToOverflow(from, dest, buf[i]);
+    w.stagedTasks.store(w.stagedTasks.load(std::memory_order_relaxed) -
+                            weight,
+                        std::memory_order_relaxed);
+    w.sendCount[dest] = 0;
+}
+
+void
+HdCpsScheduler::flushSends(unsigned tid)
+{
+    WorkerState &w = *workers_[tid];
+    if (w.dirtySends.empty())
+        return;
+    // dirtySends may hold duplicates after an eager threshold flush;
+    // flushDest on an already-empty buffer is a no-op, so that's fine.
+    for (unsigned dest : w.dirtySends)
+        flushDest(tid, dest);
+    w.dirtySends.clear();
 }
 
 void
 HdCpsScheduler::push(unsigned tid, const Task &task)
 {
+    // Singles bypass the combining buffers: push() has no batch end to
+    // flush at, and staying direct keeps the one-task latency path
+    // identical to the original design.
     Envelope envelope;
     envelope.task = task;
-    deliver(tid, chooseDest(tid), envelope);
+    deliver(tid, chooseDest(tid, currentTdf()), envelope);
 }
 
 void
 HdCpsScheduler::pushBatch(unsigned tid, const Task *tasks, size_t count)
 {
+    if (count == 0)
+        return;
+    WorkerState &w = *workers_[tid];
+    // One TDF read per batch: the heuristic's output only changes on
+    // sample boundaries, so per-task reads just add an atomic load to
+    // the hottest path without changing any decision.
+    const unsigned tdf = currentTdf();
+    const bool guarded =
+        reclaimAfterNs_.load(std::memory_order_relaxed) != 0;
+    // The owner's lock is held across the whole batch when reclamation
+    // is armed: it covers the local PQ inserts *and* the combining
+    // buffers, so a reclaimer sees envelopes either staged or flushed,
+    // never a torn buffer.
+    if (guarded)
+        lockReclaim(w.reclaimLock);
+
+    auto route = [&](const Task &task, Bag *bag) {
+        Envelope envelope;
+        envelope.task = task;
+        envelope.bag = bag;
+        unsigned dest = chooseDest(tid, tdf);
+        if (dest == tid)
+            enqueueLocal(tid, w, envelope);
+        else
+            stageRemote(tid, dest, envelope);
+    };
+
     if (config_.bags.mode == BagMode::None) {
         for (size_t i = 0; i < count; ++i)
-            push(tid, tasks[i]);
-        return;
+            route(tasks[i], nullptr);
+    } else {
+        // planRanges sorts a reused per-worker scratch copy in place —
+        // no fresh vector per batch — and bag payloads land in pooled
+        // envelopes whose vectors keep their recycled capacity.
+        std::vector<Task> &scratch = w.planScratch;
+        scratch.assign(tasks, tasks + count);
+        config_.bags.planRanges(
+            scratch, [&](const Task &t) { route(t, nullptr); },
+            [&](const Task *first, const Task *last, Priority priority) {
+                bool recycled = false;
+                Bag *bag = pool_.acquire(tid, &recycled);
+                bag->priority = priority;
+                bag->tasks.assign(first, last);
+                bumpCounter(w.stats.bagsCreated);
+                bumpCounter(w.stats.tasksInBags,
+                            uint64_t(last - first));
+                if (metrics_) {
+                    metrics_->add(tid, WorkerCounter::BagsCreated);
+                    metrics_->add(tid, WorkerCounter::TasksInBags,
+                                  size_t(last - first));
+                    if (recycled)
+                        metrics_->add(tid, WorkerCounter::PoolRecycled);
+                }
+                Task meta;
+                meta.priority = priority;
+                route(meta, bag);
+            });
     }
 
-    BagPlan plan =
-        config_.bags.plan(std::vector<Task>(tasks, tasks + count));
-    for (const Task &t : plan.singles)
-        push(tid, t);
-    for (Bag &bag : plan.bags) {
-        bagsCreated_.fetch_add(1, std::memory_order_relaxed);
-        tasksInBags_.fetch_add(bag.tasks.size(),
-                               std::memory_order_relaxed);
-        if (metrics_) {
-            metrics_->add(tid, WorkerCounter::BagsCreated);
-            metrics_->add(tid, WorkerCounter::TasksInBags,
-                          bag.tasks.size());
-        }
-        Envelope envelope;
-        envelope.task.priority = bag.priority;
-        envelope.bag = new Bag(std::move(bag));
-        deliver(tid, chooseDest(tid), envelope);
-    }
+    // End-of-batch flush: the Scheduler contract says pushed tasks are
+    // poppable once pushBatch returns, so no envelope may stay staged.
+    flushSends(tid);
+    if (guarded)
+        unlockReclaim(w.reclaimLock);
 }
 
 void
@@ -274,13 +440,24 @@ HdCpsScheduler::drainIncoming(WorkerState &w)
 {
     // Move everything the sRQ and the overflow spill hold into the
     // private PQ. Incoming work is handled "with high priority"
-    // (Section III-A) — i.e. before the next dequeue decision.
-    Envelope envelope;
-    while (w.rq->tryPop(envelope))
-        w.pq.push(PqEntry{envelope.task, envelope.bag});
+    // (Section III-A) — i.e. before the next dequeue decision. The
+    // batch goes through pushBulk, so a large drain pays Floyd's O(n)
+    // heapify instead of n sift-ups.
+    std::vector<PqEntry> &batch = w.drainScratch;
+    batch.clear();
+    // Bulk-consume the sRQ in runs: one readPtr advance (and one fault
+    // check) per run instead of per entry.
+    Envelope run[32];
+    size_t n;
+    while ((n = w.rq->tryPopN(run, 32)) != 0) {
+        for (size_t i = 0; i < n; ++i)
+            batch.push_back(makeEntry(run[i].task, run[i].bag));
+    }
     Task task;
     while (w.overflow.tryPop(task))
-        w.pq.push(PqEntry{task, nullptr});
+        batch.push_back(makeEntry(task, nullptr));
+    if (!batch.empty())
+        w.pq.pushBulk(batch.begin(), batch.end());
 }
 
 bool
@@ -308,6 +485,14 @@ HdCpsScheduler::tryPop(unsigned tid, Task &out)
 bool
 HdCpsScheduler::popLocal(unsigned tid, WorkerState &w, Task &out)
 {
+    // Flush-on-pop: anything still staged in the combining buffers goes
+    // out before we look for work, so a worker never sits on envelopes
+    // it owes peers while it idles or drains its own queue. pushBatch
+    // always flushes at batch end, so this is one relaxed load of an
+    // owner-written counter in the common case.
+    if (w.stagedTasks.load(std::memory_order_relaxed) != 0)
+        flushSends(tid);
+
     // A dequeued bag binds the core until its tasks are done
     // (Section III-B) — serve the active bag first.
     if (!w.activeBag.empty()) {
@@ -315,11 +500,17 @@ HdCpsScheduler::popLocal(unsigned tid, WorkerState &w, Task &out)
         w.activeBag.pop_back();
         w.localBuffered.store(w.pq.size() + w.activeBag.size(),
                               std::memory_order_relaxed);
-        maybeSample(tid, out.priority);
+        maybeSample(tid, w, out.priority);
         return true;
     }
 
-    drainIncoming(w);
+    // Integrate incoming work before the dequeue decision (Section
+    // III-A: handled "with high priority"). The drain call is gated on
+    // two cheap probes — most pops find both queues empty, and paying
+    // a full drain pass (scratch reset, pop loop, heap build check)
+    // per pop is measurable on the hot path.
+    if (!w.rq->emptyApprox() || w.overflow.sizeApprox() != 0)
+        drainIncoming(w);
 
     if (w.pq.empty()) {
         w.localBuffered.store(0, std::memory_order_relaxed);
@@ -328,8 +519,11 @@ HdCpsScheduler::popLocal(unsigned tid, WorkerState &w, Task &out)
 
     PqEntry entry = w.pq.pop();
     if (entry.bag) {
-        w.activeBag = std::move(entry.bag->tasks);
-        delete entry.bag;
+        // Swap instead of move: the bag leaves with activeBag's spent
+        // vector (and its capacity) and returns to the pool, so a
+        // warmed-up pool never reallocates either buffer.
+        w.activeBag.swap(entry.bag->tasks);
+        pool_.release(tid, entry.bag);
         hdcps_check(!w.activeBag.empty(), "dequeued an empty bag");
         out = w.activeBag.back();
         w.activeBag.pop_back();
@@ -338,7 +532,7 @@ HdCpsScheduler::popLocal(unsigned tid, WorkerState &w, Task &out)
     }
     w.localBuffered.store(w.pq.size() + w.activeBag.size(),
                           std::memory_order_relaxed);
-    maybeSample(tid, out.priority);
+    maybeSample(tid, w, out.priority);
     return true;
 }
 
@@ -362,7 +556,8 @@ HdCpsScheduler::reclaimFromStraggler(unsigned tid, uint64_t staleNs,
             continue; // fresh heartbeat: not a straggler
         // Lock-free pre-check: a stale-but-empty peer strands nothing.
         if (victim.rq->sizeApprox() == 0 && victim.overflow.size() == 0 &&
-            victim.localBuffered.load(std::memory_order_relaxed) == 0) {
+            victim.localBuffered.load(std::memory_order_relaxed) == 0 &&
+            victim.stagedTasks.load(std::memory_order_relaxed) == 0) {
             continue;
         }
         sawStale = true;
@@ -376,22 +571,34 @@ HdCpsScheduler::reclaimFromStraggler(unsigned tid, uint64_t staleNs,
             continue;
         }
         // Drain *everything* the victim buffered — sRQ, overflow spill,
-        // active bag, and its private PQ. Leaving the PQ behind would
-        // strand locally-delivered children of tasks the victim ran
-        // before stalling.
+        // active bag, its private PQ, and its send combining buffers (a
+        // worker that stalled mid-pushBatch owes those envelopes to its
+        // peers; with the victim's lock held they are ours to take).
+        for (unsigned d = 0; d < n; ++d) {
+            const Envelope *seg = victim.sendArena.data() +
+                                  size_t(d) * config_.sendFlushThreshold;
+            for (uint32_t i = 0; i < victim.sendCount[d]; ++i) {
+                const Envelope &e = seg[i];
+                moved += e.bag ? e.bag->tasks.size() : size_t(1);
+                me.pq.push(makeEntry(e.task, e.bag));
+            }
+            victim.sendCount[d] = 0;
+        }
+        victim.dirtySends.clear();
+        victim.stagedTasks.store(0, std::memory_order_relaxed);
         Envelope envelope;
         while (victim.rq->tryPop(envelope)) {
             moved += envelope.bag ? envelope.bag->tasks.size() : 1;
-            me.pq.push(PqEntry{envelope.task, envelope.bag});
+            me.pq.push(makeEntry(envelope.task, envelope.bag));
         }
         Task task;
         while (victim.overflow.tryPop(task)) {
             ++moved;
-            me.pq.push(PqEntry{task, nullptr});
+            me.pq.push(makeEntry(task, nullptr));
         }
         for (const Task &t : victim.activeBag) {
             ++moved;
-            me.pq.push(PqEntry{t, nullptr});
+            me.pq.push(makeEntry(t, nullptr));
         }
         victim.activeBag.clear();
         while (!victim.pq.empty()) {
@@ -427,13 +634,9 @@ HdCpsScheduler::reclaimFromStraggler(unsigned tid, uint64_t staleNs,
 }
 
 void
-HdCpsScheduler::maybeSample(unsigned tid, Priority poppedPriority)
+HdCpsScheduler::sampleNow(unsigned tid, Priority poppedPriority)
 {
     WorkerState &w = *workers_[tid];
-    if (++w.popsSinceSample < config_.sampleInterval)
-        return;
-    w.popsSinceSample = 0;
-
     // Algorithm 3: report the latest processed priority to the master.
     drift_.publish(tid, poppedPriority);
     if (metrics_) {

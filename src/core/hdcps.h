@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/bag_policy.h"
+#include "core/bag_pool.h"
 #include "core/drift.h"
 #include "core/recv_queue.h"
 #include "core/tdf.h"
@@ -64,6 +65,12 @@ struct HdCpsConfig
     unsigned sampleInterval = 2000; ///< tasks per drift sample (Alg. 3)
     BagPolicy bags{BagMode::None, BagTransport::Pull, 3, 10};
     uint64_t seed = 1;
+    /**
+     * Envelopes staged per destination before an eager combining-buffer
+     * flush (pushBatch always flushes everything at batch end, so this
+     * only bounds the staging memory of very large batches).
+     */
+    size_t sendFlushThreshold = 16;
 };
 
 /** The HD-CPS software scheduler. */
@@ -106,28 +113,28 @@ class HdCpsScheduler : public Scheduler
 
     uint64_t bagsCreated() const
     {
-        return bagsCreated_.load(std::memory_order_relaxed);
+        return sumStat(&WorkerState::Stats::bagsCreated);
     }
 
     uint64_t tasksInBags() const
     {
-        return tasksInBags_.load(std::memory_order_relaxed);
+        return sumStat(&WorkerState::Stats::tasksInBags);
     }
 
     uint64_t remoteEnqueues() const
     {
-        return remoteEnqueues_.load(std::memory_order_relaxed);
+        return sumStat(&WorkerState::Stats::remoteEnqueues);
     }
 
     uint64_t localEnqueues() const
     {
-        return localEnqueues_.load(std::memory_order_relaxed);
+        return sumStat(&WorkerState::Stats::localEnqueues);
     }
 
     /** sRQ overflow fallbacks (diagnostic; should be rare). */
     uint64_t overflowPushes() const
     {
-        return overflowPushes_.load(std::memory_order_relaxed);
+        return sumStat(&WorkerState::Stats::overflowPushes);
     }
 
     /** Tasks drained from stragglers' queues by peers (reclamation). */
@@ -145,26 +152,57 @@ class HdCpsScheduler : public Scheduler
     /** Worker `tid`'s heartbeat pop counter (tests, diagnostics). */
     uint64_t heartbeatPops(unsigned tid) const;
 
+    /** Combining-buffer flushes into remote sRQs (each flush claims the
+     *  destination's slots with at most a few CASes instead of one per
+     *  envelope). */
+    uint64_t srqBatchFlushes() const
+    {
+        return sumStat(&WorkerState::Stats::srqBatchFlushes);
+    }
+
+    /** Bag envelopes served from the pool instead of the allocator. */
+    uint64_t poolRecycled() const { return pool_.recycled(); }
+
+    /** Bag envelopes that did hit the allocator (pool misses). */
+    uint64_t poolAllocations() const { return pool_.allocations(); }
+
     const HdCpsConfig &config() const { return config_; }
 
   private:
-    /** A PQ entry is either a single task or bag metadata. */
+    /** A PQ entry is either a single task or bag metadata.
+     *  Invariants: when bag != nullptr, task is a metadata stub with
+     *  task.priority == bag->priority and task.node == 0 (so ordering
+     *  never chases the bag pointer), and key is always the packed
+     *  (priority, node) pair — build entries with makeEntry. */
     struct PqEntry
     {
-        Task task;       ///< valid when bag == nullptr
+        Task task;       ///< the task, or the bag's metadata stub
         Bag *bag = nullptr;
+        /** (priority << 32) | node, precomputed at construction: heap
+         *  ordering becomes ONE integer compare, which the compiler
+         *  turns into branchless conditional moves inside siftDown's
+         *  find-min loop — a two-field comparator compiles to
+         *  data-dependent branches that mispredict ~half the time on
+         *  randomly ordered priorities, and the pop path does ~a dozen
+         *  such compares per dequeue. */
+        uint64_t key = 0;
     };
+
+    static PqEntry
+    makeEntry(const Task &task, Bag *bag)
+    {
+        return PqEntry{task, bag,
+                       (uint64_t(task.priority) << 32) | task.node};
+    }
 
     struct PqEntryOrder
     {
         bool
         operator()(const PqEntry &a, const PqEntry &b) const
         {
-            Priority pa = a.bag ? a.bag->priority : a.task.priority;
-            Priority pb = b.bag ? b.bag->priority : b.task.priority;
-            if (pa != pb)
-                return pa < pb;
-            return (a.bag ? 0u : a.task.node) < (b.bag ? 0u : b.task.node);
+            // Same (priority, node) lexicographic order as before, in
+            // one compare; see PqEntry::key.
+            return a.key < b.key;
         }
     };
 
@@ -203,12 +241,105 @@ class HdCpsScheduler : public Scheduler
         /** Reclaimer-local backoff state (owner-only fields). */
         uint64_t reclaimBackoffNs = 0;
         uint64_t reclaimBackoffUntilNs = 0;
+
+        /**
+         * Send combining buffers: envelopes staged per destination
+         * during pushBatch, shipped with one multi-slot sRQ claim per
+         * flush instead of one CAS per envelope. Owner-only, except
+         * under the owner's reclaimLock when reclamation is armed (a
+         * reclaimer drains a straggler's staged envelopes too).
+         *
+         * One flat arena instead of a vector-of-vectors: destination
+         * d's segment is sendArena[d * sendFlushThreshold ..), with
+         * sendCount[d] staged entries. The eager threshold flush keeps
+         * every segment within its fixed capacity, and staging becomes
+         * one indexed store with no per-destination heap allocation or
+         * pointer chase on the hot path.
+         */
+        std::vector<Envelope> sendArena;
+        std::vector<uint32_t> sendCount;  ///< envelopes staged per dest
+        std::vector<unsigned> dirtySends; ///< dests with staged envelopes
+        /** Tasks currently staged across the send arena, published
+         *  for sizeApprox and the idle flush check. */
+        std::atomic<size_t> stagedTasks{0};
+        /** Reused pushBatch buffer for planRanges (no per-batch copy). */
+        std::vector<Task> planScratch;
+        /** Reused drainIncoming buffer feeding DAryHeap::pushBulk. */
+        std::vector<PqEntry> drainScratch;
+
+        /**
+         * Hot-path statistics, distributed per worker exactly like the
+         * executor's created/completed counters: the acting worker is
+         * the only writer, so increments are single-writer load+store
+         * pairs (no RMW — a shared-counter `lock xadd` per task is one
+         * of the coordination costs this design exists to remove), and
+         * the public accessors sum across workers with relaxed loads.
+         */
+        struct Stats
+        {
+            std::atomic<uint64_t> localEnqueues{0};
+            std::atomic<uint64_t> remoteEnqueues{0};
+            std::atomic<uint64_t> overflowPushes{0};
+            std::atomic<uint64_t> bagsCreated{0};
+            std::atomic<uint64_t> tasksInBags{0};
+            std::atomic<uint64_t> srqBatchFlushes{0};
+        };
+        Stats stats;
     };
 
+    /** Single-writer increment for the distributed counters above (and
+     *  stagedTasks, whose writers are serialized by the reclaim lock
+     *  whenever more than the owner can touch it). */
+    template <typename T>
+    static void
+    bumpCounter(std::atomic<T> &counter, T n = 1)
+    {
+        counter.store(counter.load(std::memory_order_relaxed) + n,
+                      std::memory_order_relaxed);
+    }
+
+    /** Sum one distributed per-worker counter (relaxed). */
+    uint64_t
+    sumStat(std::atomic<uint64_t> WorkerState::Stats::*member) const
+    {
+        uint64_t total = 0;
+        for (const auto &w : workers_)
+            total += (w->stats.*member).load(std::memory_order_relaxed);
+        return total;
+    }
+
     void deliver(unsigned from, unsigned dest, const Envelope &envelope);
-    unsigned chooseDest(unsigned tid);
+    unsigned chooseDest(unsigned tid, unsigned tdf);
+    /** Local enqueue straight into the private PQ (caller holds the
+     *  owner's reclaimLock when reclamation is armed). */
+    void enqueueLocal(unsigned tid, WorkerState &w,
+                      const Envelope &envelope);
+    /** Stage a remote envelope in tid's combining buffer (same locking
+     *  contract as enqueueLocal); flushes eagerly past the threshold. */
+    void stageRemote(unsigned from, unsigned dest,
+                     const Envelope &envelope);
+    /** Ship one destination's staged envelopes via tryPushN; leftovers
+     *  that don't fit spill to the destination's overflow queue. */
+    void flushDest(unsigned from, unsigned dest);
+    /** Flush every dirty destination (end of pushBatch / idle pop). */
+    void flushSends(unsigned tid);
+    /** Overflow fallback for one envelope; counts against `from`, the
+     *  acting thread (see MetricsRegistry attribution contract). */
+    void spillToOverflow(unsigned from, unsigned dest,
+                         const Envelope &envelope);
     void drainIncoming(WorkerState &w);
-    void maybeSample(unsigned tid, Priority poppedPriority);
+    /** Per-pop sampling gate, inlined so the common (non-sampling) pop
+     *  pays one increment and compare, not an out-of-line call. */
+    void
+    maybeSample(unsigned tid, WorkerState &w, Priority poppedPriority)
+    {
+        if (++w.popsSinceSample < config_.sampleInterval)
+            return;
+        w.popsSinceSample = 0;
+        sampleNow(tid, poppedPriority);
+    }
+    /** Algorithm 3 report + Algorithm 2 TDF update (sample boundary). */
+    void sampleNow(unsigned tid, Priority poppedPriority);
     /** The original tryPop body: activeBag, drain, private PQ. Caller
      *  holds w.reclaimLock when reclamation is enabled. */
     bool popLocal(unsigned tid, WorkerState &w, Task &out);
@@ -224,15 +355,12 @@ class HdCpsScheduler : public Scheduler
     std::atomic<unsigned> publishRound_{0};
     std::mutex updateMutex_;
     DriftSeries driftSeries_; ///< guarded by updateMutex_
-    std::atomic<uint64_t> bagsCreated_{0};
-    std::atomic<uint64_t> tasksInBags_{0};
-    std::atomic<uint64_t> remoteEnqueues_{0};
-    std::atomic<uint64_t> localEnqueues_{0};
-    std::atomic<uint64_t> overflowPushes_{0};
-    /** Straggler-reclamation knob and counters (0 window = off). */
+    /** Straggler-reclamation knob and counters (0 window = off; these
+     *  stay shared atomics — they only move on the rare reclaim path). */
     std::atomic<uint64_t> reclaimAfterNs_{0};
     std::atomic<uint64_t> reclaimedTasks_{0};
     std::atomic<uint64_t> reclaimRaces_{0};
+    BagPool pool_;
 };
 
 } // namespace hdcps

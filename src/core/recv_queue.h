@@ -80,6 +80,66 @@ class ReceiveQueue
         }
     }
 
+    /**
+     * Deposit up to `count` values with a single write-pointer claim.
+     * Returns how many were enqueued (0..count): one successful CAS
+     * advances the write pointer by n and claims n contiguous slots,
+     * so a combining sender pays one coordination round-trip for the
+     * whole batch instead of one per task. When the ring lacks room
+     * for the full batch the largest claimable prefix is taken (the
+     * caller spills the rest to the overflow path).
+     *
+     * Correctness of the contiguous claim: the single consumer frees
+     * slots in ticket order, so if the slot for ticket pos+n-1 is free
+     * then every slot for tickets pos..pos+n-2 is free too — probing
+     * the *last* slot of a candidate batch suffices.
+     */
+    size_t
+    tryPushN(const T *values, size_t count)
+    {
+        if (count == 0)
+            return 0;
+        // Same fault drill as tryPush: the whole batch reports full.
+        if (faultFires(faultsite::SrqPushFull))
+            return 0;
+        size_t pos = writePtr_.load(std::memory_order_relaxed);
+        while (true) {
+            size_t n = count < capacity() ? count : capacity();
+            bool stale = false;
+            while (n > 0) {
+                Slot &slot = slots_[(pos + n - 1) & mask_];
+                size_t seq = slot.seq.load(std::memory_order_acquire);
+                intptr_t diff = static_cast<intptr_t>(seq) -
+                                static_cast<intptr_t>(pos + n - 1);
+                if (diff == 0)
+                    break; // last slot free ⇒ the whole prefix is
+                if (diff > 0) {
+                    stale = true; // another producer claimed past pos
+                    break;
+                }
+                --n; // ring full at this depth: try a shorter claim
+            }
+            if (stale) {
+                pos = writePtr_.load(std::memory_order_relaxed);
+                continue;
+            }
+            if (n == 0)
+                return 0;
+            // One CAS claims all n tickets (the paper's atomic
+            // increment, amortized over the batch).
+            if (!writePtr_.compare_exchange_weak(
+                    pos, pos + n, std::memory_order_relaxed)) {
+                continue; // pos was reloaded by the failed CAS
+            }
+            for (size_t i = 0; i < n; ++i) {
+                Slot &slot = slots_[(pos + i) & mask_];
+                slot.value = values[i];
+                slot.seq.store(pos + i + 1, std::memory_order_release);
+            }
+            return n;
+        }
+    }
+
     /** Owner-only: take the oldest deposited task. */
     bool
     tryPop(T &out)
@@ -102,6 +162,56 @@ class ReceiveQueue
         slot.seq.store(read + mask_ + 1, std::memory_order_release);
         readPtr_.store(read + 1, std::memory_order_relaxed);
         return true;
+    }
+
+    /**
+     * Owner-only: pop up to `count` published entries into `out`.
+     * Returns how many were taken (0..count). The run stops at the
+     * first unpublished slot, exactly like repeated tryPop, but pays
+     * one fault check and one readPtr_ advance for the whole run
+     * instead of one per entry. Per-slot seq releases stay — each
+     * freed ticket must be individually visible to producers probing
+     * that slot after wraparound.
+     */
+    size_t
+    tryPopN(T *out, size_t count)
+    {
+        if (count == 0)
+            return 0;
+        // Fault drill: the whole run reports empty; entries stay put.
+        if (faultFires(faultsite::SrqPopFail))
+            return 0;
+        size_t read = readPtr_.load(std::memory_order_relaxed);
+        size_t n = 0;
+        while (n < count) {
+            Slot &slot = slots_[(read + n) & mask_];
+            size_t seq = slot.seq.load(std::memory_order_acquire);
+            if (static_cast<intptr_t>(seq) -
+                    static_cast<intptr_t>(read + n + 1) != 0)
+                break; // empty (or producer mid-write)
+            out[n] = slot.value;
+            slot.seq.store(read + n + mask_ + 1,
+                           std::memory_order_release);
+            ++n;
+        }
+        if (n != 0)
+            readPtr_.store(read + n, std::memory_order_relaxed);
+        return n;
+    }
+
+    /** Owner-only fast emptiness probe: true when the next slot holds
+     *  no published entry. One acquire load — callers use it to gate a
+     *  full drain pass, which is where the fault drill (SrqPopFail)
+     *  still applies. */
+    bool
+    emptyApprox() const
+    {
+        size_t read = readPtr_.load(std::memory_order_relaxed);
+        const Slot &slot = slots_[read & mask_];
+        size_t seq = slot.seq.load(std::memory_order_acquire);
+        return static_cast<intptr_t>(seq) -
+                   static_cast<intptr_t>(read + 1) !=
+               0;
     }
 
     /** Approximate occupancy (exact for the owner when quiescent).

@@ -11,6 +11,7 @@ workerCounterName(WorkerCounter c)
         "tasks_processed", "empty_tasks",   "local_enqueues",
         "remote_enqueues", "overflow_pushes", "bags_created",
         "tasks_in_bags",   "reclaimed_tasks", "reclaim_races",
+        "srq_batch_flushes", "pool_recycled",
     };
     return names[unsigned(c)];
 }

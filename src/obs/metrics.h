@@ -122,6 +122,8 @@ enum class WorkerCounter : unsigned {
     TasksInBags,        ///< tasks shipped inside bags
     ReclaimedTasks,     ///< tasks drained from a straggler's queues
     ReclaimRaces,       ///< reclamation lock attempts lost to a peer
+    SrqBatchFlushes,    ///< combining-buffer flushes into a remote sRQ
+    PoolRecycled,       ///< bag envelopes served from the pool free list
     Count
 };
 

@@ -71,6 +71,31 @@ class DAryHeap
         return result;
     }
 
+    /**
+     * Append a run of elements in one go. Large batches (at least half
+     * the existing occupancy) rebuild the heap bottom-up with Floyd's
+     * O(n) heapify instead of paying O(k log n) sift-ups — the case
+     * drainIncoming hits when a combining sender lands a full sRQ's
+     * worth of envelopes at once. Small batches sift up per element.
+     */
+    template <typename InputIt>
+    void
+    pushBulk(InputIt first, InputIt last)
+    {
+        const size_t oldSize = elems_.size();
+        elems_.insert(elems_.end(), first, last);
+        const size_t added = elems_.size() - oldSize;
+        if (added == 0)
+            return;
+        if (added >= 2 && added >= oldSize / 2) {
+            for (size_t i = (elems_.size() - 2) / Arity + 1; i-- > 0;)
+                siftDown(i);
+        } else {
+            for (size_t i = oldSize; i < elems_.size(); ++i)
+                siftUp(i);
+        }
+    }
+
     void
     clear()
     {

@@ -12,6 +12,7 @@
 #ifndef HDCPS_PQ_LOCKED_PQ_H_
 #define HDCPS_PQ_LOCKED_PQ_H_
 
+#include <atomic>
 #include <mutex>
 
 #include "cps/task.h"
@@ -28,16 +29,24 @@ class LockedTaskPq
     {
         std::lock_guard<std::mutex> lock(mutex_);
         heap_.push(task);
+        count_.store(heap_.size(), std::memory_order_release);
     }
 
     /** Pop the highest-priority task; false when empty. */
     bool
     tryPop(Task &out)
     {
+        // Lock-free emptiness probe: HD-CPS drains this spill queue on
+        // every local enqueue and every pop, and it is almost always
+        // empty — skipping the mutex there keeps the overflow path's
+        // cost out of the fast path entirely.
+        if (count_.load(std::memory_order_acquire) == 0)
+            return false;
         std::lock_guard<std::mutex> lock(mutex_);
         if (heap_.empty())
             return false;
         out = heap_.pop();
+        count_.store(heap_.size(), std::memory_order_release);
         return true;
     }
 
@@ -59,11 +68,20 @@ class LockedTaskPq
         return heap_.size();
     }
 
+    /** Lock-free occupancy estimate (exact once writers quiesce). */
+    size_t
+    sizeApprox() const
+    {
+        return count_.load(std::memory_order_acquire);
+    }
+
     bool empty() const { return size() == 0; }
 
   private:
     mutable std::mutex mutex_;
     DAryHeap<Task, TaskOrder> heap_;
+    /** |heap_|, published under the lock for the tryPop fast path. */
+    std::atomic<size_t> count_{0};
 };
 
 } // namespace hdcps

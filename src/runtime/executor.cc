@@ -24,7 +24,19 @@ struct RunState
     Scheduler *sched = nullptr;
     const ProcessFn *process = nullptr;
     RunOptions options;
-    std::atomic<int64_t> pending{0};
+    /**
+     * Distributed termination state: per-worker monotone counters of
+     * tasks created (seeds + children, bumped by the creating worker
+     * *before* the push makes them poppable) and tasks completed
+     * (bumped with release order after the task's children are pushed —
+     * or after its failure is latched). Each worker only ever writes
+     * its own cache-line-padded slot, so the per-task cost is two
+     * uncontended RMWs instead of the old design's two fetch_adds on
+     * one global in-flight counter that every core fought over.
+     * Quiescence is detected by summing (see quiescentOnce below).
+     */
+    std::vector<Padded<std::atomic<uint64_t>>> created;
+    std::vector<Padded<std::atomic<uint64_t>>> completed;
     DriftTracker drift;
     DriftSeries series; ///< touched by worker 0 only
 
@@ -47,9 +59,68 @@ struct RunState
     uint64_t startNs = 0;
 
     explicit RunState(unsigned numThreads)
-        : drift(numThreads), pops(numThreads), lastPopNs(numThreads)
+        : created(numThreads), completed(numThreads), drift(numThreads),
+          pops(numThreads), lastPopNs(numThreads)
     {}
 };
+
+/**
+ * One quiescence scan: read ALL completed counters first (acquire),
+ * then ALL created counters, and compare the sums.
+ *
+ * Why completed-first makes the check sound: both counters are
+ * monotone, and at any single instant created >= completed (a task is
+ * counted created before it is poppable, so before it can complete).
+ * Let D be the completed sum we read and C the created sum read
+ * *after* it. By monotonicity C >= created@(end of completed scan)
+ * >= completed@(same instant) >= D. So C == D forces
+ * created == completed at the instant the completed scan finished —
+ * i.e. the system was quiescent then. New tasks are only created by
+ * in-flight tasks (seeding happens before workers start), so a
+ * quiescent system stays quiescent, and the detection is safe: no
+ * false positives, and once all work is done the next scan sees it.
+ * The acquire loads pair with the workers' release increments, so a
+ * detector that observes a completion also observes every child that
+ * completion created (created is bumped before completed).
+ */
+bool
+quiescentOnce(const RunState &state)
+{
+    uint64_t done = 0;
+    for (const auto &c : state.completed)
+        done += c.value.load(std::memory_order_acquire);
+    uint64_t made = 0;
+    for (const auto &c : state.created)
+        made += c.value.load(std::memory_order_acquire);
+    return made == done;
+}
+
+/**
+ * Two-pass termination check (the paper's HW protocol confirms an idle
+ * snapshot with a second round before broadcasting DONE; we mirror
+ * that shape). The single completed-first scan is already sound — the
+ * confirm pass is cheap insurance on the cold idle path and keeps the
+ * software check structurally faithful to Section III-D.
+ */
+bool
+quiescent(const RunState &state)
+{
+    return quiescentOnce(state) && quiescentOnce(state);
+}
+
+/** In-flight estimate for diagnostics and gauges. Reading completed
+ *  before created keeps the difference non-negative. */
+uint64_t
+pendingApprox(const RunState &state)
+{
+    uint64_t done = 0;
+    for (const auto &c : state.completed)
+        done += c.value.load(std::memory_order_acquire);
+    uint64_t made = 0;
+    for (const auto &c : state.created)
+        made += c.value.load(std::memory_order_acquire);
+    return made - done;
+}
 
 /**
  * Latch the first failure and tell every worker to stop. Later callers
@@ -83,7 +154,7 @@ stallDiagnostic(const RunState &state)
 {
     std::ostringstream out;
     out << "watchdog: no task popped for " << state.options.watchdogMs
-        << " ms with " << state.pending.load(std::memory_order_acquire)
+        << " ms with " << pendingApprox(state)
         << " tasks in flight; scheduler '" << state.sched->name()
         << "' reports ~" << state.sched->sizeApprox()
         << " buffered tasks (0 = unknown); pops per worker:";
@@ -137,9 +208,7 @@ watchdogLoop(RunState &state, std::mutex &mutex,
         if (state.stop.load(std::memory_order_acquire))
             return;
         uint64_t pops = totalPops(state);
-        bool stalled =
-            pops == lastPops &&
-            state.pending.load(std::memory_order_acquire) > 0;
+        bool stalled = pops == lastPops && pendingApprox(state) > 0;
         if (stalled) {
             failRun(state, stallDiagnostic(state));
             return;
@@ -185,7 +254,7 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
         if (!got) {
             if (timed)
                 breakdown[Component::Comm] += t1 - t0;
-            if (state.pending.load(std::memory_order_acquire) == 0)
+            if (quiescent(state))
                 break;
             // Backoff: brief spin, then yield so oversubscribed hosts
             // (threads > cores) still make progress.
@@ -212,14 +281,16 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
             process(tid, task, children);
         } catch (const std::exception &e) {
             // The popped task dies here: no children were pushed (the
-            // push happens below), so decrementing its in-flight slot
-            // keeps the count consistent for the drain.
-            state.pending.fetch_sub(1, std::memory_order_acq_rel);
+            // push happens below), so completing it with no creations
+            // keeps the counters consistent for the drain.
+            state.completed[tid].value.fetch_add(
+                1, std::memory_order_release);
             failRun(state, "worker " + std::to_string(tid) +
                                ": ProcessFn threw: " + e.what());
             break;
         } catch (...) {
-            state.pending.fetch_sub(1, std::memory_order_acq_rel);
+            state.completed[tid].value.fetch_add(
+                1, std::memory_order_release);
             failRun(state, "worker " + std::to_string(tid) +
                                ": ProcessFn threw a non-std exception");
             break;
@@ -227,15 +298,16 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
         uint64_t t2 = timed ? nowNs() : 0;
 
         if (!children.empty()) {
-            // Children enter the in-flight count *before* they become
-            // poppable, so the count can never transiently hit zero
-            // while work exists.
-            state.pending.fetch_add(
-                static_cast<int64_t>(children.size()),
-                std::memory_order_acq_rel);
+            // Children enter the created count *before* they become
+            // poppable, so the counters can never transiently read
+            // quiescent while work exists. Own padded slot: no
+            // contention no matter how many workers spawn at once.
+            state.created[tid].value.fetch_add(
+                children.size(), std::memory_order_release);
             sched.pushBatch(tid, children.data(), children.size());
         }
-        state.pending.fetch_sub(1, std::memory_order_acq_rel);
+        state.completed[tid].value.fetch_add(1,
+                                             std::memory_order_release);
         uint64_t t3 = timed ? nowNs() : 0;
 
         if (timed) {
@@ -259,8 +331,7 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
                     metrics->recordGlobal(GlobalSeries::Drift, drift);
                     metrics->set(
                         0, WorkerGauge::PendingTasks,
-                        static_cast<double>(state.pending.load(
-                            std::memory_order_relaxed)));
+                        static_cast<double>(pendingApprox(state)));
                 }
             }
             if (metrics && timed) {
@@ -320,8 +391,10 @@ run(Scheduler &sched, const std::vector<Task> &initial,
     state.sched = &sched;
     state.process = &process;
     state.options = options;
-    state.pending.store(static_cast<int64_t>(initial.size()),
-                        std::memory_order_relaxed);
+    // Seeds count as created by worker 0 (single-threaded phase; the
+    // thread spawns below publish the stores to every worker).
+    state.created[0].value.store(initial.size(),
+                                 std::memory_order_relaxed);
     state.startNs = nowNs();
     for (auto &slot : state.lastPopNs)
         slot.value.store(state.startNs, std::memory_order_relaxed);
@@ -384,7 +457,7 @@ run(Scheduler &sched, const std::vector<Task> &initial,
         std::lock_guard<std::mutex> lock(state.errorMutex);
         result.error = state.error;
     } else {
-        hdcps_check(state.pending.load() == 0,
+        hdcps_check(pendingApprox(state) == 0,
                     "pending count nonzero after termination");
     }
 

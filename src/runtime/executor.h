@@ -5,10 +5,14 @@
  *
  * Responsibilities:
  *  - spawn workers and run the pop/process/push loop;
- *  - termination detection via an in-flight task counter (a task is
- *    accounted until its children have been pushed, so the count can
- *    only reach zero when no task exists anywhere — queues, receive
- *    buffers, or in-processing);
+ *  - distributed termination detection: each worker counts tasks it
+ *    created and tasks it completed in its own cache-line-padded
+ *    counters (a task counts as created before it is poppable and as
+ *    completed only after its children were pushed), and an idle
+ *    worker declares the run done when a completed-first scan of all
+ *    counters balances twice in a row — no global in-flight counter on
+ *    the per-task hot path (see quiescentOnce in executor.cc for the
+ *    soundness argument, DESIGN.md §11 for the full write-up);
  *  - per-worker completion-time breakdown (enqueue/dequeue/compute/
  *    comm, Section IV-C of the paper);
  *  - design-independent priority-drift reporting (Eq. 1), sampled by

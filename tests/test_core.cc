@@ -15,10 +15,12 @@
 #include <vector>
 
 #include "core/bag_policy.h"
+#include "core/bag_pool.h"
 #include "core/drift.h"
 #include "core/hdcps.h"
 #include "core/recv_queue.h"
 #include "core/tdf.h"
+#include "obs/metrics.h"
 #include "support/fault.h"
 #include "support/rng.h"
 
@@ -760,6 +762,235 @@ TEST(Reclaim, DrainsAStragglersActiveBag)
         ++popped;
     EXPECT_EQ(popped, 3u); // the bag's unserved remainder
     EXPECT_EQ(sched.reclaimedTasks(), 3u);
+}
+
+TEST(HdCpsScheduler, PushBatchLeavesNothingStaged)
+{
+    // Flush-at-batch-end contract: once pushBatch returns, no task may
+    // remain parked in a combining buffer — sizeApprox sees all of
+    // them and any worker can immediately pop the full batch (here via
+    // reclamation, since worker 0 owns all the transferred work).
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.fixedTdf = 100;
+    config.seed = 21;
+    HdCpsScheduler sched(2, config);
+    sched.setReclaimAfterMs(20);
+    std::vector<Task> batch;
+    for (uint32_t i = 0; i < 40; ++i)
+        batch.push_back(Task{uint64_t(i % 3), i, 0});
+    sched.pushBatch(0, batch.data(), batch.size());
+    EXPECT_EQ(sched.sizeApprox(), 40u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    Task t;
+    unsigned popped = 0;
+    while (sched.tryPop(0, t))
+        ++popped;
+    EXPECT_EQ(popped, 40u) << "reclaim must find every transferred task";
+}
+
+// ------------------------------------------- batched transfer + pool
+
+TEST(BagPool, RecyclesAndKeepsCapacitySingleThread)
+{
+    BagPool pool(1);
+    bool recycled = true;
+    Bag *bag = pool.acquire(0, &recycled);
+    EXPECT_FALSE(recycled);
+    bag->tasks.assign(50, Task{1, 2, 0});
+    pool.release(0, bag);
+    Bag *again = pool.acquire(0, &recycled);
+    EXPECT_TRUE(recycled);
+    EXPECT_EQ(again, bag) << "free list should hand back the same node";
+    EXPECT_TRUE(again->tasks.empty());
+    EXPECT_GE(again->tasks.capacity(), 50u) << "capacity must survive";
+    pool.release(0, again);
+    EXPECT_EQ(pool.allocations(), 1u);
+    EXPECT_EQ(pool.recycled(), 1u);
+}
+
+TEST(BagPool, RecycleUnderContention)
+{
+    // All threads concurrently CAS-return home-0 bags onto one return
+    // stack while every worker churns acquire/release on its own free
+    // list. Steady-state churn must be allocation-free.
+    constexpr unsigned kThreads = 4;
+    constexpr int kIters = 20000;
+    BagPool pool(kThreads);
+    std::vector<std::vector<Bag *>> handoff(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < 8; ++i)
+            handoff[t].push_back(pool.acquire(0));
+    }
+    const uint64_t preAllocs = pool.allocations();
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&pool, &handoff, t] {
+            for (Bag *bag : handoff[t])
+                pool.release(t, bag); // cross-thread return path
+            for (int i = 0; i < kIters; ++i) {
+                Bag *bag = pool.acquire(t);
+                bag->priority = t;
+                bag->tasks.push_back(Task{t, uint32_t(i), 0});
+                pool.release(t, bag);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_LE(pool.allocations(), preAllocs + kThreads)
+        << "steady-state churn must not hit the allocator";
+    EXPECT_GE(pool.recycled(), uint64_t(kThreads) * (kIters - 1));
+}
+
+TEST(HdCpsScheduler, BatchedTransferFlushesAndConserves)
+{
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.useTdf = false;
+    config.fixedTdf = 100; // every task crosses a combining buffer
+    config.bags.mode = BagMode::Selective;
+    config.seed = 13;
+    HdCpsScheduler sched(4, config);
+    std::vector<Task> batch;
+    for (uint32_t i = 0; i < 64; ++i)
+        batch.push_back(Task{uint64_t(i % 5), i, 0});
+    sched.pushBatch(0, batch.data(), batch.size());
+    EXPECT_GT(sched.srqBatchFlushes(), 0u);
+    // Flush-at-batch-end contract: nothing may stay staged once
+    // pushBatch returns — every task is immediately poppable.
+    std::set<uint32_t> seen;
+    Task t;
+    for (unsigned tid = 0; tid < 4; ++tid) {
+        while (sched.tryPop(tid, t))
+            EXPECT_TRUE(seen.insert(t.node).second) << "duplicate task";
+    }
+    EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(HdCpsScheduler, BatchedTransferSpillsWhenDestinationIsFull)
+{
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.rqCapacity = 8; // multi-slot claims go partial, then spill
+    config.fixedTdf = 100;
+    config.seed = 17;
+    HdCpsScheduler sched(2, config);
+    std::vector<Task> batch;
+    for (uint32_t i = 0; i < 100; ++i)
+        batch.push_back(Task{uint64_t(i), i, 0});
+    sched.pushBatch(0, batch.data(), batch.size());
+    EXPECT_GT(sched.overflowPushes(), 0u);
+    std::set<uint32_t> seen;
+    Task t;
+    while (sched.tryPop(1, t))
+        EXPECT_TRUE(seen.insert(t.node).second) << "duplicate task";
+    while (sched.tryPop(0, t))
+        EXPECT_TRUE(seen.insert(t.node).second) << "duplicate task";
+    EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(HdCpsScheduler, BagPoolRecyclesEnvelopesAcrossRounds)
+{
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.fixedTdf = 0; // local: the same worker pushes and pops
+    config.bags.mode = BagMode::Selective;
+    HdCpsScheduler sched(1, config);
+    std::vector<Task> batch;
+    for (uint32_t i = 0; i < 5; ++i)
+        batch.push_back(Task{3, i, 0}); // one bag per round (5 in [3,10))
+    Task t;
+    for (int round = 0; round < 10; ++round) {
+        sched.pushBatch(0, batch.data(), batch.size());
+        int popped = 0;
+        while (sched.tryPop(0, t))
+            ++popped;
+        ASSERT_EQ(popped, 5);
+    }
+    EXPECT_EQ(sched.bagsCreated(), 10u);
+    EXPECT_LE(sched.poolAllocations(), 1u)
+        << "after warmup every bag envelope must come from the pool";
+    EXPECT_GE(sched.poolRecycled(), 9u);
+}
+
+// -------------------------------------------- metrics attribution
+
+const MetricsSnapshot::Counter *
+counterByName(const MetricsSnapshot &snap, const std::string &name)
+{
+    for (const auto &c : snap.counters) {
+        if (c.name == name)
+            return &c;
+    }
+    return nullptr;
+}
+
+TEST(MetricsAttribution, OverflowSpillCountsOnActingWorker)
+{
+    // The overflow spill happens on the *sender's* thread; the
+    // registry's per-worker numbers must say "who spilled", not "who
+    // was spilled onto" (and single-writer state must stay with the
+    // acting thread).
+    MetricsRegistry metrics(2);
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.fixedTdf = 100;
+    config.seed = 11;
+    HdCpsScheduler sched(2, config);
+    sched.attachMetrics(&metrics);
+    ScopedFaultInjection faults;
+    faults->arm(faultsite::SrqPushFull, FaultMode::EveryNth, 1);
+    for (uint32_t i = 0; i < 50; ++i)
+        sched.push(1, Task{uint64_t(i), i, 0}); // worker 1 is acting
+    MetricsSnapshot snap = metrics.snapshot();
+    const auto *overflow = counterByName(snap, "overflow_pushes");
+    ASSERT_NE(overflow, nullptr);
+    EXPECT_EQ(overflow->perWorker[1], 50u);
+    EXPECT_EQ(overflow->perWorker[0], 0u)
+        << "spills must not be attributed to the destination";
+    const auto *remote = counterByName(snap, "remote_enqueues");
+    ASSERT_NE(remote, nullptr);
+    EXPECT_EQ(remote->perWorker[1], 50u);
+}
+
+TEST(MetricsAttribution, CrossThreadTrafficKeepsRegistryRaceFree)
+{
+    // TSan regression guard: one thread drives worker 0 (pushing
+    // remote-only traffic that frequently spills) while another drives
+    // worker 1 (popping, which samples the per-worker series). Every
+    // scheduler metrics call must act on the calling worker's slot —
+    // any call-site that touches another worker's single-writer state
+    // (time series, tick pacer) from this cross-traffic is a data race
+    // the sanitizer build reports.
+    MetricsRegistry::Config mconfig;
+    mconfig.seriesCapacity = 64;
+    mconfig.sampleInterval = 4;
+    MetricsRegistry metrics(2, mconfig);
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.fixedTdf = 100;
+    config.rqCapacity = 16; // frequent spills under load
+    config.sampleInterval = 8;
+    config.seed = 19;
+    HdCpsScheduler sched(2, config);
+    sched.attachMetrics(&metrics);
+    constexpr uint32_t kTasks = 20000;
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> popped{0};
+    std::thread popper([&] {
+        Task t;
+        while (!stop.load(std::memory_order_relaxed)) {
+            if (sched.tryPop(1, t))
+                popped.fetch_add(1, std::memory_order_relaxed);
+        }
+        while (sched.tryPop(1, t))
+            popped.fetch_add(1, std::memory_order_relaxed);
+    });
+    for (uint32_t i = 0; i < kTasks; ++i)
+        sched.push(0, Task{uint64_t(i % 7), i, 0});
+    stop.store(true, std::memory_order_relaxed);
+    popper.join();
+    EXPECT_EQ(popped.load(), kTasks);
+    MetricsSnapshot snap = metrics.snapshot();
+    const auto *overflow = counterByName(snap, "overflow_pushes");
+    ASSERT_NE(overflow, nullptr);
+    EXPECT_EQ(overflow->perWorker[1], 0u)
+        << "only worker 0 pushed, so only worker 0 may spill";
 }
 
 } // namespace

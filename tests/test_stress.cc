@@ -489,6 +489,76 @@ TEST(StragglerResilience, ReclamationRidesOutThePausedWorker)
     ASSERT_TRUE(workload->verify(&why)) << why;
 }
 
+// ------------------------------ distributed termination (chaos soak)
+
+/**
+ * The executor's two-pass distributed quiescence check replaces the
+ * old global pending counter, so the property worth soaking is the one
+ * a broken check would violate: under spurious pop failures plus a
+ * paused worker (reclamation armed), every run must (a) terminate at
+ * all, (b) terminate only after every created task was processed
+ * exactly once, and (c) never double-count a task when the frontier
+ * drains and refills around the idle checks.
+ */
+TEST(DistributedTermination, ChaosSoakNeverHangsOrTerminatesEarly)
+{
+    constexpr unsigned threads = 4;
+    for (uint64_t seed : {uint64_t(3), uint64_t(11), uint64_t(29)}) {
+        ScopedFaultInjection faults(seed);
+        faults->arm(faultsite::ExecPopFail, FaultMode::Probability, 0.2);
+        faults->arm(faultsite::SrqPopFail, FaultMode::Probability, 0.1);
+        ScopedStragglerInjection stragglers(threads, seed);
+        stragglers->add(StragglerInjector::PauseEvent{2, 20, 120});
+
+        HdCpsConfig config = HdCpsScheduler::configSrq();
+        config.fixedTdf = 100; // quiescence must see in-flight transfers
+        config.seed = seed;
+        HdCpsScheduler sched(threads, config);
+        VerifyingScheduler verified(sched);
+        std::atomic<int64_t> budget{30000};
+        std::atomic<uint64_t> processed{0};
+        ProcessFn tree = steadyTree(budget);
+        ProcessFn counted = [&](unsigned tid, const Task &task,
+                                std::vector<Task> &children) {
+            processed.fetch_add(1, std::memory_order_relaxed);
+            tree(tid, task, children);
+        };
+        RunOptions options;
+        options.numThreads = threads;
+        options.watchdogMs = 60000; // (a): a hang fails loudly, not
+                                    // by timing out the whole suite
+        options.reclaimAfterMs = 20;
+        RunResult r = run(verified, {Task{0, 1, 0}}, counted, options);
+        ASSERT_TRUE(r.ok()) << "seed " << seed << ": " << r.error;
+        EXPECT_LE(budget.load(), 0) << "seed " << seed;
+        // (b) + (c): the executor's own processed total, the ProcessFn
+        // call count, and the scheduler-level push/pop ledger must all
+        // agree — early termination loses tasks, double termination
+        // (two workers both concluding "quiescent" while work remains)
+        // double-processes them.
+        EXPECT_EQ(processed.load(), r.total.tasksProcessed)
+            << "seed " << seed;
+        std::string why;
+        EXPECT_TRUE(verified.checkComplete(false, &why))
+            << "seed " << seed << ": " << why;
+    }
+}
+
+TEST(DistributedTermination, EmptyInitialRunTerminatesImmediately)
+{
+    // Zero created, zero completed: the very first quiescence check
+    // must pass on every worker without anyone processing anything.
+    constexpr unsigned threads = 4;
+    HdCpsScheduler sched(threads, HdCpsScheduler::configSw());
+    ProcessFn noop = [](unsigned, const Task &, std::vector<Task> &) {};
+    RunOptions options;
+    options.numThreads = threads;
+    options.watchdogMs = 10000;
+    RunResult r = run(sched, {}, noop, options);
+    EXPECT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.total.tasksProcessed, 0u);
+}
+
 TEST(SimProperties, DrainAlwaysCompletes)
 {
     // Pathological config: 1-entry queues, 100% distribution, tiny

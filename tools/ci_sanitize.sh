@@ -25,7 +25,7 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 # Only the test binaries and the CLI (for cli_metrics_smoke) are
 # needed: skipping the bench/example targets roughly halves each
 # instrumented build.
-targets=(hdcps_cli hdcps_soak
+targets=(hdcps_cli hdcps_soak bench_micro_queues
          test_support test_graph test_pq test_core test_obs test_sched
          test_algos test_sim test_simdesigns test_stress test_simsched
          test_properties)
@@ -68,6 +68,22 @@ chaos_soak() {
         --budget-ms 60000
 }
 
+# Bench smoke: run the perf-gate microbenchmarks with a tiny iteration
+# budget (this is a does-it-work check, not a measurement — sanitizer
+# builds are slow by design), then validate the emitted JSON against
+# the hdcps-bench-micro-v1 schema. The artifact is left under
+# $builddir/artifacts/ so CI can upload BENCH_micro.json with the run.
+bench_smoke() {
+    local builddir=$1
+    mkdir -p "$builddir/artifacts"
+    HDCPS_BENCH_JSON_OUT="$builddir/artifacts/BENCH_micro.json" \
+        "$builddir"/bench/bench_micro_queues \
+        --benchmark_min_time=0.01 \
+        --benchmark_filter='-BM_HdCpsPipelineSpawn'
+    tools/bench_compare --validate "$builddir/artifacts/BENCH_micro.json"
+    echo "bench artifact: $builddir/artifacts/BENCH_micro.json"
+}
+
 for preset in "${presets[@]}"; do
     builddir=build
     [ "$preset" != default ] && builddir="build-$preset"
@@ -81,5 +97,7 @@ for preset in "${presets[@]}"; do
     fault_stress "$builddir"
     echo "=== [$preset] chaos soak ==="
     chaos_soak "$builddir"
+    echo "=== [$preset] bench smoke ==="
+    bench_smoke "$builddir"
     echo "=== [$preset] OK ==="
 done
