@@ -81,11 +81,15 @@ HdCpsScheduler::HdCpsScheduler(unsigned numWorkers,
 HdCpsScheduler::~HdCpsScheduler()
 {
     // Return any bags still in flight to the pool (runs cut short by
-    // tests); the pool frees the backing nodes when it destructs.
+    // tests); the pool frees the backing nodes when it destructs. The
+    // drain uses drainPop, not tryPop: with the srq.pop.fail drill
+    // still armed, tryPop reports empty while entries remain, and a
+    // destructor that believes it would strand their pooled bags past
+    // the pool's release-before-destruction contract.
     for (unsigned tid = 0; tid < numWorkers(); ++tid) {
         WorkerState &w = *workers_[tid];
         Envelope envelope;
-        while (w.rq->tryPop(envelope)) {
+        while (w.rq->drainPop(envelope)) {
             if (envelope.bag)
                 pool_.release(tid, envelope.bag);
         }

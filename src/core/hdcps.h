@@ -170,29 +170,19 @@ class HdCpsScheduler : public Scheduler
 
   private:
     /** A PQ entry is either a single task or bag metadata.
-     *  Invariants: when bag != nullptr, task is a metadata stub with
+     *  Invariant: when bag != nullptr, task is a metadata stub with
      *  task.priority == bag->priority and task.node == 0 (so ordering
-     *  never chases the bag pointer), and key is always the packed
-     *  (priority, node) pair — build entries with makeEntry. */
+     *  never chases the bag pointer) — build entries with makeEntry. */
     struct PqEntry
     {
         Task task;       ///< the task, or the bag's metadata stub
         Bag *bag = nullptr;
-        /** (priority << 32) | node, precomputed at construction: heap
-         *  ordering becomes ONE integer compare, which the compiler
-         *  turns into branchless conditional moves inside siftDown's
-         *  find-min loop — a two-field comparator compiles to
-         *  data-dependent branches that mispredict ~half the time on
-         *  randomly ordered priorities, and the pop path does ~a dozen
-         *  such compares per dequeue. */
-        uint64_t key = 0;
     };
 
     static PqEntry
     makeEntry(const Task &task, Bag *bag)
     {
-        return PqEntry{task, bag,
-                       (uint64_t(task.priority) << 32) | task.node};
+        return PqEntry{task, bag};
     }
 
     struct PqEntryOrder
@@ -200,9 +190,23 @@ class HdCpsScheduler : public Scheduler
         bool
         operator()(const PqEntry &a, const PqEntry &b) const
         {
-            // Same (priority, node) lexicographic order as before, in
-            // one compare; see PqEntry::key.
-            return a.key < b.key;
+            // Branch-free (priority, node) lexicographic compare:
+            // bitwise &/| instead of short-circuit &&/|| so the
+            // compiler emits setcc/and/or instead of data-dependent
+            // branches that mispredict ~half the time on randomly
+            // ordered priorities (the pop path does ~a dozen compares
+            // per dequeue inside siftDown's find-min loop). The full
+            // 64-bit priority is compared: SSSP/A* tentative distances
+            // exceed 32 bits on large-weight graphs, so a (priority <<
+            // 32) | node packed key would truncate and silently invert
+            // heap order. Packing into a 96-bit key instead measured
+            // slower than this form — alignof(__int128) == 16 grows
+            // the entry from 24 to 48 bytes and the heap becomes
+            // memory-bound before it becomes compare-bound.
+            return static_cast<bool>(
+                uint32_t(a.task.priority < b.task.priority) |
+                (uint32_t(a.task.priority == b.task.priority) &
+                 uint32_t(a.task.node < b.task.node)));
         }
     };
 

@@ -148,6 +148,21 @@ class ReceiveQueue
         // in place, so no task is lost — the owner just retries later.
         if (faultFires(faultsite::SrqPopFail))
             return false;
+        return drainPop(out);
+    }
+
+    /**
+     * Owner-only tryPop that bypasses the SrqPopFail fault drill.
+     * Teardown drains must observe the real ring state: a destructor
+     * that stops on an injected "empty" while entries remain would
+     * leak any pooled payloads still in those slots (the drill's
+     * entries-stay-put contract assumes the owner retries later, which
+     * a destructor never does). Not for use on scheduling paths —
+     * those go through tryPop so the drill stays effective.
+     */
+    bool
+    drainPop(T &out)
+    {
         // Only the owner writes readPtr_, so relaxed loads/stores keep
         // the owner path as cheap as the old plain field while letting
         // sizeApprox() read it from any thread without a data race.

@@ -328,6 +328,36 @@ TEST(HdCpsScheduler, SingleThreadPushPop)
     EXPECT_FALSE(sched.tryPop(0, t));
 }
 
+TEST(HdCpsScheduler, OrdersPrioritiesThatDifferOnlyAbove32Bits)
+{
+    // Regression: the packed heap key must keep the full 64-bit
+    // priority (SSSP/A* tentative distances exceed 32 bits on
+    // large-weight graphs). A 64-bit (priority << 32) | node pack
+    // truncated to the low 32 bits, so 2^32 packed to key 0 and popped
+    // ahead of priority 1.
+    HdCpsScheduler sched(1, HdCpsScheduler::configSrq());
+    const uint64_t big = uint64_t(1) << 32;
+    sched.push(0, Task{big, 9, 0});
+    sched.push(0, Task{big, 4, 0}); // node tie-break above bit 31 too
+    sched.push(0, Task{1, 2, 0});
+    sched.push(0, Task{big + 1, 3, 0});
+    sched.push(0, Task{uint64_t(3) << 32, 5, 0});
+    Task t;
+    ASSERT_TRUE(sched.tryPop(0, t));
+    EXPECT_EQ(t.priority, 1u);
+    ASSERT_TRUE(sched.tryPop(0, t));
+    EXPECT_EQ(t.priority, big);
+    EXPECT_EQ(t.node, 4u);
+    ASSERT_TRUE(sched.tryPop(0, t));
+    EXPECT_EQ(t.priority, big);
+    EXPECT_EQ(t.node, 9u);
+    ASSERT_TRUE(sched.tryPop(0, t));
+    EXPECT_EQ(t.priority, big + 1);
+    ASSERT_TRUE(sched.tryPop(0, t));
+    EXPECT_EQ(t.priority, uint64_t(3) << 32);
+    EXPECT_FALSE(sched.tryPop(0, t));
+}
+
 TEST(HdCpsScheduler, BatchWithBagsConservesTasks)
 {
     HdCpsConfig config = HdCpsScheduler::configSw();
@@ -599,6 +629,45 @@ TEST(FaultDrill, SrqSpuriousPopFailureLosesNothing)
     }
     EXPECT_EQ(got, 4);
     EXPECT_GT(faults->fireCount(faultsite::SrqPopFail), 0u);
+}
+
+TEST(FaultDrill, DrainPopBypassesThePopFailDrill)
+{
+    ReceiveQueue<int> queue(8);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(queue.tryPush(i));
+    ScopedFaultInjection faults;
+    faults->arm(faultsite::SrqPopFail, FaultMode::EveryNth, 1);
+    int v;
+    EXPECT_FALSE(queue.tryPop(v)); // the drill starves tryPop forever
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(queue.drainPop(v)); // teardown path sees the truth
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(queue.drainPop(v)); // genuinely empty now
+}
+
+TEST(FaultDrill, TeardownReleasesInFlightBagsDespitePopFaults)
+{
+    // Regression: the destructor drain must not trust tryPop while the
+    // srq.pop.fail drill is armed — it used to stop on the injected
+    // "empty" and strand the pooled bag parked in worker 1's sRQ,
+    // leaking its node past ~BagPool (caught by the asan preset).
+    ScopedFaultInjection faults;
+    {
+        HdCpsConfig config = HdCpsScheduler::configSrq();
+        config.bags.mode = BagMode::Always;
+        config.fixedTdf = 100; // ship everything to worker 1's sRQ
+        config.seed = 13;
+        HdCpsScheduler sched(2, config);
+        std::vector<Task> children;
+        for (uint32_t i = 0; i < 4; ++i)
+            children.push_back(Task{5, i, 0});
+        sched.pushBatch(0, children.data(), children.size());
+        ASSERT_EQ(sched.bagsCreated(), 1u);
+        ASSERT_EQ(sched.remoteEnqueues(), 1u);
+        faults->arm(faultsite::SrqPopFail, FaultMode::EveryNth, 1);
+    } // ~HdCpsScheduler drains the sRQ and releases the bag
 }
 
 TEST(FaultDrill, HdCpsExactlyOnceWhenEveryRemotePushSpills)
