@@ -5,6 +5,7 @@
 #include <numeric>
 #include <queue>
 
+#include "pq/bucket_queue.h"
 #include "pq/dary_heap.h"
 #include "support/logging.h"
 
@@ -93,6 +94,35 @@ dijkstra(const Graph &g, NodeId src)
             if (nd < result.dist[dst]) {
                 result.dist[dst] = nd;
                 heap.push({nd, dst});
+            }
+        }
+    }
+    return result;
+}
+
+SeqPathResult
+dijkstraDial(const Graph &g, NodeId src)
+{
+    hdcps_check(src < g.numNodes(), "source out of range");
+    SeqPathResult result;
+    result.dist.assign(g.numNodes(), unreachableDist);
+    result.dist[src] = 0;
+
+    BucketQueue<NodeId> queue;
+    queue.push(0, src);
+    while (!queue.empty()) {
+        uint64_t d = queue.topPriority();
+        NodeId node = queue.pop();
+        ++result.tasksProcessed;
+        if (d > result.dist[node])
+            continue; // stale entry
+        for (EdgeId e = g.edgeBegin(node); e < g.edgeEnd(node); ++e) {
+            ++result.edgesScanned;
+            uint64_t nd = d + g.edgeWeight(e);
+            NodeId dst = g.edgeDest(e);
+            if (nd < result.dist[dst]) {
+                result.dist[dst] = nd;
+                queue.push(nd, dst);
             }
         }
     }

@@ -33,6 +33,15 @@ struct SeqPathResult
 /** Dijkstra from src (weights as-is). */
 SeqPathResult dijkstra(const Graph &g, NodeId src);
 
+/**
+ * Dijkstra from src over the bucketed integer PQ (Dial's algorithm) —
+ * the cross-check oracle for BucketQueue: identical distances to
+ * dijkstra() on any input, including large-weight graphs whose
+ * distances exceed 2^32 (served by the queue's bounded-span heap
+ * fallback instead of an unbounded bucket directory).
+ */
+SeqPathResult dijkstraDial(const Graph &g, NodeId src);
+
 /** BFS from src (all weights treated as 1). */
 SeqPathResult bfsLevels(const Graph &g, NodeId src);
 

@@ -114,6 +114,19 @@ ObimBase::sampleOccupancy(unsigned tid, WorkerState &w)
                   static_cast<double>(w.takenFromCurrent));
 }
 
+void
+ObimBase::repushClaimed(const Task &task)
+{
+    unsigned delta = delta_.load(std::memory_order_relaxed);
+    Priority base = (task.priority >> delta) << delta;
+    bool created = false;
+    findOrCreateBag(base, created)->push(task);
+    // Deliberately no metrics: re-inserting a claimed task is internal
+    // movement, not a new enqueue (counting it again double-counted
+    // RemoteEnqueues/BagsCreated in the Fig. 11 breakdowns, and wrote
+    // the serviced worker's slots from the helper thread).
+}
+
 size_t
 ObimBase::claimChunk(std::vector<Task> &out, size_t maxCount)
 {

@@ -112,6 +112,17 @@ class ObimBase : public Scheduler
      */
     size_t claimChunk(std::vector<Task> &out, size_t maxCount);
 
+    /**
+     * Return a previously claimed task to the bag map *without* metric
+     * attribution. For helper threads (Software-Minnow) spilling back
+     * tasks that did not fit their staging buffer: the task was already
+     * counted as an enqueue when it first entered the map, and a helper
+     * must never write a worker's registry slots — counters attribute
+     * to the acting thread, and a helper has no worker slot (it keeps
+     * its own aggregate instead).
+     */
+    void repushClaimed(const Task &task);
+
     void setDelta(unsigned delta) { delta_.store(delta,
                                                  std::memory_order_relaxed); }
 

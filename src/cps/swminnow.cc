@@ -68,9 +68,18 @@ SwMinnowScheduler::minnowLoop(unsigned minnowId)
                     break;
             }
             prefetched_.fetch_add(staged, std::memory_order_relaxed);
-            // Anything that did not fit goes straight back to the map.
-            for (size_t i = staged; i < chunk.size(); ++i)
-                push(w, chunk[i]);
+            // Anything that did not fit goes straight back to the map —
+            // via the attribution-free path: push(w, ...) from this
+            // helper thread would write worker w's registry slots
+            // concurrently with worker w itself (single-writer
+            // violation) and count the task's enqueue a second time.
+            // Helpers keep their own aggregate spill counter instead.
+            if (staged < chunk.size()) {
+                spilled_.fetch_add(chunk.size() - staged,
+                                   std::memory_order_relaxed);
+                for (size_t i = staged; i < chunk.size(); ++i)
+                    repushClaimed(chunk[i]);
+            }
         }
         if (!didWork)
             std::this_thread::yield();

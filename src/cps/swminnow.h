@@ -57,6 +57,14 @@ class SwMinnowScheduler : public ObimBase
         return prefetched_.load(std::memory_order_relaxed);
     }
 
+    /** Claimed tasks spilled back to the map because the staging ring
+     *  was full (helper-thread aggregate — helpers own no registry
+     *  slot, so this is their attribution sink). */
+    uint64_t spilledTasks() const
+    {
+        return spilled_.load(std::memory_order_relaxed);
+    }
+
   private:
     void minnowLoop(unsigned minnowId);
 
@@ -65,6 +73,7 @@ class SwMinnowScheduler : public ObimBase
     std::vector<std::thread> minnows_;
     std::atomic<bool> stop_{false};
     std::atomic<uint64_t> prefetched_{0};
+    std::atomic<uint64_t> spilled_{0};
 };
 
 } // namespace hdcps

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <sstream>
 
 namespace hdcps {
 
@@ -72,6 +73,48 @@ MetricsRegistry::MetricsRegistry(unsigned numWorkers,
         global_.push_back(
             std::make_unique<MetricTimeSeries>(config.seriesCapacity));
     }
+    globalBusy_ = std::make_unique<std::atomic<uint64_t>[]>(
+        unsigned(GlobalSeries::Count));
+    for (unsigned s = 0; s < unsigned(GlobalSeries::Count); ++s)
+        globalBusy_[s].store(0, std::memory_order_relaxed);
+}
+
+uint64_t
+MetricsRegistry::writerTag()
+{
+    static std::atomic<uint64_t> next{1};
+    thread_local uint64_t tag =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return tag;
+}
+
+void
+MetricsRegistry::noteWriterViolation(int slot, uint64_t prevTag,
+                                     uint64_t myTag) const
+{
+    writerViolations_.fetch_add(1, std::memory_order_relaxed);
+    std::ostringstream out;
+    if (slot >= 0)
+        out << "worker slot " << slot;
+    else
+        out << "global series '"
+            << globalSeriesName(GlobalSeries(-1 - slot)) << "'";
+    out << " written concurrently by thread #" << myTag
+        << " while thread #" << prevTag << " was mid-write";
+    if (config_.abortOnWriterViolation)
+        hdcps_fatal("metrics single-writer violation: %s",
+                    out.str().c_str());
+    std::lock_guard<std::mutex> lock(violationMutex_);
+    constexpr size_t kMaxSamples = 8;
+    if (violationSamples_.size() < kMaxSamples)
+        violationSamples_.push_back(out.str());
+}
+
+std::vector<std::string>
+MetricsRegistry::writerViolationSamples() const
+{
+    std::lock_guard<std::mutex> lock(violationMutex_);
+    return violationSamples_;
 }
 
 MetricsSnapshot

@@ -22,6 +22,19 @@
  *    overwritten in a full ring can tear (timestamp from one sample,
  *    value from another) — acceptable for observability, and all
  *    accesses are atomic so there is no UB and TSan stays quiet.
+ *
+ * Attribution contract (audited in PR 4, enforced on demand here):
+ * every scheduler/runtime metrics call must act on the *calling*
+ * thread's worker slot — "who did it", never "who it was done to". A
+ * given worker id is driven by one thread at a time (sequential
+ * handoffs, e.g. the executor's single-threaded seeding phase, are
+ * fine), so no two threads should ever be inside a write to the same
+ * slot simultaneously. Config::checkSingleWriter arms a debug checker
+ * that records the writing thread per slot (and per global series) for
+ * the duration of each write and flags any overlapping write by a
+ * different thread; Config::abortOnWriterViolation upgrades the flag
+ * to a fatal abort. The checker is off by default and costs the hot
+ * path one predicted branch.
  */
 
 #ifndef HDCPS_OBS_METRICS_H_
@@ -30,6 +43,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -212,6 +226,12 @@ class MetricsRegistry
         size_t seriesCapacity = 4096; ///< ring slots per time series
         /** Pops between occupancy samples taken via tick(). */
         uint64_t sampleInterval = 500;
+        /** Arm the single-writer debug checker (see file comment).
+         *  Conformance/chaos harness knob, not a production default. */
+        bool checkSingleWriter = false;
+        /** With the checker armed, abort the process on a cross-thread
+         *  write instead of only counting it. */
+        bool abortOnWriterViolation = false;
     };
 
     explicit MetricsRegistry(unsigned numWorkers)
@@ -230,18 +250,21 @@ class MetricsRegistry
     /** Nanoseconds since the registry was created. */
     uint64_t now() const { return nowNs() - epochNs_; }
 
-    /** Bump a per-worker counter (relaxed; safe from any thread). */
+    /** Bump a per-worker counter (attribute to the acting thread's
+     *  worker id; see the attribution contract in the file comment). */
     void
     add(unsigned tid, WorkerCounter c, uint64_t n = 1)
     {
+        WriterCheck check(*this, workers_[tid]->busy, int(tid));
         workers_[tid]->counters[unsigned(c)].fetch_add(
             n, std::memory_order_relaxed);
     }
 
-    /** Set a per-worker gauge (relaxed; safe from any thread). */
+    /** Set a per-worker gauge (acting thread's worker id). */
     void
     set(unsigned tid, WorkerGauge g, double value)
     {
+        WriterCheck check(*this, workers_[tid]->busy, int(tid));
         workers_[tid]->gauges[unsigned(g)].store(
             value, std::memory_order_relaxed);
     }
@@ -250,6 +273,7 @@ class MetricsRegistry
     void
     record(unsigned tid, WorkerSeries s, double value)
     {
+        WriterCheck check(*this, workers_[tid]->busy, int(tid));
         workers_[tid]->series[unsigned(s)]->record(now(), value);
     }
 
@@ -257,6 +281,7 @@ class MetricsRegistry
     void
     recordGlobal(GlobalSeries s, double value)
     {
+        WriterCheck check(*this, globalBusy_[unsigned(s)], -1 - int(s));
         global_[unsigned(s)]->record(now(), value);
     }
 
@@ -270,11 +295,27 @@ class MetricsRegistry
     tick(unsigned tid)
     {
         WorkerSlot &w = *workers_[tid];
+        WriterCheck check(*this, w.busy, int(tid));
         if (++w.ticks < config_.sampleInterval)
             return false;
         w.ticks = 0;
         return true;
     }
+
+    /**
+     * Cross-thread writes the armed checker flagged so far. A nonzero
+     * count means some metrics call acted on a slot while a different
+     * thread was mid-write to it — an attribution bug in a scheduler or
+     * the runtime, never legitimate load.
+     */
+    uint64_t
+    writerViolations() const
+    {
+        return writerViolations_.load(std::memory_order_relaxed);
+    }
+
+    /** Retained human-readable violation descriptions (capped). */
+    std::vector<std::string> writerViolationSamples() const;
 
     /** Name, merge and copy out everything currently held. */
     MetricsSnapshot snapshot() const;
@@ -287,12 +328,64 @@ class MetricsRegistry
         std::atomic<double> gauges[unsigned(WorkerGauge::Count)] = {};
         uint64_t ticks = 0; ///< owner-only tick() state
         std::vector<std::unique_ptr<MetricTimeSeries>> series;
+        /** Debug-checker cell: tag of the thread currently inside a
+         *  write to this slot, 0 when none (unused unless armed). */
+        std::atomic<uint64_t> busy{0};
     };
+
+    /**
+     * RAII guard marking one write to a slot/series. With the checker
+     * off it is a single predicted branch; armed, it exchanges the
+     * writing thread's tag into the busy cell and flags overlap with a
+     * different tag. Detection is overlap-based on purpose: sequential
+     * handoffs of a worker id between threads are legal, simultaneous
+     * writes never are.
+     */
+    class WriterCheck
+    {
+      public:
+        WriterCheck(const MetricsRegistry &registry,
+                    std::atomic<uint64_t> &cell, int slot)
+        {
+            if (__builtin_expect(!registry.config_.checkSingleWriter, 1))
+                return;
+            cell_ = &cell;
+            uint64_t me = writerTag();
+            uint64_t prev = cell.exchange(me, std::memory_order_acq_rel);
+            if (prev != 0 && prev != me)
+                registry.noteWriterViolation(slot, prev, me);
+        }
+
+        ~WriterCheck()
+        {
+            if (cell_)
+                cell_->store(0, std::memory_order_release);
+        }
+
+        WriterCheck(const WriterCheck &) = delete;
+        WriterCheck &operator=(const WriterCheck &) = delete;
+
+      private:
+        std::atomic<uint64_t> *cell_ = nullptr;
+    };
+
+    /** Small dense per-thread tag (1-based; 0 means "no writer"). */
+    static uint64_t writerTag();
+
+    /** Count + describe one flagged cross-thread write. `slot` >= 0 is
+     *  a worker id; negative encodes global series -1 - int(series). */
+    void noteWriterViolation(int slot, uint64_t prevTag,
+                             uint64_t myTag) const;
 
     Config config_;
     uint64_t epochNs_;
     std::vector<std::unique_ptr<WorkerSlot>> workers_;
     std::vector<std::unique_ptr<MetricTimeSeries>> global_;
+    /** Debug-checker cells for the global series (parallel to global_). */
+    std::unique_ptr<std::atomic<uint64_t>[]> globalBusy_;
+    mutable std::atomic<uint64_t> writerViolations_{0};
+    mutable std::mutex violationMutex_;
+    mutable std::vector<std::string> violationSamples_;
 };
 
 } // namespace hdcps

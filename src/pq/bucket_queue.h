@@ -2,11 +2,22 @@
  * @file
  * Bucketed integer priority queue.
  *
- * Used by the sequential reference implementations (Dijkstra/delta-
- * stepping baselines) where priorities are small integers. Pop returns
- * an element from the lowest non-empty bucket; pushes below the cursor
- * rewind it, so the queue also works for label-correcting algorithms
- * whose priorities are not strictly monotone.
+ * Used by the sequential reference implementations (Dial's-algorithm
+ * Dijkstra oracle, delta-stepping baselines) where priorities are small
+ * integers. Pop returns the oldest element of the lowest non-empty
+ * bucket (FIFO within a bucket, so oracle tie-break order is the
+ * insertion order and soak comparisons stay deterministic); pushes
+ * below the cursor rewind it, so the queue also works for
+ * label-correcting algorithms whose priorities are not strictly
+ * monotone.
+ *
+ * Priorities are full 64-bit values, but the bucket array is only
+ * materialized below a configurable span: `push(priority + 1)`-sized
+ * resizes were unbounded, so one >2^32 priority (e.g. an SSSP distance
+ * on a large-weight graph) allocated the address space away. Pushes at
+ * or above the span spill to a comparison-based overflow heap whose
+ * entries carry an insertion sequence number, preserving the global
+ * FIFO-within-priority contract across both storage tiers.
  */
 
 #ifndef HDCPS_PQ_BUCKET_QUEUE_H_
@@ -15,36 +26,59 @@
 #include <cstdint>
 #include <vector>
 
+#include "pq/dary_heap.h"
 #include "support/logging.h"
 
 namespace hdcps {
 
-/** FIFO-within-bucket integer priority queue. */
+/** FIFO-within-bucket integer priority queue with a bounded bucket
+ *  span and a heap fallback for wide priority domains. */
 template <typename T>
 class BucketQueue
 {
   public:
+    /** Largest priority (exclusive) served by a dense bucket; chosen so
+     *  the worst-case bucket directory stays tens of MB, not the 2^64
+     *  the unbounded resize allowed. */
+    static constexpr uint64_t kDefaultMaxBucketSpan = uint64_t(1) << 22;
+
+    explicit BucketQueue(uint64_t maxBucketSpan = kDefaultMaxBucketSpan)
+        : maxBucketSpan_(maxBucketSpan)
+    {
+        hdcps_check(maxBucketSpan >= 1, "bucket span must be >= 1");
+    }
+
     bool empty() const { return count_ == 0; }
     size_t size() const { return count_; }
+
+    uint64_t maxBucketSpan() const { return maxBucketSpan_; }
+
+    /** Elements currently held by the wide-domain heap fallback. */
+    size_t overflowSize() const { return overflow_.size(); }
 
     void
     push(uint64_t priority, T value)
     {
-        if (priority >= buckets_.size())
-            buckets_.resize(priority + 1);
-        buckets_[priority].push_back(std::move(value));
-        if (priority < cursor_)
-            cursor_ = priority;
+        if (priority >= maxBucketSpan_) {
+            overflow_.push(
+                OverflowEntry{priority, nextSeq_++, std::move(value)});
+        } else {
+            if (priority >= buckets_.size())
+                buckets_.resize(priority + 1);
+            buckets_[priority].items.push_back(std::move(value));
+            if (priority < cursor_)
+                cursor_ = priority;
+        }
         ++count_;
     }
 
-    /** Priority of the lowest non-empty bucket. */
+    /** Priority of the best (lowest, oldest-first) element. */
     uint64_t
     topPriority()
     {
         hdcps_check(count_ > 0, "topPriority() on empty bucket queue");
         advance();
-        return cursor_;
+        return bucketIsBest() ? cursor_ : overflow_.top().priority;
     }
 
     T
@@ -52,23 +86,77 @@ class BucketQueue
     {
         hdcps_check(count_ > 0, "pop() on empty bucket queue");
         advance();
-        T value = std::move(buckets_[cursor_].back());
-        buckets_[cursor_].pop_back();
         --count_;
+        if (!bucketIsBest())
+            return overflow_.pop().value;
+        Bucket &bucket = buckets_[cursor_];
+        T value = std::move(bucket.items[bucket.head++]);
+        if (bucket.head == bucket.items.size())
+            bucket.reset();
         return value;
     }
 
   private:
+    /** One dense bucket; `head` implements FIFO without pop_front —
+     *  consumed slots are reclaimed when the bucket empties. */
+    struct Bucket
+    {
+        std::vector<T> items;
+        size_t head = 0;
+
+        bool drained() const { return head == items.size(); }
+
+        void
+        reset()
+        {
+            items.clear();
+            head = 0;
+        }
+    };
+
+    /** `seq` restores insertion order among equal priorities, matching
+     *  the dense buckets' FIFO. */
+    struct OverflowEntry
+    {
+        uint64_t priority;
+        uint64_t seq;
+        T value;
+    };
+
+    struct OverflowOrder
+    {
+        bool
+        operator()(const OverflowEntry &a, const OverflowEntry &b) const
+        {
+            if (a.priority != b.priority)
+                return a.priority < b.priority;
+            return a.seq < b.seq;
+        }
+    };
+
     void
     advance()
     {
-        while (cursor_ < buckets_.size() && buckets_[cursor_].empty())
+        while (cursor_ < buckets_.size() && buckets_[cursor_].drained())
             ++cursor_;
-        hdcps_check(cursor_ < buckets_.size(),
-                    "bucket queue cursor ran off the end");
     }
 
-    std::vector<std::vector<T>> buckets_;
+    /** After advance(): does the dense tier hold the best element?
+     *  The tiers never tie — buckets hold only priorities below the
+     *  span, the overflow heap only those at or above it. */
+    bool
+    bucketIsBest() const
+    {
+        if (cursor_ >= buckets_.size())
+            return false;
+        return overflow_.empty() ||
+               cursor_ < overflow_.top().priority;
+    }
+
+    std::vector<Bucket> buckets_;
+    DAryHeap<OverflowEntry, OverflowOrder> overflow_;
+    uint64_t maxBucketSpan_;
+    uint64_t nextSeq_ = 0;
     size_t cursor_ = 0;
     size_t count_ = 0;
 };

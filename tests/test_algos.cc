@@ -74,6 +74,50 @@ TEST(Sequential, BfsMatchesDijkstraOnUnitWeights)
     EXPECT_EQ(bfs.dist, dj.dist);
 }
 
+TEST(Sequential, DialMatchesDijkstraOnRandomGraphs)
+{
+    // Dial's algorithm over the BucketQueue is the cross-check oracle
+    // for the bucketed PQ: distances must be bit-identical to the
+    // heap-based reference on arbitrary inputs.
+    for (uint64_t seed : {5u, 19u, 77u}) {
+        Graph g = makeRoadGrid(16, 16, {.seed = seed});
+        SeqPathResult dial = dijkstraDial(g, 0);
+        SeqPathResult dj = dijkstra(g, 0);
+        EXPECT_EQ(dial.dist, dj.dist) << "seed " << seed;
+    }
+    Graph rmat = makeRmat(9, 6u << 9, 0.57, 0.19, 0.19, {.seed = 11});
+    EXPECT_EQ(dijkstraDial(rmat, 0).dist, dijkstra(rmat, 0).dist);
+}
+
+// Regression: BucketQueue used to materialize a dense bucket for every
+// priority up to the largest pushed, so any distance above its span
+// (let alone 2^32) either exhausted memory or silently truncated. A
+// chain of near-2^32 weights drives the accumulated 64-bit distances
+// well past 2^32 and through the queue's overflow tier; the oracle
+// must still agree with the heap-based Dijkstra exactly.
+TEST(Sequential, DialHandles64BitDistances)
+{
+    constexpr Weight big = ~Weight(0) - 3; // 2^32 - 4 per hop
+    constexpr NodeId chainLen = 6;
+    GraphBuilder b(chainLen + 2);
+    for (NodeId i = 0; i < chainLen; ++i)
+        b.addEdge(i, i + 1, big);
+    // A decoy detour with small weights that rejoins the chain: keeps
+    // both queue tiers active in the same run.
+    b.addEdge(0, chainLen + 1, 7);
+    b.addEdge(chainLen + 1, 1, 5);
+    Graph g = b.build();
+
+    SeqPathResult dial = dijkstraDial(g, 0);
+    SeqPathResult dj = dijkstra(g, 0);
+    ASSERT_EQ(dial.dist, dj.dist);
+    // The far end of the chain is genuinely beyond 32 bits: the decoy
+    // shortcut (12) plus chainLen-1 big hops.
+    uint64_t expectedEnd = 12 + uint64_t(chainLen - 1) * big;
+    EXPECT_EQ(dial.dist[chainLen], expectedEnd);
+    EXPECT_GT(dial.dist[chainLen], uint64_t(1) << 33);
+}
+
 TEST(Sequential, AstarMatchesDijkstraAtTarget)
 {
     Graph g = makeRoadGrid(16, 16, {.seed = 5});

@@ -185,6 +185,138 @@ TEST(MetricsRegistry, SeriesTimestampsAreMonotoneFromEpoch)
     EXPECT_GE(snap.takenNs, samples.back().t);
 }
 
+// ---------------------------------------------------------------------
+// Single-writer debug checker. The registry's contract is that series,
+// gauge, and tick writes for worker slot w come from one thread at a
+// time (the acting thread owning w); the checker detects two threads
+// inside a write to the same slot simultaneously.
+
+TEST(MetricsSingleWriter, CheckerOffByDefault)
+{
+    MetricsRegistry registry(1);
+    std::atomic<bool> start{false};
+    auto hammer = [&] {
+        while (!start.load(std::memory_order_acquire)) {
+        }
+        for (int i = 0; i < 50000; ++i)
+            registry.record(0, WorkerSeries::SrqOccupancy, double(i));
+    };
+    std::thread a(hammer);
+    std::thread b(hammer);
+    start.store(true, std::memory_order_release);
+    a.join();
+    b.join();
+    EXPECT_EQ(registry.writerViolations(), 0u);
+    EXPECT_TRUE(registry.writerViolationSamples().empty());
+}
+
+TEST(MetricsSingleWriter, DetectsConcurrentWritesToOneSlot)
+{
+    MetricsRegistry::Config config;
+    config.checkSingleWriter = true;
+    MetricsRegistry registry(2, config);
+    // Two threads spinning on the same slot overlap with near-certainty
+    // within a round; retry a few rounds so the test cannot flake on a
+    // pathological schedule.
+    for (int round = 0; round < 20 && registry.writerViolations() == 0;
+         ++round) {
+        std::atomic<bool> start{false};
+        auto hammer = [&] {
+            while (!start.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < 100000; ++i)
+                registry.record(0, WorkerSeries::SrqOccupancy, double(i));
+        };
+        std::thread a(hammer);
+        std::thread b(hammer);
+        start.store(true, std::memory_order_release);
+        a.join();
+        b.join();
+    }
+    EXPECT_GT(registry.writerViolations(), 0u);
+    std::vector<std::string> samples = registry.writerViolationSamples();
+    ASSERT_FALSE(samples.empty());
+    EXPECT_NE(samples[0].find("worker slot 0"), std::string::npos)
+        << samples[0];
+}
+
+TEST(MetricsSingleWriter, DetectsConcurrentGlobalSeriesWrites)
+{
+    MetricsRegistry::Config config;
+    config.checkSingleWriter = true;
+    MetricsRegistry registry(1, config);
+    for (int round = 0; round < 20 && registry.writerViolations() == 0;
+         ++round) {
+        std::atomic<bool> start{false};
+        auto hammer = [&] {
+            while (!start.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < 100000; ++i)
+                registry.recordGlobal(GlobalSeries::Drift, double(i));
+        };
+        std::thread a(hammer);
+        std::thread b(hammer);
+        start.store(true, std::memory_order_release);
+        a.join();
+        b.join();
+    }
+    EXPECT_GT(registry.writerViolations(), 0u);
+    std::vector<std::string> samples = registry.writerViolationSamples();
+    ASSERT_FALSE(samples.empty());
+    EXPECT_NE(samples[0].find("global series 'drift'"), std::string::npos)
+        << samples[0];
+}
+
+TEST(MetricsSingleWriter, SequentialHandoffIsClean)
+{
+    // The executor legitimately seeds every worker's slot from the main
+    // thread before the workers start: ownership handoff is legal, only
+    // *overlap* is a violation.
+    MetricsRegistry::Config config;
+    config.checkSingleWriter = true;
+    MetricsRegistry registry(2, config);
+    for (unsigned tid = 0; tid < 2; ++tid) {
+        registry.add(tid, WorkerCounter::TasksProcessed);
+        registry.record(tid, WorkerSeries::SrqOccupancy, 1.0);
+        registry.tick(tid);
+    }
+    std::thread worker([&] {
+        for (int i = 0; i < 10000; ++i) {
+            registry.record(0, WorkerSeries::SrqOccupancy, double(i));
+            registry.set(0, WorkerGauge::QueueDepth, double(i));
+            registry.tick(0);
+        }
+    });
+    worker.join();
+    registry.record(0, WorkerSeries::SrqOccupancy, 2.0);
+    EXPECT_EQ(registry.writerViolations(), 0u);
+}
+
+TEST(MetricsSingleWriter, DistinctSlotsWriteConcurrentlyClean)
+{
+    MetricsRegistry::Config config;
+    config.checkSingleWriter = true;
+    MetricsRegistry registry(4, config);
+    std::atomic<bool> start{false};
+    std::vector<std::thread> threads;
+    for (unsigned tid = 0; tid < 4; ++tid) {
+        threads.emplace_back([&, tid] {
+            while (!start.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < 50000; ++i) {
+                registry.add(tid, WorkerCounter::TasksProcessed);
+                registry.record(tid, WorkerSeries::SrqOccupancy,
+                                double(i));
+                registry.tick(tid);
+            }
+        });
+    }
+    start.store(true, std::memory_order_release);
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(registry.writerViolations(), 0u);
+}
+
 TEST(MetricsSnapshot, MergeAddsCountersAndAppendsSeries)
 {
     MetricsRegistry a(2);

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <numeric>
 #include <set>
 #include <thread>
 #include <vector>
@@ -169,6 +170,114 @@ TEST(BucketQueue, SizeTracksContents)
     EXPECT_EQ(q.size(), 2u);
     q.pop();
     EXPECT_EQ(q.size(), 1u);
+}
+
+// Regression: the header always promised FIFO within a bucket, but
+// pop() used to take items.back() (LIFO). Equal-priority elements must
+// come out in insertion order.
+TEST(BucketQueue, FifoWithinBucket)
+{
+    BucketQueue<int> q;
+    for (int i = 0; i < 6; ++i)
+        q.push(7, i);
+    for (int i = 0; i < 6; ++i) {
+        ASSERT_EQ(q.topPriority(), 7u);
+        EXPECT_EQ(q.pop(), i);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueue, FifoSurvivesInterleavedBuckets)
+{
+    // Interleave pushes across two buckets and re-fill a drained bucket:
+    // order within each priority must still be insertion order.
+    BucketQueue<int> q;
+    q.push(2, 20);
+    q.push(1, 10);
+    q.push(2, 21);
+    q.push(1, 11);
+    EXPECT_EQ(q.pop(), 10);
+    EXPECT_EQ(q.pop(), 11);
+    q.push(1, 12); // rewind into a drained bucket
+    EXPECT_EQ(q.pop(), 12);
+    EXPECT_EQ(q.pop(), 20);
+    EXPECT_EQ(q.pop(), 21);
+}
+
+// Regression: push(p) used to resize the bucket directory to p+1
+// entries, so a single 2^40 priority (a legitimate 64-bit SSSP
+// distance) allocated the address space away. Wide priorities must
+// spill to the overflow heap instead of growing the directory.
+TEST(BucketQueue, WidePrioritiesUseOverflowTier)
+{
+    BucketQueue<int> q;
+    const uint64_t wide = uint64_t(1) << 40;
+    q.push(wide, 1);
+    q.push(wide + 5, 2);
+    q.push(3, 3); // dense tier still wins while occupied
+    EXPECT_EQ(q.overflowSize(), 2u);
+    EXPECT_EQ(q.topPriority(), 3u);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_EQ(q.topPriority(), wide);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.topPriority(), wide + 5);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueue, OverflowKeepsFifoWithinPriority)
+{
+    BucketQueue<int> q(4); // tiny span: priority >= 4 overflows
+    for (int i = 0; i < 5; ++i)
+        q.push(100, i);
+    q.push(4, 99); // also overflow, lower priority
+    EXPECT_EQ(q.pop(), 99);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(q.pop(), i);
+}
+
+TEST(BucketQueue, SpanBoundaryRoutesToTiers)
+{
+    BucketQueue<int> q(8);
+    q.push(7, 70); // last dense priority
+    q.push(8, 80); // first overflow priority
+    EXPECT_EQ(q.overflowSize(), 1u);
+    EXPECT_EQ(q.pop(), 70);
+    EXPECT_EQ(q.pop(), 80);
+    // Rewind below the cursor still works with the overflow occupied.
+    q.push(9, 90);
+    q.push(0, 1);
+    EXPECT_EQ(q.topPriority(), 0u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 90);
+}
+
+TEST(BucketQueue, MixedTierRandomizedMatchesStableSort)
+{
+    // Property: pop order equals a stable sort by priority of the push
+    // sequence, regardless of which tier served each element — the
+    // strongest statement of FIFO-within-priority across both tiers.
+    BucketQueue<size_t> q(64);
+    Rng rng(42);
+    std::vector<uint64_t> priorities;
+    for (size_t i = 0; i < 2000; ++i) {
+        uint64_t p = rng.chance(0.3) ? (uint64_t(1) << 35) + rng.below(16)
+                                     : rng.below(128);
+        priorities.push_back(p);
+        q.push(p, i);
+    }
+    std::vector<size_t> expected(priorities.size());
+    std::iota(expected.begin(), expected.end(), size_t(0));
+    std::stable_sort(expected.begin(), expected.end(),
+                     [&](size_t a, size_t b) {
+                         return priorities[a] < priorities[b];
+                     });
+    for (size_t idx : expected) {
+        ASSERT_FALSE(q.empty());
+        ASSERT_EQ(q.topPriority(), priorities[idx]);
+        ASSERT_EQ(q.pop(), idx);
+    }
+    EXPECT_TRUE(q.empty());
 }
 
 TEST(LockedTaskPq, OrderedPops)

@@ -25,8 +25,10 @@
 #include "cps/reld.h"
 #include "cps/swminnow.h"
 #include "cps/verifying_scheduler.h"
+#include "obs/metrics.h"
 #include "runtime/executor.h"
 #include "support/rng.h"
+#include "support/timer.h"
 
 namespace hdcps {
 namespace {
@@ -180,6 +182,107 @@ INSTANTIATE_TEST_SUITE_P(AllDesigns, SchedulerMatrix,
                              }
                              return name;
                          });
+
+// -------------------------------- swminnow helper-thread attribution
+
+const MetricsSnapshot::Counter *
+schedCounterByName(const MetricsSnapshot &snap, const std::string &name)
+{
+    for (const auto &c : snap.counters) {
+        if (c.name == name)
+            return &c;
+    }
+    return nullptr;
+}
+
+TEST(SwMinnow, SpillsDoNotDoubleCountEnqueues)
+{
+    // Regression: the minnow helper used to return ring-overflow tasks
+    // to the bag map via push(w, ...), which re-counted each spilled
+    // task as a fresh RemoteEnqueue (and possibly a fresh BagsCreated)
+    // on the serviced worker's slot. After pushing exactly N tasks, the
+    // enqueue counter must read exactly N no matter how many times the
+    // helper claimed and spilled them.
+    SwMinnowScheduler::MinnowConfig config;
+    config.numMinnows = 1;
+    config.bufferCapacity = 2; // force spills: chunk >> ring
+    config.prefetchChunk = 16;
+    SwMinnowScheduler sched(1, config);
+    MetricsRegistry metrics(1);
+    sched.attachMetrics(&metrics);
+
+    constexpr uint32_t kTasks = 64;
+    for (uint32_t i = 0; i < kTasks; ++i)
+        sched.push(0, Task{uint64_t(i % 8), i, 0});
+
+    // The helper needs one claim/spill cycle: a 16-task chunk against a
+    // 2-slot ring spills at least 14 tasks.
+    const uint64_t deadline = nowNs() + uint64_t(10e9);
+    while (sched.spilledTasks() == 0 && nowNs() < deadline)
+        std::this_thread::yield();
+    ASSERT_GT(sched.spilledTasks(), 0u)
+        << "helper never spilled; spill path not exercised";
+
+    MetricsSnapshot snap = metrics.snapshot();
+    const auto *remote = schedCounterByName(snap, "remote_enqueues");
+    ASSERT_NE(remote, nullptr);
+    EXPECT_EQ(remote->total, kTasks)
+        << "spill re-pushes must not be counted as new enqueues";
+}
+
+TEST(SwMinnow, HelperSpillRespectsSingleWriterContract)
+{
+    // Regression: push(w, ...) from the helper also *wrote worker w's
+    // registry slot from the minnow thread*, racing the worker's own
+    // series/tick writes. With the single-writer checker armed and both
+    // workers busy popping while the helper spills against tiny rings,
+    // a cross-thread write shows up as a violation.
+    // The overlap the checker hunts is a timing window: a worker
+    // preempted mid-write while the helper spill-bursts into its slot.
+    // A sustained backlog keeps the helper claiming/spilling for the
+    // whole drain, which makes the buggy interleaving near-certain per
+    // round even on a single hardware thread.
+    for (int round = 0; round < 2; ++round) {
+        SwMinnowScheduler::MinnowConfig config;
+        config.numMinnows = 1;
+        config.bufferCapacity = 2;
+        config.prefetchChunk = 32;
+        SwMinnowScheduler sched(2, config);
+        MetricsRegistry::Config mconfig;
+        mconfig.checkSingleWriter = true;
+        mconfig.sampleInterval = 1; // slot-write on every pop
+        MetricsRegistry metrics(2, mconfig);
+        sched.attachMetrics(&metrics);
+
+        constexpr uint64_t kTasks = 300000;
+        std::atomic<uint64_t> popped{0};
+        auto body = [&](unsigned tid) {
+            if (tid == 0) {
+                for (uint32_t i = 0; i < kTasks; ++i)
+                    sched.push(0, Task{uint64_t(i % 64), i, 0});
+            }
+            Task t;
+            const uint64_t deadline = nowNs() + uint64_t(20e9);
+            while (popped.load(std::memory_order_acquire) < kTasks &&
+                   nowNs() < deadline) {
+                if (sched.tryPop(tid, t))
+                    popped.fetch_add(1, std::memory_order_acq_rel);
+            }
+        };
+        std::thread w0(body, 0);
+        std::thread w1(body, 1);
+        w0.join();
+        w1.join();
+
+        EXPECT_EQ(popped.load(), kTasks)
+            << "task loss or stranded staging";
+        ASSERT_EQ(metrics.writerViolations(), 0u)
+            << "round " << round << ": "
+            << (metrics.writerViolationSamples().empty()
+                    ? std::string()
+                    : metrics.writerViolationSamples()[0]);
+    }
+}
 
 // ------------------------------------------------------------- executor
 

@@ -27,8 +27,8 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 # instrumented build.
 targets=(hdcps_cli hdcps_soak bench_micro_queues
          test_support test_graph test_pq test_core test_obs test_sched
-         test_algos test_sim test_simdesigns test_stress test_simsched
-         test_properties)
+         test_conformance test_algos test_sim test_simdesigns
+         test_stress test_simsched test_properties)
 
 # Fault-injection stress: re-run the failure-semantics, watchdog and
 # fault-drill suites under the instrumented build (the injected error
@@ -56,16 +56,23 @@ fault_stress() {
 
 # Chaos soak: randomized kernel x scheduler x fault-spec x straggler
 # scenarios, every scheduler wrapped in the invariant-checking
-# VerifyingScheduler and diffed against the sequential oracle. The
-# seed is fixed so CI replays the same scenario stream every time,
-# and --budget-ms stops cleanly (still a pass) if the instrumented
-# build is too slow to finish all runs inside roughly a minute. Any
-# invariant violation — task loss or duplication, unsafe termination,
-# a non-injected failure — exits non-zero and fails the stage.
+# VerifyingScheduler with the metrics single-writer checker armed, and
+# diffed against the sequential oracle. The seed is fixed so CI
+# replays the same scenario stream every time, and --budget-ms stops
+# cleanly (still a pass) if the instrumented build is too slow to
+# finish all runs inside roughly a minute. Any invariant violation —
+# task loss or duplication, unsafe termination, a cross-thread metrics
+# write, a non-injected failure — exits non-zero and fails the stage.
+# A second sweep pins the software baselines: --designs round-robins
+# them through the first runs, so each baseline sees chaos even when
+# the general sweep's random draws cluster elsewhere.
 chaos_soak() {
     local builddir=$1
     "$builddir"/tools/hdcps_soak --runs 24 --seed 7 --threads 4 \
         --budget-ms 60000
+    "$builddir"/tools/hdcps_soak --runs 10 --seed 23 --threads 4 \
+        --budget-ms 45000 \
+        --designs obim,pmod,multiqueue,swminnow,reld
 }
 
 # Bench smoke: run the perf-gate microbenchmarks with a tiny iteration

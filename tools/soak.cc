@@ -60,6 +60,10 @@ struct Options
     unsigned threads = 4;
     uint64_t budgetMs = 0; ///< 0 = unbounded
     bool verbose = false;
+    /** Designs to draw from (default: all). The first |designs| runs
+     *  visit each exactly once, so even short sweeps cover every
+     *  requested backend before randomness takes over. */
+    std::vector<std::string> designs;
 };
 
 void
@@ -72,6 +76,8 @@ usage()
         "  --threads N    worker threads per run (default 4)\n"
         "  --budget-ms N  stop cleanly after N ms of wall time "
         "(default unbounded)\n"
+        "  --designs A,B  restrict scenarios to these designs "
+        "(default: all)\n"
         "  --verbose      print every scenario, not just failures\n";
 }
 
@@ -94,6 +100,38 @@ parseUint(const char *flag, const char *text, uint64_t max)
                     static_cast<unsigned long long>(max));
     }
     return parsed;
+}
+
+const char *const kDesigns[] = {"hdcps-sw",   "hdcps-srq", "reld",
+                                "multiqueue", "obim",      "pmod",
+                                "swminnow"};
+
+/** Parse a comma-separated --designs list against kDesigns. */
+std::vector<std::string>
+parseDesignList(const char *text)
+{
+    std::vector<std::string> out;
+    std::string item;
+    for (const char *p = text;; ++p) {
+        if (*p != ',' && *p != '\0') {
+            item += *p;
+            continue;
+        }
+        bool known = false;
+        for (const char *design : kDesigns)
+            known = known || item == design;
+        if (!known) {
+            hdcps_fatal("--designs: unknown design '%s' (want a "
+                        "comma-separated subset of hdcps-sw, hdcps-srq, "
+                        "reld, multiqueue, obim, pmod, swminnow)",
+                        item.c_str());
+        }
+        out.push_back(item);
+        item.clear();
+        if (*p == '\0')
+            break;
+    }
+    return out;
 }
 
 Options
@@ -119,6 +157,8 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--budget-ms") {
             options.budgetMs =
                 parseUint("--budget-ms", value(i), 86400000ULL);
+        } else if (arg == "--designs") {
+            options.designs = parseDesignList(value(i));
         } else if (arg == "--verbose") {
             options.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -130,6 +170,10 @@ parseArgs(int argc, char **argv)
         }
     }
     hdcps_check(options.threads >= 1, "--threads must be >= 1");
+    if (options.designs.empty()) {
+        options.designs.assign(std::begin(kDesigns),
+                               std::end(kDesigns));
+    }
     return options;
 }
 
@@ -147,9 +191,6 @@ struct Scenario
 
 const char *const kKernels[] = {"sssp", "bfs"};
 const char *const kInputs[] = {"usa", "cage"};
-const char *const kDesigns[] = {"hdcps-sw",   "hdcps-srq", "reld",
-                                "multiqueue", "obim",      "pmod",
-                                "swminnow"};
 
 /** Windows (ms): pauses are ~2x the reclaim window so a paused worker
  *  reliably crosses staleness, and the watchdog is far beyond both so
@@ -158,13 +199,19 @@ constexpr uint64_t kReclaimAfterMs = 25;
 constexpr uint64_t kWatchdogMs = 3000;
 
 Scenario
-drawScenario(Rng &rng, uint64_t runSeed, unsigned threads)
+drawScenario(Rng &rng, uint64_t runSeed, unsigned threads,
+             const std::vector<std::string> &designs, uint64_t runIndex)
 {
     Scenario s;
     s.seed = runSeed;
     s.kernel = kKernels[rng.below(std::size(kKernels))];
     s.input = kInputs[rng.below(std::size(kInputs))];
-    s.design = kDesigns[rng.below(std::size(kDesigns))];
+    // First cycle round-robins the design list so short CI sweeps still
+    // put every requested backend through the chaos at least once;
+    // after that, draw uniformly.
+    s.design = runIndex < designs.size()
+                   ? designs[runIndex]
+                   : designs[rng.below(designs.size())];
 
     // Benign chaos: occasional pop misfires and forced overflow spills
     // exercise the retry and spill paths without changing semantics.
@@ -293,7 +340,12 @@ runScenario(const Scenario &s, const Options &options,
 
     auto inner = makeDesign(s, options.threads);
     VerifyingScheduler verified(*inner);
-    MetricsRegistry metrics(options.threads);
+    // Armed single-writer checker: any scheduler/helper thread writing
+    // another worker's metric slot mid-write is a conformance failure,
+    // same as losing a task.
+    MetricsRegistry::Config metricsConfig;
+    metricsConfig.checkSingleWriter = true;
+    MetricsRegistry metrics(options.threads, metricsConfig);
 
     RunOptions runOptions;
     runOptions.numThreads = options.threads;
@@ -310,6 +362,15 @@ runScenario(const Scenario &s, const Options &options,
     std::string why;
     if (!verified.checkComplete(r.failed, &why))
         return fail("invariant violation: " + why);
+    if (metrics.writerViolations() > 0) {
+        std::string detail;
+        for (const std::string &sample :
+             metrics.writerViolationSamples())
+            detail += "\n    " + sample;
+        return fail("metrics single-writer violation (" +
+                    std::to_string(metrics.writerViolations()) +
+                    " overlapping writes):" + detail);
+    }
 
     uint64_t reclaimed =
         counterTotal(metrics.snapshot(), "reclaimed_tasks");
@@ -360,7 +421,8 @@ main(int argc, char **argv)
         }
         uint64_t runSeed = mix64(options.seed + i);
         Rng rng(runSeed);
-        Scenario s = drawScenario(rng, runSeed, options.threads);
+        Scenario s = drawScenario(rng, runSeed, options.threads,
+                                  options.designs, i);
         if (options.verbose)
             std::cout << "run " << i << ": " << describe(s) << "\n";
         ++tally.ran;
