@@ -302,7 +302,11 @@ percent(double fraction)
 // consumed by tools/bench_compare. Schema "hdcps-bench-micro-v1":
 //   { "schema": ..., "git_rev": ..., "host_cores": N,
 //     "benchmarks": [ { "name", "scenario", "items_per_second",
-//                       "real_time_ns", "iterations" }, ... ] }
+//                       "real_time_ns", "iterations",
+//                       "counters": {...}? }, ... ] }
+// "counters" is optional and carries benchmark-specific quality
+// metrics (e.g. quiescent rank-error bounds for relaxed queues);
+// bench_compare validates only the required keys and tolerates it.
 // ---------------------------------------------------------------------
 
 /** One benchmark measurement destined for the perf-gate JSON. */
@@ -313,6 +317,8 @@ struct PerfGateResult
     double itemsPerSecond = 0.0;
     double realTimeNs = 0.0; ///< per iteration
     int64_t iterations = 0;
+    /** Extra named metrics (rank errors, occupancy, ...), optional. */
+    std::map<std::string, double> counters;
 };
 
 /** Git revision baked in at configure time (see bench/CMakeLists.txt). */
@@ -373,7 +379,18 @@ writePerfGateJson(const std::string &path,
             << jsonEscape(r.name) << "\", \"scenario\": \""
             << jsonEscape(r.scenario) << "\", \"items_per_second\": "
             << r.itemsPerSecond << ", \"real_time_ns\": " << r.realTimeNs
-            << ", \"iterations\": " << r.iterations << "}";
+            << ", \"iterations\": " << r.iterations;
+        if (!r.counters.empty()) {
+            out << ", \"counters\": {";
+            bool first = true;
+            for (const auto &[key, value] : r.counters) {
+                out << (first ? "" : ", ") << "\"" << jsonEscape(key)
+                    << "\": " << value;
+                first = false;
+            }
+            out << "}";
+        }
+        out << "}";
     }
     out << "\n  ]\n}\n";
     out.flush();

@@ -11,6 +11,12 @@
  * runtime) through remote-heavy traffic so batched sRQ transfer,
  * pooled bags, and distributed termination show up as one number.
  *
+ * The local_backend scenario quantifies the relaxed-vs-exact queue
+ * tradeoff from the MultiQueue modernization: MultiQueue churn at
+ * stickiness 1 and 8, and HD-CPS's private-PQ seam driven over both
+ * backends (DAryHeap vs relaxed MQ), each row carrying quiescent
+ * rank-error counters next to its throughput.
+ *
  * Results are mirrored into a machine-readable JSON file (default
  * BENCH_micro.json, override with HDCPS_BENCH_JSON_OUT) that
  * tools/bench_compare validates and diffs across revisions.
@@ -22,13 +28,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/bag_policy.h"
 #include "core/hdcps.h"
 #include "core/recv_queue.h"
+#include "cps/multiqueue.h"
 #include "cps/task.h"
 #include "pq/dary_heap.h"
 #include "pq/locked_pq.h"
@@ -272,6 +281,155 @@ BM_HdCpsPipelineSpawn(benchmark::State &state)
 }
 BENCHMARK(BM_HdCpsPipelineSpawn);
 
+/** Quiescent rank-error bounds of a (possibly relaxed) scheduler. */
+struct RankErrorStats
+{
+    double max = 0.0;
+    double mean = 0.0;
+};
+
+/**
+ * Push a random permutation of `n` distinct 64-bit priorities (spaced
+ * by 2^33 so truncation bugs would show as ~2^33-rank errors, the
+ * conformance suite's methodology) through one driver thread, then
+ * drain to empty rotating over workers. The rank error of a pop is
+ * the number of still-outstanding tasks with strictly smaller
+ * priority — 0 everywhere for an exact queue, O(workers x queues) in
+ * expectation for a MultiQueue. Runs outside the timed region.
+ */
+RankErrorStats
+quiescentRankError(Scheduler &sched, unsigned numWorkers, size_t n,
+                   uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Priority> prios(n);
+    for (size_t i = 0; i < n; ++i)
+        prios[i] = Priority(i) << 33;
+    for (size_t i = n; i > 1; --i)
+        std::swap(prios[i - 1], prios[rng.below(i)]);
+    std::multiset<Priority> outstanding;
+    for (size_t i = 0; i < n; ++i) {
+        sched.push(unsigned(i) % numWorkers,
+                   Task{prios[i], uint32_t(i), 0});
+        outstanding.insert(prios[i]);
+    }
+    RankErrorStats stats;
+    size_t pops = 0;
+    double sum = 0.0;
+    unsigned tid = 0;
+    while (!outstanding.empty()) {
+        Task t;
+        if (!sched.tryPop(tid, t)) {
+            tid = (tid + 1) % numWorkers;
+            continue;
+        }
+        double rank = double(std::distance(
+            outstanding.begin(), outstanding.lower_bound(t.priority)));
+        stats.max = std::max(stats.max, rank);
+        sum += rank;
+        ++pops;
+        outstanding.erase(outstanding.find(t.priority));
+    }
+    stats.mean = pops ? sum / double(pops) : 0.0;
+    return stats;
+}
+
+/**
+ * MultiQueue churn at a fixed stickiness (the benchmark argument):
+ * steady-state occupancy ~1k, one driver thread rotating over 4
+ * workers, 64 pushes + 64 pops per iteration. Stickiness 1 redraws
+ * the sticky queues every operation (SPAA'15 behavior); stickiness 8
+ * amortizes the redraw and the lock traffic over 8 operations
+ * (Engineering-MultiQueues behavior). The quiescent rank-error bounds
+ * for the same configuration are reported as counters so the JSON
+ * carries the quality side of the throughput/rank-error tradeoff.
+ */
+void
+BM_MultiQueueChurn(benchmark::State &state)
+{
+    const unsigned stickiness = unsigned(state.range(0));
+    constexpr unsigned kWorkers = 4;
+    constexpr size_t kBatch = 64;
+    MultiQueueConfig config;
+    config.stickiness = stickiness;
+    config.seed = 10;
+    MultiQueueScheduler sched(kWorkers, config);
+    Rng rng(10);
+    for (uint32_t i = 0; i < 1024; ++i)
+        sched.push(i % kWorkers, Task{rng.below(1 << 20), i, 0});
+    unsigned tid = 0;
+    for (auto _ : state) {
+        for (size_t i = 0; i < kBatch; ++i)
+            sched.push(tid, Task{rng.below(1 << 20), uint32_t(i), 0});
+        size_t popped = 0;
+        unsigned p = tid;
+        while (popped < kBatch) {
+            Task t;
+            if (sched.tryPop(p, t)) {
+                ++popped;
+                benchmark::DoNotOptimize(t);
+            } else {
+                p = (p + 1) % kWorkers;
+            }
+        }
+        tid = (tid + 1) % kWorkers;
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(kBatch) * 2);
+    MultiQueueScheduler probe(kWorkers, config);
+    RankErrorStats stats = quiescentRankError(probe, kWorkers, 512, 11);
+    state.counters["rank_error_max"] = stats.max;
+    state.counters["rank_error_mean"] = stats.mean;
+}
+BENCHMARK(BM_MultiQueueChurn)->Arg(1)->Arg(8);
+
+/**
+ * Local-backend A/B: the same single-worker HD-CPS scheduler over its
+ * two private-PQ backends — the exact DAryHeap (HdCpsScheduler) and
+ * the relaxed owner-private MultiQueue (HdCpsMqScheduler). One worker
+ * keeps every task on the local path, so the throughput difference is
+ * purely the backend's push/pop cost, and the rank-error counters
+ * (measured in an untimed quiescent drain) are purely the backend's
+ * ordering relaxation: 0 for DAry, bounded by the conformance suite's
+ * hdcps-mq row for the MQ.
+ */
+template <typename SchedT>
+void
+BM_LocalBackendPushPop(benchmark::State &state)
+{
+    constexpr size_t kBatch = 256;
+    HdCpsConfig config = SchedT::configSw();
+    config.useTdf = false;
+    config.fixedTdf = 0;
+    config.bags.mode = BagMode::None;
+    config.seed = 12;
+    SchedT sched(1, config);
+    Rng rng(12);
+    std::vector<Task> batch(kBatch);
+    uint32_t node = 0;
+    for (auto _ : state) {
+        for (size_t i = 0; i < kBatch; ++i)
+            batch[i] = Task{rng.below(1 << 20), node++, 0};
+        sched.pushBatch(0, batch.data(), kBatch);
+        for (size_t i = 0; i < kBatch; ++i) {
+            Task t;
+            if (!sched.tryPop(0, t)) {
+                state.SkipWithError("local backend lost a task");
+                return;
+            }
+            benchmark::DoNotOptimize(t);
+        }
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(kBatch) * 2);
+    SchedT probe(1, config);
+    RankErrorStats stats = quiescentRankError(probe, 1, 512, 13);
+    state.counters["rank_error_max"] = stats.max;
+    state.counters["rank_error_mean"] = stats.mean;
+}
+BENCHMARK_TEMPLATE(BM_LocalBackendPushPop, HdCpsScheduler);
+BENCHMARK_TEMPLATE(BM_LocalBackendPushPop, HdCpsMqScheduler);
+
 /** Coarse scenario tag for the perf-gate JSON. */
 std::string
 scenarioOf(const std::string &name)
@@ -280,6 +438,9 @@ scenarioOf(const std::string &name)
         return "remote_heavy";
     if (name.find("BM_HdCpsPipelineSpawn") == 0)
         return "pipeline_spawn";
+    if (name.find("BM_MultiQueueChurn") == 0 ||
+        name.find("BM_LocalBackendPushPop") == 0)
+        return "local_backend";
     return "micro";
 }
 
@@ -299,6 +460,12 @@ class CaptureReporter : public benchmark::ConsoleReporter
             auto it = run.counters.find("items_per_second");
             if (it != run.counters.end())
                 r.itemsPerSecond = double(it->second);
+            for (const auto &[key, value] : run.counters) {
+                if (key == "items_per_second" ||
+                    key == "bytes_per_second")
+                    continue;
+                r.counters[key] = double(value);
+            }
             r.iterations = int64_t(run.iterations);
             r.realTimeNs =
                 run.iterations

@@ -45,8 +45,9 @@ unlockReclaim(std::atomic<uint32_t> &lock)
 
 } // namespace
 
-HdCpsScheduler::HdCpsScheduler(unsigned numWorkers,
-                               const HdCpsConfig &config)
+template <template <typename, typename> class LocalPqT>
+BasicHdCpsScheduler<LocalPqT>::BasicHdCpsScheduler(unsigned numWorkers,
+                                                   const HdCpsConfig &config)
     : Scheduler(numWorkers), config_(config), drift_(numWorkers),
       tdfController_(config.tdf), pool_(numWorkers)
 {
@@ -55,8 +56,12 @@ HdCpsScheduler::HdCpsScheduler(unsigned numWorkers,
     hdcps_check(config.fixedTdf <= 100, "fixedTdf is a percentage");
     hdcps_check(config.sendFlushThreshold >= 1,
                 "send flush threshold must be >= 1");
+    hdcps_check(config.localPqWays >= 1, "need at least one local-PQ way");
 
-    name_ = "hdcps-srq";
+    // The design-name stem comes from the local backend ("hdcps-srq"
+    // for the exact heap, "hdcps-mq" for the relaxed MultiQueue); the
+    // mechanism suffixes stack on top as before.
+    name_ = LocalPq::kBaseName;
     if (config_.useTdf)
         name_ += "-tdf";
     if (config_.bags.mode == BagMode::Always)
@@ -69,7 +74,15 @@ HdCpsScheduler::HdCpsScheduler(unsigned numWorkers,
     for (unsigned i = 0; i < numWorkers; ++i) {
         auto w = std::make_unique<WorkerState>();
         w->rq = std::make_unique<ReceiveQueue<Envelope>>(config.rqCapacity);
-        w->rng.reseed(mix64(config.seed + 0x9e37) + i);
+        // Worker index mixed *into* the seed word (not added to the
+        // mixed output) so adjacent workers never get correlated
+        // xoshiro streams — same fix as the MultiQueue's.
+        w->rng.reseed(
+            mix64(config.seed ^ (uint64_t(i) * 0x9e3779b97f4a7c15ULL)));
+        w->pq.configure(
+            config.localPqWays,
+            mix64((config.seed + 0x5851f42d) ^
+                  (uint64_t(i) * 0x9e3779b97f4a7c15ULL)));
         w->heartbeatNs.store(now, std::memory_order_relaxed);
         w->sendArena.resize(size_t(numWorkers) *
                             config.sendFlushThreshold);
@@ -78,7 +91,8 @@ HdCpsScheduler::HdCpsScheduler(unsigned numWorkers,
     }
 }
 
-HdCpsScheduler::~HdCpsScheduler()
+template <template <typename, typename> class LocalPqT>
+BasicHdCpsScheduler<LocalPqT>::~BasicHdCpsScheduler()
 {
     // Return any bags still in flight to the pool (runs cut short by
     // tests); the pool frees the backing nodes when it destructs. The
@@ -110,8 +124,9 @@ HdCpsScheduler::~HdCpsScheduler()
     }
 }
 
+template <template <typename, typename> class LocalPqT>
 HdCpsConfig
-HdCpsScheduler::configSrq()
+BasicHdCpsScheduler<LocalPqT>::configSrq()
 {
     HdCpsConfig config;
     config.useTdf = false;
@@ -119,8 +134,9 @@ HdCpsScheduler::configSrq()
     return config;
 }
 
+template <template <typename, typename> class LocalPqT>
 HdCpsConfig
-HdCpsScheduler::configSrqTdf()
+BasicHdCpsScheduler<LocalPqT>::configSrqTdf()
 {
     HdCpsConfig config;
     config.useTdf = true;
@@ -128,8 +144,9 @@ HdCpsScheduler::configSrqTdf()
     return config;
 }
 
+template <template <typename, typename> class LocalPqT>
 HdCpsConfig
-HdCpsScheduler::configSrqTdfAc()
+BasicHdCpsScheduler<LocalPqT>::configSrqTdfAc()
 {
     HdCpsConfig config;
     config.useTdf = true;
@@ -137,8 +154,9 @@ HdCpsScheduler::configSrqTdfAc()
     return config;
 }
 
+template <template <typename, typename> class LocalPqT>
 HdCpsConfig
-HdCpsScheduler::configSw()
+BasicHdCpsScheduler<LocalPqT>::configSw()
 {
     HdCpsConfig config;
     config.useTdf = true;
@@ -146,20 +164,23 @@ HdCpsScheduler::configSw()
     return config;
 }
 
+template <template <typename, typename> class LocalPqT>
 unsigned
-HdCpsScheduler::currentTdf() const
+BasicHdCpsScheduler<LocalPqT>::currentTdf() const
 {
     return config_.useTdf ? tdfController_.current() : config_.fixedTdf;
 }
 
+template <template <typename, typename> class LocalPqT>
 double
-HdCpsScheduler::averageDrift() const
+BasicHdCpsScheduler<LocalPqT>::averageDrift() const
 {
     return driftSeries_.average();
 }
 
+template <template <typename, typename> class LocalPqT>
 size_t
-HdCpsScheduler::sizeApprox() const
+BasicHdCpsScheduler<LocalPqT>::sizeApprox() const
 {
     // Only race-free state is read: sRQ pointers are atomics, the
     // overflow queue locks, and the private PQ + active bag are covered
@@ -175,8 +196,9 @@ HdCpsScheduler::sizeApprox() const
     return total;
 }
 
+template <template <typename, typename> class LocalPqT>
 void
-HdCpsScheduler::setReclaimAfterMs(uint64_t ms)
+BasicHdCpsScheduler<LocalPqT>::setReclaimAfterMs(uint64_t ms)
 {
     reclaimAfterNs_.store(ms * 1000000, std::memory_order_relaxed);
     // Fresh heartbeats: the time a scheduler sat configured-but-idle
@@ -189,14 +211,16 @@ HdCpsScheduler::setReclaimAfterMs(uint64_t ms)
     }
 }
 
+template <template <typename, typename> class LocalPqT>
 uint64_t
-HdCpsScheduler::heartbeatPops(unsigned tid) const
+BasicHdCpsScheduler<LocalPqT>::heartbeatPops(unsigned tid) const
 {
     return workers_[tid]->heartbeatPops.load(std::memory_order_relaxed);
 }
 
+template <template <typename, typename> class LocalPqT>
 unsigned
-HdCpsScheduler::chooseDest(unsigned tid, unsigned tdf)
+BasicHdCpsScheduler<LocalPqT>::chooseDest(unsigned tid, unsigned tdf)
 {
     WorkerState &w = *workers_[tid];
     const unsigned n = numWorkers();
@@ -215,8 +239,9 @@ HdCpsScheduler::chooseDest(unsigned tid, unsigned tdf)
     return dest;
 }
 
+template <template <typename, typename> class LocalPqT>
 void
-HdCpsScheduler::enqueueLocal(unsigned tid, WorkerState &w,
+BasicHdCpsScheduler<LocalPqT>::enqueueLocal(unsigned tid, WorkerState &w,
                              const Envelope &envelope)
 {
     // Local enqueue goes straight into the private PQ — no receive
@@ -232,8 +257,9 @@ HdCpsScheduler::enqueueLocal(unsigned tid, WorkerState &w,
         metrics_->add(tid, WorkerCounter::LocalEnqueues);
 }
 
+template <template <typename, typename> class LocalPqT>
 void
-HdCpsScheduler::spillToOverflow(unsigned from, unsigned dest,
+BasicHdCpsScheduler<LocalPqT>::spillToOverflow(unsigned from, unsigned dest,
                                 const Envelope &envelope)
 {
     // sRQ full (or fault-forced): spill to the destination's locked
@@ -254,8 +280,9 @@ HdCpsScheduler::spillToOverflow(unsigned from, unsigned dest,
     }
 }
 
+template <template <typename, typename> class LocalPqT>
 void
-HdCpsScheduler::deliver(unsigned from, unsigned dest,
+BasicHdCpsScheduler<LocalPqT>::deliver(unsigned from, unsigned dest,
                         const Envelope &envelope)
 {
     if (dest == from) {
@@ -283,8 +310,9 @@ HdCpsScheduler::deliver(unsigned from, unsigned dest,
     spillToOverflow(from, dest, envelope);
 }
 
+template <template <typename, typename> class LocalPqT>
 void
-HdCpsScheduler::stageRemote(unsigned from, unsigned dest,
+BasicHdCpsScheduler<LocalPqT>::stageRemote(unsigned from, unsigned dest,
                             const Envelope &envelope)
 {
     // Combining buffer: park the envelope per destination; flushDest
@@ -307,8 +335,9 @@ HdCpsScheduler::stageRemote(unsigned from, unsigned dest,
         flushDest(from, dest);
 }
 
+template <template <typename, typename> class LocalPqT>
 void
-HdCpsScheduler::flushDest(unsigned from, unsigned dest)
+BasicHdCpsScheduler<LocalPqT>::flushDest(unsigned from, unsigned dest)
 {
     WorkerState &w = *workers_[from];
     const uint32_t staged = w.sendCount[dest];
@@ -346,8 +375,9 @@ HdCpsScheduler::flushDest(unsigned from, unsigned dest)
     w.sendCount[dest] = 0;
 }
 
+template <template <typename, typename> class LocalPqT>
 void
-HdCpsScheduler::flushSends(unsigned tid)
+BasicHdCpsScheduler<LocalPqT>::flushSends(unsigned tid)
 {
     WorkerState &w = *workers_[tid];
     if (w.dirtySends.empty())
@@ -359,8 +389,9 @@ HdCpsScheduler::flushSends(unsigned tid)
     w.dirtySends.clear();
 }
 
+template <template <typename, typename> class LocalPqT>
 void
-HdCpsScheduler::push(unsigned tid, const Task &task)
+BasicHdCpsScheduler<LocalPqT>::push(unsigned tid, const Task &task)
 {
     // Singles bypass the combining buffers: push() has no batch end to
     // flush at, and staying direct keeps the one-task latency path
@@ -370,8 +401,9 @@ HdCpsScheduler::push(unsigned tid, const Task &task)
     deliver(tid, chooseDest(tid, currentTdf()), envelope);
 }
 
+template <template <typename, typename> class LocalPqT>
 void
-HdCpsScheduler::pushBatch(unsigned tid, const Task *tasks, size_t count)
+BasicHdCpsScheduler<LocalPqT>::pushBatch(unsigned tid, const Task *tasks, size_t count)
 {
     if (count == 0)
         return;
@@ -439,8 +471,9 @@ HdCpsScheduler::pushBatch(unsigned tid, const Task *tasks, size_t count)
         unlockReclaim(w.reclaimLock);
 }
 
+template <template <typename, typename> class LocalPqT>
 void
-HdCpsScheduler::drainIncoming(WorkerState &w)
+BasicHdCpsScheduler<LocalPqT>::drainIncoming(WorkerState &w)
 {
     // Move everything the sRQ and the overflow spill hold into the
     // private PQ. Incoming work is handled "with high priority"
@@ -464,8 +497,9 @@ HdCpsScheduler::drainIncoming(WorkerState &w)
         w.pq.pushBulk(batch.begin(), batch.end());
 }
 
+template <template <typename, typename> class LocalPqT>
 bool
-HdCpsScheduler::tryPop(unsigned tid, Task &out)
+BasicHdCpsScheduler<LocalPqT>::tryPop(unsigned tid, Task &out)
 {
     WorkerState &w = *workers_[tid];
     const uint64_t staleNs = reclaimAfterNs_.load(std::memory_order_relaxed);
@@ -486,8 +520,9 @@ HdCpsScheduler::tryPop(unsigned tid, Task &out)
     return got;
 }
 
+template <template <typename, typename> class LocalPqT>
 bool
-HdCpsScheduler::popLocal(unsigned tid, WorkerState &w, Task &out)
+BasicHdCpsScheduler<LocalPqT>::popLocal(unsigned tid, WorkerState &w, Task &out)
 {
     // Flush-on-pop: anything still staged in the combining buffers goes
     // out before we look for work, so a worker never sits on envelopes
@@ -540,8 +575,9 @@ HdCpsScheduler::popLocal(unsigned tid, WorkerState &w, Task &out)
     return true;
 }
 
+template <template <typename, typename> class LocalPqT>
 bool
-HdCpsScheduler::reclaimFromStraggler(unsigned tid, uint64_t staleNs,
+BasicHdCpsScheduler<LocalPqT>::reclaimFromStraggler(unsigned tid, uint64_t staleNs,
                                      Task &out)
 {
     WorkerState &me = *workers_[tid];
@@ -637,8 +673,9 @@ HdCpsScheduler::reclaimFromStraggler(unsigned tid, uint64_t staleNs,
     return popLocal(tid, me, out);
 }
 
+template <template <typename, typename> class LocalPqT>
 void
-HdCpsScheduler::sampleNow(unsigned tid, Priority poppedPriority)
+BasicHdCpsScheduler<LocalPqT>::sampleNow(unsigned tid, Priority poppedPriority)
 {
     WorkerState &w = *workers_[tid];
     // Algorithm 3: report the latest processed priority to the master.
@@ -678,5 +715,11 @@ HdCpsScheduler::sampleNow(unsigned tid, Priority poppedPriority)
     }
     updateMutex_.unlock();
 }
+
+// The two shipped backends (see core/local_pq.h). Keeping the member
+// definitions here and instantiating explicitly preserves the old
+// single-TU codegen for the exact-heap scheduler.
+template class BasicHdCpsScheduler<DAryLocalPq>;
+template class BasicHdCpsScheduler<RelaxedMqLocalPq>;
 
 } // namespace hdcps

@@ -45,10 +45,10 @@
 #include "core/bag_policy.h"
 #include "core/bag_pool.h"
 #include "core/drift.h"
+#include "core/local_pq.h"
 #include "core/recv_queue.h"
 #include "core/tdf.h"
 #include "cps/scheduler.h"
-#include "pq/dary_heap.h"
 #include "pq/locked_pq.h"
 #include "support/compiler.h"
 #include "support/rng.h"
@@ -71,14 +71,25 @@ struct HdCpsConfig
      * only bounds the staging memory of very large batches).
      */
     size_t sendFlushThreshold = 16;
+    /** Internal heaps per worker for the relaxed local-PQ backend
+     *  (RelaxedMqLocalPq ways; ignored by the exact DAry backend). */
+    unsigned localPqWays = 4;
 };
 
-/** The HD-CPS software scheduler. */
-class HdCpsScheduler : public Scheduler
+/**
+ * The HD-CPS software scheduler, parameterized over its local-PQ
+ * backend (the owner-private per-worker priority queue behind the
+ * sRQ/bag layer — see core/local_pq.h for the seam's contract and the
+ * available backends). Use the `HdCpsScheduler` (exact DAry heap) and
+ * `HdCpsMqScheduler` (relaxed sequential MultiQueue) aliases below.
+ */
+template <template <typename, typename> class LocalPqT>
+class BasicHdCpsScheduler : public Scheduler
 {
   public:
-    HdCpsScheduler(unsigned numWorkers, const HdCpsConfig &config = {});
-    ~HdCpsScheduler() override;
+    BasicHdCpsScheduler(unsigned numWorkers,
+                        const HdCpsConfig &config = {});
+    ~BasicHdCpsScheduler() override;
 
     void push(unsigned tid, const Task &task) override;
     void pushBatch(unsigned tid, const Task *tasks, size_t count) override;
@@ -210,6 +221,9 @@ class HdCpsScheduler : public Scheduler
         }
     };
 
+    /** The pluggable owner-private backend, bound to the entry type. */
+    using LocalPq = LocalPqT<PqEntry, PqEntryOrder>;
+
     /** What travels through the receive queue. */
     struct Envelope
     {
@@ -219,7 +233,7 @@ class HdCpsScheduler : public Scheduler
 
     struct alignas(cacheLineBytes) WorkerState
     {
-        DAryHeap<PqEntry, PqEntryOrder> pq; ///< private to the owner
+        LocalPq pq; ///< private to the owner (see core/local_pq.h)
         std::unique_ptr<ReceiveQueue<Envelope>> rq;
         LockedTaskPq overflow; ///< spill path when the sRQ is full
         std::vector<Task> activeBag; ///< tasks of the bag being drained
@@ -366,6 +380,15 @@ class HdCpsScheduler : public Scheduler
     std::atomic<uint64_t> reclaimRaces_{0};
     BagPool pool_;
 };
+
+/** HD-CPS:SW as the paper ships it: exact 4-ary heap local PQ. */
+using HdCpsScheduler = BasicHdCpsScheduler<DAryLocalPq>;
+/** HD-CPS over a relaxed MultiQueue local PQ (design "hdcps-mq"). */
+using HdCpsMqScheduler = BasicHdCpsScheduler<RelaxedMqLocalPq>;
+
+// Both backends are explicitly instantiated in hdcps.cc.
+extern template class BasicHdCpsScheduler<DAryLocalPq>;
+extern template class BasicHdCpsScheduler<RelaxedMqLocalPq>;
 
 } // namespace hdcps
 

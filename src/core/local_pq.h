@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Pluggable local-PQ backends for the HD-CPS scheduler.
+ *
+ * The sRQ mechanism makes each worker's priority queue private to its
+ * owner — no PQ operation ever synchronizes — which turns the local PQ
+ * into a swappable policy: anything with push/pushBulk/pop/empty/size
+ * and owner-thread-only semantics can sit behind the sRQ/bag layer.
+ * `BasicHdCpsScheduler` (core/hdcps.h) is parameterized over that seam,
+ * and this header provides the two backends it instantiates:
+ *
+ *  - DAryLocalPq: the paper's exact 4-ary heap (HD-CPS:SW as shipped).
+ *  - RelaxedMqLocalPq: a *sequential* MultiQueue — k small heaps,
+ *    pushes spray to a random heap, pops take the better of two random
+ *    tops. Because the owner is the only toucher there are no locks,
+ *    no buffers, no cached tops: this isolates the MultiQueue's
+ *    *ordering relaxation* (cheaper rebalancing, relaxed pop order)
+ *    from its concurrency machinery, giving the
+ *    drift-aware-TDF-on-relaxed-local-PQ combination the source papers
+ *    never tried. Pops are relaxed by design: expected rank error
+ *    O(k), traded for shallower heaps and fewer element moves.
+ *
+ * Backends are owner-private: callers guarantee single-threaded access
+ * (the scheduler's reclaim lock covers the straggler-drain exception).
+ */
+
+#ifndef HDCPS_CORE_LOCAL_PQ_H_
+#define HDCPS_CORE_LOCAL_PQ_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "pq/dary_heap.h"
+#include "support/rng.h"
+
+namespace hdcps {
+
+/** The exact backend: a thin veneer over the paper's 4-ary heap. */
+template <typename T, typename Compare>
+class DAryLocalPq
+{
+  public:
+    /** Design-name stem for schedulers built on this backend. */
+    static constexpr const char *kBaseName = "hdcps-srq";
+
+    /** Backend tuning hook; the exact heap has nothing to tune. */
+    void configure(unsigned /*ways*/, uint64_t /*seed*/) {}
+
+    bool empty() const { return heap_.empty(); }
+    size_t size() const { return heap_.size(); }
+    void push(T value) { heap_.push(std::move(value)); }
+
+    template <typename InputIt>
+    void
+    pushBulk(InputIt first, InputIt last)
+    {
+        heap_.pushBulk(first, last);
+    }
+
+    T pop() { return heap_.pop(); }
+
+  private:
+    DAryHeap<T, Compare> heap_;
+};
+
+/** The relaxed backend: a sequential owner-private MultiQueue. */
+template <typename T, typename Compare>
+class RelaxedMqLocalPq
+{
+  public:
+    static constexpr const char *kBaseName = "hdcps-mq";
+
+    RelaxedMqLocalPq() { configure(4, 1); }
+
+    /** Set the number of internal heaps ("ways") and the spray RNG
+     *  seed. Only valid while empty (the scheduler configures each
+     *  worker's backend once, at construction). */
+    void
+    configure(unsigned ways, uint64_t seed)
+    {
+        ways_ = std::max(2u, ways);
+        heaps_.clear();
+        heaps_.resize(ways_);
+        rng_.reseed(seed);
+        size_ = 0;
+    }
+
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+
+    void
+    push(T value)
+    {
+        heaps_[rng_.below(ways_)].push(std::move(value));
+        ++size_;
+    }
+
+    /** Bulk insert sprays per element: spreading a drained sRQ batch
+     *  across the ways is what keeps the individual heaps shallow. */
+    template <typename InputIt>
+    void
+    pushBulk(InputIt first, InputIt last)
+    {
+        for (; first != last; ++first)
+            push(*first);
+    }
+
+    /** Power-of-two-choices pop: the better of two random non-empty
+     *  tops; falls back to a best-of-all scan when random draws keep
+     *  landing on empty ways (so the relaxation never strands work).
+     *  Precondition: !empty(). */
+    T
+    pop()
+    {
+        const size_t kNone = ways_;
+        size_t a = kNone;
+        for (int t = 0; t < 4 && a == kNone; ++t) {
+            size_t i = rng_.below(ways_);
+            if (!heaps_[i].empty())
+                a = i;
+        }
+        if (a == kNone) {
+            for (size_t i = 0; i < ways_; ++i) {
+                if (!heaps_[i].empty() &&
+                    (a == kNone || cmp_(heaps_[i].top(), heaps_[a].top())))
+                    a = i;
+            }
+        } else {
+            size_t b = kNone;
+            for (int t = 0; t < 4 && b == kNone; ++t) {
+                size_t i = rng_.below(ways_);
+                if (i != a && !heaps_[i].empty())
+                    b = i;
+            }
+            if (b != kNone && cmp_(heaps_[b].top(), heaps_[a].top()))
+                a = b;
+        }
+        --size_;
+        return heaps_[a].pop();
+    }
+
+  private:
+    std::vector<DAryHeap<T, Compare>> heaps_;
+    Compare cmp_;
+    Rng rng_;
+    unsigned ways_ = 2;
+    size_t size_ = 0;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_CORE_LOCAL_PQ_H_

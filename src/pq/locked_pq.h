@@ -32,14 +32,35 @@ class LockedTaskPq
         count_.store(heap_.size(), std::memory_order_release);
     }
 
-    /** Pop the highest-priority task; false when empty. */
+    /**
+     * Pop the highest-priority task; false when empty.
+     *
+     * The emptiness probe below is lock-free and may return false
+     * while a racing push() still holds the mutex. That is a
+     * deliberate, linearizable outcome: a push that has not yet
+     * published its count_ store (release, under the lock) has not
+     * completed, so the probe's acquire load observing 0 linearizes
+     * the pop *before* that push. The acquire/release pair on count_
+     * guarantees the converse — once a pusher's store is visible, a
+     * probing popper also sees the heap insertion when it takes the
+     * lock.
+     *
+     * Termination safety under the executor's two-pass quiescence
+     * scan does not rest on this probe being conservative: the
+     * executor bumps its created counter BEFORE calling push, so at
+     * the moment quiescence (created == completed) can first be
+     * observed, every push has returned — and a returned push has
+     * published count_, which a subsequent probe's acquire load is
+     * then guaranteed to see. A transient "empty" during an in-flight
+     * push can therefore only add a retry, never a lost task. The
+     * probe exists because HD-CPS drains this spill queue on every
+     * local enqueue and every pop, and it is almost always empty —
+     * skipping the mutex keeps the overflow path's cost out of the
+     * fast path entirely.
+     */
     bool
     tryPop(Task &out)
     {
-        // Lock-free emptiness probe: HD-CPS drains this spill queue on
-        // every local enqueue and every pop, and it is almost always
-        // empty — skipping the mutex there keeps the overflow path's
-        // cost out of the fast path entirely.
         if (count_.load(std::memory_order_acquire) == 0)
             return false;
         std::lock_guard<std::mutex> lock(mutex_);

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -71,6 +72,22 @@ allSchedulers()
         {"multiqueue",
          [](unsigned n) {
              return std::make_unique<MultiQueueScheduler>(n, 2, 5);
+         }},
+        {"multiqueue-s1",
+         [](unsigned n) {
+             // Stickiness 1 with single-op buffers: the classic
+             // fully-random MultiQueue degenerate configuration.
+             MultiQueueConfig config;
+             config.stickiness = 1;
+             config.insertionBufferCap = 1;
+             config.deletionBufferCap = 1;
+             config.seed = 5;
+             return std::make_unique<MultiQueueScheduler>(n, config);
+         }},
+        {"hdcps-mq",
+         [](unsigned n) {
+             return std::make_unique<HdCpsMqScheduler>(
+                 n, HdCpsMqScheduler::configSw());
          }},
     };
 }
@@ -172,7 +189,7 @@ TEST_P(SchedulerMatrix, RoughPriorityOrderWhenQuiescent)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllDesigns, SchedulerMatrix,
-                         testing::Range<size_t>(0, 7),
+                         testing::Range<size_t>(0, 9),
                          [](const testing::TestParamInfo<size_t> &info) {
                              std::string name =
                                  allSchedulers()[info.param].label;
@@ -282,6 +299,123 @@ TEST(SwMinnow, HelperSpillRespectsSingleWriterContract)
                     ? std::string()
                     : metrics.writerViolationSamples()[0]);
     }
+}
+
+// ------------------------------------------- multiqueue regressions
+
+TEST(MultiQueue, WorkerRngStreamsAreIndependent)
+{
+    // Regression: worker RNGs were seeded mix64(seed + c) + i, handing
+    // adjacent workers xoshiro states that differ by 1 in one word —
+    // correlated queue choices defeat the power-of-two-choices load
+    // balance. The fix mixes the worker index into the seed word, so
+    // every stream must be disjoint from every other from the start.
+    constexpr unsigned kWorkers = 16;
+    constexpr unsigned kDraws = 64;
+    std::set<uint64_t> outputs;
+    for (unsigned w = 0; w < kWorkers; ++w) {
+        uint64_t streamSeed = MultiQueueScheduler::workerStreamSeed(1, w);
+        Rng rng(streamSeed);
+        for (unsigned d = 0; d < kDraws; ++d)
+            outputs.insert(rng.next());
+    }
+    // Any overlap between two 64-draw prefixes of 64-bit streams is a
+    // correlation signature, not a coincidence.
+    EXPECT_EQ(outputs.size(), size_t(kWorkers) * kDraws);
+
+    // The seed words themselves must also be pairwise distinct.
+    std::set<uint64_t> seeds;
+    for (unsigned w = 0; w < kWorkers; ++w)
+        seeds.insert(MultiQueueScheduler::workerStreamSeed(7, w));
+    EXPECT_EQ(seeds.size(), size_t(kWorkers));
+}
+
+TEST(MultiQueue, ExternalTidPushesAndPopsAreBoundChecked)
+{
+    // Regression: push() indexed workers_[tid] unchecked, so a seeding
+    // or driver thread using tid >= numWorkers read out of bounds. Such
+    // pushes now take the external path; the tasks must still be
+    // conserved and poppable by real workers (and by external tids).
+    MultiQueueScheduler sched(2, 2, 9);
+    constexpr uint32_t kTasks = 500;
+    for (uint32_t i = 0; i < kTasks; ++i)
+        sched.push(/*tid=*/7, Task{uint64_t(i % 31), i, 0});
+    EXPECT_EQ(sched.sizeApprox(), size_t(kTasks));
+
+    Task t;
+    uint32_t popped = 0;
+    ASSERT_TRUE(sched.tryPop(/*tid=*/9, t)); // external pop path
+    ++popped;
+    while (sched.tryPop(0, t) || sched.tryPop(1, t))
+        ++popped;
+    EXPECT_EQ(popped, kTasks);
+    EXPECT_EQ(sched.sizeApprox(), 0u);
+}
+
+TEST(MultiQueue, AttributionMatchesQueueOwnership)
+{
+    // Regression: local/remote attribution assumed a worker-blocked
+    // queue layout the constructor never established. Now the layout is
+    // explicit (queue q belongs to worker q / c), so: every push is
+    // counted exactly once, a single-worker scheduler owns all queues
+    // (all enqueues local), and with several workers a worker's sticky
+    // draws must hit both own and foreign queues.
+    {
+        MultiQueueScheduler sched(1, 2, 3);
+        MetricsRegistry metrics(1);
+        sched.attachMetrics(&metrics);
+        constexpr uint32_t kTasks = 200;
+        for (uint32_t i = 0; i < kTasks; ++i)
+            sched.push(0, Task{uint64_t(i), i, 0});
+        MetricsSnapshot snap = metrics.snapshot();
+        const auto *local = schedCounterByName(snap, "local_enqueues");
+        const auto *remote = schedCounterByName(snap, "remote_enqueues");
+        ASSERT_NE(local, nullptr);
+        EXPECT_EQ(local->total, kTasks)
+            << "sole worker owns every queue; nothing can be remote";
+        EXPECT_EQ(remote == nullptr ? 0 : remote->total, 0u);
+    }
+    {
+        constexpr unsigned kWorkers = 4;
+        MultiQueueScheduler sched(kWorkers, 2, 3);
+        MetricsRegistry metrics(kWorkers);
+        sched.attachMetrics(&metrics);
+        constexpr uint32_t kTasks = 2000;
+        for (uint32_t i = 0; i < kTasks; ++i)
+            sched.push(i % kWorkers, Task{uint64_t(i), i, 0});
+        MetricsSnapshot snap = metrics.snapshot();
+        const auto *local = schedCounterByName(snap, "local_enqueues");
+        const auto *remote = schedCounterByName(snap, "remote_enqueues");
+        ASSERT_NE(local, nullptr);
+        ASSERT_NE(remote, nullptr);
+        EXPECT_EQ(local->total + remote->total, kTasks)
+            << "every push attributed exactly once";
+        // 2000 sticky draws over 1/4 own vs 3/4 foreign queues: both
+        // sides must be populated for the split to mean anything.
+        EXPECT_GT(local->total, 0u);
+        EXPECT_GT(remote->total, 0u);
+    }
+}
+
+TEST(MultiQueue, QuiescentDrainServesBufferedTasks)
+{
+    // Worker-private insertion/deletion buffers must never strand
+    // tasks: after any push sequence, the pushing worker can always
+    // drain everything it staged, including the tail that never
+    // reached a shared queue.
+    MultiQueueConfig config;
+    config.stickiness = 8;
+    config.insertionBufferCap = 16;
+    config.seed = 11;
+    MultiQueueScheduler sched(1, config);
+    // 21 pushes: the last 5 stay staged in the insertion buffer.
+    for (uint32_t i = 0; i < 21; ++i)
+        sched.push(0, Task{uint64_t(100 - i), i, 0});
+    Task t;
+    uint32_t popped = 0;
+    while (sched.tryPop(0, t))
+        ++popped;
+    EXPECT_EQ(popped, 21u);
 }
 
 // ------------------------------------------------------------- executor

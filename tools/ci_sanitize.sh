@@ -70,9 +70,9 @@ chaos_soak() {
     local builddir=$1
     "$builddir"/tools/hdcps_soak --runs 24 --seed 7 --threads 4 \
         --budget-ms 60000
-    "$builddir"/tools/hdcps_soak --runs 10 --seed 23 --threads 4 \
+    "$builddir"/tools/hdcps_soak --runs 12 --seed 23 --threads 4 \
         --budget-ms 45000 \
-        --designs obim,pmod,multiqueue,swminnow,reld
+        --designs obim,pmod,multiqueue,swminnow,reld,hdcps-mq
 }
 
 # Bench smoke: run the perf-gate microbenchmarks with a tiny iteration

@@ -248,6 +248,13 @@ makeThreaded(const Options &options, unsigned sampleInterval)
         config.sampleInterval = sampleInterval;
         return std::make_unique<HdCpsScheduler>(t, config);
     }
+    if (options.design == "hdcps-mq") {
+        // HD-CPS:SW mechanisms over the relaxed MultiQueue local PQ.
+        HdCpsConfig config = HdCpsMqScheduler::configSw();
+        config.sampleInterval = sampleInterval;
+        config.seed = options.seed;
+        return std::make_unique<HdCpsMqScheduler>(t, config);
+    }
     hdcps_fatal("design '%s' is not available in --mode threads "
                 "(hardware designs need --mode sim)",
                 options.design.c_str());
@@ -406,7 +413,7 @@ main(int argc, char **argv)
             std::cout << " " << designs[i];
         std::cout << " hdcps-srq hdcps-srq-tdf hdcps-srq-tdf-ac"
                   << "\nthreaded designs: reld multiqueue obim pmod "
-                     "swminnow hdcps-srq hdcps-sw\n"
+                     "swminnow hdcps-srq hdcps-sw hdcps-mq\n"
                   << "fault sites (--fault-spec):\n";
         const FaultSiteInfo *sites = faultSiteCatalog(count);
         for (size_t i = 0; i < count; ++i) {

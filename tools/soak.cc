@@ -102,9 +102,9 @@ parseUint(const char *flag, const char *text, uint64_t max)
     return parsed;
 }
 
-const char *const kDesigns[] = {"hdcps-sw",   "hdcps-srq", "reld",
-                                "multiqueue", "obim",      "pmod",
-                                "swminnow"};
+const char *const kDesigns[] = {"hdcps-sw",   "hdcps-srq", "hdcps-mq",
+                                "reld",       "multiqueue", "obim",
+                                "pmod",       "swminnow"};
 
 /** Parse a comma-separated --designs list against kDesigns. */
 std::vector<std::string>
@@ -123,7 +123,8 @@ parseDesignList(const char *text)
         if (!known) {
             hdcps_fatal("--designs: unknown design '%s' (want a "
                         "comma-separated subset of hdcps-sw, hdcps-srq, "
-                        "reld, multiqueue, obim, pmod, swminnow)",
+                        "hdcps-mq, reld, multiqueue, obim, pmod, "
+                        "swminnow)",
                         item.c_str());
         }
         out.push_back(item);
@@ -266,6 +267,11 @@ makeDesign(const Scenario &s, unsigned threads)
         return std::make_unique<PmodScheduler>(threads);
     if (s.design == "swminnow")
         return std::make_unique<SwMinnowScheduler>(threads);
+    if (s.design == "hdcps-mq") {
+        HdCpsConfig config = HdCpsMqScheduler::configSw();
+        config.seed = s.seed;
+        return std::make_unique<HdCpsMqScheduler>(threads, config);
+    }
     HdCpsConfig config = s.design == "hdcps-srq"
                              ? HdCpsScheduler::configSrq()
                              : HdCpsScheduler::configSw();
