@@ -25,7 +25,7 @@ VerifyingScheduler::VerifyingScheduler(Scheduler &inner,
 size_t
 VerifyingScheduler::TaskBitsHash::operator()(const TaskBits &k) const
 {
-    return static_cast<size_t>(mix64(k.hi ^ mix64(k.lo)));
+    return static_cast<size_t>(mix64(k.hi ^ mix64(k.lo ^ mix64(k.tag))));
 }
 
 VerifyingScheduler::TaskBits
@@ -34,6 +34,7 @@ VerifyingScheduler::taskKey(const Task &task)
     TaskBits key;
     key.hi = task.priority;
     key.lo = (static_cast<uint64_t>(task.node) << 32) | task.data;
+    key.tag = (static_cast<uint64_t>(task.job) << 32) | task.attempt;
     return key;
 }
 
@@ -52,6 +53,7 @@ VerifyingScheduler::recordPush(const Task &task)
     std::lock_guard<std::mutex> lock(shard.mutex);
     ++shard.counts[key];
     ++shard.byPriority[task.priority];
+    ++shard.byJob[task.job];
 }
 
 void
@@ -77,12 +79,16 @@ VerifyingScheduler::recordPop(const Task &task)
             auto it = shard.byPriority.find(task.priority);
             if (it != shard.byPriority.end() && --it->second == 0)
                 shard.byPriority.erase(it);
+            auto jt = shard.byJob.find(task.job);
+            if (jt != shard.byJob.end() && --jt->second == 0)
+                shard.byJob.erase(jt);
         }
     }
     if (bad) {
         std::ostringstream out;
         out << "task {priority=" << task.priority
             << ", node=" << task.node << ", data=" << task.data
+            << ", job=" << task.job << ", attempt=" << task.attempt
             << "} popped with no outstanding push "
                "(duplicated or invented)";
         flagViolation(out.str());
@@ -198,6 +204,11 @@ VerifyingScheduler::report() const
                 report.outstanding +=
                     static_cast<uint64_t>(entry.second);
         }
+        for (const auto &entry : shard.byJob) {
+            if (entry.second > 0)
+                report.outstandingByJob[entry.first] +=
+                    static_cast<uint64_t>(entry.second);
+        }
     }
     {
         std::lock_guard<std::mutex> lock(samplesMutex_);
@@ -231,6 +242,35 @@ VerifyingScheduler::checkComplete(bool runFailed,
     if (!ok && whyNot)
         *whyNot = out.str();
     return ok;
+}
+
+uint64_t
+VerifyingScheduler::outstandingForJob(JobId job) const
+{
+    uint64_t outstanding = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.byJob.find(job);
+        if (it != shard.byJob.end() && it->second > 0)
+            outstanding += static_cast<uint64_t>(it->second);
+    }
+    return outstanding;
+}
+
+bool
+VerifyingScheduler::checkJobDrained(JobId job,
+                                    std::string *whyNot) const
+{
+    uint64_t outstanding = outstandingForJob(job);
+    if (outstanding == 0)
+        return true;
+    if (whyNot) {
+        std::ostringstream out;
+        out << "job " << job << " still has " << outstanding
+            << " task(s) pushed but never popped";
+        *whyNot = out.str();
+    }
+    return false;
 }
 
 } // namespace hdcps

@@ -21,6 +21,13 @@
  *    makes "how relaxed" observable (GlobalSeries::RankError when a
  *    metrics registry is attached, max + count in the Report).
  *
+ * Accounting is job-aware: the multiset key includes the task's service
+ * job tag (cps/task.h), and each shard additionally tracks outstanding
+ * counts per job. The multi-tenant ExecutorService harnesses use
+ * outstandingForJob()/checkJobDrained() to assert *per-job* task
+ * conservation — a cancelled or failed job must drain to exactly zero
+ * outstanding tasks while co-resident jobs keep theirs.
+ *
  * Bookkeeping is a 64-shard hash of mutex-protected count maps: pushes
  * record *before* entering the inner scheduler and pops record *after*
  * leaving it, so a concurrently popped task can never transiently look
@@ -71,6 +78,9 @@ class VerifyingScheduler : public Scheduler
         uint64_t rankSamples = 0;
         double maxRankError = 0.0; ///< worst sampled priority inversion
         std::vector<std::string> violationSamples;
+        /** Outstanding tasks per service job tag (jobs with zero
+         *  outstanding are omitted; key 0 = untagged tasks). */
+        std::map<JobId, uint64_t> outstandingByJob;
     };
 
     explicit VerifyingScheduler(Scheduler &inner);
@@ -100,20 +110,36 @@ class VerifyingScheduler : public Scheduler
      */
     bool checkComplete(bool runFailed, std::string *whyNot = nullptr) const;
 
+    /** Tasks of `job` currently pushed but not popped. Callable while
+     *  workers run (shard-locked reads); exact once the job quiesced. */
+    uint64_t outstandingForJob(JobId job) const;
+
+    /**
+     * Per-job drain verdict for the multi-tenant service harnesses:
+     * true when `job` has zero outstanding tasks. On failure, *whyNot
+     * (optional) names the count — the per-job analogue of
+     * checkComplete's loss check, applicable to cancelled and failed
+     * jobs too (the service drains those instead of stranding them).
+     */
+    bool checkJobDrained(JobId job, std::string *whyNot = nullptr) const;
+
   private:
     static constexpr size_t kShards = 64;
 
-    /** A task's full 128 bits, hashable — the multiset key is exact,
-     *  so distinct tasks never alias. */
+    /** A task's full identity — the 128 Table-I bits plus the job tag —
+     *  hashable; the multiset key is exact, so distinct tasks (and the
+     *  same task owned by distinct jobs or retry attempts) never
+     *  alias. */
     struct TaskBits
     {
-        uint64_t hi = 0; ///< priority
-        uint64_t lo = 0; ///< node:data
+        uint64_t hi = 0;  ///< priority
+        uint64_t lo = 0;  ///< node:data
+        uint64_t tag = 0; ///< job:attempt
 
         friend bool
         operator==(const TaskBits &a, const TaskBits &b)
         {
-            return a.hi == b.hi && a.lo == b.lo;
+            return a.hi == b.hi && a.lo == b.lo && a.tag == b.tag;
         }
     };
 
@@ -129,6 +155,7 @@ class VerifyingScheduler : public Scheduler
         mutable std::mutex mutex;
         std::unordered_map<TaskBits, int64_t, TaskBitsHash> counts;
         std::map<Priority, int64_t> byPriority; ///< prio → live
+        std::unordered_map<JobId, int64_t> byJob; ///< job → live
     };
 
     static TaskBits taskKey(const Task &task);

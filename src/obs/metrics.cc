@@ -12,7 +12,8 @@ workerCounterName(WorkerCounter c)
         "tasks_processed", "empty_tasks",   "local_enqueues",
         "remote_enqueues", "overflow_pushes", "bags_created",
         "tasks_in_bags",   "reclaimed_tasks", "reclaim_races",
-        "srq_batch_flushes", "pool_recycled",
+        "srq_batch_flushes", "pool_recycled", "task_retries",
+        "drained_tasks",
     };
     return names[unsigned(c)];
 }
@@ -45,6 +46,7 @@ globalSeriesName(GlobalSeries s)
         "tdf_drift",
         "tdf",
         "rank_error",
+        "job_latency_ms",
     };
     return names[unsigned(s)];
 }

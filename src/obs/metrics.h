@@ -138,6 +138,8 @@ enum class WorkerCounter : unsigned {
     ReclaimRaces,       ///< reclamation lock attempts lost to a peer
     SrqBatchFlushes,    ///< combining-buffer flushes into a remote sRQ
     PoolRecycled,       ///< bag envelopes served from the pool free list
+    TaskRetries,        ///< service tasks re-pushed after a transient failure
+    DrainedTasks,       ///< tasks discarded for a cancelled/failed/expired job
     Count
 };
 
@@ -165,6 +167,7 @@ enum class GlobalSeries : unsigned {
     TdfDrift,  ///< drift samples the TDF controller actually consumed
     Tdf,       ///< TDF percentage after each Algorithm 2 decision
     RankError, ///< verifying wrapper's sampled priority-inversion gap
+    JobLatencyMs, ///< service per-job submit-to-terminal latency
     Count
 };
 

@@ -23,6 +23,7 @@
 #ifndef HDCPS_PQ_BUCKET_QUEUE_H_
 #define HDCPS_PQ_BUCKET_QUEUE_H_
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -63,9 +64,15 @@ class BucketQueue
             overflow_.push(
                 OverflowEntry{priority, nextSeq_++, std::move(value)});
         } else {
-            if (priority >= buckets_.size())
+            if (priority >= buckets_.size()) {
                 buckets_.resize(priority + 1);
-            buckets_[priority].items.push_back(std::move(value));
+                occupancy_.resize((buckets_.size() + 63) / 64, 0);
+            }
+            Bucket &bucket = buckets_[priority];
+            if (bucket.drained())
+                occupancy_[priority / 64] |= uint64_t(1)
+                                             << (priority % 64);
+            bucket.items.push_back(std::move(value));
             if (priority < cursor_)
                 cursor_ = priority;
         }
@@ -91,8 +98,10 @@ class BucketQueue
             return overflow_.pop().value;
         Bucket &bucket = buckets_[cursor_];
         T value = std::move(bucket.items[bucket.head++]);
-        if (bucket.head == bucket.items.size())
+        if (bucket.head == bucket.items.size()) {
             bucket.reset();
+            occupancy_[cursor_ / 64] &= ~(uint64_t(1) << (cursor_ % 64));
+        }
         return value;
     }
 
@@ -134,11 +143,35 @@ class BucketQueue
         }
     };
 
+    /**
+     * Bulk rebase: jump the cursor to the lowest occupied bucket at or
+     * above it. The occupancy bitmap (one bit per bucket, maintained
+     * on the empty/non-empty transitions in push/pop) turns what used
+     * to be a one-bucket-at-a-time walk into word-sized strides — a
+     * cursor stranded far below the live range (common after a
+     * label-correcting rewind or a sparse high-priority burst) crosses
+     * 64 empty buckets per iteration plus one countr_zero, instead of
+     * 64 loads.
+     */
     void
     advance()
     {
-        while (cursor_ < buckets_.size() && buckets_[cursor_].drained())
-            ++cursor_;
+        size_t word = cursor_ / 64;
+        if (word >= occupancy_.size()) {
+            cursor_ = buckets_.size();
+            return;
+        }
+        uint64_t bits = occupancy_[word] &
+                        (~uint64_t(0) << (cursor_ % 64));
+        while (bits == 0) {
+            if (++word == occupancy_.size()) {
+                cursor_ = buckets_.size();
+                return;
+            }
+            bits = occupancy_[word];
+        }
+        cursor_ = word * 64 +
+                  static_cast<size_t>(std::countr_zero(bits));
     }
 
     /** After advance(): does the dense tier hold the best element?
@@ -154,6 +187,9 @@ class BucketQueue
     }
 
     std::vector<Bucket> buckets_;
+    /** One bit per bucket: set iff the bucket has live (unconsumed)
+     *  items. Parallel to buckets_, 64 buckets per word. */
+    std::vector<uint64_t> occupancy_;
     DAryHeap<OverflowEntry, OverflowOrder> overflow_;
     uint64_t maxBucketSpan_;
     uint64_t nextSeq_ = 0;

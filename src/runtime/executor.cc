@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "runtime/worker_common.h"
 #include "support/compiler.h"
 #include "support/fault.h"
 #include "support/logging.h"
@@ -18,35 +19,22 @@ namespace hdcps {
 
 namespace {
 
-/** Shared state visible to all workers of one run. */
+/** Shared state visible to all workers of one run. The distributed
+ *  termination counters and the failure latch are the shared
+ *  runtime/worker_common.h machinery — the ExecutorService keeps the
+ *  same two per *job*. */
 struct RunState
 {
     Scheduler *sched = nullptr;
     const ProcessFn *process = nullptr;
     RunOptions options;
-    /**
-     * Distributed termination state: per-worker monotone counters of
-     * tasks created (seeds + children, bumped by the creating worker
-     * *before* the push makes them poppable) and tasks completed
-     * (bumped with release order after the task's children are pushed —
-     * or after its failure is latched). Each worker only ever writes
-     * its own cache-line-padded slot, so the per-task cost is two
-     * uncontended RMWs instead of the old design's two fetch_adds on
-     * one global in-flight counter that every core fought over.
-     * Quiescence is detected by summing (see quiescentOnce below).
-     */
-    std::vector<Padded<std::atomic<uint64_t>>> created;
-    std::vector<Padded<std::atomic<uint64_t>>> completed;
+    TerminationCounters term;
     DriftTracker drift;
     DriftSeries series; ///< touched by worker 0 only
 
-    /** Failure latch: stop tells workers to drain out; failed guards
-     *  the first-error claim; error is written once, under errorMutex,
-     *  by the claim winner and read only after all workers joined. */
-    std::atomic<bool> stop{false};
-    std::atomic<bool> failed{false};
-    std::mutex errorMutex;
-    std::string error;
+    /** Failure latch: stop tells workers to drain out; the first
+     *  error wins (see FailureLatch). */
+    FailureLatch latch;
 
     /** Per-worker pop counters for the watchdog's progress check —
      *  padded so the unconditional relaxed increment never contends. */
@@ -59,85 +47,10 @@ struct RunState
     uint64_t startNs = 0;
 
     explicit RunState(unsigned numThreads)
-        : created(numThreads), completed(numThreads), drift(numThreads),
-          pops(numThreads), lastPopNs(numThreads)
+        : term(numThreads), drift(numThreads), pops(numThreads),
+          lastPopNs(numThreads)
     {}
 };
-
-/**
- * One quiescence scan: read ALL completed counters first (acquire),
- * then ALL created counters, and compare the sums.
- *
- * Why completed-first makes the check sound: both counters are
- * monotone, and at any single instant created >= completed (a task is
- * counted created before it is poppable, so before it can complete).
- * Let D be the completed sum we read and C the created sum read
- * *after* it. By monotonicity C >= created@(end of completed scan)
- * >= completed@(same instant) >= D. So C == D forces
- * created == completed at the instant the completed scan finished —
- * i.e. the system was quiescent then. New tasks are only created by
- * in-flight tasks (seeding happens before workers start), so a
- * quiescent system stays quiescent, and the detection is safe: no
- * false positives, and once all work is done the next scan sees it.
- * The acquire loads pair with the workers' release increments, so a
- * detector that observes a completion also observes every child that
- * completion created (created is bumped before completed).
- */
-bool
-quiescentOnce(const RunState &state)
-{
-    uint64_t done = 0;
-    for (const auto &c : state.completed)
-        done += c.value.load(std::memory_order_acquire);
-    uint64_t made = 0;
-    for (const auto &c : state.created)
-        made += c.value.load(std::memory_order_acquire);
-    return made == done;
-}
-
-/**
- * Two-pass termination check (the paper's HW protocol confirms an idle
- * snapshot with a second round before broadcasting DONE; we mirror
- * that shape). The single completed-first scan is already sound — the
- * confirm pass is cheap insurance on the cold idle path and keeps the
- * software check structurally faithful to Section III-D.
- */
-bool
-quiescent(const RunState &state)
-{
-    return quiescentOnce(state) && quiescentOnce(state);
-}
-
-/** In-flight estimate for diagnostics and gauges. Reading completed
- *  before created keeps the difference non-negative. */
-uint64_t
-pendingApprox(const RunState &state)
-{
-    uint64_t done = 0;
-    for (const auto &c : state.completed)
-        done += c.value.load(std::memory_order_acquire);
-    uint64_t made = 0;
-    for (const auto &c : state.created)
-        made += c.value.load(std::memory_order_acquire);
-    return made - done;
-}
-
-/**
- * Latch the first failure and tell every worker to stop. Later callers
- * lose the claim race and only reinforce the stop flag — the error a
- * caller reads afterwards is always the first one.
- */
-void
-failRun(RunState &state, std::string message)
-{
-    bool expected = false;
-    if (state.failed.compare_exchange_strong(expected, true,
-                                             std::memory_order_acq_rel)) {
-        std::lock_guard<std::mutex> lock(state.errorMutex);
-        state.error = std::move(message);
-    }
-    state.stop.store(true, std::memory_order_release);
-}
 
 uint64_t
 totalPops(const RunState &state)
@@ -154,7 +67,7 @@ stallDiagnostic(const RunState &state)
 {
     std::ostringstream out;
     out << "watchdog: no task popped for " << state.options.watchdogMs
-        << " ms with " << pendingApprox(state)
+        << " ms with " << state.term.pendingApprox()
         << " tasks in flight; scheduler '" << state.sched->name()
         << "' reports ~" << state.sched->sizeApprox()
         << " buffered tasks (0 = unknown); pops per worker:";
@@ -205,12 +118,12 @@ watchdogLoop(RunState &state, std::mutex &mutex,
     while (!done) {
         if (cv.wait_for(lock, window, [&done] { return done; }))
             return;
-        if (state.stop.load(std::memory_order_acquire))
+        if (state.latch.stopRequested())
             return;
         uint64_t pops = totalPops(state);
-        bool stalled = pops == lastPops && pendingApprox(state) > 0;
+        bool stalled = pops == lastPops && state.term.pendingApprox() > 0;
         if (stalled) {
-            failRun(state, stallDiagnostic(state));
+            state.latch.fail(stallDiagnostic(state));
             return;
         }
         lastPops = pops;
@@ -226,7 +139,7 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
     MetricsRegistry *metrics = state.options.metrics;
     std::vector<Task> children;
     children.reserve(64);
-    unsigned idleSpins = 0;
+    IdleBackoff backoff;
     uint64_t popsSinceSample = 0;
 
     while (true) {
@@ -234,7 +147,7 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
         // run — checked every iteration, so an idling worker reacts
         // within one backoff round rather than spinning until its own
         // pending==0 view changes.
-        if (state.stop.load(std::memory_order_acquire))
+        if (state.latch.stopRequested())
             break;
 
         // Straggler drill: with an injector installed, this worker may
@@ -254,17 +167,12 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
         if (!got) {
             if (timed)
                 breakdown[Component::Comm] += t1 - t0;
-            if (quiescent(state))
+            if (state.term.quiescent())
                 break;
-            // Backoff: brief spin, then yield so oversubscribed hosts
-            // (threads > cores) still make progress.
-            if (++idleSpins > 32) {
-                std::this_thread::yield();
-                idleSpins = 0;
-            }
+            backoff.idle();
             continue;
         }
-        idleSpins = 0;
+        backoff.reset();
         state.pops[tid].value.fetch_add(1, std::memory_order_relaxed);
         if (state.options.watchdogMs > 0) {
             state.lastPopNs[tid].value.store(timed ? t1 : nowNs(),
@@ -283,16 +191,14 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
             // The popped task dies here: no children were pushed (the
             // push happens below), so completing it with no creations
             // keeps the counters consistent for the drain.
-            state.completed[tid].value.fetch_add(
-                1, std::memory_order_release);
-            failRun(state, "worker " + std::to_string(tid) +
-                               ": ProcessFn threw: " + e.what());
+            state.term.noteCompleted(tid);
+            state.latch.fail("worker " + std::to_string(tid) +
+                             ": ProcessFn threw: " + e.what());
             break;
         } catch (...) {
-            state.completed[tid].value.fetch_add(
-                1, std::memory_order_release);
-            failRun(state, "worker " + std::to_string(tid) +
-                               ": ProcessFn threw a non-std exception");
+            state.term.noteCompleted(tid);
+            state.latch.fail("worker " + std::to_string(tid) +
+                             ": ProcessFn threw a non-std exception");
             break;
         }
         uint64_t t2 = timed ? nowNs() : 0;
@@ -302,12 +208,10 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
             // poppable, so the counters can never transiently read
             // quiescent while work exists. Own padded slot: no
             // contention no matter how many workers spawn at once.
-            state.created[tid].value.fetch_add(
-                children.size(), std::memory_order_release);
+            state.term.noteCreated(tid, children.size());
             sched.pushBatch(tid, children.data(), children.size());
         }
-        state.completed[tid].value.fetch_add(1,
-                                             std::memory_order_release);
+        state.term.noteCompleted(tid);
         uint64_t t3 = timed ? nowNs() : 0;
 
         if (timed) {
@@ -331,7 +235,7 @@ workerLoop(RunState &state, unsigned tid, Breakdown &breakdown)
                     metrics->recordGlobal(GlobalSeries::Drift, drift);
                     metrics->set(
                         0, WorkerGauge::PendingTasks,
-                        static_cast<double>(pendingApprox(state)));
+                        static_cast<double>(state.term.pendingApprox()));
                 }
             }
             if (metrics && timed) {
@@ -393,8 +297,7 @@ run(Scheduler &sched, const std::vector<Task> &initial,
     state.options = options;
     // Seeds count as created by worker 0 (single-threaded phase; the
     // thread spawns below publish the stores to every worker).
-    state.created[0].value.store(initial.size(),
-                                 std::memory_order_relaxed);
+    state.term.seedCreated(0, initial.size());
     state.startNs = nowNs();
     for (auto &slot : state.lastPopNs)
         slot.value.store(state.startNs, std::memory_order_relaxed);
@@ -450,14 +353,11 @@ run(Scheduler &sched, const std::vector<Task> &initial,
         watchdog.join();
     }
 
-    result.failed = state.failed.load(std::memory_order_acquire);
+    result.failed = state.latch.failed();
     if (result.failed) {
-        // No lock needed: the latch winner published error before any
-        // join, but take it anyway — it is cold and silences linters.
-        std::lock_guard<std::mutex> lock(state.errorMutex);
-        result.error = state.error;
+        result.error = state.latch.error();
     } else {
-        hdcps_check(pendingApprox(state) == 0,
+        hdcps_check(state.term.pendingApprox() == 0,
                     "pending count nonzero after termination");
     }
 

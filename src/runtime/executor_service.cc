@@ -1,0 +1,737 @@
+#include "runtime/executor_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "support/fault.h"
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/straggler.h"
+#include "support/timer.h"
+
+namespace hdcps {
+
+namespace detail {
+
+/**
+ * Everything the service tracks for one job. Shared between the
+ * service (jobs table, admission queue) and the caller's JobHandle;
+ * the record outlives the service entry so handles stay valid after
+ * the job finishes.
+ */
+struct JobRecord
+{
+    JobRecord(unsigned numSlots, ExecutorService *owner)
+        : term(numSlots), svc(owner)
+    {}
+
+    JobId id = 0;
+    std::string name;
+    ProcessFn process;
+    RetryPolicy retry;
+    Priority priority = 0;
+    uint64_t submitNs = 0;
+    uint64_t deadlineNs = 0; ///< absolute; 0 = no deadline
+    std::vector<Task> initial;
+
+    std::atomic<JobState> state{JobState::Queued};
+    /**
+     * Pending terminal verdict for failure paths. Completed doubles
+     * as the "no failure claimed" sentinel; the first terminateJob
+     * CAS wins and its Failed/Cancelled value is what the finishing
+     * worker publishes. Stored before the latch raises stop, so any
+     * worker that observes stopRequested also observes the verdict
+     * (release/acquire through the stop flag).
+     */
+    std::atomic<JobState> verdict{JobState::Completed};
+
+    /** Per-job conservation ledger + quiescence scan — the executor's
+     *  run-level termination counters, one instance per tenant. */
+    TerminationCounters term;
+    /** Per-job drain latch: stopRequested() is the worker-visible
+     *  "discard this job's tasks" signal. */
+    FailureLatch latch;
+
+    std::atomic<double> latencyMs{0.0};
+    std::mutex waitMutex;
+    std::condition_variable waitCv;
+
+    ExecutorService *svc; ///< valid until the job is terminal
+};
+
+} // namespace detail
+
+using detail::JobRecord;
+
+const char *
+jobStateName(JobState s)
+{
+    static const char *const names[] = {
+        "queued",    "running",   "draining", "completed",
+        "failed",    "cancelled", "rejected",
+    };
+    return names[unsigned(s)];
+}
+
+// --- JobHandle ---------------------------------------------------------
+
+JobId
+JobHandle::id() const
+{
+    hdcps_check(record_ != nullptr, "invalid JobHandle");
+    return record_->id;
+}
+
+const std::string &
+JobHandle::name() const
+{
+    hdcps_check(record_ != nullptr, "invalid JobHandle");
+    return record_->name;
+}
+
+JobState
+JobHandle::state() const
+{
+    hdcps_check(record_ != nullptr, "invalid JobHandle");
+    return record_->state.load(std::memory_order_acquire);
+}
+
+std::string
+JobHandle::error() const
+{
+    hdcps_check(record_ != nullptr, "invalid JobHandle");
+    JobState s = record_->state.load(std::memory_order_acquire);
+    if (s != JobState::Failed && s != JobState::Cancelled &&
+        s != JobState::Rejected)
+        return std::string();
+    return record_->latch.failed() ? record_->latch.error()
+                                   : std::string();
+}
+
+bool
+JobHandle::cancel()
+{
+    hdcps_check(record_ != nullptr, "invalid JobHandle");
+    if (jobStateTerminal(record_->state.load(std::memory_order_acquire)))
+        return false;
+    // Non-terminal implies the service is still alive (shutdown only
+    // returns once every admitted job is terminal), so svc is valid.
+    return record_->svc->terminateJob(record_, JobState::Cancelled,
+                                      "job '" + record_->name +
+                                          "' cancelled",
+                                      /*widenCancelRace=*/true);
+}
+
+JobState
+JobHandle::wait()
+{
+    hdcps_check(record_ != nullptr, "invalid JobHandle");
+    JobRecord &r = *record_;
+    std::unique_lock<std::mutex> lock(r.waitMutex);
+    r.waitCv.wait(lock, [&r] {
+        return jobStateTerminal(r.state.load(std::memory_order_acquire));
+    });
+    return r.state.load(std::memory_order_acquire);
+}
+
+bool
+JobHandle::waitFor(uint64_t ms, JobState *out)
+{
+    hdcps_check(record_ != nullptr, "invalid JobHandle");
+    JobRecord &r = *record_;
+    std::unique_lock<std::mutex> lock(r.waitMutex);
+    bool done = r.waitCv.wait_for(
+        lock, std::chrono::milliseconds(ms), [&r] {
+            return jobStateTerminal(
+                r.state.load(std::memory_order_acquire));
+        });
+    if (done && out)
+        *out = r.state.load(std::memory_order_acquire);
+    return done;
+}
+
+double
+JobHandle::latencyMs() const
+{
+    hdcps_check(record_ != nullptr, "invalid JobHandle");
+    return record_->latencyMs.load(std::memory_order_acquire);
+}
+
+uint64_t
+JobHandle::tasksCompleted() const
+{
+    hdcps_check(record_ != nullptr, "invalid JobHandle");
+    return record_->term.completedTotal();
+}
+
+// --- ExecutorService ---------------------------------------------------
+
+ExecutorService::ExecutorService(Scheduler &sched,
+                                 const ServiceOptions &options)
+    : sched_(sched), options_(options)
+{
+    hdcps_check(options.numThreads >= 1, "need at least one thread");
+    hdcps_check(options.numThreads == sched.numWorkers(),
+                "thread count (%u) != scheduler workers (%u)",
+                options.numThreads, sched.numWorkers());
+    hdcps_check(options.admissionCapacity >= 1,
+                "admission capacity must be >= 1");
+    if (options.metrics) {
+        hdcps_check(options.metrics->numWorkers() >= options.numThreads,
+                    "metrics registry has %u workers, need %u",
+                    options.metrics->numWorkers(), options.numThreads);
+        sched.attachMetrics(options.metrics);
+    }
+    sched.setReclaimAfterMs(options.reclaimAfterMs);
+
+    workers_.reserve(options.numThreads);
+    for (unsigned tid = 0; tid < options.numThreads; ++tid)
+        workers_.emplace_back([this, tid] { workerLoop(tid); });
+    deadlineMonitor_ = std::thread([this] { deadlineLoop(); });
+}
+
+ExecutorService::~ExecutorService()
+{
+    shutdown();
+}
+
+JobHandle
+ExecutorService::submit(JobSpec spec)
+{
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    auto record = std::make_shared<JobRecord>(options_.numThreads, this);
+    record->id = nextJobId_.fetch_add(1, std::memory_order_relaxed);
+    record->name = spec.name.empty()
+                       ? "job-" + std::to_string(record->id)
+                       : std::move(spec.name);
+    record->process = std::move(spec.process);
+    record->retry = spec.retry;
+    record->priority = spec.priority;
+    record->submitNs = nowNs();
+    if (spec.deadlineMs > 0)
+        record->deadlineNs =
+            record->submitNs + spec.deadlineMs * 1000000ull;
+    record->initial = std::move(spec.initial);
+    for (Task &t : record->initial) {
+        t.job = record->id;
+        t.attempt = 0;
+    }
+
+    auto reject = [&](const std::string &why) {
+        record->latch.fail(why);
+        {
+            std::lock_guard<std::mutex> lock(record->waitMutex);
+            record->state.store(JobState::Rejected,
+                                std::memory_order_release);
+        }
+        record->waitCv.notify_all();
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return JobHandle(record);
+    };
+
+    if (!record->process) {
+        return reject("job '" + record->name +
+                      "' rejected: no ProcessFn");
+    }
+    if (record->retry.maxAttempts < 1) {
+        return reject("job '" + record->name +
+                      "' rejected: maxAttempts must be >= 1");
+    }
+
+    // The job must be findable by id before any of its tasks can be
+    // popped, and tasks become poppable the moment an adopter seeds
+    // them — so the table insert happens before the admission insert.
+    {
+        std::unique_lock<std::shared_mutex> lock(jobsMutex_);
+        jobs_.emplace(record->id, record);
+    }
+
+    bool admittedNow = false;
+    {
+        std::unique_lock<std::mutex> lock(admitMutex_);
+        bool full =
+            admitQueue_.size() >= options_.admissionCapacity;
+        // Fault drill: admission pretends the queue is full. Forces
+        // the rejection path even for blocking submitters (blocking on
+        // a fictitious full queue would hang forever).
+        bool forcedFull = faultFires(faultsite::SvcAdmitFull);
+        if ((full && !options_.blockWhenFull) || forcedFull) {
+            // fallthrough to reject below, outside the lock
+        } else {
+            if (full) {
+                admitSpace_.wait(lock, [this] {
+                    return shutdown_.load(std::memory_order_acquire) ||
+                           admitQueue_.size() <
+                               options_.admissionCapacity;
+                });
+            }
+            if (!shutdown_.load(std::memory_order_acquire)) {
+                admitQueue_.emplace(
+                    std::make_pair(record->priority, record->id),
+                    record);
+                admittedNow = true;
+            }
+        }
+    }
+
+    if (!admittedNow) {
+        {
+            std::unique_lock<std::shared_mutex> lock(jobsMutex_);
+            jobs_.erase(record->id);
+        }
+        std::string why =
+            shutdown_.load(std::memory_order_acquire)
+                ? "job '" + record->name +
+                      "' rejected: service shutting down"
+                : "job '" + record->name +
+                      "' rejected: admission queue full (capacity " +
+                      std::to_string(options_.admissionCapacity) + ")";
+        return reject(why);
+    }
+
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    activeJobs_.fetch_add(1, std::memory_order_acq_rel);
+    work_.notify_one();
+    return JobHandle(record);
+}
+
+bool
+ExecutorService::adoptOne(unsigned tid)
+{
+    RecordPtr record;
+    {
+        std::lock_guard<std::mutex> lock(admitMutex_);
+        if (admitQueue_.empty())
+            return false;
+        auto it = admitQueue_.begin();
+        record = it->second;
+        admitQueue_.erase(it);
+    }
+    admitSpace_.notify_one(); // freed one admission slot
+
+    // Only the adopter transitions a popped record out of Queued:
+    // cancel and deadline expiry finish a queued job only after
+    // erasing it from the queue themselves (under admitMutex_), so a
+    // record we popped is still ours.
+    JobState expected = JobState::Queued;
+    bool owned = record->state.compare_exchange_strong(
+        expected, JobState::Running, std::memory_order_acq_rel);
+    hdcps_check(owned, "adopted job %u not in Queued state",
+                record->id);
+
+    // Seed under this worker's own tid (the only one this thread may
+    // push on). Chunked so bag-based designs see child-batch-sized
+    // pushBatch calls rather than one giant bag.
+    std::vector<Task> seeds = std::move(record->initial);
+    record->initial.clear();
+    if (!seeds.empty()) {
+        record->term.noteCreated(tid, seeds.size());
+        constexpr size_t chunk = 256;
+        for (size_t i = 0; i < seeds.size(); i += chunk) {
+            size_t n = std::min(chunk, seeds.size() - i);
+            sched_.pushBatch(tid, seeds.data() + i, n);
+        }
+    }
+    // A job admitted with zero seed tasks is already quiescent.
+    maybeFinishJob(record);
+    return true;
+}
+
+uint64_t
+ExecutorService::retryBackoffUs(const Record &record,
+                                const Task &task) const
+{
+    const RetryPolicy &retry = record.retry;
+    if (retry.backoffBaseUs == 0)
+        return 0;
+    // Exponential in the attempt that just failed, capped, plus
+    // deterministic seeded jitter (up to +50%) so co-failing tasks
+    // don't retry in lockstep.
+    unsigned shift = std::min(task.attempt, 32u);
+    uint64_t base = retry.backoffBaseUs << shift;
+    base = std::min(base, retry.backoffMaxUs);
+    uint64_t jitter =
+        mix64(options_.seed ^ (uint64_t(record.id) << 32) ^
+              (uint64_t(task.node) << 8) ^ task.attempt) %
+        (base / 2 + 1);
+    return std::min(base + jitter, retry.backoffMaxUs);
+}
+
+void
+ExecutorService::handleTaskFailure(unsigned tid,
+                                   const RecordPtr &record,
+                                   const Task &task, const char *what)
+{
+    if (task.attempt + 1 < record->retry.maxAttempts) {
+        // Transient: back off, then re-push the next incarnation. The
+        // bumped attempt makes it a fresh conservation-ledger key —
+        // the failed incarnation completes, the retry is created, so
+        // per-job accounting stays exact with no shared retry table.
+        uint64_t us = retryBackoffUs(*record, task);
+        if (us > 0)
+            std::this_thread::sleep_for(std::chrono::microseconds(us));
+        Task again = task;
+        ++again.attempt;
+        record->term.noteCreated(tid);
+        sched_.push(tid, again);
+        record->term.noteCompleted(tid);
+        taskRetries_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.metrics)
+            options_.metrics->add(tid, WorkerCounter::TaskRetries);
+        // No finish attempt: the retried incarnation is outstanding,
+        // so the job cannot be quiescent.
+        return;
+    }
+    record->term.noteCompleted(tid);
+    std::ostringstream msg;
+    msg << "job '" << record->name << "': task (node " << task.node
+        << ", prio " << task.priority << ") failed after "
+        << (task.attempt + 1) << " attempt(s): " << what;
+    terminateJob(record, JobState::Failed, msg.str(),
+                 /*widenCancelRace=*/false);
+    maybeFinishJob(record);
+}
+
+void
+ExecutorService::processTask(unsigned tid, const RecordPtr &record,
+                             const Task &task,
+                             std::vector<Task> &children)
+{
+    if (record->latch.stopRequested()) {
+        // Draining: the job already failed / was cancelled / expired.
+        // Discard the task but keep the ledger exact — the job's
+        // outstanding count still reaches zero, which is what the
+        // per-job conservation check (VerifyingScheduler ::
+        // checkJobDrained) asserts.
+        tasksDrained_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.metrics)
+            options_.metrics->add(tid, WorkerCounter::DrainedTasks);
+        record->term.noteCompleted(tid);
+        maybeFinishJob(record);
+        return;
+    }
+
+    children.clear();
+    try {
+        // Fault drill: service task processing throws.
+        if (faultFires(faultsite::SvcJobFail)) {
+            throw FaultInjectedError(
+                "injected service task failure (svc.job.fail)");
+        }
+        record->process(tid, task, children);
+    } catch (const std::exception &e) {
+        handleTaskFailure(tid, record, task, e.what());
+        return;
+    } catch (...) {
+        handleTaskFailure(tid, record, task, "non-std exception");
+        return;
+    }
+
+    for (Task &c : children) {
+        c.job = record->id;
+        c.attempt = 0;
+    }
+    if (!children.empty()) {
+        // Created before poppable — same ordering the executor's
+        // run-level counters rely on, now per job.
+        record->term.noteCreated(tid, children.size());
+        sched_.pushBatch(tid, children.data(), children.size());
+    }
+    record->term.noteCompleted(tid);
+    if (options_.metrics)
+        options_.metrics->add(tid, WorkerCounter::TasksProcessed);
+    maybeFinishJob(record);
+}
+
+void
+ExecutorService::workerLoop(unsigned tid)
+{
+    std::vector<Task> children;
+    children.reserve(64);
+    IdleBackoff backoff;
+
+    while (true) {
+        // Straggler drill: same cooperative pause point as the
+        // one-shot executor, so soak/chaos scenarios translate.
+        stragglerPausePoint(tid);
+
+        bool adopted = adoptOne(tid);
+
+        Task task;
+        // Fault drill: spurious pop failure; the task stays queued.
+        bool got = !faultFires(faultsite::ExecPopFail) &&
+                   sched_.tryPop(tid, task);
+        if (!got) {
+            if (adopted)
+                continue;
+            if (shutdown_.load(std::memory_order_acquire) &&
+                activeJobs_.load(std::memory_order_acquire) == 0)
+                break;
+            if (backoff.idle() &&
+                activeJobs_.load(std::memory_order_acquire) == 0) {
+                // Truly idle service: no admitted jobs at all, so no
+                // tasks can appear except through submit (which
+                // notifies). Sleep briefly instead of spinning.
+                std::unique_lock<std::mutex> lock(admitMutex_);
+                if (admitQueue_.empty() &&
+                    !shutdown_.load(std::memory_order_acquire)) {
+                    work_.wait_for(lock,
+                                   std::chrono::milliseconds(1));
+                }
+            }
+            continue;
+        }
+        backoff.reset();
+
+        RecordPtr record;
+        {
+            std::shared_lock<std::shared_mutex> lock(jobsMutex_);
+            auto it = jobs_.find(task.job);
+            if (it != jobs_.end())
+                record = it->second;
+        }
+        // A popped task's job must be live: records are erased only
+        // once quiescent, and a task in the scheduler is
+        // created-but-not-completed by definition.
+        hdcps_check(record != nullptr,
+                    "popped task for unknown job %u", task.job);
+        processTask(tid, record, task, children);
+    }
+}
+
+bool
+ExecutorService::terminateJob(const RecordPtr &record, JobState verdict,
+                              const std::string &message,
+                              bool widenCancelRace)
+{
+    // First verdict wins: the CAS claims the terminal state the
+    // finishing worker will publish. Losers only reinforce the stop.
+    JobState sentinel = JobState::Completed;
+    if (!record->verdict.compare_exchange_strong(
+            sentinel, verdict, std::memory_order_acq_rel)) {
+        record->latch.requestStop();
+        return false;
+    }
+
+    // Fault drill: widen the window between claiming the verdict and
+    // publishing the drain — the job may complete normally meanwhile,
+    // which is exactly the cancel/complete race under test.
+    if (widenCancelRace)
+        faultSleep(faultsite::SvcCancelRace);
+
+    // Publish: latches the error and raises stop (release), making
+    // the verdict visible to any worker that observes the stop.
+    record->latch.fail(message);
+
+    // A still-queued job has no tasks to drain: finish it in place.
+    // The queue erase and the adopter's pop are both under
+    // admitMutex_, so exactly one side wins.
+    bool wasQueued = false;
+    {
+        std::lock_guard<std::mutex> lock(admitMutex_);
+        wasQueued =
+            admitQueue_.erase({record->priority, record->id}) > 0;
+    }
+    if (wasQueued) {
+        admitSpace_.notify_one();
+        {
+            std::lock_guard<std::mutex> lock(record->waitMutex);
+            record->state.store(verdict, std::memory_order_release);
+        }
+        finishRecord(*record, verdict);
+        return true;
+    }
+
+    // Running (or mid-adoption): flip the observable state; workers
+    // drain via the latch regardless, and the last completion
+    // publishes the verdict. The CAS may lose to a concurrent
+    // completion — that is the documented race, completion wins.
+    JobState running = JobState::Running;
+    record->state.compare_exchange_strong(running, JobState::Draining,
+                                          std::memory_order_acq_rel);
+    return true;
+}
+
+void
+ExecutorService::maybeFinishJob(const RecordPtr &record)
+{
+    // Per-job quiescence: same completed-first two-pass scan the
+    // executor uses for run-level termination (worker_common.h), over
+    // this job's ledger only. Cost is 2 * numThreads cache-line loads
+    // per completion — acceptable for a robustness-first service.
+    if (!record->term.quiescent())
+        return;
+    JobState expected = record->state.load(std::memory_order_acquire);
+    while (!jobStateTerminal(expected)) {
+        JobState terminal =
+            record->latch.stopRequested()
+                ? record->verdict.load(std::memory_order_acquire)
+                : JobState::Completed;
+        bool won;
+        {
+            // State flips to terminal under waitMutex so wait()'s
+            // predicate check can't miss the wakeup.
+            std::lock_guard<std::mutex> lock(record->waitMutex);
+            won = record->state.compare_exchange_strong(
+                expected, terminal, std::memory_order_acq_rel);
+        }
+        if (won) {
+            finishRecord(*record, terminal);
+            return;
+        }
+        // `expected` was refreshed by the failed CAS (e.g. a
+        // concurrent Running -> Draining flip); re-evaluate.
+    }
+}
+
+void
+ExecutorService::finishRecord(Record &record, JobState terminal)
+{
+    // Exactly-once per admitted job: callers reach here only after
+    // winning the terminal-state transition.
+    double ms =
+        static_cast<double>(nowNs() - record.submitNs) / 1e6;
+    record.latencyMs.store(ms, std::memory_order_release);
+
+    {
+        std::unique_lock<std::shared_mutex> lock(jobsMutex_);
+        jobs_.erase(record.id);
+    }
+
+    switch (terminal) {
+      case JobState::Completed:
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case JobState::Failed:
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case JobState::Cancelled:
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        hdcps_check(false, "finishRecord with non-terminal state %u",
+                    unsigned(terminal));
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(latencyMutex_);
+        latenciesMs_.push_back(ms);
+        // latencyMutex_ serializes writers, satisfying the global
+        // series single-writer contract.
+        if (options_.metrics) {
+            options_.metrics->recordGlobal(GlobalSeries::JobLatencyMs,
+                                           ms);
+        }
+    }
+
+    activeJobs_.fetch_sub(1, std::memory_order_acq_rel);
+    record.waitCv.notify_all();
+    work_.notify_all(); // shutdown exit condition may hold now
+    deadlineCv_.notify_all();
+}
+
+void
+ExecutorService::deadlineLoop()
+{
+    std::vector<RecordPtr> expired;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(deadlineMutex_);
+            deadlineCv_.wait_for(
+                lock, std::chrono::milliseconds(1), [this] {
+                    return shutdown_.load(std::memory_order_acquire) &&
+                           activeJobs_.load(
+                               std::memory_order_acquire) == 0;
+                });
+        }
+        if (shutdown_.load(std::memory_order_acquire) &&
+            activeJobs_.load(std::memory_order_acquire) == 0)
+            return;
+
+        expired.clear();
+        uint64_t now = nowNs();
+        {
+            std::shared_lock<std::shared_mutex> lock(jobsMutex_);
+            for (const auto &[id, record] : jobs_) {
+                if (record->deadlineNs != 0 &&
+                    now > record->deadlineNs &&
+                    !jobStateTerminal(record->state.load(
+                        std::memory_order_acquire)) &&
+                    !record->latch.stopRequested()) {
+                    expired.push_back(record);
+                }
+            }
+        }
+        for (const RecordPtr &record : expired) {
+            uint64_t budget =
+                (record->deadlineNs - record->submitNs) / 1000000;
+            std::ostringstream msg;
+            msg << "job '" << record->name << "': deadline of "
+                << budget << " ms exceeded";
+            if (terminateJob(record, JobState::Failed, msg.str(),
+                             /*widenCancelRace=*/false)) {
+                deadlineExpired_.fetch_add(1,
+                                           std::memory_order_relaxed);
+            }
+        }
+    }
+}
+
+uint64_t
+ExecutorService::activeJobs() const
+{
+    return activeJobs_.load(std::memory_order_acquire);
+}
+
+ServiceStats
+ExecutorService::stats() const
+{
+    ServiceStats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.admitted = admitted_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.deadlineExpired =
+        deadlineExpired_.load(std::memory_order_relaxed);
+    s.cancelled = cancelled_.load(std::memory_order_relaxed);
+    s.taskRetries = taskRetries_.load(std::memory_order_relaxed);
+    s.tasksDrained = tasksDrained_.load(std::memory_order_relaxed);
+
+    std::vector<double> lat;
+    {
+        std::lock_guard<std::mutex> lock(latencyMutex_);
+        lat = latenciesMs_;
+    }
+    s.jobsMeasured = lat.size();
+    if (!lat.empty()) {
+        std::sort(lat.begin(), lat.end());
+        auto pct = [&lat](double q) {
+            size_t idx = static_cast<size_t>(q * double(lat.size()));
+            return lat[std::min(idx, lat.size() - 1)];
+        };
+        s.jobLatencyP50Ms = pct(0.50);
+        s.jobLatencyP99Ms = pct(0.99);
+        s.jobLatencyMaxMs = lat.back();
+    }
+    return s;
+}
+
+void
+ExecutorService::shutdown()
+{
+    std::lock_guard<std::mutex> guard(shutdownMutex_);
+    shutdown_.store(true, std::memory_order_release);
+    admitSpace_.notify_all();
+    work_.notify_all();
+    deadlineCv_.notify_all();
+    for (std::thread &t : workers_) {
+        if (t.joinable())
+            t.join();
+    }
+    if (deadlineMonitor_.joinable())
+        deadlineMonitor_.join();
+}
+
+} // namespace hdcps

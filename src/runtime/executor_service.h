@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Long-lived multi-tenant scheduling service over any CPS design.
+ *
+ * The one-shot executor (executor.h) answers "run this workload to
+ * completion once". Real deployments of a concurrent priority
+ * scheduler look different: a resident worker pool serves a *stream*
+ * of jobs — each with its own task-processing function, initial tasks,
+ * job-level priority, deadline and retry policy — and one tenant's
+ * failure must not take down its neighbours. ExecutorService is that
+ * service, layered on the exact same building blocks as the executor
+ * (see runtime/worker_common.h):
+ *
+ *  - Two-level scheduling: the admission queue orders *jobs* by job
+ *    priority (FIFO within a priority), while task-level interleaving
+ *    inside the shared CPS stays relaxed — co-resident jobs' tasks mix
+ *    freely in the scheduler, tagged with their owner's JobId
+ *    (cps/task.h).
+ *  - Per-job failure isolation: every admitted job carries its own
+ *    TerminationCounters and FailureLatch. A thrown ProcessFn (after
+ *    retries are exhausted), an expired deadline, or JobHandle::cancel
+ *    latches that job's first error and flips it to Draining: workers
+ *    keep popping its tasks but discard them (counted, so the per-job
+ *    conservation ledger still balances to zero) until the job is
+ *    quiescent — co-resident jobs never notice.
+ *  - Per-job completion detection: the executor's distributed
+ *    created/completed counters and completed-first quiescence scan,
+ *    instantiated once per job. Whichever worker completes a job's
+ *    last task wins a CAS to the terminal state, records the latency,
+ *    and wakes waiters.
+ *  - Bounded admission with backpressure: at most
+ *    ServiceOptions::admissionCapacity jobs may be queued (admitted
+ *    but not yet adopted by a worker). An overflowing submit either
+ *    rejects with a reason (default) or blocks until space frees,
+ *    per ServiceOptions::blockWhenFull.
+ *  - Transient-failure retries: a ProcessFn throw re-pushes the task
+ *    with attempt+1 after seeded exponential backoff, up to
+ *    RetryPolicy::maxAttempts; the attempt rides in the Task itself,
+ *    so the retried incarnation is a distinct conservation-ledger key
+ *    and no shared retry table is needed.
+ *
+ * Fault sites (support/fault.h): `svc.admit.full` forces admission
+ * rejection, `svc.job.fail` throws inside service task processing,
+ * `svc.cancel.race` delays cancel between the drain latch and its
+ * publication to widen the cancel/complete race.
+ *
+ * Thread safety: submit/cancel/wait/stats are safe from any thread
+ * (including concurrently with each other); shutdown() and the
+ * destructor must not race with submit().
+ */
+
+#ifndef HDCPS_RUNTIME_EXECUTOR_SERVICE_H_
+#define HDCPS_RUNTIME_EXECUTOR_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cps/scheduler.h"
+#include "obs/metrics.h"
+#include "runtime/executor.h"
+#include "runtime/worker_common.h"
+
+namespace hdcps {
+
+/** Retry policy for transiently failing tasks of one job. */
+struct RetryPolicy
+{
+    /** Total tries per task (1 = no retries: first throw fails the
+     *  job). A task whose attempt reaches maxAttempts-1 and throws
+     *  again latches the job failure. */
+    uint32_t maxAttempts = 1;
+    /** Backoff before attempt k retries is roughly
+     *  min(backoffBaseUs << (k-1), backoffMaxUs) plus seeded jitter. */
+    uint64_t backoffBaseUs = 50;
+    uint64_t backoffMaxUs = 5000;
+};
+
+/** One job submitted to the service. */
+struct JobSpec
+{
+    std::string name;         ///< for error messages and reports
+    ProcessFn process;        ///< per-job task-processing function
+    std::vector<Task> initial; ///< seed tasks (job/attempt tags are
+                               ///< stamped by the service)
+    Priority priority = 0;     ///< job-level: lower = admitted sooner
+    /** Wall-clock budget from submission; 0 = none. A job still
+     *  Queued or Running past its deadline fails with a deadline
+     *  error and drains. */
+    uint64_t deadlineMs = 0;
+    RetryPolicy retry;
+};
+
+/** Lifecycle of one job. Terminal states: Completed, Failed,
+ *  Cancelled, Rejected. */
+enum class JobState : unsigned {
+    Queued = 0, ///< admitted, waiting for a worker to adopt it
+    Running,    ///< seeded; its tasks are in the shared scheduler
+    Draining,   ///< failure latched; tasks are being discarded
+    Completed,  ///< all tasks processed, conservation balanced
+    Failed,     ///< ProcessFn error (retries exhausted) or deadline
+    Cancelled,  ///< JobHandle::cancel won
+    Rejected,   ///< never admitted (queue full, or shutdown)
+};
+
+const char *jobStateName(JobState s);
+
+/** True for states no job ever leaves. */
+inline bool
+jobStateTerminal(JobState s)
+{
+    return s == JobState::Completed || s == JobState::Failed ||
+           s == JobState::Cancelled || s == JobState::Rejected;
+}
+
+class ExecutorService;
+
+namespace detail {
+struct JobRecord;
+} // namespace detail
+
+/**
+ * Caller-side handle to one submitted job. Copyable (shared
+ * ownership); outliving the service is safe — the record is detached
+ * at shutdown and terminal by then.
+ */
+class JobHandle
+{
+  public:
+    JobHandle() = default;
+
+    bool valid() const { return record_ != nullptr; }
+    JobId id() const;
+    const std::string &name() const;
+
+    JobState state() const;
+    bool done() const { return jobStateTerminal(state()); }
+
+    /** First error of a Failed/Cancelled/Rejected job ("" otherwise). */
+    std::string error() const;
+
+    /**
+     * Request cancellation. A Queued job is cancelled in place (never
+     * runs); a Running job flips to Draining and its tasks are
+     * discarded until quiescent. Returns true when this call latched
+     * the cancellation, false when the job was already terminal or
+     * already failing (the earlier verdict wins).
+     */
+    bool cancel();
+
+    /** Block until the job is terminal; returns the terminal state. */
+    JobState wait();
+
+    /** Bounded wait; false on timeout (job not yet terminal). */
+    bool waitFor(uint64_t ms, JobState *out = nullptr);
+
+    /** Submit-to-terminal latency in ms (0 until terminal). */
+    double latencyMs() const;
+
+    /** Tasks this job completed (processed + discarded), for tests. */
+    uint64_t tasksCompleted() const;
+
+  private:
+    friend class ExecutorService;
+    explicit JobHandle(std::shared_ptr<detail::JobRecord> record)
+        : record_(std::move(record))
+    {}
+
+    std::shared_ptr<detail::JobRecord> record_;
+};
+
+/** Service tunables. */
+struct ServiceOptions
+{
+    unsigned numThreads = 1;
+    /** Max jobs admitted but not yet adopted by a worker. Submissions
+     *  beyond this are rejected (or block, see blockWhenFull). */
+    size_t admissionCapacity = 16;
+    /** Overflowing submit blocks for queue space instead of
+     *  rejecting. Shutdown unblocks such submitters with Rejected. */
+    bool blockWhenFull = false;
+    uint64_t seed = 1;           ///< retry-backoff jitter seed
+    uint64_t reclaimAfterMs = 0; ///< forwarded to the scheduler
+    /** Optional observability sink (>= numThreads worker slots,
+     *  outlives the service). Workers attribute TaskRetries /
+     *  DrainedTasks to their own slots; job latencies land in the
+     *  JobLatencyMs global series. */
+    MetricsRegistry *metrics = nullptr;
+};
+
+/** Aggregate service counters + job-latency percentiles. */
+struct ServiceStats
+{
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;  ///< admission-queue overflow or shutdown
+    uint64_t completed = 0;
+    uint64_t failed = 0;    ///< ProcessFn errors (incl. deadline)
+    uint64_t deadlineExpired = 0; ///< subset of failed
+    uint64_t cancelled = 0;
+    uint64_t taskRetries = 0;
+    uint64_t tasksDrained = 0; ///< discarded for draining jobs
+    /** Submit-to-terminal latency over terminal (non-rejected) jobs. */
+    double jobLatencyP50Ms = 0.0;
+    double jobLatencyP99Ms = 0.0;
+    double jobLatencyMaxMs = 0.0;
+    uint64_t jobsMeasured = 0;
+};
+
+/**
+ * The long-lived worker pool. Owns its worker threads and a deadline
+ * monitor; schedules every job's tasks through the caller-provided
+ * scheduler (any CPS design — wrap it in a VerifyingScheduler to get
+ * per-job conservation checking). The scheduler must have exactly
+ * ServiceOptions::numThreads workers and must outlive the service.
+ */
+class ExecutorService
+{
+  public:
+    ExecutorService(Scheduler &sched, const ServiceOptions &options);
+    ~ExecutorService();
+
+    ExecutorService(const ExecutorService &) = delete;
+    ExecutorService &operator=(const ExecutorService &) = delete;
+
+    /**
+     * Submit one job. Always returns a handle: inspect
+     * handle.state() == JobState::Rejected (with handle.error() as the
+     * reason) for admission failures. Safe from any thread, including
+     * several submitters at once.
+     */
+    JobHandle submit(JobSpec spec);
+
+    /** Jobs admitted and not yet terminal (queued + running +
+     *  draining). */
+    uint64_t activeJobs() const;
+
+    /** Aggregate counters and latency percentiles so far. */
+    ServiceStats stats() const;
+
+    /**
+     * Stop accepting work, run every already-admitted job to a
+     * terminal state, then join all threads. Idempotent; called by the
+     * destructor. Blocked submitters are released with Rejected.
+     */
+    void shutdown();
+
+  private:
+    friend class JobHandle; ///< cancel() routes through terminateJob
+
+    using Record = detail::JobRecord;
+    using RecordPtr = std::shared_ptr<detail::JobRecord>;
+
+    void workerLoop(unsigned tid);
+    void deadlineLoop();
+
+    /** Adopt the best queued job (if any): seed its tasks under this
+     *  worker's tid. Returns true when a job was adopted. */
+    bool adoptOne(unsigned tid);
+
+    /** Pop-side handling of one task belonging to `record`. */
+    void processTask(unsigned tid, const RecordPtr &record,
+                     const Task &task, std::vector<Task> &children);
+
+    /** A task of `record` threw: retry with backoff, or exhaust the
+     *  policy and latch the job failure. */
+    void handleTaskFailure(unsigned tid, const RecordPtr &record,
+                           const Task &task, const char *what);
+
+    /**
+     * Latch a failure verdict for the job (first verdict wins) and
+     * start its drain; a still-Queued job is finished in place.
+     * `widenCancelRace` arms the svc.cancel.race delay between the
+     * verdict claim and the stop-flag publication. Returns true when
+     * this call claimed the verdict.
+     */
+    bool terminateJob(const RecordPtr &record, JobState verdict,
+                      const std::string &message, bool widenCancelRace);
+
+    /** Terminal-transition attempt: if the job is quiescent, CAS it to
+     *  its terminal state, record latency, wake waiters. */
+    void maybeFinishJob(const RecordPtr &record);
+
+    /** One-time terminal bookkeeping (state already stored). */
+    void finishRecord(Record &record, JobState terminal);
+
+    uint64_t retryBackoffUs(const Record &record,
+                            const Task &task) const;
+
+    Scheduler &sched_;
+    ServiceOptions options_;
+
+    /** Job table: every admitted, non-terminal job by id. Read on the
+     *  per-task hot path (shared), written on admit/finish. */
+    mutable std::shared_mutex jobsMutex_;
+    std::unordered_map<JobId, RecordPtr> jobs_;
+
+    /** Admission queue, ordered by (job priority, id): lower priority
+     *  value first, FIFO within a priority. Guarded by admitMutex_. */
+    mutable std::mutex admitMutex_;
+    std::map<std::pair<Priority, JobId>, RecordPtr> admitQueue_;
+    std::condition_variable admitSpace_; ///< blocked submitters
+    std::condition_variable work_;       ///< idle workers
+
+    std::atomic<uint32_t> nextJobId_{1};
+    std::atomic<bool> shutdown_{false};
+    std::atomic<uint64_t> activeJobs_{0};
+
+    /** Aggregate counters (relaxed; exact because each event is
+     *  counted exactly once). */
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> admitted_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> failed_{0};
+    std::atomic<uint64_t> deadlineExpired_{0};
+    std::atomic<uint64_t> cancelled_{0};
+    std::atomic<uint64_t> taskRetries_{0};
+    std::atomic<uint64_t> tasksDrained_{0};
+
+    /** Latencies of terminal (non-rejected) jobs, ms. The mutex also
+     *  serializes JobLatencyMs recordGlobal writers. */
+    mutable std::mutex latencyMutex_;
+    std::vector<double> latenciesMs_;
+
+    /** Deadline monitor pacing (own mutex: never contends workers). */
+    std::mutex deadlineMutex_;
+    std::condition_variable deadlineCv_;
+
+    std::mutex shutdownMutex_; ///< serializes the join phase
+    std::vector<std::thread> workers_;
+    std::thread deadlineMonitor_;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_RUNTIME_EXECUTOR_SERVICE_H_

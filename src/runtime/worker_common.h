@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Worker-loop machinery shared by the one-shot executor (executor.cc)
+ * and the long-lived multi-tenant ExecutorService
+ * (executor_service.cc). Both drive the same pop/process/push loop
+ * shape over a Scheduler; what they share lives here so the service is
+ * a true generalization of the executor rather than a fork of it:
+ *
+ *  - TerminationCounters: the distributed created/completed counters
+ *    and the completed-first quiescence scan (soundness argument on
+ *    quiescentOnce; DESIGN.md §11). The executor keeps one instance
+ *    per run; the service keeps one per *job*, which is exactly what
+ *    turns run-level termination detection into per-job completion
+ *    detection.
+ *  - FailureLatch: first-error-wins failure latching plus the stop
+ *    flag workers drain on. The executor latches once per run; the
+ *    service embeds one latch per job, so one job's failure (thrown
+ *    ProcessFn, expired deadline, explicit cancel) stops only that
+ *    job's processing while co-resident jobs keep running.
+ *  - IdleBackoff: the brief-spin-then-yield policy an empty-handed
+ *    worker follows so oversubscribed hosts still make progress.
+ */
+
+#ifndef HDCPS_RUNTIME_WORKER_COMMON_H_
+#define HDCPS_RUNTIME_WORKER_COMMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/compiler.h"
+
+namespace hdcps {
+
+/**
+ * Distributed termination state: per-worker monotone counters of tasks
+ * created (seeds + children, bumped by the creating worker *before*
+ * the push makes them poppable) and tasks completed (bumped with
+ * release order after the task's children were pushed — or after its
+ * failure was latched). Each worker only ever writes its own
+ * cache-line-padded slot, so the per-task cost is two uncontended RMWs
+ * instead of two fetch_adds on one global in-flight counter that every
+ * core fights over.
+ */
+class TerminationCounters
+{
+  public:
+    explicit TerminationCounters(unsigned numSlots)
+        : created_(numSlots), completed_(numSlots)
+    {}
+
+    /** Count `n` tasks created by slot `tid`. Call *before* the push
+     *  that makes them poppable. */
+    void
+    noteCreated(unsigned tid, uint64_t n = 1)
+    {
+        created_[tid].value.fetch_add(n, std::memory_order_release);
+    }
+
+    /** Relaxed seed-phase store (single-threaded, before workers
+     *  start; the thread spawns publish it). */
+    void
+    seedCreated(unsigned tid, uint64_t n)
+    {
+        created_[tid].value.store(n, std::memory_order_relaxed);
+    }
+
+    /** Count one task completed by slot `tid`. Call *after* its
+     *  children were pushed (or its failure latched). */
+    void
+    noteCompleted(unsigned tid)
+    {
+        completed_[tid].value.fetch_add(1, std::memory_order_release);
+    }
+
+    /**
+     * One quiescence scan: read ALL completed counters first
+     * (acquire), then ALL created counters, and compare the sums.
+     *
+     * Why completed-first makes the check sound: both counters are
+     * monotone, and at any single instant created >= completed (a task
+     * is counted created before it is poppable, so before it can
+     * complete). Let D be the completed sum we read and C the created
+     * sum read *after* it. By monotonicity C >= created@(end of
+     * completed scan) >= completed@(same instant) >= D. So C == D
+     * forces created == completed at the instant the completed scan
+     * finished — i.e. the system was quiescent then. New tasks are
+     * only created by in-flight tasks (seeding happens before workers
+     * consume), so a quiescent system stays quiescent, and the
+     * detection is safe: no false positives, and once all work is done
+     * the next scan sees it. The acquire loads pair with the workers'
+     * release increments, so a detector that observes a completion
+     * also observes every child that completion created (created is
+     * bumped before completed).
+     */
+    bool
+    quiescentOnce() const
+    {
+        uint64_t done = 0;
+        for (const auto &c : completed_)
+            done += c.value.load(std::memory_order_acquire);
+        uint64_t made = 0;
+        for (const auto &c : created_)
+            made += c.value.load(std::memory_order_acquire);
+        return made == done;
+    }
+
+    /**
+     * Two-pass termination check (the paper's HW protocol confirms an
+     * idle snapshot with a second round before broadcasting DONE; we
+     * mirror that shape). The single completed-first scan is already
+     * sound — the confirm pass is cheap insurance on the cold idle
+     * path and keeps the software check structurally faithful to
+     * Section III-D.
+     */
+    bool quiescent() const { return quiescentOnce() && quiescentOnce(); }
+
+    /** In-flight estimate for diagnostics and gauges. Reading
+     *  completed before created keeps the difference non-negative. */
+    uint64_t
+    pendingApprox() const
+    {
+        uint64_t done = 0;
+        for (const auto &c : completed_)
+            done += c.value.load(std::memory_order_acquire);
+        uint64_t made = 0;
+        for (const auto &c : created_)
+            made += c.value.load(std::memory_order_acquire);
+        return made - done;
+    }
+
+    uint64_t
+    createdTotal() const
+    {
+        uint64_t made = 0;
+        for (const auto &c : created_)
+            made += c.value.load(std::memory_order_acquire);
+        return made;
+    }
+
+    uint64_t
+    completedTotal() const
+    {
+        uint64_t done = 0;
+        for (const auto &c : completed_)
+            done += c.value.load(std::memory_order_acquire);
+        return done;
+    }
+
+  private:
+    std::vector<Padded<std::atomic<uint64_t>>> created_;
+    std::vector<Padded<std::atomic<uint64_t>>> completed_;
+};
+
+/**
+ * First-error failure latch: stop tells workers to drain out; failed
+ * guards the first-error claim; error is written once, under mutex, by
+ * the claim winner. Later callers lose the claim race and only
+ * reinforce the stop flag — the error a caller reads afterwards is
+ * always the first one.
+ */
+class FailureLatch
+{
+  public:
+    /** Latch `message` as the failure and raise stop. Returns true for
+     *  the claim winner (whose message was kept). */
+    bool
+    fail(std::string message)
+    {
+        bool expected = false;
+        bool won = failed_.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel);
+        if (won) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            error_ = std::move(message);
+        }
+        stop_.store(true, std::memory_order_release);
+        return won;
+    }
+
+    /** Raise stop without recording an error (graceful drain). */
+    void requestStop() { stop_.store(true, std::memory_order_release); }
+
+    bool
+    stopRequested() const
+    {
+        return stop_.load(std::memory_order_acquire);
+    }
+
+    bool
+    failed() const
+    {
+        return failed_.load(std::memory_order_acquire);
+    }
+
+    /** The first error. Safe once failed() is true (the winner stored
+     *  it before raising failed); the lock is cold-path insurance. */
+    std::string
+    error() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return error_;
+    }
+
+  private:
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> failed_{false};
+    mutable std::mutex mutex_;
+    std::string error_;
+};
+
+/** Idle-loop backoff: brief spin, then yield so oversubscribed hosts
+ *  (threads > cores) still make progress. */
+class IdleBackoff
+{
+  public:
+    void reset() { spins_ = 0; }
+
+    /** One empty-handed round; yields every 32nd call. Returns true
+     *  when it yielded (callers may escalate to sleeping). */
+    bool
+    idle()
+    {
+        if (++spins_ <= 32)
+            return false;
+        spins_ = 0;
+        std::this_thread::yield();
+        return true;
+    }
+
+  private:
+    unsigned spins_ = 0;
+};
+
+} // namespace hdcps
+
+#endif // HDCPS_RUNTIME_WORKER_COMMON_H_

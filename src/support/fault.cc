@@ -35,6 +35,14 @@ const FaultSiteInfo siteCatalog[] = {
      "simulated hPQ insert evicts to the software PQ as if full"},
     {faultsite::SimNocDelay,
      "extra cycles added to every simulated NoC transfer"},
+    {faultsite::SvcAdmitFull,
+     "service admission pretends the queue is full: forces rejection"},
+    {faultsite::SvcJobFail,
+     "service task processing throws: drives retry/backoff then "
+     "per-job failure"},
+    {faultsite::SvcCancelRace,
+     "delay (ns) inside JobHandle::cancel between the drain latch "
+     "and its publication: widens the cancel/complete race"},
 };
 
 /** Per-invocation uniform double in [0, 1), deterministic in

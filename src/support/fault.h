@@ -73,6 +73,9 @@ inline constexpr char ExecProcessThrow[] = "exec.process.throw";
 inline constexpr char SimHrqFull[] = "sim.hrq.full";
 inline constexpr char SimHpqEvict[] = "sim.hpq.evict";
 inline constexpr char SimNocDelay[] = "sim.noc.delay";
+inline constexpr char SvcAdmitFull[] = "svc.admit.full";
+inline constexpr char SvcJobFail[] = "svc.job.fail";
+inline constexpr char SvcCancelRace[] = "svc.cancel.race";
 } // namespace faultsite
 
 /** One entry of the documented site catalog. */

@@ -298,6 +298,45 @@ TEST_P(ConformanceMatrix, ChaosInvariantsOnWidePriorityTree)
     }
 }
 
+TEST_P(ConformanceMatrix, ChaosInvariantsOnDuplicatePriorityMultiSource)
+{
+    // Multi-source duplicate-priority workload: four sources seed
+    // overlapping priority ranges (only 8 distinct priorities across
+    // 128 seeds), every seed is pushed twice (exact-duplicate tasks —
+    // multiset multiplicity, not distinct keys), and each task spawns
+    // two *identical* children at its own priority. Ties dominate
+    // every scheduling decision, so this corner stresses FIFO
+    // tie-breaking structures (bag maps, bucket FIFOs, heap
+    // tie-break comparators) and the verifier's exact multiset: every
+    // duplicate must come back exactly as many times as it went in.
+    constexpr unsigned sources = 4;
+    constexpr unsigned perSource = 16;
+    constexpr unsigned generations = 2;
+    std::vector<Task> seeds;
+    for (unsigned s = 0; s < sources; ++s) {
+        for (unsigned i = 0; i < perSource; ++i) {
+            Task t{/*priority=*/i % 8, s * perSource + i, generations};
+            seeds.push_back(t);
+            seeds.push_back(t); // exact duplicate of the same task
+        }
+    }
+    // Each seed expands to 2^0 + 2^1 + ... + 2^generations tasks.
+    constexpr uint64_t expect = uint64_t(sources) * perSource * 2 *
+                                ((1u << (generations + 1)) - 1);
+    ProcessFn kernel = [](unsigned, const Task &task,
+                          std::vector<Task> &children) {
+        if (task.data == 0)
+            return;
+        Task child{task.priority, task.node, task.data - 1};
+        children.push_back(child);
+        children.push_back(child); // identical twins, same priority
+    };
+    for (const ChaosCase &chaos : kChaosCases) {
+        runConformanceScenario(design(), chaos, "dup-priority", seeds,
+                               kernel, expect, nullptr);
+    }
+}
+
 TEST_P(ConformanceMatrix, ChaosInvariantsOnSsspOracle)
 {
     // Real kernel with a sequential oracle: beyond conservation, the

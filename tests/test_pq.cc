@@ -281,6 +281,88 @@ TEST(BucketQueue, MixedTierRandomizedMatchesStableSort)
     EXPECT_TRUE(q.empty());
 }
 
+TEST(BucketQueue, SparseCursorJumpCrossesBitmapWords)
+{
+    // A cursor stranded at 0 with the only live bucket ~70000 slots
+    // away must land on it directly (the occupancy bitmap strides in
+    // 64-bucket words), and keep working across repeated long jumps.
+    BucketQueue<int> q;
+    q.push(0, 1);
+    q.push(70001, 2);
+    EXPECT_EQ(q.topPriority(), 0u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.topPriority(), 70001u);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_TRUE(q.empty());
+    // Refill after full drain: bits for consumed buckets must be clear
+    // or the rebase would stop at a stale bucket and trip the FIFO.
+    q.push(70001, 3);
+    q.push(131, 4); // different word than both 0 and 70001
+    EXPECT_EQ(q.pop(), 4);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueue, RewindAfterBulkRebasePreservesFifo)
+{
+    // Label-correcting pattern: after the cursor has jumped far ahead,
+    // a lower push rewinds it; the next rebase must re-find the low
+    // bucket and still drain each bucket in insertion order.
+    BucketQueue<int> q;
+    q.push(65 * 64 + 3, 100); // word 65
+    q.push(65 * 64 + 3, 101);
+    EXPECT_EQ(q.pop(), 100); // cursor now parked in word 65
+    q.push(5, 1); // rewind to word 0
+    q.push(5, 2);
+    EXPECT_EQ(q.topPriority(), 5u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 101);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueue, SparseSweepAcrossManyWords)
+{
+    // One element every 97 buckets over a ~50k-priority range: every
+    // advance() is a multi-word stride. Pop order must be exactly
+    // ascending priority.
+    BucketQueue<uint64_t> q;
+    std::vector<uint64_t> prios;
+    for (uint64_t p = 0; p < 50000; p += 97)
+        prios.push_back(p);
+    // Push in a shuffled-ish order (stride permutation) to exercise
+    // rewinds as well as forward jumps.
+    for (size_t i = 0; i < prios.size(); ++i)
+        q.push(prios[(i * 7) % prios.size()], prios[(i * 7) % prios.size()]);
+    for (uint64_t p : prios) {
+        ASSERT_EQ(q.topPriority(), p);
+        ASSERT_EQ(q.pop(), p);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueue, BulkRebaseHandsOffToOverflowTier)
+{
+    // Dense tier drains via a long bitmap jump, then the best element
+    // is in the overflow heap; a fresh dense push below the span must
+    // win again. Exercises advance() hitting end-of-bitmap (cursor_ =
+    // buckets_.size()) and the tier comparison after a rebase.
+    const uint64_t span = 256;
+    BucketQueue<int> q(span);
+    q.push(3, 30);
+    q.push(span - 1, 31); // last dense bucket, word 3
+    q.push(span + 10, 40); // overflow
+    EXPECT_EQ(q.pop(), 30);
+    EXPECT_EQ(q.pop(), 31);
+    EXPECT_EQ(q.topPriority(), span + 10);
+    EXPECT_EQ(q.pop(), 40);
+    q.push(span + 11, 41);
+    q.push(7, 50); // dense beats overflow again
+    EXPECT_EQ(q.pop(), 50);
+    EXPECT_EQ(q.pop(), 41);
+    EXPECT_TRUE(q.empty());
+}
+
 TEST(LockedTaskPq, OrderedPops)
 {
     LockedTaskPq pq;

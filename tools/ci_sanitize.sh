@@ -28,7 +28,7 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 targets=(hdcps_cli hdcps_soak bench_micro_queues
          test_support test_graph test_pq test_core test_obs test_sched
          test_conformance test_algos test_sim test_simdesigns
-         test_stress test_simsched test_properties)
+         test_stress test_simsched test_properties test_service)
 
 # Fault-injection stress: re-run the failure-semantics, watchdog and
 # fault-drill suites under the instrumented build (the injected error
@@ -75,11 +75,31 @@ chaos_soak() {
         --designs obim,pmod,multiqueue,swminnow,reld,hdcps-mq
 }
 
-# Bench smoke: run the perf-gate microbenchmarks with a tiny iteration
-# budget (this is a does-it-work check, not a measurement — sanitizer
-# builds are slow by design), then validate the emitted JSON against
-# the hdcps-bench-micro-v1 schema. The artifact is left under
-# $builddir/artifacts/ so CI can upload BENCH_micro.json with the run.
+# Job-stream smoke: replay a bursty multi-tenant job stream through
+# the ExecutorService with admission backpressure, retries, and an
+# armed job-fault drill. Rejections are expected (capacity 4 under
+# bursts of 8); anything but exit 0 — a lost task, an unverified
+# completed job, a job failed by something other than its deadline —
+# fails the stage.
+service_stream_smoke() {
+    local builddir=$1
+    "$builddir"/tools/hdcps_cli --kernel bfs --input cage \
+        --design multiqueue --job-stream 24 --arrivals burst \
+        --burst 8 --rate 400 --threads 4 --admit-cap 4 \
+        --job-retries 4 --csv --fault-spec 'svc.job.fail:nth:97'
+}
+
+# Bench smoke + perf self-gate: run the perf-gate microbenchmarks
+# twice with a tiny iteration budget (sanitizer builds are slow by
+# design, so this is a does-it-work-and-is-it-stable check, not a
+# measurement), validate the JSON schema, then HARD-gate the rerun
+# against the first run with bench_compare --min-ratio. The threshold
+# (0.35) is far below real run-to-run noise for these budgets (see
+# EXPERIMENTS.md "Perf-gate variance") so only a catastrophic
+# regression — a benchmark collapsing to a fraction of its own
+# same-build throughput, i.e. a livelock, a lock convoy, or a
+# pathological slow path — trips it. Both artifacts are left under
+# $builddir/artifacts/ so CI can upload them with the run.
 bench_smoke() {
     local builddir=$1
     mkdir -p "$builddir/artifacts"
@@ -88,7 +108,14 @@ bench_smoke() {
         --benchmark_min_time=0.01 \
         --benchmark_filter='-BM_HdCpsPipelineSpawn'
     tools/bench_compare --validate "$builddir/artifacts/BENCH_micro.json"
-    echo "bench artifact: $builddir/artifacts/BENCH_micro.json"
+    HDCPS_BENCH_JSON_OUT="$builddir/artifacts/BENCH_micro_rerun.json" \
+        "$builddir"/bench/bench_micro_queues \
+        --benchmark_min_time=0.01 \
+        --benchmark_filter='-BM_HdCpsPipelineSpawn'
+    tools/bench_compare "$builddir/artifacts/BENCH_micro.json" \
+        "$builddir/artifacts/BENCH_micro_rerun.json" --min-ratio 0.35
+    echo "bench artifacts: $builddir/artifacts/BENCH_micro.json" \
+         "$builddir/artifacts/BENCH_micro_rerun.json"
 }
 
 for preset in "${presets[@]}"; do
@@ -104,6 +131,8 @@ for preset in "${presets[@]}"; do
     fault_stress "$builddir"
     echo "=== [$preset] chaos soak ==="
     chaos_soak "$builddir"
+    echo "=== [$preset] job-stream smoke ==="
+    service_stream_smoke "$builddir"
     echo "=== [$preset] bench smoke ==="
     bench_smoke "$builddir"
     echo "=== [$preset] OK ==="

@@ -15,10 +15,15 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "algos/workload.h"
 #include "core/hdcps.h"
@@ -32,11 +37,14 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "runtime/executor.h"
+#include "runtime/executor_service.h"
 #include "simsched/runner.h"
 #include "stats/table.h"
 #include "support/fault.h"
 #include "support/logging.h"
+#include "support/rng.h"
 #include "support/straggler.h"
+#include "support/timer.h"
 
 namespace {
 
@@ -64,6 +72,14 @@ struct Options
     uint64_t watchdogMs = 0;     ///< 0 = watchdog off
     uint64_t reclaimAfterMs = 0; ///< 0 = sRQ reclamation off
     std::string stragglerSpec;   ///< empty = no straggler injection
+    uint64_t jobStream = 0;      ///< 0 = single run; N = replay N jobs
+    std::string arrivals = "poisson"; ///< poisson|burst arrival process
+    uint64_t rate = 50;          ///< mean job arrivals per second
+    uint64_t burst = 8;          ///< jobs per burst (burst arrivals)
+    uint64_t admitCap = 16;      ///< admission queue capacity
+    bool admitBlock = false;     ///< block instead of reject when full
+    uint64_t jobDeadlineMs = 0;  ///< per-job deadline (0 = none)
+    uint64_t jobRetries = 1;     ///< task attempts per job (1 = none)
 };
 
 void
@@ -98,6 +114,21 @@ usage()
         "  --straggler-spec S     pause worker threads on purpose:\n"
         "                worker:atCheck:pauseMs[,...] or rand:P:MAXMS\n"
         "                (threads mode; seeded by --seed)\n"
+        "  --job-stream N     trace-replay N jobs of the chosen kernel\n"
+        "                (random sources) through the multi-tenant\n"
+        "                ExecutorService and report per-job p50/p99\n"
+        "                latency (threads mode)\n"
+        "  --arrivals A       job arrival process: poisson|burst\n"
+        "                (default poisson)\n"
+        "  --rate R      mean job arrivals per second (default 50)\n"
+        "  --burst B     jobs per burst for --arrivals burst "
+        "(default 8)\n"
+        "  --admit-cap N      admission queue capacity (default 16)\n"
+        "  --admit-block      block submission when the admission\n"
+        "                queue is full instead of rejecting\n"
+        "  --job-deadline-ms N    per-job deadline (default none)\n"
+        "  --job-retries N    task attempts before a job fails\n"
+        "                (default 1 = no retries)\n"
         "  --stats       print the input graph's statistics and exit\n"
         "  --config      print the simulated machine's Table-I parameters\n"
         "  --list        list kernels, designs and fault sites, then exit\n";
@@ -187,6 +218,37 @@ parseArgs(int argc, char **argv)
                 parseUint("--reclaim-after-ms", value(i), 86400000ULL);
         } else if (arg == "--straggler-spec") {
             options.stragglerSpec = value(i);
+        } else if (arg == "--job-stream") {
+            options.jobStream =
+                parseUint("--job-stream", value(i), 1000000);
+        } else if (arg == "--arrivals") {
+            options.arrivals = value(i);
+            if (options.arrivals != "poisson" &&
+                options.arrivals != "burst") {
+                hdcps_fatal("--arrivals: want poisson|burst, got '%s'",
+                            options.arrivals.c_str());
+            }
+        } else if (arg == "--rate") {
+            options.rate = parseUint("--rate", value(i), 1000000);
+            hdcps_check(options.rate >= 1, "--rate must be >= 1");
+        } else if (arg == "--burst") {
+            options.burst = parseUint("--burst", value(i), 100000);
+            hdcps_check(options.burst >= 1, "--burst must be >= 1");
+        } else if (arg == "--admit-cap") {
+            options.admitCap =
+                parseUint("--admit-cap", value(i), 1000000);
+            hdcps_check(options.admitCap >= 1,
+                        "--admit-cap must be >= 1");
+        } else if (arg == "--admit-block") {
+            options.admitBlock = true;
+        } else if (arg == "--job-deadline-ms") {
+            options.jobDeadlineMs =
+                parseUint("--job-deadline-ms", value(i), 86400000ULL);
+        } else if (arg == "--job-retries") {
+            options.jobRetries =
+                parseUint("--job-retries", value(i), 100);
+            hdcps_check(options.jobRetries >= 1,
+                        "--job-retries must be >= 1");
         } else if (arg == "--stats") {
             options.stats = true;
         } else if (arg == "--csv") {
@@ -395,6 +457,180 @@ runThreads(const Options &options, Workload &workload)
     return verified ? 0 : 1;
 }
 
+/**
+ * Trace-replay job-stream driver: submits --job-stream jobs of the
+ * chosen kernel (each from a random source node, sharing the immutable
+ * input graph) to a long-lived ExecutorService under a Poisson or
+ * bursty arrival process, then reports per-job p50/p99/max latency,
+ * throughput, and the admission/retry/deadline tallies. Completed
+ * jobs are verified against their sequential oracle.
+ */
+int
+runJobStream(const Options &options, const Graph &graph)
+{
+    auto scheduler =
+        makeThreaded(options, HdCpsConfig{}.sampleInterval);
+
+    std::unique_ptr<ScopedStragglerInjection> stragglers;
+    if (!options.stragglerSpec.empty()) {
+        stragglers = std::make_unique<ScopedStragglerInjection>(
+            options.threads, options.seed);
+        std::string error;
+        if (!stragglers->injector().parseSpec(options.stragglerSpec,
+                                              &error))
+            hdcps_fatal("--straggler-spec: %s", error.c_str());
+    }
+
+    std::unique_ptr<MetricsRegistry> metrics;
+    if (!options.metricsOut.empty()) {
+        MetricsRegistry::Config config;
+        config.sampleInterval =
+            options.metricsInterval > 0 ? options.metricsInterval : 500;
+        metrics =
+            std::make_unique<MetricsRegistry>(options.threads, config);
+    }
+
+    ServiceOptions serviceOptions;
+    serviceOptions.numThreads = options.threads;
+    serviceOptions.admissionCapacity = options.admitCap;
+    serviceOptions.blockWhenFull = options.admitBlock;
+    serviceOptions.seed = options.seed;
+    serviceOptions.metrics = metrics.get();
+    ExecutorService svc(*scheduler, serviceOptions);
+
+    // Each job owns its workload (oracle state is per-source); the
+    // entry outlives the job because the ProcessFn captures it.
+    struct ReplayedJob
+    {
+        JobHandle handle;
+        std::unique_ptr<Workload> workload;
+    };
+    std::vector<ReplayedJob> jobs;
+    jobs.reserve(options.jobStream);
+
+    Rng rng(mix64(options.seed ^ 0x6a6f62ULL)); // "job"
+    uint64_t startNs = nowNs();
+    for (uint64_t i = 0; i < options.jobStream; ++i) {
+        NodeId source = NodeId(rng.below(graph.numNodes()));
+        auto workload = makeWorkload(options.kernel, graph, source);
+        JobSpec spec;
+        spec.name = options.kernel + "#" + std::to_string(i);
+        spec.process = workloadProcessFn(*workload);
+        spec.initial = workload->initialTasks();
+        spec.priority = rng.below(8);
+        spec.deadlineMs = options.jobDeadlineMs;
+        spec.retry.maxAttempts = uint32_t(options.jobRetries);
+        jobs.push_back(
+            ReplayedJob{svc.submit(std::move(spec)),
+                        std::move(workload)});
+
+        if (i + 1 == options.jobStream)
+            break;
+        if (options.arrivals == "poisson") {
+            // Exponential inter-arrival with mean 1/rate; uniform() is
+            // in [0, 1), so 1-u is in (0, 1] and the log is finite.
+            double gapSec = -std::log(1.0 - rng.uniform()) /
+                            double(options.rate);
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                uint64_t(gapSec * 1e6)));
+        } else if ((i + 1) % options.burst == 0) {
+            // Back-to-back within a burst; mean rate preserved by the
+            // inter-burst gap.
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                options.burst * 1000000 / options.rate));
+        }
+    }
+
+    uint64_t rejected = 0, deadlineFailed = 0, completed = 0;
+    uint64_t verifyFailures = 0, hardFailures = 0;
+    for (ReplayedJob &job : jobs) {
+        JobState got = job.handle.wait();
+        if (got == JobState::Rejected) {
+            ++rejected;
+            continue;
+        }
+        if (got == JobState::Completed) {
+            ++completed;
+            std::string why;
+            if (!job.workload->verify(&why)) {
+                ++verifyFailures;
+                std::cerr << "verification error: job '"
+                          << job.handle.name() << "': " << why << "\n";
+            }
+            continue;
+        }
+        bool deadline =
+            got == JobState::Failed &&
+            job.handle.error().find("deadline") != std::string::npos;
+        if (deadline) {
+            ++deadlineFailed;
+        } else {
+            ++hardFailures;
+            std::cerr << "job '" << job.handle.name() << "' ended "
+                      << jobStateName(got) << ": "
+                      << job.handle.error() << "\n";
+        }
+    }
+    uint64_t wallNs = nowNs() - startNs;
+    ServiceStats stats = svc.stats();
+    svc.shutdown();
+
+    if (metrics) {
+        if (!writeMetricsFile(options.metricsOut, metrics->snapshot()))
+            hdcps_fatal("cannot write metrics to '%s'",
+                        options.metricsOut.c_str());
+        if (!options.csv)
+            std::cout << "metrics written to " << options.metricsOut
+                      << "\n";
+    }
+
+    double wallSec = double(wallNs) / 1e9;
+    double throughput = wallSec > 0 ? double(completed) / wallSec : 0;
+    if (options.csv) {
+        std::cout << options.kernel << "," << options.input << ","
+                  << options.design << "," << options.threads << ","
+                  << options.jobStream << "," << completed << ","
+                  << deadlineFailed << "," << rejected << ","
+                  << stats.taskRetries << "," << wallNs << ","
+                  << stats.jobLatencyP50Ms << ","
+                  << stats.jobLatencyP99Ms << ","
+                  << stats.jobLatencyMaxMs << "," << throughput << ","
+                  << (verifyFailures + hardFailures == 0 ? "ok"
+                                                         : "FAIL")
+                  << "\n";
+    } else {
+        Table table({"metric", "value"});
+        table.row().cell("design").cell(std::string(scheduler->name()));
+        table.row().cell("arrivals").cell(
+            options.arrivals + " @ " + std::to_string(options.rate) +
+            "/s");
+        table.row().cell("jobs submitted").cell(stats.submitted);
+        table.row().cell("jobs completed").cell(completed);
+        table.row().cell("jobs rejected (backpressure)").cell(rejected);
+        table.row().cell("jobs deadline-expired").cell(deadlineFailed);
+        table.row().cell("task retries").cell(stats.taskRetries);
+        table.row().cell("tasks drained").cell(stats.tasksDrained);
+        table.row().cell("wall time (ms)").cell(double(wallNs) / 1e6,
+                                                2);
+        table.row().cell("job latency p50 (ms)").cell(
+            stats.jobLatencyP50Ms, 2);
+        table.row().cell("job latency p99 (ms)").cell(
+            stats.jobLatencyP99Ms, 2);
+        table.row().cell("job latency max (ms)").cell(
+            stats.jobLatencyMaxMs, 2);
+        table.row().cell("throughput (jobs/s)").cell(throughput, 1);
+        table.printText(std::cout,
+                        "job stream: " +
+                            std::to_string(options.jobStream) + " x " +
+                            options.kernel + " on " + options.input +
+                            " (" + std::to_string(options.threads) +
+                            " host threads)");
+    }
+    if (hardFailures > 0)
+        return 2;
+    return verifyFailures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -467,6 +703,14 @@ main(int argc, char **argv)
         std::cerr << "note: --metrics-out implies --mode threads\n";
         options.mode = "threads";
     }
+    if (options.jobStream > 0 && options.mode == "sim") {
+        // The service schedules host worker threads; the cycle-level
+        // simulator runs one workload to completion.
+        if (options.modeExplicit)
+            hdcps_fatal("--job-stream needs --mode threads");
+        std::cerr << "note: --job-stream implies --mode threads\n";
+        options.mode = "threads";
+    }
     if ((options.reclaimAfterMs > 0 || !options.stragglerSpec.empty()) &&
         options.mode == "sim") {
         // Both knobs act on host worker threads; the cycle-level
@@ -482,6 +726,8 @@ main(int argc, char **argv)
 
     if (options.mode == "sim")
         return runSim(options, *workload);
+    if (options.jobStream > 0)
+        return runJobStream(options, graph);
     if (options.mode == "threads")
         return runThreads(options, *workload);
     hdcps_fatal("unknown --mode '%s' (want sim|threads)",

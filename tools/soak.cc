@@ -21,8 +21,10 @@
  * the chaos doubles as a data-race and lifetime-bug detector.
  */
 
+#include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <iterator>
@@ -30,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algos/workload.h"
@@ -43,6 +46,7 @@
 #include "graph/generators.h"
 #include "obs/metrics.h"
 #include "runtime/executor.h"
+#include "runtime/executor_service.h"
 #include "support/fault.h"
 #include "support/logging.h"
 #include "support/rng.h"
@@ -60,6 +64,14 @@ struct Options
     unsigned threads = 4;
     uint64_t budgetMs = 0; ///< 0 = unbounded
     bool verbose = false;
+    /** Crash (SIGABRT + slot dump) on the first overlapping metrics
+     *  write instead of counting it — turns a post-hoc conformance
+     *  failure into a stack trace at the racing store. */
+    bool abortOnWriterViolation = false;
+    /** Fraction of runs that exercise the multi-tenant
+     *  ExecutorService (job stream + cancel/deadline/retry chaos)
+     *  instead of a single run(). */
+    double serviceSlice = 0.25;
     /** Designs to draw from (default: all). The first |designs| runs
      *  visit each exactly once, so even short sweeps cover every
      *  requested backend before randomness takes over. */
@@ -78,6 +90,12 @@ usage()
         "(default unbounded)\n"
         "  --designs A,B  restrict scenarios to these designs "
         "(default: all)\n"
+        "  --service-slice F  fraction of runs that chaos-test the\n"
+        "                 multi-tenant ExecutorService instead of a\n"
+        "                 single run() (default 0.25)\n"
+        "  --abort-on-writer-violation  SIGABRT at the first\n"
+        "                 overlapping metrics write (stack trace at the\n"
+        "                 racing store) instead of counting it\n"
         "  --verbose      print every scenario, not just failures\n";
 }
 
@@ -160,6 +178,19 @@ parseArgs(int argc, char **argv)
                 parseUint("--budget-ms", value(i), 86400000ULL);
         } else if (arg == "--designs") {
             options.designs = parseDesignList(value(i));
+        } else if (arg == "--service-slice") {
+            const char *text = value(i);
+            char *end = nullptr;
+            errno = 0;
+            double parsed = std::strtod(text, &end);
+            if (end == text || *end != '\0' || errno == ERANGE ||
+                parsed < 0.0 || parsed > 1.0) {
+                hdcps_fatal("--service-slice: want a fraction in "
+                            "[0, 1], got '%s'", text);
+            }
+            options.serviceSlice = parsed;
+        } else if (arg == "--abort-on-writer-violation") {
+            options.abortOnWriterViolation = true;
         } else if (arg == "--verbose") {
             options.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -188,6 +219,10 @@ struct Scenario
     std::string faultSpec;     ///< benign fault sites, may be empty
     std::string stragglerSpec; ///< pause events, may be empty
     bool expectFailure = false; ///< exec.process.throw armed
+    /** Chaos-test the multi-tenant ExecutorService (job stream with a
+     *  cancel victim, a doomed deadline, retries, and an admission
+     *  burst) instead of a single run(). */
+    bool serviceRun = false;
 };
 
 const char *const kKernels[] = {"sssp", "bfs"};
@@ -201,7 +236,8 @@ constexpr uint64_t kWatchdogMs = 3000;
 
 Scenario
 drawScenario(Rng &rng, uint64_t runSeed, unsigned threads,
-             const std::vector<std::string> &designs, uint64_t runIndex)
+             const std::vector<std::string> &designs, uint64_t runIndex,
+             double serviceSlice)
 {
     Scenario s;
     s.seed = runSeed;
@@ -213,6 +249,47 @@ drawScenario(Rng &rng, uint64_t runSeed, unsigned threads,
     s.design = runIndex < designs.size()
                    ? designs[runIndex]
                    : designs[rng.below(designs.size())];
+
+    // Service scenarios drill the multi-tenant layer: the job-level
+    // fault sites replace the single-run exec.process.throw slice, and
+    // straggler pauses carry over unchanged.
+    if (runIndex >= designs.size() && rng.chance(serviceSlice)) {
+        s.serviceRun = true;
+        s.kernel = "jobstream";
+        s.input = "synthetic";
+        if (rng.chance(0.5))
+            s.faultSpec = "exec.pop.fail:prob:0.002";
+        if (rng.chance(0.6)) {
+            if (!s.faultSpec.empty())
+                s.faultSpec += ",";
+            s.faultSpec += "svc.job.fail:nth:" +
+                           std::to_string(64 + rng.below(192));
+        }
+        if (rng.chance(0.5)) {
+            if (!s.faultSpec.empty())
+                s.faultSpec += ",";
+            // Widen the cancel/completion race window by up to 0.3 ms.
+            s.faultSpec += "svc.cancel.race:delay:" +
+                           std::to_string(rng.below(300000));
+        }
+        if (rng.chance(0.4)) {
+            if (!s.faultSpec.empty())
+                s.faultSpec += ",";
+            // Invocations 1-4 are the pinned jobs (must admit); the
+            // admission burst starts at invocation 5, so forced
+            // rejections only ever hit burst submissions.
+            s.faultSpec += "svc.admit.full:nth:" +
+                           std::to_string(5 + rng.below(8));
+        }
+        if (threads >= 2 && rng.chance(0.6)) {
+            unsigned victim = 1 + unsigned(rng.below(threads - 1));
+            s.stragglerSpec =
+                std::to_string(victim) + ":" +
+                std::to_string(20 + rng.below(200)) + ":" +
+                std::to_string(2 * kReclaimAfterMs + rng.below(30));
+        }
+        return s;
+    }
 
     // Benign chaos: occasional pop misfires and forced overflow spills
     // exercise the retry and spill paths without changing semantics.
@@ -290,6 +367,8 @@ describe(const Scenario &s)
         out += " stragglers=" + s.stragglerSpec;
     if (s.expectFailure)
         out += " (expect graceful failure)";
+    if (s.serviceRun)
+        out += " (executor service)";
     return out;
 }
 
@@ -312,6 +391,10 @@ struct Tally
     uint64_t reclaimedTasks = 0;
     uint64_t reclaimRuns = 0; ///< runs where reclamation moved tasks
     uint64_t pausesInjected = 0;
+    uint64_t serviceRuns = 0;
+    uint64_t jobsCompleted = 0; ///< service jobs that ran to completion
+    uint64_t jobsRejected = 0;  ///< admission rejections (burst jobs)
+    uint64_t taskRetries = 0;   ///< transient-failure retries
 };
 
 /** Run one scenario; returns true when it met its contract. */
@@ -351,6 +434,8 @@ runScenario(const Scenario &s, const Options &options,
     // same as losing a task.
     MetricsRegistry::Config metricsConfig;
     metricsConfig.checkSingleWriter = true;
+    metricsConfig.abortOnWriterViolation =
+        options.abortOnWriterViolation;
     MetricsRegistry metrics(options.threads, metricsConfig);
 
     RunOptions runOptions;
@@ -402,6 +487,256 @@ runScenario(const Scenario &s, const Options &options,
     return true;
 }
 
+/** Tree job: every task with data > 0 spawns `fanout` children one
+ *  level down; total tasks for depth d are (fanout^(d+1)-1)/(fanout-1).
+ *  Mirrors the tests' synthetic job so soak failures reproduce there. */
+ProcessFn
+treeJob(std::atomic<uint64_t> &processed, uint32_t fanout)
+{
+    return [&processed, fanout](unsigned, const Task &task,
+                                std::vector<Task> &children) {
+        processed.fetch_add(1, std::memory_order_relaxed);
+        if (task.data == 0)
+            return;
+        for (uint32_t i = 0; i < fanout; ++i) {
+            children.push_back(Task{task.priority + 1,
+                                    task.node * fanout + i + 1,
+                                    task.data - 1});
+        }
+    };
+}
+
+uint64_t
+treeSize(uint32_t depth, uint32_t fanout)
+{
+    uint64_t total = 0, level = 1;
+    for (uint32_t d = 0; d <= depth; ++d) {
+        total += level;
+        level *= fanout;
+    }
+    return total;
+}
+
+/** Self-replenishing job: every task sleeps, then spawns one child —
+ *  effectively unbounded, so it only ends by cancel or deadline. */
+ProcessFn
+replenishJob(std::atomic<uint64_t> &processed, uint64_t sleepUs)
+{
+    return [&processed, sleepUs](unsigned, const Task &task,
+                                 std::vector<Task> &children) {
+        processed.fetch_add(1, std::memory_order_relaxed);
+        if (sleepUs > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(sleepUs));
+        }
+        children.push_back(
+            Task{task.priority + 1, task.node + 1, task.data});
+    };
+}
+
+/**
+ * Run one multi-tenant service scenario: four pinned jobs share the
+ * worker pool — two finite trees that must complete with exact task
+ * counts, a cancel victim, and a job doomed by an unmeetable deadline
+ * — plus a burst of small jobs thrown at the bounded admission queue
+ * mid-flight. The job-level fault sites (svc.job.fail retried with
+ * backoff, svc.cancel.race, svc.admit.full) and straggler pauses from
+ * the scenario are armed throughout, and per-job conservation is
+ * checked through the VerifyingScheduler's job ledger.
+ */
+bool
+runServiceScenario(const Scenario &s, const Options &options,
+                   Tally &tally)
+{
+    auto fail = [&](const std::string &why) {
+        std::cerr << "FAIL " << describe(s) << "\n  " << why << "\n";
+        return false;
+    };
+
+    ScopedFaultInjection faults(s.seed);
+    if (!s.faultSpec.empty()) {
+        std::string error;
+        hdcps_check(faults->parseSpec(s.faultSpec, &error),
+                    "soak generated a bad fault spec: %s",
+                    error.c_str());
+    }
+
+    ScopedStragglerInjection stragglers(options.threads, s.seed);
+    if (!s.stragglerSpec.empty()) {
+        std::string error;
+        hdcps_check(stragglers.injector().parseSpec(s.stragglerSpec,
+                                                    &error),
+                    "soak generated a bad straggler spec: %s",
+                    error.c_str());
+    }
+
+    auto inner = makeDesign(s, options.threads);
+    VerifyingScheduler verified(*inner);
+    MetricsRegistry::Config metricsConfig;
+    metricsConfig.checkSingleWriter = true;
+    metricsConfig.abortOnWriterViolation =
+        options.abortOnWriterViolation;
+    MetricsRegistry metrics(options.threads, metricsConfig);
+
+    Rng rng(mix64(s.seed ^ 0x5ecau));
+    uint32_t depthA = 4 + uint32_t(rng.below(3));
+    uint32_t depthB = 4 + uint32_t(rng.below(3));
+    uint64_t deadlineMs = 15 + rng.below(20);
+
+    std::atomic<uint64_t> processedA{0}, processedB{0};
+    std::atomic<uint64_t> processedCancel{0}, processedDoomed{0};
+    std::vector<std::unique_ptr<std::atomic<uint64_t>>> burstProcessed;
+
+    // Generous retry budget: svc.job.fail fires every >=64th task, so
+    // no single task plausibly exhausts 8 attempts; the injected
+    // throws exercise backoff without changing any job's outcome.
+    RetryPolicy retry;
+    retry.maxAttempts = 8;
+    retry.backoffBaseUs = 20;
+    retry.backoffMaxUs = 200;
+
+    JobId cancelId = 0, doomedId = 0;
+    ServiceStats stats;
+    {
+        ServiceOptions serviceOptions;
+        serviceOptions.numThreads = options.threads;
+        serviceOptions.admissionCapacity = 8;
+        serviceOptions.seed = s.seed;
+        serviceOptions.metrics = &metrics;
+        ExecutorService svc(verified, serviceOptions);
+
+        auto submit = [&](std::string name, ProcessFn fn,
+                          uint32_t depth, uint64_t jobDeadlineMs) {
+            JobSpec spec;
+            spec.name = std::move(name);
+            spec.process = std::move(fn);
+            spec.initial = {Task{0, 0, depth}};
+            spec.deadlineMs = jobDeadlineMs;
+            spec.retry = retry;
+            return svc.submit(std::move(spec));
+        };
+
+        JobHandle jobA = submit("tree-a", treeJob(processedA, 3),
+                                depthA, 0);
+        JobHandle jobB = submit("tree-b", treeJob(processedB, 3),
+                                depthB, 0);
+        JobHandle victim = submit("cancel-victim",
+                                  replenishJob(processedCancel, 200),
+                                  0, 0);
+        JobHandle doomed = submit("doomed",
+                                  replenishJob(processedDoomed, 1500),
+                                  0, deadlineMs);
+        cancelId = victim.id();
+        doomedId = doomed.id();
+        for (const JobHandle *h : {&jobA, &jobB, &victim, &doomed}) {
+            if (h->state() == JobState::Rejected) {
+                return fail("pinned job '" + h->name() +
+                            "' rejected: " + h->error());
+            }
+        }
+
+        // Admission burst while the pinned jobs are in flight: each is
+        // either admitted (and must then complete exactly) or rejected
+        // with a reason — genuine overflow and the svc.admit.full
+        // drill both land here, never on the pinned jobs.
+        std::vector<JobHandle> burst;
+        for (size_t i = 0; i < 8; ++i) {
+            burstProcessed.push_back(
+                std::make_unique<std::atomic<uint64_t>>(0));
+            burst.push_back(submit("burst-" + std::to_string(i),
+                                   treeJob(*burstProcessed.back(), 2),
+                                   2, 0));
+        }
+
+        // Cancel the victim once it demonstrably ran (its first task
+        // processed), so the drill covers the Running->Draining path,
+        // not just cancel-while-queued.
+        uint64_t spinStart = nowNs();
+        while (processedCancel.load(std::memory_order_relaxed) == 0) {
+            if ((nowNs() - spinStart) / 1000000 > 10000)
+                return fail("cancel victim made no progress in 10s");
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        if (!victim.cancel()) {
+            return fail("cancel lost to an unexpected verdict: state=" +
+                        std::string(jobStateName(victim.state())) +
+                        " error=" + victim.error());
+        }
+
+        if (JobState got = jobA.wait(); got != JobState::Completed) {
+            return fail("tree-a ended " +
+                        std::string(jobStateName(got)) + ": " +
+                        jobA.error());
+        }
+        if (JobState got = jobB.wait(); got != JobState::Completed) {
+            return fail("tree-b ended " +
+                        std::string(jobStateName(got)) + ": " +
+                        jobB.error());
+        }
+        if (processedA.load() != treeSize(depthA, 3) ||
+            processedB.load() != treeSize(depthB, 3)) {
+            return fail("completed tree job processed-count mismatch");
+        }
+        if (JobState got = victim.wait(); got != JobState::Cancelled)
+            return fail("cancel victim ended " +
+                        std::string(jobStateName(got)));
+        if (JobState got = doomed.wait(); got != JobState::Failed)
+            return fail("doomed job ended " +
+                        std::string(jobStateName(got)));
+        if (doomed.error().find("deadline") == std::string::npos) {
+            return fail("doomed job failed without the deadline "
+                        "error: " + doomed.error());
+        }
+
+        uint64_t burstCompleted = 0;
+        for (size_t i = 0; i < burst.size(); ++i) {
+            JobState got = burst[i].wait();
+            if (got == JobState::Rejected) {
+                if (burst[i].error().empty())
+                    return fail("rejected burst job carries no reason");
+                ++tally.jobsRejected;
+                continue;
+            }
+            if (got != JobState::Completed) {
+                return fail("burst job ended " +
+                            std::string(jobStateName(got)) + ": " +
+                            burst[i].error());
+            }
+            if (burstProcessed[i]->load() != treeSize(2, 2))
+                return fail("burst job processed-count mismatch");
+            ++burstCompleted;
+        }
+
+        stats = svc.stats();
+        if (stats.cancelled != 1 || stats.deadlineExpired != 1) {
+            return fail("stats miscount: cancelled=" +
+                        std::to_string(stats.cancelled) +
+                        " deadlineExpired=" +
+                        std::to_string(stats.deadlineExpired));
+        }
+        tally.jobsCompleted += 2 + burstCompleted;
+    }
+    tally.pausesInjected += stragglers.injector().pausesInjected();
+    tally.taskRetries += stats.taskRetries;
+
+    // Conservation: the cancelled and deadline-failed jobs must have
+    // drained exactly, and with every job terminal the scheduler and
+    // the whole ledger must be empty.
+    std::string why;
+    if (!verified.checkJobDrained(cancelId, &why))
+        return fail("cancelled job not drained: " + why);
+    if (!verified.checkJobDrained(doomedId, &why))
+        return fail("deadline-failed job not drained: " + why);
+    if (!verified.checkComplete(false, &why))
+        return fail("invariant violation: " + why);
+    if (metrics.writerViolations() > 0) {
+        return fail("metrics single-writer violation (" +
+                    std::to_string(metrics.writerViolations()) +
+                    " overlapping writes)");
+    }
+    return true;
+}
+
 } // namespace
 
 int
@@ -428,11 +763,17 @@ main(int argc, char **argv)
         uint64_t runSeed = mix64(options.seed + i);
         Rng rng(runSeed);
         Scenario s = drawScenario(rng, runSeed, options.threads,
-                                  options.designs, i);
+                                  options.designs, i,
+                                  options.serviceSlice);
         if (options.verbose)
             std::cout << "run " << i << ": " << describe(s) << "\n";
         ++tally.ran;
-        if (!runScenario(s, options, graphs, tally)) {
+        if (s.serviceRun)
+            ++tally.serviceRuns;
+        bool ok = s.serviceRun
+                      ? runServiceScenario(s, options, tally)
+                      : runScenario(s, options, graphs, tally);
+        if (!ok) {
             ++failures;
             ++tally.failed;
         }
@@ -443,6 +784,10 @@ main(int argc, char **argv)
               << " graceful injected failures, " << tally.reclaimedTasks
               << " tasks reclaimed across " << tally.reclaimRuns
               << " runs, " << tally.pausesInjected
-              << " straggler pauses\n";
+              << " straggler pauses, " << tally.serviceRuns
+              << " service runs (" << tally.jobsCompleted
+              << " jobs completed, " << tally.jobsRejected
+              << " admission rejections, " << tally.taskRetries
+              << " task retries)\n";
     return failures == 0 ? 0 : 1;
 }
