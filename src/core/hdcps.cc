@@ -219,6 +219,122 @@ BasicHdCpsScheduler<LocalPqT>::heartbeatPops(unsigned tid) const
 }
 
 template <template <typename, typename> class LocalPqT>
+void
+BasicHdCpsScheduler<LocalPqT>::quarantine(unsigned tid)
+{
+    uint32_t was =
+        workers_[tid]->quarantined.exchange(1, std::memory_order_relaxed);
+    if (was == 0)
+        quarantineCount_.fetch_add(1, std::memory_order_relaxed);
+}
+
+template <template <typename, typename> class LocalPqT>
+void
+BasicHdCpsScheduler<LocalPqT>::reinstate(unsigned tid)
+{
+    uint32_t was =
+        workers_[tid]->quarantined.exchange(0, std::memory_order_relaxed);
+    if (was != 0)
+        quarantineCount_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+template <template <typename, typename> class LocalPqT>
+bool
+BasicHdCpsScheduler<LocalPqT>::isQuarantined(unsigned tid) const
+{
+    return workers_[tid]->quarantined.load(std::memory_order_relaxed) !=
+           0;
+}
+
+template <template <typename, typename> class LocalPqT>
+size_t
+BasicHdCpsScheduler<LocalPqT>::reclaimWorker(unsigned reclaimer,
+                                             unsigned victim)
+{
+    const unsigned n = numWorkers();
+    if (n <= 1)
+        return 0;
+    WorkerState &v = *workers_[victim];
+    // Serialize against opportunistic peer reclaimers (who try-lock and
+    // give up) and against a concurrent supervisor call. The victim's
+    // own thread is out of push/tryPop by contract, so a blocking
+    // acquire here only ever waits for a short peer drain to finish.
+    lockReclaim(v.reclaimLock);
+
+    // Everything the victim buffered, re-enveloped for redistribution.
+    std::vector<Envelope> moved;
+    for (unsigned d = 0; d < n; ++d) {
+        const Envelope *seg =
+            v.sendArena.data() + size_t(d) * config_.sendFlushThreshold;
+        for (uint32_t i = 0; i < v.sendCount[d]; ++i)
+            moved.push_back(seg[i]);
+        v.sendCount[d] = 0;
+    }
+    v.dirtySends.clear();
+    v.stagedTasks.store(0, std::memory_order_relaxed);
+    Envelope envelope;
+    while (v.rq->drainPop(envelope))
+        moved.push_back(envelope);
+    Task task;
+    while (v.overflow.tryPop(task))
+        moved.push_back(Envelope{task, nullptr});
+    for (const Task &t : v.activeBag)
+        moved.push_back(Envelope{t, nullptr});
+    v.activeBag.clear();
+    while (!v.pq.empty()) {
+        PqEntry entry = v.pq.pop();
+        moved.push_back(Envelope{entry.task, entry.bag});
+    }
+    v.localBuffered.store(0, std::memory_order_relaxed);
+    unlockReclaim(v.reclaimLock);
+
+    // Redistribute round-robin into the *other* live workers' sRQs —
+    // multi-producer-safe from any thread — spilling to their locked
+    // overflow queues when full. Never into a private PQ: the peers'
+    // owner threads are running and their PQs are theirs alone.
+    size_t tasksMoved = 0;
+    unsigned next = reclaimer % n;
+    for (const Envelope &e : moved) {
+        unsigned dest = n; // n = no live peer found
+        for (unsigned tries = 0; tries < n; ++tries) {
+            unsigned candidate = (next + tries) % n;
+            if (candidate != victim &&
+                workers_[candidate]->quarantined.load(
+                    std::memory_order_relaxed) == 0) {
+                dest = candidate;
+                break;
+            }
+        }
+        if (dest == n) {
+            // Every peer is quarantined too (pathological): park the
+            // tasks back in the victim's overflow so nothing is lost —
+            // the replacement worker drains it.
+            if (e.bag) {
+                for (const Task &t : e.bag->tasks)
+                    v.overflow.push(t);
+                pool_.release(victim, e.bag);
+            } else {
+                v.overflow.push(e.task);
+            }
+            continue;
+        }
+        next = (dest + 1) % n;
+        tasksMoved += e.bag ? e.bag->tasks.size() : size_t(1);
+        if (!workers_[dest]->rq->tryPush(e)) {
+            if (e.bag) {
+                for (const Task &t : e.bag->tasks)
+                    workers_[dest]->overflow.push(t);
+                pool_.release(victim, e.bag);
+            } else {
+                workers_[dest]->overflow.push(e.task);
+            }
+        }
+    }
+    reclaimedTasks_.fetch_add(tasksMoved, std::memory_order_relaxed);
+    return tasksMoved;
+}
+
+template <template <typename, typename> class LocalPqT>
 unsigned
 BasicHdCpsScheduler<LocalPqT>::chooseDest(unsigned tid, unsigned tdf)
 {
@@ -236,6 +352,15 @@ BasicHdCpsScheduler<LocalPqT>::chooseDest(unsigned tid, unsigned tdf)
     unsigned dest = static_cast<unsigned>(r / 100);
     if (dest >= tid)
         ++dest;
+    // Supervision mask: while any worker is quarantined (rare — one
+    // relaxed load says so), remote picks that land on it fall back to
+    // self-enqueue, so no new work routes toward queues being
+    // reclaimed. Re-rolling instead would bias the distribution toward
+    // re-checking; self is always safe and the quarantine is short.
+    if (__builtin_expect(
+            quarantineCount_.load(std::memory_order_relaxed) != 0, 0) &&
+        workers_[dest]->quarantined.load(std::memory_order_relaxed) != 0)
+        return tid;
     return dest;
 }
 

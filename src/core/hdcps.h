@@ -107,6 +107,28 @@ class BasicHdCpsScheduler : public Scheduler
      *  Must not race with push/tryPop. */
     void setReclaimAfterMs(uint64_t ms) override;
 
+    /** Mask worker `tid` out of chooseDest so no new remote work routes
+     *  toward its sRQ (supervision; see Scheduler::quarantine). */
+    void quarantine(unsigned tid) override;
+
+    /** Lift a quarantine(): `tid` becomes a routing destination again. */
+    void reinstate(unsigned tid) override;
+
+    /**
+     * Supervisor-initiated drain of worker `victim`'s buffered tasks —
+     * sRQ, overflow, active bag, send arena, private PQ — redistributed
+     * into the *other* workers' sRQs (overflow on full), starting the
+     * round-robin at `reclaimer`. Unlike the peer path this bypasses
+     * heartbeat staleness and never touches any owner-private state of
+     * a live worker, so it is safe from a non-worker thread; the caller
+     * must guarantee the victim's own thread is out of push/tryPop
+     * (wedged past its pause point, or exited). Returns tasks moved.
+     */
+    size_t reclaimWorker(unsigned reclaimer, unsigned victim) override;
+
+    /** True while `tid` is masked out of chooseDest (tests). */
+    bool isQuarantined(unsigned tid) const;
+
     /** Paper configuration factories. */
     static HdCpsConfig configSrq();
     static HdCpsConfig configSrqTdf();
@@ -256,6 +278,9 @@ class BasicHdCpsScheduler : public Scheduler
         /** Owner-published |pq| + |activeBag| estimate: lets peers (and
          *  sizeApprox) see private buffered work without racing it. */
         std::atomic<size_t> localBuffered{0};
+        /** Supervision flag: nonzero while chooseDest must avoid this
+         *  worker (wedged/dead, backlog being reclaimed). */
+        std::atomic<uint32_t> quarantined{0};
         /** Reclaimer-local backoff state (owner-only fields). */
         uint64_t reclaimBackoffNs = 0;
         uint64_t reclaimBackoffUntilNs = 0;
@@ -373,6 +398,10 @@ class BasicHdCpsScheduler : public Scheduler
     std::atomic<unsigned> publishRound_{0};
     std::mutex updateMutex_;
     DriftSeries driftSeries_; ///< guarded by updateMutex_
+    /** Number of currently quarantined workers: one relaxed load gates
+     *  the chooseDest mask check, so the routing hot path is unchanged
+     *  while supervision is idle (the overwhelmingly common case). */
+    std::atomic<unsigned> quarantineCount_{0};
     /** Straggler-reclamation knob and counters (0 window = off; these
      *  stay shared atomics — they only move on the rare reclaim path). */
     std::atomic<uint64_t> reclaimAfterNs_{0};

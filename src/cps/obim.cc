@@ -45,6 +45,19 @@ ObimBase::findBestBag()
     return nullptr;
 }
 
+bool
+ObimBase::bestNonEmptyBase(Priority &base) const
+{
+    std::shared_lock<std::shared_mutex> lock(mapMutex_);
+    for (const auto &[key, bag] : bags_) {
+        if (!bag->empty()) {
+            base = key;
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 ObimBase::push(unsigned tid, const Task &task)
 {

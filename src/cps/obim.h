@@ -123,6 +123,14 @@ class ObimBase : public Scheduler
      */
     void repushClaimed(const Task &task);
 
+    /**
+     * Base key of the best (lowest-base) non-empty bag, or false when
+     * the map holds no work. Read-only: lets staging frontends
+     * (Software-Minnow) validate a claimed task's rank at serve time
+     * without touching per-worker chunk state.
+     */
+    bool bestNonEmptyBase(Priority &base) const;
+
     void setDelta(unsigned delta) { delta_.store(delta,
                                                  std::memory_order_relaxed); }
 

@@ -90,6 +90,40 @@ class Scheduler
     virtual void setReclaimAfterMs(uint64_t ms) { (void)ms; }
 
     /**
+     * Supervision hook: stop routing new work toward worker `tid`.
+     * Designs with per-worker destination choice (HD-CPS's chooseDest)
+     * mask the slot so remote deliveries avoid a wedged/dead worker's
+     * queues while its backlog is reclaimed; designs whose queues are
+     * globally shared have nothing to mask (the default no-op). The
+     * quarantined worker id itself may keep calling push/tryPop — a
+     * replacement thread reuses the same slot. Safe to call from a
+     * supervisor thread while workers run.
+     */
+    virtual void quarantine(unsigned tid) { (void)tid; }
+
+    /** Supervision hook: lift a quarantine() so worker `tid` receives
+     *  remote work again (replacement worker is live). */
+    virtual void reinstate(unsigned tid) { (void)tid; }
+
+    /**
+     * Supervision hook: forcibly drain worker `victim`'s buffered
+     * tasks (sRQ, overflow, bags, private PQ) into worker
+     * `reclaimer`'s queues, regardless of heartbeat staleness —
+     * supervisor-initiated, unlike the opportunistic peer reclamation
+     * behind setReclaimAfterMs. Returns the number of tasks moved.
+     * The caller must guarantee the victim's thread is not inside
+     * push/tryPop (it is wedged past its pause point, or exited).
+     * Designs without per-worker buffers return 0 (the default).
+     */
+    virtual size_t
+    reclaimWorker(unsigned reclaimer, unsigned victim)
+    {
+        (void)reclaimer;
+        (void)victim;
+        return 0;
+    }
+
+    /**
      * Attach an observability registry (nullptr detaches). Designs
      * record occupancy series and distribution counters into it; when
      * none is attached the hot paths pay one predictable branch.

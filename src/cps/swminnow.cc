@@ -32,6 +32,21 @@ SwMinnowScheduler::tryPop(unsigned tid, Task &out)
     // Staged work first: this is the decoupling benefit — the worker
     // avoids touching the shared map while its helper keeps up.
     if (staging_[tid]->tryPop(out)) {
+        // Serve-time rank re-check: the helper staged whatever was
+        // best *at claim time*, and pushes since then may have opened
+        // strictly better bags. Serving the stale stage anyway would
+        // reintroduce near-domain-width priority drift, so a staged
+        // task whose bag trails the map's current best goes back
+        // (attribution-free — the helper claimed it, its enqueue is
+        // already counted) and the worker falls through to the map.
+        const unsigned delta = currentDelta();
+        const Priority stagedBase = (out.priority >> delta) << delta;
+        Priority mapBest = 0;
+        if (bestNonEmptyBase(mapBest) && mapBest < stagedBase) {
+            repushClaimed(out);
+            restaged_.fetch_add(1, std::memory_order_relaxed);
+            return ObimBase::tryPop(tid, out);
+        }
         if (metrics_ && metrics_->tick(tid)) {
             metrics_->record(
                 tid, WorkerSeries::QueueOccupancy,

@@ -10,7 +10,11 @@
  * serving 9 workers. Here, minnow helpers are internal std::threads that
  * drain the global bag map into per-worker SPSC staging buffers; workers
  * consume their buffer and only fall back to the global map when the
- * helper lags. The cost of losing minnow cores' compute shows up
+ * helper lags. Because helpers stage whatever was best *at claim time*,
+ * workers re-check a staged task's bag against the map's current best at
+ * serve time and return stale stages to the map, which bounds the
+ * scheduler's priority drift to the work hidden in staging buffers
+ * instead of the whole priority domain. The cost of losing minnow cores' compute shows up
  * naturally (on real multicores) because the helpers occupy hardware
  * threads.
  */
@@ -65,6 +69,13 @@ class SwMinnowScheduler : public ObimBase
         return spilled_.load(std::memory_order_relaxed);
     }
 
+    /** Staged tasks returned to the map at serve time because the map
+     *  held a strictly better bag (stale-prefetch re-checks). */
+    uint64_t restagedTasks() const
+    {
+        return restaged_.load(std::memory_order_relaxed);
+    }
+
   private:
     void minnowLoop(unsigned minnowId);
 
@@ -74,6 +85,7 @@ class SwMinnowScheduler : public ObimBase
     std::atomic<bool> stop_{false};
     std::atomic<uint64_t> prefetched_{0};
     std::atomic<uint64_t> spilled_{0};
+    std::atomic<uint64_t> restaged_{0};
 };
 
 } // namespace hdcps

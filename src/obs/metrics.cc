@@ -13,7 +13,8 @@ workerCounterName(WorkerCounter c)
         "remote_enqueues", "overflow_pushes", "bags_created",
         "tasks_in_bags",   "reclaimed_tasks", "reclaim_races",
         "srq_batch_flushes", "pool_recycled", "task_retries",
-        "drained_tasks",
+        "drained_tasks",   "worker_restarts", "health_transitions",
+        "poisoned_tasks",
     };
     return names[unsigned(c)];
 }
@@ -47,6 +48,7 @@ globalSeriesName(GlobalSeries s)
         "tdf",
         "rank_error",
         "job_latency_ms",
+        "reclaim_latency_ms",
     };
     return names[unsigned(s)];
 }

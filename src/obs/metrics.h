@@ -140,6 +140,9 @@ enum class WorkerCounter : unsigned {
     PoolRecycled,       ///< bag envelopes served from the pool free list
     TaskRetries,        ///< service tasks re-pushed after a transient failure
     DrainedTasks,       ///< tasks discarded for a cancelled/failed/expired job
+    WorkerRestarts,     ///< replacement workers spawned into a freed slot
+    HealthTransitions,  ///< supervisor health-FSM state changes
+    PoisonedTasks,      ///< tasks diverted to a job's dead-letter queue
     Count
 };
 
@@ -168,6 +171,7 @@ enum class GlobalSeries : unsigned {
     Tdf,       ///< TDF percentage after each Algorithm 2 decision
     RankError, ///< verifying wrapper's sampled priority-inversion gap
     JobLatencyMs, ///< service per-job submit-to-terminal latency
+    ReclaimLatencyMs, ///< supervisor quarantine-to-reclaimed latency
     Count
 };
 

@@ -57,6 +57,55 @@ struct JobRecord
     std::mutex waitMutex;
     std::condition_variable waitCv;
 
+    /**
+     * Poison-task quarantine. A task the svc.task.poison drill marks
+     * (keyed by node+data, attempt-independent) fails on *every*
+     * attempt; once retries are exhausted the final incarnation lands
+     * in deadLetters instead of being re-queued forever. poisonGate is
+     * the hot-path skip: the per-task check costs one relaxed load
+     * until the first poisoning (release store pairs with the acquire
+     * load so a retry incarnation popped elsewhere sees its key).
+     */
+    std::atomic<uint32_t> poisonGate{0};
+    mutable std::mutex poisonMutex;
+    std::vector<uint64_t> poisonKeys;
+    std::vector<Task> deadLetters;
+    std::atomic<uint64_t> poisoned{0};
+
+    static uint64_t
+    poisonKey(const Task &t)
+    {
+        return (uint64_t(t.node) << 32) | t.data;
+    }
+
+    void
+    markPoisoned(const Task &t)
+    {
+        std::lock_guard<std::mutex> lock(poisonMutex);
+        uint64_t key = poisonKey(t);
+        for (uint64_t k : poisonKeys) {
+            if (k == key)
+                return;
+        }
+        poisonKeys.push_back(key);
+        poisonGate.store(uint32_t(poisonKeys.size()),
+                         std::memory_order_release);
+    }
+
+    bool
+    isPoisoned(const Task &t) const
+    {
+        if (poisonGate.load(std::memory_order_acquire) == 0)
+            return false;
+        std::lock_guard<std::mutex> lock(poisonMutex);
+        uint64_t key = poisonKey(t);
+        for (uint64_t k : poisonKeys) {
+            if (k == key)
+                return true;
+        }
+        return false;
+    }
+
     ExecutorService *svc; ///< valid until the job is terminal
 };
 
@@ -165,6 +214,21 @@ JobHandle::tasksCompleted() const
     return record_->term.completedTotal();
 }
 
+uint64_t
+JobHandle::poisonedTasks() const
+{
+    hdcps_check(record_ != nullptr, "invalid JobHandle");
+    return record_->poisoned.load(std::memory_order_acquire);
+}
+
+std::vector<Task>
+JobHandle::deadLetters() const
+{
+    hdcps_check(record_ != nullptr, "invalid JobHandle");
+    std::lock_guard<std::mutex> lock(record_->poisonMutex);
+    return record_->deadLetters;
+}
+
 // --- ExecutorService ---------------------------------------------------
 
 ExecutorService::ExecutorService(Scheduler &sched,
@@ -185,10 +249,22 @@ ExecutorService::ExecutorService(Scheduler &sched,
     }
     sched.setReclaimAfterMs(options.reclaimAfterMs);
 
+    if (options_.supervisor.enabled) {
+        supervisor_ = std::make_unique<WorkerSupervisor>(
+            options_.numThreads, options_.supervisor);
+        // Arm every slot's heartbeat before the threads exist so a
+        // slow spawn can't read as a wedge.
+        uint64_t now = nowNs();
+        for (unsigned tid = 0; tid < options_.numThreads; ++tid)
+            supervisor_->beat(tid, now);
+    }
+
     workers_.reserve(options.numThreads);
     for (unsigned tid = 0; tid < options.numThreads; ++tid)
-        workers_.emplace_back([this, tid] { workerLoop(tid); });
+        workers_.emplace_back([this, tid] { workerEntry(tid); });
     deadlineMonitor_ = std::thread([this] { deadlineLoop(); });
+    if (supervisor_)
+        supervisorThread_ = std::thread([this] { supervisorLoop(); });
 }
 
 ExecutorService::~ExecutorService()
@@ -262,11 +338,13 @@ ExecutorService::submit(JobSpec spec)
             if (full) {
                 admitSpace_.wait(lock, [this] {
                     return shutdown_.load(std::memory_order_acquire) ||
+                           escalated_.load(std::memory_order_acquire) ||
                            admitQueue_.size() <
                                options_.admissionCapacity;
                 });
             }
-            if (!shutdown_.load(std::memory_order_acquire)) {
+            if (!shutdown_.load(std::memory_order_acquire) &&
+                !escalated_.load(std::memory_order_acquire)) {
                 admitQueue_.emplace(
                     std::make_pair(record->priority, record->id),
                     record);
@@ -280,13 +358,19 @@ ExecutorService::submit(JobSpec spec)
             std::unique_lock<std::shared_mutex> lock(jobsMutex_);
             jobs_.erase(record->id);
         }
-        std::string why =
-            shutdown_.load(std::memory_order_acquire)
-                ? "job '" + record->name +
-                      "' rejected: service shutting down"
-                : "job '" + record->name +
-                      "' rejected: admission queue full (capacity " +
-                      std::to_string(options_.admissionCapacity) + ")";
+        std::string why;
+        if (escalated_.load(std::memory_order_acquire)) {
+            why = "job '" + record->name +
+                  "' rejected: service escalated (worker restart "
+                  "budget exhausted)";
+        } else if (shutdown_.load(std::memory_order_acquire)) {
+            why = "job '" + record->name +
+                  "' rejected: service shutting down";
+        } else {
+            why = "job '" + record->name +
+                  "' rejected: admission queue full (capacity " +
+                  std::to_string(options_.admissionCapacity) + ")";
+        }
         return reject(why);
     }
 
@@ -383,6 +467,24 @@ ExecutorService::handleTaskFailure(unsigned tid,
         // so the job cannot be quiescent.
         return;
     }
+    if (record->retry.deadLetterOnExhaustion) {
+        // Poison quarantine: the task burned every attempt, but the
+        // job's policy says divert it, not fail the tenant. The final
+        // incarnation lands in the dead-letter queue and is counted
+        // completed — the conservation ledger balances (the pop was
+        // already recorded) and the job can still reach Completed.
+        {
+            std::lock_guard<std::mutex> lock(record->poisonMutex);
+            record->deadLetters.push_back(task);
+        }
+        record->poisoned.fetch_add(1, std::memory_order_release);
+        poisonedTasks_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.metrics)
+            options_.metrics->add(tid, WorkerCounter::PoisonedTasks);
+        record->term.noteCompleted(tid);
+        maybeFinishJob(record);
+        return;
+    }
     record->term.noteCompleted(tid);
     std::ostringstream msg;
     msg << "job '" << record->name << "': task (node " << task.node
@@ -419,6 +521,19 @@ ExecutorService::processTask(unsigned tid, const RecordPtr &record,
             throw FaultInjectedError(
                 "injected service task failure (svc.job.fail)");
         }
+        // Poison drill: mark this task so *every* attempt fails. Only
+        // first incarnations consult the drill (attempt == 0 before
+        // faultFires), so the invocation index — and with it the set
+        // of poisoned tasks under a fixed seed — is independent of
+        // retry interleaving.
+        if (task.attempt == 0 &&
+            faultFires(faultsite::SvcTaskPoison)) {
+            record->markPoisoned(task);
+        }
+        if (record->isPoisoned(task)) {
+            throw FaultInjectedError(
+                "injected poison task (svc.task.poison)");
+        }
         record->process(tid, task, children);
     } catch (const std::exception &e) {
         handleTaskFailure(tid, record, task, e.what());
@@ -445,13 +560,65 @@ ExecutorService::processTask(unsigned tid, const RecordPtr &record,
 }
 
 void
-ExecutorService::workerLoop(unsigned tid)
+ExecutorService::workerEntry(unsigned tid)
+{
+    const uint64_t epoch = supervisor_ ? supervisor_->epochOf(tid) : 0;
+    bool crashed = false;
+    try {
+        workerLoop(tid, epoch);
+    } catch (...) {
+        // Anything escaping the worker loop — the crash drill or a
+        // genuine bug — is a worker death, not process death: latch it
+        // so the supervisor heals the slot instead of the pool
+        // silently shrinking.
+        crashed = true;
+    }
+    if (supervisor_)
+        supervisor_->noteExit(tid, crashed);
+}
+
+void
+ExecutorService::workerLoop(unsigned tid, uint64_t epoch)
 {
     std::vector<Task> children;
     children.reserve(64);
     IdleBackoff backoff;
 
     while (true) {
+        if (supervisor_) {
+            supervisor_->beat(tid, nowNs());
+            // Superseded: the supervisor declared this incarnation
+            // wedged and bumped the slot epoch. Exit cooperatively —
+            // holding no task, loop-top — so the replacement can take
+            // over; the supervisor reclaims anything this thread
+            // pushed since the reclamation pass.
+            if (supervisor_->superseded(tid, epoch))
+                return;
+            // Crash drill: die as if a bug killed this worker. The
+            // throw escapes to workerEntry, which latches the exit.
+            if (faultFires(faultsite::SvcWorkerDie)) {
+                throw FaultInjectedError(
+                    "injected worker death (svc.worker.die)");
+            }
+            // Wedge drill: stall here, heartbeat stale, holding no
+            // task — the supervisor walks Suspect -> Wedged and
+            // supersedes us, caught by the re-check below. A
+            // Delay-armed site chooses its own stall; other modes
+            // (once/nth/prob) stall 3x the wedged threshold so the
+            // detection provably trips.
+            if (faultFires(faultsite::SvcWorkerWedge)) {
+                uint64_t ns = faultAmount(faultsite::SvcWorkerWedge);
+                if (ns == 0) {
+                    ns = options_.supervisor.wedgedAfterMs * 3 *
+                         1000000ull;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::nanoseconds(ns));
+            }
+            if (supervisor_->superseded(tid, epoch))
+                return;
+        }
+
         // Straggler drill: same cooperative pause point as the
         // one-shot executor, so soak/chaos scenarios translate.
         stragglerPausePoint(tid);
@@ -678,6 +845,152 @@ ExecutorService::deadlineLoop()
     }
 }
 
+void
+ExecutorService::supervisorLoop()
+{
+    const auto interval = std::chrono::milliseconds(
+        std::max<uint64_t>(options_.supervisor.probeIntervalMs, 1));
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(supervisorMutex_);
+            supervisorCv_.wait_for(lock, interval, [this] {
+                return shutdown_.load(std::memory_order_acquire) &&
+                       activeJobs_.load(std::memory_order_acquire) ==
+                           0;
+            });
+        }
+        // Supervise *through* the shutdown drain — a worker that dies
+        // mid-drain still needs healing or its jobs never quiesce —
+        // and exit only once every admitted job is terminal.
+        if (shutdown_.load(std::memory_order_acquire) &&
+            activeJobs_.load(std::memory_order_acquire) == 0)
+            return;
+        for (unsigned tid = 0; tid < options_.numThreads; ++tid) {
+            switch (supervisor_->poll(tid, nowNs())) {
+              case WorkerSupervisor::Decision::Quarantine:
+                quarantineAndReclaim(tid);
+                break;
+              case WorkerSupervisor::Decision::Restart:
+                healWorker(tid);
+                break;
+              case WorkerSupervisor::Decision::Escalate:
+                escalateService(tid);
+                break;
+              case WorkerSupervisor::Decision::None:
+                break;
+            }
+        }
+    }
+}
+
+size_t
+ExecutorService::quarantineAndReclaim(unsigned tid)
+{
+    sched_.quarantine(tid);
+    const unsigned peer = (tid + 1) % options_.numThreads;
+    uint64_t t0 = nowNs();
+    size_t moved = sched_.reclaimWorker(peer, tid);
+    if (options_.metrics) {
+        // Only the supervisor thread ever writes this global series,
+        // so its single-writer busy cell never sees overlap.
+        options_.metrics->recordGlobal(GlobalSeries::ReclaimLatencyMs,
+                                       double(nowNs() - t0) / 1e6);
+    }
+    work_.notify_all(); // reclaimed tasks now sit with (idle?) peers
+    return moved;
+}
+
+void
+ExecutorService::healWorker(unsigned tid)
+{
+    // The dead incarnation latched its exit, so this join is prompt;
+    // after it the slot has exactly zero driver threads.
+    if (workers_[tid].joinable())
+        workers_[tid].join();
+    // Reclaim *after* the join: a superseded zombie may have pushed
+    // tasks between the wedge-time reclamation and its exit, and a
+    // crash-path death was never reclaimed at all. Both ways, nothing
+    // strands in a slot nobody drives. (Quarantining twice is
+    // harmless.)
+    quarantineAndReclaim(tid);
+    supervisor_->noteRestarted(tid, nowNs());
+    if (options_.metrics) {
+        // Post-join, pre-spawn: nothing else drives slot tid's metric
+        // row, so these writes satisfy the single-writer check.
+        options_.metrics->add(tid, WorkerCounter::WorkerRestarts);
+        uint64_t flips = supervisor_->drainTransitions(tid);
+        if (flips > 0) {
+            options_.metrics->add(
+                tid, WorkerCounter::HealthTransitions, flips);
+        }
+    }
+    workers_[tid] = std::thread([this, tid] { workerEntry(tid); });
+    sched_.reinstate(tid);
+}
+
+void
+ExecutorService::escalateService(unsigned tid)
+{
+    // First escalation fails the tenants; every escalated slot (more
+    // workers may die afterwards with the budget already spent) is
+    // individually joined, reclaimed, retired, and drained.
+    const bool first =
+        !escalated_.exchange(true, std::memory_order_acq_rel);
+    admitSpace_.notify_all(); // blocked submitters re-check and reject
+
+    if (workers_[tid].joinable())
+        workers_[tid].join();
+    quarantineAndReclaim(tid);
+    supervisor_->retire(tid);
+    if (options_.metrics) {
+        uint64_t flips = supervisor_->drainTransitions(tid);
+        if (flips > 0) {
+            options_.metrics->add(
+                tid, WorkerCounter::HealthTransitions, flips);
+        }
+    }
+
+    if (first) {
+        std::vector<RecordPtr> live;
+        {
+            std::shared_lock<std::shared_mutex> lock(jobsMutex_);
+            live.reserve(jobs_.size());
+            for (const auto &[id, record] : jobs_)
+                live.push_back(record);
+        }
+        for (const RecordPtr &record : live) {
+            terminateJob(record, JobState::Failed,
+                         "job '" + record->name +
+                             "' failed: service escalated (worker "
+                             "restart budget exhausted)",
+                         /*widenCancelRace=*/false);
+            maybeFinishJob(record);
+        }
+    }
+
+    // Drain the retired slot ourselves: with no thread driving it —
+    // and possibly no live worker left at all — its remaining tasks
+    // must still reach their pop so every job's ledger balances.
+    Task task;
+    while (sched_.tryPop(tid, task)) {
+        RecordPtr record;
+        {
+            std::shared_lock<std::shared_mutex> lock(jobsMutex_);
+            auto it = jobs_.find(task.job);
+            if (it != jobs_.end())
+                record = it->second;
+        }
+        hdcps_check(record != nullptr,
+                    "popped task for unknown job %u", task.job);
+        tasksDrained_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.metrics)
+            options_.metrics->add(tid, WorkerCounter::DrainedTasks);
+        record->term.noteCompleted(tid);
+        maybeFinishJob(record);
+    }
+    work_.notify_all();
+}
+
 uint64_t
 ExecutorService::activeJobs() const
 {
@@ -698,6 +1011,15 @@ ExecutorService::stats() const
     s.cancelled = cancelled_.load(std::memory_order_relaxed);
     s.taskRetries = taskRetries_.load(std::memory_order_relaxed);
     s.tasksDrained = tasksDrained_.load(std::memory_order_relaxed);
+    s.poisonedTasks = poisonedTasks_.load(std::memory_order_relaxed);
+    if (supervisor_) {
+        SupervisorStats sup = supervisor_->stats();
+        s.workerRestarts = sup.workerRestarts;
+        s.healthTransitions = sup.healthTransitions;
+        s.wedgesDetected = sup.wedgesDetected;
+        s.crashesDetected = sup.crashesDetected;
+        s.escalated = sup.escalated;
+    }
 
     std::vector<double> lat;
     {
@@ -718,6 +1040,20 @@ ExecutorService::stats() const
     return s;
 }
 
+WorkerHealth
+ExecutorService::workerHealth(unsigned tid) const
+{
+    hdcps_check(tid < options_.numThreads, "bad worker id %u", tid);
+    return supervisor_ ? supervisor_->health(tid)
+                       : WorkerHealth::Healthy;
+}
+
+bool
+ExecutorService::escalated() const
+{
+    return escalated_.load(std::memory_order_acquire);
+}
+
 void
 ExecutorService::shutdown()
 {
@@ -726,6 +1062,12 @@ ExecutorService::shutdown()
     admitSpace_.notify_all();
     work_.notify_all();
     deadlineCv_.notify_all();
+    supervisorCv_.notify_all();
+    // The supervisor heals through the drain and exits once every job
+    // is terminal; join it *first* so it stops swapping replacement
+    // threads into workers_ before we join those.
+    if (supervisorThread_.joinable())
+        supervisorThread_.join();
     for (std::thread &t : workers_) {
         if (t.joinable())
             t.join();

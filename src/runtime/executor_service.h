@@ -39,10 +39,31 @@
  *    so the retried incarnation is a distinct conservation-ledger key
  *    and no shared retry table is needed.
  *
+ * Supervision and self-healing (runtime/supervisor.h, DESIGN.md §15):
+ * when ServiceOptions::supervisor.enabled is set, a supervisor thread
+ * drives a per-worker health FSM off loop-top heartbeats and a
+ * worker-exit latch. A worker that wedges (stale heartbeat) or dies
+ * (crash drill / escaped exception) is quarantined — the scheduler
+ * stops routing remote work at it — its buffered tasks are forcibly
+ * reclaimed into live peers, and a replacement thread is spawned into
+ * the freed slot, up to SupervisorPolicy::maxRestarts per sliding
+ * window; past the budget the service escalates: every live job fails,
+ * future submissions are rejected, and the slot is retired. Task
+ * conservation stays exact throughout — reclaimed tasks re-enter live
+ * queues and drained tasks are counted per job.
+ *
+ * Poison-task quarantine: a task that exhausts RetryPolicy::maxAttempts
+ * is, when RetryPolicy::deadLetterOnExhaustion is set, diverted to the
+ * job's dead-letter queue (JobHandle::deadLetters) instead of failing
+ * the job — the job can still complete with poisonedTasks() > 0.
+ *
  * Fault sites (support/fault.h): `svc.admit.full` forces admission
  * rejection, `svc.job.fail` throws inside service task processing,
  * `svc.cancel.race` delays cancel between the drain latch and its
- * publication to widen the cancel/complete race.
+ * publication to widen the cancel/complete race, `svc.worker.wedge`
+ * stalls a worker at its loop top without heartbeats,
+ * `svc.worker.die` makes a worker exit its loop as if crashed, and
+ * `svc.task.poison` makes a task fail on every attempt.
  *
  * Thread safety: submit/cancel/wait/stats are safe from any thread
  * (including concurrently with each other); shutdown() and the
@@ -67,6 +88,7 @@
 #include "cps/scheduler.h"
 #include "obs/metrics.h"
 #include "runtime/executor.h"
+#include "runtime/supervisor.h"
 #include "runtime/worker_common.h"
 
 namespace hdcps {
@@ -82,6 +104,11 @@ struct RetryPolicy
      *  min(backoffBaseUs << (k-1), backoffMaxUs) plus seeded jitter. */
     uint64_t backoffBaseUs = 50;
     uint64_t backoffMaxUs = 5000;
+    /** Poison-task policy: when true, a task that exhausts maxAttempts
+     *  is diverted to the job's dead-letter queue instead of latching
+     *  the job failure — the job can still complete, with the
+     *  quarantined tasks inspectable via JobHandle::deadLetters(). */
+    bool deadLetterOnExhaustion = false;
 };
 
 /** One job submitted to the service. */
@@ -168,6 +195,13 @@ class JobHandle
     /** Tasks this job completed (processed + discarded), for tests. */
     uint64_t tasksCompleted() const;
 
+    /** Tasks this job dead-lettered (poison quarantine). */
+    uint64_t poisonedTasks() const;
+
+    /** Snapshot of the job's dead-letter queue: the final incarnation
+     *  of every poisoned task, in quarantine order. */
+    std::vector<Task> deadLetters() const;
+
   private:
     friend class ExecutorService;
     explicit JobHandle(std::shared_ptr<detail::JobRecord> record)
@@ -194,6 +228,10 @@ struct ServiceOptions
      *  DrainedTasks to their own slots; job latencies land in the
      *  JobLatencyMs global series. */
     MetricsRegistry *metrics = nullptr;
+    /** Worker supervision: health FSM thresholds, replacement-worker
+     *  budget, escalation (disabled by default — zero extra threads,
+     *  zero per-iteration cost). */
+    SupervisorPolicy supervisor;
 };
 
 /** Aggregate service counters + job-latency percentiles. */
@@ -208,6 +246,13 @@ struct ServiceStats
     uint64_t cancelled = 0;
     uint64_t taskRetries = 0;
     uint64_t tasksDrained = 0; ///< discarded for draining jobs
+    uint64_t poisonedTasks = 0; ///< dead-lettered across all jobs
+    /** Supervision (all 0 / false while supervision is disabled). */
+    uint64_t workerRestarts = 0;
+    uint64_t healthTransitions = 0;
+    uint64_t wedgesDetected = 0;
+    uint64_t crashesDetected = 0;
+    bool escalated = false;
     /** Submit-to-terminal latency over terminal (non-rejected) jobs. */
     double jobLatencyP50Ms = 0.0;
     double jobLatencyP99Ms = 0.0;
@@ -246,6 +291,14 @@ class ExecutorService
     /** Aggregate counters and latency percentiles so far. */
     ServiceStats stats() const;
 
+    /** Health of worker slot `tid` (Healthy when supervision is
+     *  disabled). Safe from any thread. */
+    WorkerHealth workerHealth(unsigned tid) const;
+
+    /** True once the supervisor spent the restart budget and failed
+     *  the service: live jobs fail, new submissions are rejected. */
+    bool escalated() const;
+
     /**
      * Stop accepting work, run every already-admitted job to a
      * terminal state, then join all threads. Idempotent; called by the
@@ -259,8 +312,29 @@ class ExecutorService
     using Record = detail::JobRecord;
     using RecordPtr = std::shared_ptr<detail::JobRecord>;
 
-    void workerLoop(unsigned tid);
+    /** Thread entry for slot `tid`: runs workerLoop and latches the
+     *  exit (crash vs cooperative) with the supervisor. */
+    void workerEntry(unsigned tid);
+    void workerLoop(unsigned tid, uint64_t epoch);
     void deadlineLoop();
+
+    /** Supervisor thread: poll the health FSM and execute its
+     *  decisions (quarantine + reclaim, heal, escalate). */
+    void supervisorLoop();
+
+    /** Quarantine `tid` and force-reclaim its buffered tasks into live
+     *  peers; records ReclaimLatencyMs. Returns tasks moved. */
+    size_t quarantineAndReclaim(unsigned tid);
+
+    /** Heal a Dead slot: join the dead incarnation, reclaim its
+     *  backlog, flush supervision metrics (post-join safe window),
+     *  spawn a replacement, lift the quarantine. */
+    void healWorker(unsigned tid);
+
+    /** Restart budget spent: retire `tid`, fail every live job,
+     *  reject future submissions, and drain the retired slot's queues
+     *  so no task (and no job) strands. */
+    void escalateService(unsigned tid);
 
     /** Adopt the best queued job (if any): seed its tasks under this
      *  worker's tid. Returns true when a job was adopted. */
@@ -312,6 +386,7 @@ class ExecutorService
 
     std::atomic<uint32_t> nextJobId_{1};
     std::atomic<bool> shutdown_{false};
+    std::atomic<bool> escalated_{false};
     std::atomic<uint64_t> activeJobs_{0};
 
     /** Aggregate counters (relaxed; exact because each event is
@@ -325,6 +400,7 @@ class ExecutorService
     std::atomic<uint64_t> cancelled_{0};
     std::atomic<uint64_t> taskRetries_{0};
     std::atomic<uint64_t> tasksDrained_{0};
+    std::atomic<uint64_t> poisonedTasks_{0};
 
     /** Latencies of terminal (non-rejected) jobs, ms. The mutex also
      *  serializes JobLatencyMs recordGlobal writers. */
@@ -334,6 +410,13 @@ class ExecutorService
     /** Deadline monitor pacing (own mutex: never contends workers). */
     std::mutex deadlineMutex_;
     std::condition_variable deadlineCv_;
+
+    /** Supervisor pacing (own mutex, same pattern as the deadline
+     *  monitor). Null while supervision is disabled. */
+    std::unique_ptr<WorkerSupervisor> supervisor_;
+    std::mutex supervisorMutex_;
+    std::condition_variable supervisorCv_;
+    std::thread supervisorThread_;
 
     std::mutex shutdownMutex_; ///< serializes the join phase
     std::vector<std::thread> workers_;

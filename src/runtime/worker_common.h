@@ -213,6 +213,35 @@ class FailureLatch
     std::string error_;
 };
 
+/**
+ * Per-worker lifeline shared between a worker thread and its
+ * supervisor (runtime/supervisor.h): a relaxed heartbeat the worker
+ * publishes every loop iteration, a slot epoch the supervisor bumps to
+ * supersede a wedged thread, and an exit latch that catches *anything*
+ * leaving the worker loop — a crash drill, an escaped exception, or a
+ * superseded thread acknowledging its replacement. Cache-line padded:
+ * the heartbeat store is on every worker's per-iteration hot path.
+ */
+struct alignas(cacheLineBytes) WorkerLifeline
+{
+    /** Monotonic ns of the worker's last loop-top visit (relaxed —
+     *  freshness only, exactly like the HD-CPS sRQ heartbeats). */
+    std::atomic<uint64_t> heartbeatNs{0};
+    /** Slot incarnation. A worker captures the epoch at spawn and
+     *  exits at the next loop top once the supervisor bumped it
+     *  (acquire/release pairing: a superseded worker that observes the
+     *  bump also observes everything the supervisor published before
+     *  it). */
+    std::atomic<uint64_t> epoch{1};
+    /** Exit latch: set exactly once by the exiting thread of the
+     *  current incarnation, consumed (and cleared) by the supervisor
+     *  before a replacement is spawned. */
+    std::atomic<bool> exited{false};
+    /** True when the exit was a crash (drill or escaped exception)
+     *  rather than a cooperative supersession/shutdown exit. */
+    std::atomic<bool> crashed{false};
+};
+
 /** Idle-loop backoff: brief spin, then yield so oversubscribed hosts
  *  (threads > cores) still make progress. */
 class IdleBackoff

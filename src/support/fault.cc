@@ -43,6 +43,15 @@ const FaultSiteInfo siteCatalog[] = {
     {faultsite::SvcCancelRace,
      "delay (ns) inside JobHandle::cancel between the drain latch "
      "and its publication: widens the cancel/complete race"},
+    {faultsite::SvcWorkerWedge,
+     "delay (ns) a service worker stalls mid-loop without heartbeats: "
+     "drives Suspect/Wedged detection and quarantine"},
+    {faultsite::SvcWorkerDie,
+     "service worker exits its loop as if crashed: drives the exit "
+     "latch, queue reclamation, and replacement spawn"},
+    {faultsite::SvcTaskPoison,
+     "service task processing throws on every attempt: drives the "
+     "dead-letter (poison quarantine) path"},
 };
 
 /** Per-invocation uniform double in [0, 1), deterministic in

@@ -76,6 +76,9 @@ inline constexpr char SimNocDelay[] = "sim.noc.delay";
 inline constexpr char SvcAdmitFull[] = "svc.admit.full";
 inline constexpr char SvcJobFail[] = "svc.job.fail";
 inline constexpr char SvcCancelRace[] = "svc.cancel.race";
+inline constexpr char SvcWorkerWedge[] = "svc.worker.wedge";
+inline constexpr char SvcWorkerDie[] = "svc.worker.die";
+inline constexpr char SvcTaskPoison[] = "svc.task.poison";
 } // namespace faultsite
 
 /** One entry of the documented site catalog. */

@@ -76,11 +76,15 @@ struct DesignCase
      * local backend by ≤ 20 — both far below the near-domain-width
      * (~511 ranks here) signature of a 32-bit priority truncation,
      * which is what the bound must catch.
-     * swminnow gets only the trivial domain-width sanity bound: its
-     * helper races the push phase and may stage whatever was best *at
-     * claim time*, so any tighter bound is timing-flaky — its
-     * truncation coverage comes from obim's 0-bound over the shared
-     * ObimBase bag-map path instead.
+     * swminnow's helper races the push phase and stages whatever was
+     * best *at claim time*, but the worker re-checks the staged bag
+     * against the map's best at serve time and repushes stale stages,
+     * so the only work that can still be served out of rank order is
+     * work the map cannot see: the staging ring (64 slots at the
+     * default bufferCapacity) plus one helper chunk in flight between
+     * claim and stage (prefetchChunk = 16). 64 + 16 + margin = 96 —
+     * a structural capacity bound, not a timing envelope, and far
+     * below the ~511-rank truncation signature.
      */
     uint64_t rankBoundSteps;
 };
@@ -113,7 +117,7 @@ conformanceDesigns()
          [](unsigned n, uint64_t) {
              return std::make_unique<SwMinnowScheduler>(n);
          },
-         512},
+         96},
         {"hdcps-srq",
          [](unsigned n, uint64_t seed) {
              HdCpsConfig config = HdCpsScheduler::configSrq();
@@ -345,6 +349,24 @@ TEST_P(ConformanceMatrix, ChaosInvariantsOnSsspOracle)
     for (const ChaosCase &chaos : kChaosCases) {
         auto workload = makeWorkload("sssp", g, /*source=*/0);
         runConformanceScenario(design(), chaos, "sssp",
+                               workload->initialTasks(),
+                               workloadProcessFn(*workload), 0,
+                               chaos.expectFailure ? nullptr
+                                                   : workload.get());
+    }
+}
+
+TEST_P(ConformanceMatrix, ChaosInvariantsOnBfsOracle)
+{
+    // BFS's unit-weight relaxation is a different stressor from SSSP:
+    // level-synchronous frontiers produce long runs of equal-priority
+    // tasks (one bag/bucket per level), so tie-dominated scheduling
+    // meets a real kernel with a sequential oracle — every node's
+    // level must match bfsLevels() exactly.
+    Graph g = makeRoadGrid(12, 12, {.seed = 29});
+    for (const ChaosCase &chaos : kChaosCases) {
+        auto workload = makeWorkload("bfs", g, /*source=*/0);
+        runConformanceScenario(design(), chaos, "bfs",
                                workload->initialTasks(),
                                workloadProcessFn(*workload), 0,
                                chaos.expectFailure ? nullptr

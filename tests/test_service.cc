@@ -789,5 +789,345 @@ TEST(Service, ChaosMatrixFourJobsUnderFaultsAndStragglers)
     EXPECT_GT(stats.jobsMeasured, 0u);
 }
 
+/**
+ * Supervision: the svc.worker.die drill kills exactly one worker
+ * mid-run. The supervisor must observe the exit latch, reclaim the
+ * dead slot's backlog, and spawn a replacement — every job completes
+ * with exact task counts, the conservation ledger balances, and
+ * WorkerRestarts matches the injected death count deterministically.
+ */
+TEST(Service, SupervisorHealsDeadWorkerAndConservesTasks)
+{
+    constexpr unsigned threads = 4;
+    MultiQueueScheduler inner(threads);
+    VerifyingScheduler verify(inner);
+
+    MetricsRegistry::Config metricsConfig;
+    metricsConfig.checkSingleWriter = true;
+    MetricsRegistry metrics(threads, metricsConfig);
+
+    ScopedFaultInjection faults(11);
+    faults->arm(faultsite::SvcWorkerDie, FaultMode::OneShot, 400);
+
+    ServiceOptions options;
+    options.numThreads = threads;
+    options.metrics = &metrics;
+    options.supervisor.enabled = true;
+    options.supervisor.probeIntervalMs = 1;
+    // Death detection rides the exit latch, not staleness: generous
+    // thresholds so scheduler hiccups on loaded hosts can't fake a
+    // wedge and skew the exact restart count below.
+    options.supervisor.suspectAfterMs = 500;
+    options.supervisor.wedgedAfterMs = 2000;
+    options.supervisor.maxRestarts = 4;
+    ExecutorService svc(verify, options);
+
+    std::atomic<uint64_t> processed{0};
+    JobSpec spec;
+    spec.name = "tree";
+    spec.process = treeJob(processed);
+    spec.initial = {Task{0, 0, 9}};
+    JobHandle job = svc.submit(std::move(spec));
+    EXPECT_EQ(job.wait(), JobState::Completed);
+    EXPECT_EQ(processed.load(), treeSize(9));
+
+    // The drill fires exactly once; wait for the heal to land.
+    while (svc.stats().workerRestarts < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // Pool capacity is restored: a follow-up job completes too, and
+    // every slot reads Healthy again.
+    std::atomic<uint64_t> after{0};
+    JobSpec spec2;
+    spec2.name = "after-heal";
+    spec2.process = treeJob(after);
+    spec2.initial = {Task{0, 1, 6}};
+    JobHandle job2 = svc.submit(std::move(spec2));
+    EXPECT_EQ(job2.wait(), JobState::Completed);
+    EXPECT_EQ(after.load(), treeSize(6));
+    for (unsigned tid = 0; tid < threads; ++tid)
+        EXPECT_EQ(svc.workerHealth(tid), WorkerHealth::Healthy) << tid;
+
+    svc.shutdown();
+
+    std::string why;
+    EXPECT_TRUE(verify.checkComplete(false, &why)) << why;
+    EXPECT_EQ(metrics.writerViolations(), 0u);
+
+    ServiceStats stats = svc.stats();
+    EXPECT_EQ(faults->fireCount(faultsite::SvcWorkerDie), 1u);
+    EXPECT_EQ(stats.workerRestarts, 1u);
+    EXPECT_EQ(stats.crashesDetected, 1u);
+    EXPECT_FALSE(stats.escalated);
+    EXPECT_EQ(stats.completed, 2u);
+}
+
+/**
+ * Supervision: the svc.worker.wedge drill stalls one worker past the
+ * wedged threshold without heartbeats. The supervisor must demote it
+ * through Suspect -> Wedged, quarantine + reclaim, supersede the
+ * zombie, and restart the slot once the zombie drains out — with the
+ * job still completing exactly.
+ */
+TEST(Service, SupervisorRecoversWedgedWorker)
+{
+    constexpr unsigned threads = 4;
+    MultiQueueScheduler inner(threads);
+    VerifyingScheduler verify(inner);
+
+    MetricsRegistry::Config metricsConfig;
+    metricsConfig.checkSingleWriter = true;
+    MetricsRegistry metrics(threads, metricsConfig);
+
+    ScopedFaultInjection faults(13);
+    faults->arm(faultsite::SvcWorkerWedge, FaultMode::OneShot, 500);
+
+    ServiceOptions options;
+    options.numThreads = threads;
+    options.metrics = &metrics;
+    options.supervisor.enabled = true;
+    options.supervisor.probeIntervalMs = 1;
+    options.supervisor.suspectAfterMs = 20;
+    options.supervisor.wedgedAfterMs = 100; // drill stalls 3x this
+    options.supervisor.maxRestarts = 8;
+    ExecutorService svc(verify, options);
+
+    std::atomic<uint64_t> processed{0};
+    JobSpec spec;
+    spec.name = "tree";
+    spec.process = treeJob(processed);
+    spec.initial = {Task{0, 0, 9}};
+    JobHandle job = svc.submit(std::move(spec));
+    EXPECT_EQ(job.wait(), JobState::Completed);
+    EXPECT_EQ(processed.load(), treeSize(9));
+
+    // The wedge resolves through supersession: zombie exits, slot is
+    // restarted. (>= because a loaded host may add organic wedges.)
+    while (svc.stats().workerRestarts < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    svc.shutdown();
+
+    std::string why;
+    EXPECT_TRUE(verify.checkComplete(false, &why)) << why;
+    EXPECT_EQ(metrics.writerViolations(), 0u);
+
+    ServiceStats stats = svc.stats();
+    EXPECT_EQ(faults->fireCount(faultsite::SvcWorkerWedge), 1u);
+    EXPECT_GE(stats.wedgesDetected, 1u);
+    EXPECT_GE(stats.workerRestarts, 1u);
+    // Healthy -> Suspect -> Wedged -> Dead -> Healthy: >= 4 flips.
+    EXPECT_GE(stats.healthTransitions, 4u);
+    EXPECT_FALSE(stats.escalated);
+
+    // The forced reclamation recorded its latency series.
+    MetricsSnapshot snap = metrics.snapshot();
+    bool sawReclaimSeries = false;
+    for (const auto &series : snap.series) {
+        if (series.name == "reclaim_latency_ms")
+            sawReclaimSeries = series.totalRecorded >= 1;
+    }
+    EXPECT_TRUE(sawReclaimSeries);
+}
+
+/**
+ * Poison quarantine: tasks the svc.task.poison drill marks fail on
+ * every attempt; with deadLetterOnExhaustion set they are diverted to
+ * the job's dead-letter queue and the job still *completes*, with
+ * PoisonedTasks matching the injected count exactly.
+ */
+TEST(Service, PoisonedTasksAreDeadLetteredNotFatal)
+{
+    constexpr unsigned threads = 2;
+    MultiQueueScheduler inner(threads);
+    VerifyingScheduler verify(inner);
+
+    ScopedFaultInjection faults(17);
+    faults->arm(faultsite::SvcTaskPoison, FaultMode::EveryNth, 50);
+
+    ServiceOptions options;
+    options.numThreads = threads;
+    ExecutorService svc(verify, options);
+
+    std::atomic<uint64_t> processed{0};
+    JobSpec spec;
+    spec.name = "poisoned-tree";
+    spec.process = treeJob(processed);
+    spec.initial = {Task{0, 0, 7}};
+    spec.retry.maxAttempts = 3;
+    spec.retry.backoffBaseUs = 5;
+    spec.retry.backoffMaxUs = 50;
+    spec.retry.deadLetterOnExhaustion = true;
+    JobHandle job = svc.submit(std::move(spec));
+
+    EXPECT_EQ(job.wait(), JobState::Completed);
+    EXPECT_TRUE(job.error().empty());
+
+    uint64_t injected = faults->fireCount(faultsite::SvcTaskPoison);
+    ASSERT_GE(injected, 1u);
+    EXPECT_EQ(job.poisonedTasks(), injected);
+    std::vector<Task> dead = job.deadLetters();
+    ASSERT_EQ(dead.size(), injected);
+    for (const Task &t : dead) {
+        EXPECT_EQ(t.attempt, spec.retry.maxAttempts - 1);
+        EXPECT_EQ(t.job, job.id());
+    }
+    // A poisoned task never runs its ProcessFn, so its subtree is
+    // pruned: strictly fewer processed tasks than the full tree.
+    EXPECT_LT(processed.load(), treeSize(7));
+
+    svc.shutdown();
+
+    // Dead-lettered tasks count as accounted: the job drained to zero
+    // outstanding and the global ledger balances exactly.
+    std::string why;
+    EXPECT_TRUE(verify.checkJobDrained(job.id(), &why)) << why;
+    EXPECT_TRUE(verify.checkComplete(false, &why)) << why;
+
+    ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.poisonedTasks, injected);
+    // Each poisoned task burned maxAttempts - 1 retries; no other
+    // task ever threw.
+    EXPECT_EQ(stats.taskRetries,
+              injected * (spec.retry.maxAttempts - 1));
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.failed, 0u);
+}
+
+/** Without the dead-letter policy, a poisoned task exhausts its
+ *  retries and fails the job — the pre-existing semantics. */
+TEST(Service, PoisonedTaskFailsJobWithoutDeadLetterPolicy)
+{
+    MultiQueueScheduler sched(1);
+    ScopedFaultInjection faults(19);
+    faults->arm(faultsite::SvcTaskPoison, FaultMode::OneShot, 3);
+
+    ServiceOptions options;
+    options.numThreads = 1;
+    ExecutorService svc(sched, options);
+
+    std::atomic<uint64_t> processed{0};
+    JobSpec spec;
+    spec.name = "no-quarantine";
+    spec.process = treeJob(processed);
+    spec.initial = {Task{0, 0, 4}};
+    spec.retry.maxAttempts = 2;
+    spec.retry.backoffBaseUs = 5;
+    spec.retry.backoffMaxUs = 50;
+    JobHandle job = svc.submit(std::move(spec));
+
+    EXPECT_EQ(job.wait(), JobState::Failed);
+    EXPECT_NE(job.error().find("poison"), std::string::npos);
+    EXPECT_EQ(job.poisonedTasks(), 0u);
+    EXPECT_TRUE(job.deadLetters().empty());
+    EXPECT_EQ(svc.stats().poisonedTasks, 0u);
+}
+
+/**
+ * Escalation: with a restart budget of one, the second worker death
+ * exhausts it — the service fails every live job with an escalation
+ * error, rejects new submissions, and still drains to exact task
+ * conservation.
+ */
+TEST(Service, EscalationFailsServiceAfterRestartBudget)
+{
+    constexpr unsigned threads = 2;
+    MultiQueueScheduler inner(threads);
+    VerifyingScheduler verify(inner);
+
+    ScopedFaultInjection faults(23);
+    faults->arm(faultsite::SvcWorkerDie, FaultMode::EveryNth, 300);
+
+    ServiceOptions options;
+    options.numThreads = threads;
+    options.supervisor.enabled = true;
+    options.supervisor.probeIntervalMs = 1;
+    options.supervisor.suspectAfterMs = 500;
+    options.supervisor.wedgedAfterMs = 2000;
+    options.supervisor.maxRestarts = 1;
+    options.supervisor.restartWindowMs = 60000;
+    ExecutorService svc(verify, options);
+
+    // Effectively unbounded tenant: only escalation can end it.
+    std::atomic<int64_t> budget{1 << 28};
+    std::atomic<uint64_t> processed{0};
+    JobSpec spec;
+    spec.name = "doomed-tenant";
+    spec.process = replenishJob(budget, processed);
+    for (uint32_t i = 0; i < 8; ++i)
+        spec.initial.push_back(Task{i, i, 0});
+    JobHandle job = svc.submit(std::move(spec));
+
+    EXPECT_EQ(job.wait(), JobState::Failed);
+    EXPECT_NE(job.error().find("escalated"), std::string::npos);
+    EXPECT_TRUE(svc.escalated());
+
+    JobSpec late;
+    late.name = "too-late";
+    late.process = replenishJob(budget, processed);
+    late.initial = {Task{0, 99, 0}};
+    JobHandle rejected = svc.submit(std::move(late));
+    EXPECT_EQ(rejected.state(), JobState::Rejected);
+    EXPECT_NE(rejected.error().find("escalated"), std::string::npos);
+
+    svc.shutdown();
+
+    std::string why;
+    EXPECT_TRUE(verify.checkJobDrained(job.id(), &why)) << why;
+    EXPECT_TRUE(verify.checkComplete(false, &why)) << why;
+
+    ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.workerRestarts, 1u); // budget spent exactly
+    EXPECT_GE(stats.crashesDetected, 2u);
+    EXPECT_TRUE(stats.escalated);
+    EXPECT_EQ(stats.failed, 1u);
+}
+
+/**
+ * TSan regression: JobHandle::wait()/waitFor()/cancel() racing
+ * ExecutorService::shutdown() from independent threads. The handles'
+ * record outlives the service entry, so every combination must be
+ * data-race-free and every job must still reach a terminal state.
+ */
+TEST(Service, WaitAndCancelRaceShutdown)
+{
+    constexpr unsigned threads = 2;
+    MultiQueueScheduler sched(threads);
+    ServiceOptions options;
+    options.numThreads = threads;
+    options.admissionCapacity = 16;
+    ExecutorService svc(sched, options);
+
+    std::atomic<uint64_t> processed{0};
+    std::vector<JobHandle> jobs;
+    for (int i = 0; i < 6; ++i) {
+        JobSpec spec;
+        spec.name = "racer-" + std::to_string(i);
+        spec.process = treeJob(processed);
+        spec.initial = {Task{0, uint32_t(i), 4}};
+        jobs.push_back(svc.submit(std::move(spec)));
+    }
+
+    std::thread waiter([&jobs] {
+        for (JobHandle &job : jobs) {
+            JobState s = job.wait();
+            EXPECT_TRUE(jobStateTerminal(s));
+        }
+    });
+    std::thread canceller([&jobs] {
+        for (JobHandle &job : jobs) {
+            job.cancel(); // either side of the race is legal
+            JobState probe;
+            job.waitFor(1, &probe);
+        }
+    });
+    svc.shutdown(); // concurrent with both racers
+
+    waiter.join();
+    canceller.join();
+    for (JobHandle &job : jobs)
+        EXPECT_TRUE(job.done()) << job.name();
+}
+
 } // namespace
 } // namespace hdcps

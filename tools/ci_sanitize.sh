@@ -75,6 +75,29 @@ chaos_soak() {
         --designs obim,pmod,multiqueue,swminnow,reld,hdcps-mq
 }
 
+# Supervisor chaos: pinned-seed scenario stream where every post-
+# round-robin run arms the worker supervisor and kills or wedges
+# service workers mid-run (svc.worker.die / svc.worker.wedge, poison
+# tasks riding along half the time). The soak exits nonzero — failing
+# this stage — if a quarantined worker's tasks are lost, a worker loss
+# is not healed by a replacement, a post-heal job cannot complete, or
+# dead-letter accounting drifts from the injected poison count. The
+# supervised CLI job-stream then replays the same drills through the
+# end-to-end driver: a worker death plus poison tasks must still exit
+# 0 (all jobs complete, poisoned work dead-lettered, oracle checks on
+# every non-poisoned job).
+supervisor_chaos() {
+    local builddir=$1
+    "$builddir"/tools/hdcps_soak --runs 10 --seed 41 --threads 4 \
+        --budget-ms 60000 --supervisor-slice 1 --service-slice 0 \
+        --designs hdcps-sw,swminnow,multiqueue
+    "$builddir"/tools/hdcps_cli --kernel sssp --input cage \
+        --design hdcps-sw --job-stream 8 --rate 1000 --threads 4 \
+        --supervise --max-restarts 8 --dead-letter --job-retries 3 \
+        --seed 5 --csv \
+        --fault-spec 'svc.worker.die:once:200,svc.task.poison:nth:400'
+}
+
 # Job-stream smoke: replay a bursty multi-tenant job stream through
 # the ExecutorService with admission backpressure, retries, and an
 # armed job-fault drill. Rejections are expected (capacity 4 under
@@ -131,6 +154,8 @@ for preset in "${presets[@]}"; do
     fault_stress "$builddir"
     echo "=== [$preset] chaos soak ==="
     chaos_soak "$builddir"
+    echo "=== [$preset] supervisor chaos ==="
+    supervisor_chaos "$builddir"
     echo "=== [$preset] job-stream smoke ==="
     service_stream_smoke "$builddir"
     echo "=== [$preset] bench smoke ==="

@@ -13,6 +13,7 @@
  *   hdcps --list
  */
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -80,6 +81,10 @@ struct Options
     bool admitBlock = false;     ///< block instead of reject when full
     uint64_t jobDeadlineMs = 0;  ///< per-job deadline (0 = none)
     uint64_t jobRetries = 1;     ///< task attempts per job (1 = none)
+    bool faultList = false;      ///< print the fault-site catalog
+    bool supervise = false;      ///< worker supervision for --job-stream
+    uint64_t maxRestarts = 8;    ///< restart budget before escalation
+    bool deadLetter = false;     ///< quarantine poison tasks per job
 };
 
 void
@@ -129,9 +134,18 @@ usage()
         "  --job-deadline-ms N    per-job deadline (default none)\n"
         "  --job-retries N    task attempts before a job fails\n"
         "                (default 1 = no retries)\n"
+        "  --supervise        enable worker supervision for --job-stream\n"
+        "                (health FSM, quarantine + replacement workers)\n"
+        "  --max-restarts N   worker restart budget before the service\n"
+        "                escalates (default 8; implies --supervise)\n"
+        "  --dead-letter      divert tasks that exhaust --job-retries to\n"
+        "                the per-job dead-letter queue instead of\n"
+        "                failing the job\n"
         "  --stats       print the input graph's statistics and exit\n"
         "  --config      print the simulated machine's Table-I parameters\n"
-        "  --list        list kernels, designs and fault sites, then exit\n";
+        "  --list        list kernels, designs and fault sites, then exit\n"
+        "  --fault-list  list fault-injection sites with their\n"
+        "                descriptions, then exit\n";
 }
 
 /**
@@ -249,6 +263,14 @@ parseArgs(int argc, char **argv)
                 parseUint("--job-retries", value(i), 100);
             hdcps_check(options.jobRetries >= 1,
                         "--job-retries must be >= 1");
+        } else if (arg == "--supervise") {
+            options.supervise = true;
+        } else if (arg == "--max-restarts") {
+            options.maxRestarts =
+                parseUint("--max-restarts", value(i), 100000);
+            options.supervise = true;
+        } else if (arg == "--dead-letter") {
+            options.deadLetter = true;
         } else if (arg == "--stats") {
             options.stats = true;
         } else if (arg == "--csv") {
@@ -257,6 +279,8 @@ parseArgs(int argc, char **argv)
             options.printConfig = true;
         } else if (arg == "--list") {
             options.list = true;
+        } else if (arg == "--fault-list") {
+            options.faultList = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             std::exit(0);
@@ -496,6 +520,11 @@ runJobStream(const Options &options, const Graph &graph)
     serviceOptions.blockWhenFull = options.admitBlock;
     serviceOptions.seed = options.seed;
     serviceOptions.metrics = metrics.get();
+    if (options.supervise) {
+        serviceOptions.supervisor.enabled = true;
+        serviceOptions.supervisor.maxRestarts =
+            unsigned(options.maxRestarts);
+    }
     ExecutorService svc(*scheduler, serviceOptions);
 
     // Each job owns its workload (oracle state is per-source); the
@@ -520,6 +549,7 @@ runJobStream(const Options &options, const Graph &graph)
         spec.priority = rng.below(8);
         spec.deadlineMs = options.jobDeadlineMs;
         spec.retry.maxAttempts = uint32_t(options.jobRetries);
+        spec.retry.deadLetterOnExhaustion = options.deadLetter;
         jobs.push_back(
             ReplayedJob{svc.submit(std::move(spec)),
                         std::move(workload)});
@@ -542,7 +572,7 @@ runJobStream(const Options &options, const Graph &graph)
     }
 
     uint64_t rejected = 0, deadlineFailed = 0, completed = 0;
-    uint64_t verifyFailures = 0, hardFailures = 0;
+    uint64_t verifyFailures = 0, hardFailures = 0, poisonedJobs = 0;
     for (ReplayedJob &job : jobs) {
         JobState got = job.handle.wait();
         if (got == JobState::Rejected) {
@@ -551,6 +581,12 @@ runJobStream(const Options &options, const Graph &graph)
         }
         if (got == JobState::Completed) {
             ++completed;
+            // A job that dead-lettered tasks completed by policy, not
+            // by finishing its relaxations — its oracle can't hold.
+            if (job.handle.poisonedTasks() > 0) {
+                ++poisonedJobs;
+                continue;
+            }
             std::string why;
             if (!job.workload->verify(&why)) {
                 ++verifyFailures;
@@ -595,6 +631,8 @@ runJobStream(const Options &options, const Graph &graph)
                   << stats.jobLatencyP50Ms << ","
                   << stats.jobLatencyP99Ms << ","
                   << stats.jobLatencyMaxMs << "," << throughput << ","
+                  << stats.workerRestarts << ","
+                  << stats.poisonedTasks << ","
                   << (verifyFailures + hardFailures == 0 ? "ok"
                                                          : "FAIL")
                   << "\n";
@@ -610,6 +648,20 @@ runJobStream(const Options &options, const Graph &graph)
         table.row().cell("jobs deadline-expired").cell(deadlineFailed);
         table.row().cell("task retries").cell(stats.taskRetries);
         table.row().cell("tasks drained").cell(stats.tasksDrained);
+        if (options.supervise) {
+            table.row().cell("worker restarts").cell(
+                stats.workerRestarts);
+            table.row().cell("health transitions").cell(
+                stats.healthTransitions);
+            table.row().cell("service escalated").cell(
+                stats.escalated ? "YES" : "no");
+        }
+        if (options.deadLetter) {
+            table.row().cell("poisoned tasks (dead-lettered)").cell(
+                stats.poisonedTasks);
+            table.row().cell("jobs with dead letters").cell(
+                poisonedJobs);
+        }
         table.row().cell("wall time (ms)").cell(double(wallNs) / 1e6,
                                                 2);
         table.row().cell("job latency p50 (ms)").cell(
@@ -631,12 +683,36 @@ runJobStream(const Options &options, const Graph &graph)
     return verifyFailures == 0 ? 0 : 1;
 }
 
+/** Print every registered fault site with its description. */
+void
+printFaultCatalog()
+{
+    size_t count = 0;
+    const FaultSiteInfo *sites = faultSiteCatalog(count);
+    size_t width = 0;
+    for (size_t i = 0; i < count; ++i)
+        width = std::max(width, std::string(sites[i].name).size());
+    std::cout << "fault sites (--fault-spec site:mode[:arg][,...], "
+                 "modes nth|prob|once|delay):\n";
+    for (size_t i = 0; i < count; ++i) {
+        std::cout << "  " << sites[i].name
+                  << std::string(
+                         width - std::string(sites[i].name).size() + 2,
+                         ' ')
+                  << sites[i].description << "\n";
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     Options options = parseArgs(argc, argv);
+    if (options.faultList) {
+        printFaultCatalog();
+        return 0;
+    }
     if (options.list) {
         size_t count = 0;
         const char *const *kernels = workloadNames(count);
@@ -649,13 +725,8 @@ main(int argc, char **argv)
             std::cout << " " << designs[i];
         std::cout << " hdcps-srq hdcps-srq-tdf hdcps-srq-tdf-ac"
                   << "\nthreaded designs: reld multiqueue obim pmod "
-                     "swminnow hdcps-srq hdcps-sw hdcps-mq\n"
-                  << "fault sites (--fault-spec):\n";
-        const FaultSiteInfo *sites = faultSiteCatalog(count);
-        for (size_t i = 0; i < count; ++i) {
-            std::cout << "  " << sites[i].name << "  ("
-                      << sites[i].description << ")\n";
-        }
+                     "swminnow hdcps-srq hdcps-sw hdcps-mq\n";
+        printFaultCatalog();
         return 0;
     }
 

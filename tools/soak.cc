@@ -72,6 +72,10 @@ struct Options
      *  ExecutorService (job stream + cancel/deadline/retry chaos)
      *  instead of a single run(). */
     double serviceSlice = 0.25;
+    /** Fraction of runs that arm the worker supervisor and kill or
+     *  wedge workers mid-run (svc.worker.die / svc.worker.wedge, plus
+     *  optional poison tasks), asserting heal + exact conservation. */
+    double supervisorSlice = 0.15;
     /** Designs to draw from (default: all). The first |designs| runs
      *  visit each exactly once, so even short sweeps cover every
      *  requested backend before randomness takes over. */
@@ -93,6 +97,10 @@ usage()
         "  --service-slice F  fraction of runs that chaos-test the\n"
         "                 multi-tenant ExecutorService instead of a\n"
         "                 single run() (default 0.25)\n"
+        "  --supervisor-slice F   fraction of runs that kill/wedge\n"
+        "                 supervised service workers mid-run and assert\n"
+        "                 heal, capacity restoration, and exact task\n"
+        "                 conservation (default 0.15)\n"
         "  --abort-on-writer-violation  SIGABRT at the first\n"
         "                 overlapping metrics write (stack trace at the\n"
         "                 racing store) instead of counting it\n"
@@ -178,17 +186,21 @@ parseArgs(int argc, char **argv)
                 parseUint("--budget-ms", value(i), 86400000ULL);
         } else if (arg == "--designs") {
             options.designs = parseDesignList(value(i));
-        } else if (arg == "--service-slice") {
+        } else if (arg == "--service-slice" ||
+                   arg == "--supervisor-slice") {
             const char *text = value(i);
             char *end = nullptr;
             errno = 0;
             double parsed = std::strtod(text, &end);
             if (end == text || *end != '\0' || errno == ERANGE ||
                 parsed < 0.0 || parsed > 1.0) {
-                hdcps_fatal("--service-slice: want a fraction in "
-                            "[0, 1], got '%s'", text);
+                hdcps_fatal("%s: want a fraction in [0, 1], got '%s'",
+                            arg.c_str(), text);
             }
-            options.serviceSlice = parsed;
+            if (arg == "--service-slice")
+                options.serviceSlice = parsed;
+            else
+                options.supervisorSlice = parsed;
         } else if (arg == "--abort-on-writer-violation") {
             options.abortOnWriterViolation = true;
         } else if (arg == "--verbose") {
@@ -202,6 +214,9 @@ parseArgs(int argc, char **argv)
         }
     }
     hdcps_check(options.threads >= 1, "--threads must be >= 1");
+    hdcps_check(options.serviceSlice + options.supervisorSlice <= 1.0,
+                "--service-slice + --supervisor-slice must not "
+                "exceed 1");
     if (options.designs.empty()) {
         options.designs.assign(std::begin(kDesigns),
                                std::end(kDesigns));
@@ -223,6 +238,9 @@ struct Scenario
      *  cancel victim, a doomed deadline, retries, and an admission
      *  burst) instead of a single run(). */
     bool serviceRun = false;
+    /** Chaos-test the worker supervisor: kill and/or wedge service
+     *  workers mid-run and assert heal + exact conservation. */
+    bool supervisorRun = false;
 };
 
 const char *const kKernels[] = {"sssp", "bfs"};
@@ -237,7 +255,7 @@ constexpr uint64_t kWatchdogMs = 3000;
 Scenario
 drawScenario(Rng &rng, uint64_t runSeed, unsigned threads,
              const std::vector<std::string> &designs, uint64_t runIndex,
-             double serviceSlice)
+             double serviceSlice, double supervisorSlice)
 {
     Scenario s;
     s.seed = runSeed;
@@ -250,10 +268,38 @@ drawScenario(Rng &rng, uint64_t runSeed, unsigned threads,
                    ? designs[runIndex]
                    : designs[rng.below(designs.size())];
 
+    const double slice =
+        runIndex >= designs.size() ? rng.uniform() : 1.0;
+
+    // Supervisor scenarios kill and/or wedge workers of a supervised
+    // service mid-run: at least one worker loss per scenario, with a
+    // poison-task drill riding along half the time.
+    if (slice < supervisorSlice) {
+        s.supervisorRun = true;
+        s.kernel = "jobstream";
+        s.input = "synthetic";
+        uint64_t pick = rng.below(3); // 0 = die, 1 = wedge, 2 = both
+        if (pick != 1) {
+            s.faultSpec = "svc.worker.die:once:" +
+                          std::to_string(100 + rng.below(300));
+        }
+        if (pick != 0) {
+            if (!s.faultSpec.empty())
+                s.faultSpec += ",";
+            s.faultSpec += "svc.worker.wedge:once:" +
+                           std::to_string(100 + rng.below(300));
+        }
+        if (rng.chance(0.5)) {
+            s.faultSpec += ",svc.task.poison:nth:" +
+                           std::to_string(97 + rng.below(200));
+        }
+        return s;
+    }
+
     // Service scenarios drill the multi-tenant layer: the job-level
     // fault sites replace the single-run exec.process.throw slice, and
     // straggler pauses carry over unchanged.
-    if (runIndex >= designs.size() && rng.chance(serviceSlice)) {
+    if (slice < supervisorSlice + serviceSlice) {
         s.serviceRun = true;
         s.kernel = "jobstream";
         s.input = "synthetic";
@@ -369,6 +415,8 @@ describe(const Scenario &s)
         out += " (expect graceful failure)";
     if (s.serviceRun)
         out += " (executor service)";
+    if (s.supervisorRun)
+        out += " (supervised service)";
     return out;
 }
 
@@ -395,6 +443,9 @@ struct Tally
     uint64_t jobsCompleted = 0; ///< service jobs that ran to completion
     uint64_t jobsRejected = 0;  ///< admission rejections (burst jobs)
     uint64_t taskRetries = 0;   ///< transient-failure retries
+    uint64_t supervisorRuns = 0;
+    uint64_t workerRestarts = 0; ///< healed worker deaths/wedges
+    uint64_t poisonedTasks = 0;  ///< tasks dead-lettered by poison
 };
 
 /** Run one scenario; returns true when it met its contract. */
@@ -737,6 +788,151 @@ runServiceScenario(const Scenario &s, const Options &options,
     return true;
 }
 
+/**
+ * Run one supervised-service scenario: the worker supervisor is armed
+ * and the scenario's fault spec kills and/or wedges workers mid-run
+ * (plus, sometimes, poison tasks dead-lettered per job). Contract:
+ * every injected worker loss is healed by a replacement worker, a
+ * post-heal job still completes on the restored pool, poison fires
+ * match the dead-letter count exactly, and the verifier's ledger stays
+ * exact — a quarantined worker's tasks are never lost (any loss fails
+ * the run, which fails the soak with a nonzero exit).
+ */
+bool
+runSupervisorScenario(const Scenario &s, const Options &options,
+                      Tally &tally)
+{
+    auto fail = [&](const std::string &why) {
+        std::cerr << "FAIL " << describe(s) << "\n  " << why << "\n";
+        return false;
+    };
+
+    ScopedFaultInjection faults(s.seed);
+    if (!s.faultSpec.empty()) {
+        std::string error;
+        hdcps_check(faults->parseSpec(s.faultSpec, &error),
+                    "soak generated a bad fault spec: %s",
+                    error.c_str());
+    }
+
+    auto inner = makeDesign(s, options.threads);
+    VerifyingScheduler verified(*inner);
+    MetricsRegistry::Config metricsConfig;
+    metricsConfig.checkSingleWriter = true;
+    metricsConfig.abortOnWriterViolation =
+        options.abortOnWriterViolation;
+    MetricsRegistry metrics(options.threads, metricsConfig);
+
+    Rng rng(mix64(s.seed ^ 0x5a5au));
+    uint32_t depth = 5 + uint32_t(rng.below(2));
+
+    std::atomic<uint64_t> processedA{0}, processedHeal{0};
+
+    // Poison tasks (when armed) exhaust this budget and dead-letter
+    // instead of failing the job; non-poison tasks never need it.
+    RetryPolicy retry;
+    retry.maxAttempts = 3;
+    retry.backoffBaseUs = 20;
+    retry.backoffMaxUs = 200;
+    retry.deadLetterOnExhaustion = true;
+
+    ServiceStats stats;
+    {
+        ServiceOptions serviceOptions;
+        serviceOptions.numThreads = options.threads;
+        serviceOptions.admissionCapacity = 8;
+        serviceOptions.seed = s.seed;
+        serviceOptions.metrics = &metrics;
+        serviceOptions.supervisor.enabled = true;
+        serviceOptions.supervisor.probeIntervalMs = 1;
+        serviceOptions.supervisor.suspectAfterMs = 40;
+        serviceOptions.supervisor.wedgedAfterMs = 150;
+        // Generous budget: at most two losses are injected, and a
+        // loaded host (sanitizer CI) may add false wedges — those are
+        // healed too, never escalated.
+        serviceOptions.supervisor.maxRestarts = 16;
+        ExecutorService svc(verified, serviceOptions);
+
+        auto submit = [&](std::string name,
+                          std::atomic<uint64_t> &processed) {
+            JobSpec spec;
+            spec.name = std::move(name);
+            spec.process = treeJob(processed, 3);
+            spec.initial = {Task{0, 0, depth}};
+            spec.retry = retry;
+            return svc.submit(std::move(spec));
+        };
+
+        JobHandle jobA = submit("supervised-tree", processedA);
+        if (JobState got = jobA.wait(); got != JobState::Completed) {
+            return fail("supervised job ended " +
+                        std::string(jobStateName(got)) + ": " +
+                        jobA.error());
+        }
+
+        // Every injected loss must be healed: a crash-death directly,
+        // a wedge via supersession into a clean exit. Fire counts are
+        // stable here (once-mode drills, and the drilled loop tops
+        // have all run by job completion).
+        uint64_t wantRestarts =
+            faults->fireCount(faultsite::SvcWorkerDie) +
+            faults->fireCount(faultsite::SvcWorkerWedge);
+        uint64_t spinStart = nowNs();
+        while (svc.stats().workerRestarts < wantRestarts) {
+            if ((nowNs() - spinStart) / 1000000 > 15000) {
+                return fail(
+                    "supervisor healed " +
+                    std::to_string(svc.stats().workerRestarts) + "/" +
+                    std::to_string(wantRestarts) +
+                    " injected worker losses in 15s");
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+
+        // Capacity is restored: a fresh job completes on the pool of
+        // replacement workers.
+        JobHandle heal = submit("post-heal-tree", processedHeal);
+        if (JobState got = heal.wait(); got != JobState::Completed) {
+            return fail("post-heal job ended " +
+                        std::string(jobStateName(got)) + ": " +
+                        heal.error());
+        }
+
+        stats = svc.stats();
+        if (stats.escalated)
+            return fail("service escalated despite a 16-restart "
+                        "budget");
+    }
+
+    // Each poison fire marks one distinct first-attempt task, and each
+    // marked task must end in a dead-letter queue — exactly once.
+    uint64_t poisonFires = faults->fireCount(faultsite::SvcTaskPoison);
+    if (stats.poisonedTasks != poisonFires) {
+        return fail("poison accounting mismatch: " +
+                    std::to_string(poisonFires) + " drill fires vs " +
+                    std::to_string(stats.poisonedTasks) +
+                    " dead-lettered tasks");
+    }
+
+    tally.jobsCompleted += 2;
+    tally.taskRetries += stats.taskRetries;
+    tally.workerRestarts += stats.workerRestarts;
+    tally.poisonedTasks += stats.poisonedTasks;
+
+    // Conservation across quarantine + replacement: with every job
+    // terminal, the scheduler and the whole ledger must be empty —
+    // dead-lettered tasks count as accounted, not leaked.
+    std::string why;
+    if (!verified.checkComplete(false, &why))
+        return fail("task lost across quarantine/replacement: " + why);
+    if (metrics.writerViolations() > 0) {
+        return fail("metrics single-writer violation (" +
+                    std::to_string(metrics.writerViolations()) +
+                    " overlapping writes)");
+    }
+    return true;
+}
+
 } // namespace
 
 int
@@ -764,15 +960,20 @@ main(int argc, char **argv)
         Rng rng(runSeed);
         Scenario s = drawScenario(rng, runSeed, options.threads,
                                   options.designs, i,
-                                  options.serviceSlice);
+                                  options.serviceSlice,
+                                  options.supervisorSlice);
         if (options.verbose)
             std::cout << "run " << i << ": " << describe(s) << "\n";
         ++tally.ran;
         if (s.serviceRun)
             ++tally.serviceRuns;
-        bool ok = s.serviceRun
-                      ? runServiceScenario(s, options, tally)
-                      : runScenario(s, options, graphs, tally);
+        if (s.supervisorRun)
+            ++tally.supervisorRuns;
+        bool ok = s.supervisorRun
+                      ? runSupervisorScenario(s, options, tally)
+                      : (s.serviceRun
+                             ? runServiceScenario(s, options, tally)
+                             : runScenario(s, options, graphs, tally));
         if (!ok) {
             ++failures;
             ++tally.failed;
@@ -788,6 +989,9 @@ main(int argc, char **argv)
               << " service runs (" << tally.jobsCompleted
               << " jobs completed, " << tally.jobsRejected
               << " admission rejections, " << tally.taskRetries
-              << " task retries)\n";
+              << " task retries), " << tally.supervisorRuns
+              << " supervisor runs (" << tally.workerRestarts
+              << " worker restarts, " << tally.poisonedTasks
+              << " tasks dead-lettered)\n";
     return failures == 0 ? 0 : 1;
 }
