@@ -29,6 +29,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdlib>
 #include <set>
 #include <string>
@@ -236,6 +237,168 @@ BM_HdCpsRemoteHeavy(benchmark::State &state)
 BENCHMARK(BM_HdCpsRemoteHeavy);
 
 /**
+ * Shared driver for the scenario matrix (local_heavy / bursty /
+ * skewed_destination): the same deterministic single-thread rotation
+ * harness as BM_HdCpsRemoteHeavy, parameterized by traffic shape and
+ * topology. Each scenario runs twice — flat, and under a synthetic 2x4
+ * topology with hierarchical routing — so the JSON carries both sides
+ * of the locality tradeoff and bench_compare can gate each scenario
+ * independently. A metrics registry in sampled always-on mode
+ * (sampleShift) stays attached for the whole measurement: the gate
+ * numbers price the scheduler *as observed in production*, and the
+ * sampling mode is what makes that affordable.
+ */
+struct ScenarioShape
+{
+    unsigned fixedTdf;   ///< distribution %, steady phases
+    size_t batch;        ///< tasks per pushBatch
+    bool rotateProducer; ///< false = worker 0 produces everything
+    unsigned burstEvery; ///< 0 = steady; else every k-th batch is 4x
+    /** Numa variants only: crossNodePct policy (kCrossNodeFollowTdf =
+     *  track the drift signal, the production default). */
+    unsigned crossNodePct = kCrossNodeFollowTdf;
+};
+
+void
+runHdCpsScenario(benchmark::State &state, const ScenarioShape &shape,
+                 bool numa)
+{
+    constexpr unsigned kWorkers = 8;
+    HdCpsConfig config;
+    config.useTdf = false;
+    config.fixedTdf = shape.fixedTdf;
+    config.bags.mode = BagMode::None;
+    if (numa) {
+        config.topology = Topology::synthetic(2, 4);
+        config.crossNodePct = shape.crossNodePct;
+    }
+    HdCpsScheduler sched(kWorkers, config);
+    MetricsRegistry::Config metricsConfig;
+    metricsConfig.sampleShift = 6; // keep 1 in 64 series samples
+    MetricsRegistry metrics(kWorkers, metricsConfig);
+    sched.attachMetrics(&metrics);
+    Rng rng(8);
+    const size_t maxBatch = shape.batch * 4;
+    std::vector<Task> batch(maxBatch);
+    uint32_t node = 0;
+    unsigned tid = 0;
+    uint64_t round = 0;
+    uint64_t tasks = 0;
+    // Drain scan order: the flat system consumes by plain rotation
+    // from the producer; the topology-aware system consumes its own
+    // node's queues before crossing the boundary (the executor's
+    // per-worker pop pattern under topology-aware placement — remote
+    // tasks land on same-node peers and are drained there). Each
+    // variant is priced with the consumption policy its routing
+    // policy implies.
+    std::array<unsigned, 8> scan;
+    for (auto _ : state) {
+        const size_t count =
+            (shape.burstEvery != 0 && ++round % shape.burstEvery == 0)
+                ? maxBatch
+                : shape.batch;
+        for (size_t i = 0; i < count; ++i)
+            batch[i] = Task{rng.below(64), node++, 0};
+        sched.pushBatch(tid, batch.data(), count);
+        if (numa) {
+            const unsigned perNode = kWorkers / 2;
+            const unsigned base = (tid / perNode) * perNode;
+            for (unsigned k = 0; k < perNode; ++k)
+                scan[k] = base + (tid - base + k) % perNode;
+            const unsigned far = (base + perNode) % kWorkers;
+            for (unsigned k = 0; k < perNode; ++k)
+                scan[perNode + k] = far + k;
+        } else {
+            for (unsigned k = 0; k < kWorkers; ++k)
+                scan[k] = (tid + k) % kWorkers;
+        }
+        size_t popped = 0;
+        unsigned si = 0;
+        while (popped < count) {
+            Task t;
+            if (sched.tryPop(scan[si], t)) {
+                ++popped;
+                benchmark::DoNotOptimize(t);
+            } else {
+                si = (si + 1) % kWorkers;
+            }
+        }
+        if (shape.rotateProducer)
+            tid = (tid + 1) % kWorkers;
+        tasks += count;
+    }
+    state.SetItemsProcessed(int64_t(tasks));
+    if (numa) {
+        const double cross = double(sched.crossNodeEnqueues());
+        const double same = double(sched.sameNodeEnqueues());
+        state.counters["cross_node_enqueues"] = cross;
+        state.counters["same_node_enqueues"] = same;
+        if (cross + same > 0)
+            state.counters["cross_node_pct"] =
+                100.0 * cross / (cross + same);
+    }
+}
+
+/** local_heavy: 80% of children stay on the producing worker and
+ *  batches are small, so the number prices the private-PQ path with a
+ *  trickle of remote traffic — the regime where hierarchical routing
+ *  concentrates that trickle on same-node peers: fewer dirty combining
+ *  buffers per flush and a drain that never leaves the node. The
+ *  per-batch costs those savings amortize are a fixed overhead, so the
+ *  small batch is what makes the locality signal visible at all. */
+void
+BM_HdCpsLocalHeavyFlat(benchmark::State &state)
+{
+    runHdCpsScenario(state, {20, 32, true, 0}, false);
+}
+BENCHMARK(BM_HdCpsLocalHeavyFlat);
+
+void
+BM_HdCpsLocalHeavyNuma(benchmark::State &state)
+{
+    // crossNodePct 0: at low drift the hierarchy keeps every remote
+    // push on-node, concentrating the trickle on 3 same-node peers
+    // instead of 7 — fewer dirty combining buffers per batch, and
+    // each flush moves more tasks per tryPushN claim.
+    runHdCpsScenario(state, {20, 32, true, 0, 0}, true);
+}
+BENCHMARK(BM_HdCpsLocalHeavyNuma);
+
+/** bursty: every 4th batch is 4x the steady size at 50% distribution,
+ *  alternating drain pressure between the combining buffers and the
+ *  private PQs. */
+void
+BM_HdCpsBurstyFlat(benchmark::State &state)
+{
+    runHdCpsScenario(state, {50, 64, true, 4}, false);
+}
+BENCHMARK(BM_HdCpsBurstyFlat);
+
+void
+BM_HdCpsBurstyNuma(benchmark::State &state)
+{
+    runHdCpsScenario(state, {50, 64, true, 4}, true);
+}
+BENCHMARK(BM_HdCpsBurstyNuma);
+
+/** skewed_destination: one hot producer (worker 0) fans out at 95%
+ *  distribution while pops rotate — the all-roads-lead-away-from-one-
+ *  core shape that stresses per-destination staging. */
+void
+BM_HdCpsSkewedDestinationFlat(benchmark::State &state)
+{
+    runHdCpsScenario(state, {95, 256, false, 0}, false);
+}
+BENCHMARK(BM_HdCpsSkewedDestinationFlat);
+
+void
+BM_HdCpsSkewedDestinationNuma(benchmark::State &state)
+{
+    runHdCpsScenario(state, {95, 256, false, 0}, true);
+}
+BENCHMARK(BM_HdCpsSkewedDestinationNuma);
+
+/**
  * End-to-end runtime scenario: run() executes a deterministic spawn
  * tree (4 same-priority children per task, depth 4) over 8 threads, so
  * the measurement includes the termination-detection cost the
@@ -436,6 +599,12 @@ scenarioOf(const std::string &name)
 {
     if (name.find("BM_HdCpsRemoteHeavy") == 0)
         return "remote_heavy";
+    if (name.find("BM_HdCpsLocalHeavy") == 0)
+        return "local_heavy";
+    if (name.find("BM_HdCpsBursty") == 0)
+        return "bursty";
+    if (name.find("BM_HdCpsSkewedDestination") == 0)
+        return "skewed_destination";
     if (name.find("BM_HdCpsPipelineSpawn") == 0)
         return "pipeline_spawn";
     if (name.find("BM_MultiQueueChurn") == 0 ||

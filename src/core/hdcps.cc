@@ -57,6 +57,9 @@ BasicHdCpsScheduler<LocalPqT>::BasicHdCpsScheduler(unsigned numWorkers,
     hdcps_check(config.sendFlushThreshold >= 1,
                 "send flush threshold must be >= 1");
     hdcps_check(config.localPqWays >= 1, "need at least one local-PQ way");
+    hdcps_check(config.crossNodePct <= 100 ||
+                    config.crossNodePct == kCrossNodeFollowTdf,
+                "crossNodePct is a percentage (or kCrossNodeFollowTdf)");
 
     // The design-name stem comes from the local backend ("hdcps-srq"
     // for the exact heap, "hdcps-mq" for the relaxed MultiQueue); the
@@ -69,11 +72,16 @@ BasicHdCpsScheduler<LocalPqT>::BasicHdCpsScheduler(unsigned numWorkers,
     else if (config_.bags.mode == BagMode::Selective)
         name_ += "-sc";
 
+    // Hierarchical routing needs at least two node groups to tell
+    // apart; a flat (or single-node-detected) topology keeps the
+    // original single-draw chooseDest byte for byte.
+    hierarchical_ =
+        config_.topology.numNodes() >= 2 && numWorkers >= 2;
+
     workers_.reserve(numWorkers);
     const uint64_t now = nowNs();
     for (unsigned i = 0; i < numWorkers; ++i) {
         auto w = std::make_unique<WorkerState>();
-        w->rq = std::make_unique<ReceiveQueue<Envelope>>(config.rqCapacity);
         // Worker index mixed *into* the seed word (not added to the
         // mixed output) so adjacent workers never get correlated
         // xoshiro streams — same fix as the MultiQueue's.
@@ -84,11 +92,90 @@ BasicHdCpsScheduler<LocalPqT>::BasicHdCpsScheduler(unsigned numWorkers,
             mix64((config.seed + 0x5851f42d) ^
                   (uint64_t(i) * 0x9e3779b97f4a7c15ULL)));
         w->heartbeatNs.store(now, std::memory_order_relaxed);
-        w->sendArena.resize(size_t(numWorkers) *
-                            config.sendFlushThreshold);
-        w->sendCount.assign(numWorkers, 0);
+        w->node = hierarchical_
+                      ? config_.topology.nodeOfWorker(i, numWorkers)
+                      : 0;
         workers_.push_back(std::move(w));
     }
+    if (hierarchical_) {
+        for (unsigned i = 0; i < numWorkers; ++i) {
+            WorkerState &w = *workers_[i];
+            for (unsigned p = 0; p < numWorkers; ++p) {
+                if (p == i)
+                    continue;
+                (workers_[p]->node == w.node ? w.sameNodePeers
+                                             : w.crossNodePeers)
+                    .push_back(p);
+            }
+        }
+    }
+
+    // Buffer placement. The kernel's first-touch policy puts a page on
+    // the node of the thread that first writes it, so on a pinnable
+    // multi-node topology each worker's sRQ ring and send arena are
+    // allocated+touched by a short-lived thread pinned to that worker's
+    // node. This happens here, before any traffic exists, because
+    // swapping buffers later (e.g. in onWorkerStart) would race
+    // concurrent producers already delivering into the ring. Synthetic
+    // and flat topologies allocate inline — same buffers, no threads.
+    if (hierarchical_ && config_.topology.canPin()) {
+        std::vector<std::thread> placers;
+        placers.reserve(numWorkers);
+        for (unsigned i = 0; i < numWorkers; ++i) {
+            placers.emplace_back([this, i] {
+                config_.topology.pinThreadToNode(workers_[i]->node);
+                placeWorkerBuffers(i);
+            });
+        }
+        for (std::thread &t : placers)
+            t.join();
+    } else {
+        for (unsigned i = 0; i < numWorkers; ++i)
+            placeWorkerBuffers(i);
+    }
+}
+
+template <template <typename, typename> class LocalPqT>
+void
+BasicHdCpsScheduler<LocalPqT>::placeWorkerBuffers(unsigned tid)
+{
+    // Everything here allocates *and writes* on the calling thread —
+    // the ring constructor initializes every slot's sequence number and
+    // the vector fills zero their elements — so first-touch placement
+    // follows the caller's pinning.
+    WorkerState &w = *workers_[tid];
+    w.rq = std::make_unique<ReceiveQueue<Envelope>>(config_.rqCapacity);
+    w.sendArena.resize(size_t(numWorkers()) * config_.sendFlushThreshold);
+    w.sendCount.assign(numWorkers(), 0);
+}
+
+template <template <typename, typename> class LocalPqT>
+void
+BasicHdCpsScheduler<LocalPqT>::onWorkerStart(unsigned tid)
+{
+    WorkerState &w = *workers_[tid];
+    // Best-effort: synthetic/flat topologies carry no CPU lists, so the
+    // pin is a no-op and tests stay host-independent. Called by the
+    // slot's own thread — at startup and again by every healed
+    // replacement, which is exactly how a replacement rejoins its
+    // slot's node group.
+    if (hierarchical_ && config_.topology.canPin())
+        config_.topology.pinThreadToNode(w.node);
+    w.binds.fetch_add(1, std::memory_order_relaxed);
+}
+
+template <template <typename, typename> class LocalPqT>
+unsigned
+BasicHdCpsScheduler<LocalPqT>::nodeOfWorker(unsigned tid) const
+{
+    return workers_[tid]->node;
+}
+
+template <template <typename, typename> class LocalPqT>
+uint64_t
+BasicHdCpsScheduler<LocalPqT>::workerBinds(unsigned tid) const
+{
+    return workers_[tid]->binds.load(std::memory_order_relaxed);
 }
 
 template <template <typename, typename> class LocalPqT>
@@ -292,19 +379,44 @@ BasicHdCpsScheduler<LocalPqT>::reclaimWorker(unsigned reclaimer,
     // multi-producer-safe from any thread — spilling to their locked
     // overflow queues when full. Never into a private PQ: the peers'
     // owner threads are running and their PQs are theirs alone.
+    //
+    // With a multi-node topology the victim's *same-node* peers are
+    // preferred: its tasks carry priorities from that node's region of
+    // the problem, and keeping them there preserves the locality the
+    // hierarchical chooseDest built up. Cross-node peers only take over
+    // when every same-node peer is quarantined too.
     size_t tasksMoved = 0;
-    unsigned next = reclaimer % n;
-    for (const Envelope &e : moved) {
-        unsigned dest = n; // n = no live peer found
-        for (unsigned tries = 0; tries < n; ++tries) {
-            unsigned candidate = (next + tries) % n;
-            if (candidate != victim &&
-                workers_[candidate]->quarantined.load(
+    std::vector<unsigned> flatOrder;
+    if (!hierarchical_) {
+        flatOrder.reserve(n - 1);
+        for (unsigned k = 0; k < n; ++k) {
+            unsigned candidate = (reclaimer + k) % n;
+            if (candidate != victim)
+                flatOrder.push_back(candidate);
+        }
+    }
+    const std::vector<unsigned> &primary =
+        hierarchical_ ? v.sameNodePeers : flatOrder;
+    const std::vector<unsigned> &secondary =
+        hierarchical_ ? v.crossNodePeers : flatOrder;
+    size_t primaryCursor = 0;
+    size_t secondaryCursor = 0;
+    auto pickLive = [this](const std::vector<unsigned> &cands,
+                           size_t *cursor) -> unsigned {
+        for (size_t t = 0; t < cands.size(); ++t) {
+            unsigned c = cands[(*cursor + t) % cands.size()];
+            if (workers_[c]->quarantined.load(
                     std::memory_order_relaxed) == 0) {
-                dest = candidate;
-                break;
+                *cursor = (*cursor + t + 1) % cands.size();
+                return c;
             }
         }
+        return numWorkers();
+    };
+    for (const Envelope &e : moved) {
+        unsigned dest = pickLive(primary, &primaryCursor);
+        if (dest == n && hierarchical_)
+            dest = pickLive(secondary, &secondaryCursor);
         if (dest == n) {
             // Every peer is quarantined too (pathological): park the
             // tasks back in the victim's overflow so nothing is lost —
@@ -318,7 +430,6 @@ BasicHdCpsScheduler<LocalPqT>::reclaimWorker(unsigned reclaimer,
             }
             continue;
         }
-        next = (dest + 1) % n;
         tasksMoved += e.bag ? e.bag->tasks.size() : size_t(1);
         if (!workers_[dest]->rq->tryPush(e)) {
             if (e.bag) {
@@ -342,25 +453,77 @@ BasicHdCpsScheduler<LocalPqT>::chooseDest(unsigned tid, unsigned tdf)
     const unsigned n = numWorkers();
     if (n == 1)
         return tid;
-    // One draw decides both: the bound factorizes as 100 * (n - 1), so
-    // r % 100 (the TDF roll) and r / 100 (the remote pick, uniform over
-    // the other workers) are independent uniforms — half the generator
-    // cost of two separate draws on the hottest routing path.
-    const uint64_t r = w.rng.below(uint64_t(100) * (n - 1));
+    if (!hierarchical_) {
+        // One draw decides both: the bound factorizes as 100 * (n - 1),
+        // so r % 100 (the TDF roll) and r / 100 (the remote pick,
+        // uniform over the other workers) are independent uniforms —
+        // half the generator cost of two separate draws on the hottest
+        // routing path.
+        const uint64_t r = w.rng.below(uint64_t(100) * (n - 1));
+        if (static_cast<unsigned>(r % 100) >= tdf)
+            return tid;
+        unsigned dest = static_cast<unsigned>(r / 100);
+        if (dest >= tid)
+            ++dest;
+        // Supervision mask: while any worker is quarantined (rare — one
+        // relaxed load says so), remote picks that land on it fall back
+        // to self-enqueue, so no new work routes toward queues being
+        // reclaimed. Re-rolling instead would bias the distribution
+        // toward re-checking; self is always safe and the quarantine is
+        // short.
+        if (__builtin_expect(
+                quarantineCount_.load(std::memory_order_relaxed) != 0,
+                0) &&
+            workers_[dest]->quarantined.load(std::memory_order_relaxed) !=
+                0)
+            return tid;
+        return dest;
+    }
+    // Hierarchical (multi-node) routing: the flat single draw splits in
+    // two levels. The same factorized-draw trick supplies both rolls —
+    // r % 100 is the TDF roll exactly as before, r / 100 decides
+    // whether this remote send may cross node boundaries. The effective
+    // cross-node share either tracks the live TDF (the default
+    // kCrossNodeFollowTdf: low drift keeps remote traffic on-node, high
+    // drift widens its reach along with its rate) or is pinned by
+    // config for experiments. The destination itself is a third draw,
+    // uniform within the chosen peer group.
+    const uint64_t r = w.rng.below(uint64_t(100) * 100);
     if (static_cast<unsigned>(r % 100) >= tdf)
         return tid;
-    unsigned dest = static_cast<unsigned>(r / 100);
-    if (dest >= tid)
-        ++dest;
-    // Supervision mask: while any worker is quarantined (rare — one
-    // relaxed load says so), remote picks that land on it fall back to
-    // self-enqueue, so no new work routes toward queues being
-    // reclaimed. Re-rolling instead would bias the distribution toward
-    // re-checking; self is always safe and the quarantine is short.
+    const unsigned crossPct = config_.crossNodePct == kCrossNodeFollowTdf
+                                  ? tdf
+                                  : config_.crossNodePct;
+    const bool wantCross = static_cast<unsigned>(r / 100) < crossPct;
+    // Workers alone on their node have no same-node peers and always
+    // send cross-node; the converse (no cross-node peers) cannot happen
+    // with >= 2 occupied nodes, but the fallback keeps this total.
+    // Which list the draw lands in already says whether the pick
+    // crosses nodes (every cross-node peer is off-node by
+    // construction), so `crossed` costs no destination dereference.
+    const std::vector<unsigned> *peers;
+    bool crossed;
+    if (wantCross || w.sameNodePeers.empty()) {
+        crossed = !w.crossNodePeers.empty();
+        peers = crossed ? &w.crossNodePeers : &w.sameNodePeers;
+    } else {
+        crossed = false;
+        peers = &w.sameNodePeers;
+    }
+    if (peers->empty())
+        return tid;
+    const unsigned dest =
+        (*peers)[static_cast<size_t>(w.rng.below(peers->size()))];
     if (__builtin_expect(
             quarantineCount_.load(std::memory_order_relaxed) != 0, 0) &&
         workers_[dest]->quarantined.load(std::memory_order_relaxed) != 0)
         return tid;
+    // Only the distributed single-writer stat is bumped here; the
+    // registry's CrossNode/SameNodeEnqueues counters sync from it in
+    // sampleNow (paced, one amortized fetch_add per interval) so the
+    // hottest routing path never pays a registry RMW.
+    bumpCounter(crossed ? w.stats.crossNodeEnqueues
+                        : w.stats.sameNodeEnqueues);
     return dest;
 }
 
@@ -808,6 +971,28 @@ BasicHdCpsScheduler<LocalPqT>::sampleNow(unsigned tid, Priority poppedPriority)
     if (metrics_) {
         metrics_->record(tid, WorkerSeries::SrqOccupancy,
                          static_cast<double>(w.rq->sizeApprox()));
+        if (hierarchical_) {
+            // Lazy registry sync for the node-locality counters:
+            // chooseDest only bumps the worker's own distributed stat,
+            // and this paced path folds the delta into the registry in
+            // one amortized add. The registry can lag the scheduler's
+            // own crossNodeEnqueues()/sameNodeEnqueues() totals by up
+            // to one sample interval; those totals are authoritative.
+            const uint64_t cross =
+                w.stats.crossNodeEnqueues.load(std::memory_order_relaxed);
+            if (cross != w.syncedCrossNodeEnqueues) {
+                metrics_->add(tid, WorkerCounter::CrossNodeEnqueues,
+                              cross - w.syncedCrossNodeEnqueues);
+                w.syncedCrossNodeEnqueues = cross;
+            }
+            const uint64_t same =
+                w.stats.sameNodeEnqueues.load(std::memory_order_relaxed);
+            if (same != w.syncedSameNodeEnqueues) {
+                metrics_->add(tid, WorkerCounter::SameNodeEnqueues,
+                              same - w.syncedSameNodeEnqueues);
+                w.syncedSameNodeEnqueues = same;
+            }
+        }
     }
     if (!config_.useTdf)
         return;
@@ -837,6 +1022,19 @@ BasicHdCpsScheduler<LocalPqT>::sampleNow(unsigned tid, Priority poppedPriority)
         metrics_->recordGlobal(GlobalSeries::TdfDrift, drift);
         metrics_->recordGlobal(GlobalSeries::Tdf,
                                static_cast<double>(tdf));
+        if (hierarchical_) {
+            // Cumulative cross-node share of remote sends so far, the
+            // observable output of the hierarchical split. Recorded
+            // here because the try_lock serializes writers, matching
+            // recordGlobal's contract.
+            const uint64_t cross = crossNodeEnqueues();
+            const uint64_t total = cross + sameNodeEnqueues();
+            if (total != 0) {
+                metrics_->recordGlobal(GlobalSeries::CrossNodePct,
+                                       100.0 * double(cross) /
+                                           double(total));
+            }
+        }
     }
     updateMutex_.unlock();
 }

@@ -52,8 +52,14 @@
 #include "pq/locked_pq.h"
 #include "support/compiler.h"
 #include "support/rng.h"
+#include "support/topology.h"
 
 namespace hdcps {
+
+/** HdCpsConfig::crossNodePct sentinel: tie the cross-node share of
+ *  remote sends to the live TDF output, so the same drift signal that
+ *  widens distribution also widens its reach (see chooseDest). */
+inline constexpr unsigned kCrossNodeFollowTdf = 255;
 
 /** All HD-CPS:SW tunables (paper defaults). */
 struct HdCpsConfig
@@ -74,6 +80,26 @@ struct HdCpsConfig
     /** Internal heaps per worker for the relaxed local-PQ backend
      *  (RelaxedMqLocalPq ways; ignored by the exact DAry backend). */
     unsigned localPqWays = 4;
+    /**
+     * Worker placement across NUMA nodes. The default (one flat node)
+     * keeps chooseDest's original single-draw routing and changes
+     * nothing. With >= 2 nodes, workers split into contiguous per-node
+     * groups (Topology::nodeOfWorker), each worker's buffers are
+     * first-touched from a thread pinned to its node, and chooseDest
+     * routes hierarchically (same-node first, cross-node as TDF
+     * rises). Synthetic topologies give the same grouping/routing
+     * without CPU affinity, so tests are host-independent.
+     */
+    Topology topology{};
+    /**
+     * Percentage of *remote* sends allowed to cross node boundaries
+     * (multi-node topologies only). The default, kCrossNodeFollowTdf,
+     * feeds the knob from the drift heuristic: the effective share
+     * equals the current TDF, so low-drift phases keep remote traffic
+     * on-node and high-drift phases widen it across nodes. Fixed
+     * values 0..100 pin the share for experiments.
+     */
+    unsigned crossNodePct = kCrossNodeFollowTdf;
 };
 
 /**
@@ -106,6 +132,12 @@ class BasicHdCpsScheduler : public Scheduler
      *  heartbeats so pre-run idleness is not mistaken for a stall.
      *  Must not race with push/tryPop. */
     void setReclaimAfterMs(uint64_t ms) override;
+
+    /** Pin the calling worker thread to its slot's NUMA node (no-op on
+     *  flat/synthetic topologies) and count the bind, so replacement
+     *  threads spawned into a healed slot rejoin its node group. See
+     *  Scheduler::onWorkerStart. */
+    void onWorkerStart(unsigned tid) override;
 
     /** Mask worker `tid` out of chooseDest so no new remote work routes
      *  toward its sRQ (supervision; see Scheduler::quarantine). */
@@ -185,6 +217,25 @@ class BasicHdCpsScheduler : public Scheduler
     /** Worker `tid`'s heartbeat pop counter (tests, diagnostics). */
     uint64_t heartbeatPops(unsigned tid) const;
 
+    /** The NUMA node worker `tid`'s buffers live on (0 when flat). */
+    unsigned nodeOfWorker(unsigned tid) const;
+
+    /** Times a thread entered worker `tid`'s slot via onWorkerStart —
+     *  1 after a normal start, +1 per healed replacement (tests). */
+    uint64_t workerBinds(unsigned tid) const;
+
+    /** Remote sends routed across node boundaries (multi-node only). */
+    uint64_t crossNodeEnqueues() const
+    {
+        return sumStat(&WorkerState::Stats::crossNodeEnqueues);
+    }
+
+    /** Remote sends kept within the sender's node (multi-node only). */
+    uint64_t sameNodeEnqueues() const
+    {
+        return sumStat(&WorkerState::Stats::sameNodeEnqueues);
+    }
+
     /** Combining-buffer flushes into remote sRQs (each flush claims the
      *  destination's slots with at most a few CASes instead of one per
      *  envelope). */
@@ -262,6 +313,21 @@ class BasicHdCpsScheduler : public Scheduler
         Rng rng;
         uint64_t popsSinceSample = 0;
 
+        /** This worker's NUMA node (Topology::nodeOfWorker, fixed at
+         *  construction) and its routing peer lists: every non-self
+         *  worker, split by node. Read-only after the ctor. */
+        unsigned node = 0;
+        std::vector<unsigned> sameNodePeers;
+        std::vector<unsigned> crossNodePeers;
+        /** Threads that entered this slot via onWorkerStart (startup +
+         *  healed replacements); written by the slot's own thread. */
+        std::atomic<uint64_t> binds{0};
+        /** High-water marks of stats.{cross,same}NodeEnqueues already
+         *  folded into the metrics registry (lazy sync in sampleNow).
+         *  Owned by the slot's acting thread, like the stats. */
+        uint64_t syncedCrossNodeEnqueues = 0;
+        uint64_t syncedSameNodeEnqueues = 0;
+
         /**
          * Reclamation lock guarding pq/activeBag and the consume side
          * of rq/overflow. With reclamation off nobody touches it; with
@@ -326,6 +392,8 @@ class BasicHdCpsScheduler : public Scheduler
             std::atomic<uint64_t> bagsCreated{0};
             std::atomic<uint64_t> tasksInBags{0};
             std::atomic<uint64_t> srqBatchFlushes{0};
+            std::atomic<uint64_t> crossNodeEnqueues{0};
+            std::atomic<uint64_t> sameNodeEnqueues{0};
         };
         Stats stats;
     };
@@ -351,6 +419,11 @@ class BasicHdCpsScheduler : public Scheduler
         return total;
     }
 
+    /** First-touch allocation of one worker's buffers (sRQ ring, send
+     *  arena, scratch). Called from a thread pinned to the worker's
+     *  node when the topology is multi-node and pinnable; inline in
+     *  the ctor otherwise. */
+    void placeWorkerBuffers(unsigned tid);
     void deliver(unsigned from, unsigned dest, const Envelope &envelope);
     unsigned chooseDest(unsigned tid, unsigned tdf);
     /** Local enqueue straight into the private PQ (caller holds the
@@ -392,6 +465,9 @@ class BasicHdCpsScheduler : public Scheduler
 
     HdCpsConfig config_;
     std::string name_;
+    /** True when the topology has >= 2 nodes: chooseDest routes via the
+     *  per-worker peer lists instead of the flat single draw. */
+    bool hierarchical_ = false;
     std::vector<std::unique_ptr<WorkerState>> workers_;
     DriftTracker drift_;
     TdfController tdfController_;

@@ -90,6 +90,17 @@ class Scheduler
     virtual void setReclaimAfterMs(uint64_t ms) { (void)ms; }
 
     /**
+     * Worker-thread lifecycle hook: the runtime calls this from worker
+     * `tid`'s *own* thread before its first pop — at pool startup and
+     * again for every replacement thread spawned into a healed slot.
+     * Topology-aware designs pin the calling thread to the slot's NUMA
+     * node here, so a replacement worker rejoins its node group. Must
+     * be idempotent and safe while other workers run (the default is a
+     * no-op; overrides must not touch cross-worker state).
+     */
+    virtual void onWorkerStart(unsigned tid) { (void)tid; }
+
+    /**
      * Supervision hook: stop routing new work toward worker `tid`.
      * Designs with per-worker destination choice (HD-CPS's chooseDest)
      * mask the slot so remote deliveries avoid a wedged/dead worker's

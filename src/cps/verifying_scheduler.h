@@ -96,6 +96,17 @@ class VerifyingScheduler : public Scheduler
     {
         inner_.setReclaimAfterMs(ms);
     }
+    void onWorkerStart(unsigned tid) override
+    {
+        inner_.onWorkerStart(tid);
+    }
+    void quarantine(unsigned tid) override { inner_.quarantine(tid); }
+    void reinstate(unsigned tid) override { inner_.reinstate(tid); }
+    size_t
+    reclaimWorker(unsigned reclaimer, unsigned victim) override
+    {
+        return inner_.reclaimWorker(reclaimer, victim);
+    }
 
     Scheduler &inner() { return inner_; }
 

@@ -14,7 +14,7 @@ workerCounterName(WorkerCounter c)
         "tasks_in_bags",   "reclaimed_tasks", "reclaim_races",
         "srq_batch_flushes", "pool_recycled", "task_retries",
         "drained_tasks",   "worker_restarts", "health_transitions",
-        "poisoned_tasks",
+        "poisoned_tasks",  "cross_node_enqueues", "same_node_enqueues",
     };
     return names[unsigned(c)];
 }
@@ -49,6 +49,7 @@ globalSeriesName(GlobalSeries s)
         "rank_error",
         "job_latency_ms",
         "reclaim_latency_ms",
+        "cross_node_pct",
     };
     return names[unsigned(s)];
 }

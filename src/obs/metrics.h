@@ -95,6 +95,28 @@ class MetricTimeSeries
         count_.store(n + 1, std::memory_order_release);
     }
 
+    /**
+     * Sampled-recording gate (Config::sampleShift): count the offer and
+     * return true for 1 in 2^shift offers — the first of every stride,
+     * so short runs still produce points. Same single-writer contract
+     * as record(); the counter is a load+store pair, not an RMW, for
+     * the same reason the schedulers' distributed counters are.
+     */
+    bool
+    offerSampled(unsigned shift)
+    {
+        uint64_t n = offered_.load(std::memory_order_relaxed);
+        offered_.store(n + 1, std::memory_order_relaxed);
+        return (n & ((uint64_t(1) << shift) - 1)) == 0;
+    }
+
+    /** Offers ever made through offerSampled (0 when unsampled). */
+    uint64_t
+    totalOffered() const
+    {
+        return offered_.load(std::memory_order_relaxed);
+    }
+
     /** The retained samples, oldest first. Safe concurrently with the
      *  writer (wraparound tearing possible, see file comment). */
     std::vector<MetricSample>
@@ -123,6 +145,7 @@ class MetricTimeSeries
     std::unique_ptr<Slot[]> slots_;
     size_t capacity_;
     std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> offered_{0}; ///< offerSampled calls ever made
 };
 
 /** Per-worker monotonic counters. */
@@ -143,6 +166,8 @@ enum class WorkerCounter : unsigned {
     WorkerRestarts,     ///< replacement workers spawned into a freed slot
     HealthTransitions,  ///< supervisor health-FSM state changes
     PoisonedTasks,      ///< tasks diverted to a job's dead-letter queue
+    CrossNodeEnqueues,  ///< remote sends routed across NUMA node bounds
+    SameNodeEnqueues,   ///< remote sends kept within the sender's node
     Count
 };
 
@@ -172,6 +197,7 @@ enum class GlobalSeries : unsigned {
     RankError, ///< verifying wrapper's sampled priority-inversion gap
     JobLatencyMs, ///< service per-job submit-to-terminal latency
     ReclaimLatencyMs, ///< supervisor quarantine-to-reclaimed latency
+    CrossNodePct, ///< % of remote sends that crossed node boundaries
     Count
 };
 
@@ -239,6 +265,15 @@ class MetricsRegistry
         /** With the checker armed, abort the process on a cross-thread
          *  write instead of only counting it. */
         bool abortOnWriterViolation = false;
+        /**
+         * Always-on sampling mode: when nonzero, record()/recordGlobal()
+         * keep only 1 in 2^sampleShift offered samples per series (the
+         * first of each stride, so short runs still yield points) and
+         * drop the rest before touching the ring or the clock. Cheap
+         * enough to leave attached during perf-gate runs; 0 (default)
+         * records everything, the original behavior.
+         */
+        unsigned sampleShift = 0;
     };
 
     explicit MetricsRegistry(unsigned numWorkers)
@@ -281,7 +316,11 @@ class MetricsRegistry
     record(unsigned tid, WorkerSeries s, double value)
     {
         WriterCheck check(*this, workers_[tid]->busy, int(tid));
-        workers_[tid]->series[unsigned(s)]->record(now(), value);
+        MetricTimeSeries &series = *workers_[tid]->series[unsigned(s)];
+        if (config_.sampleShift != 0 &&
+            !series.offerSampled(config_.sampleShift))
+            return;
+        series.record(now(), value);
     }
 
     /** Record into a global series (caller serializes writers). */
@@ -289,7 +328,11 @@ class MetricsRegistry
     recordGlobal(GlobalSeries s, double value)
     {
         WriterCheck check(*this, globalBusy_[unsigned(s)], -1 - int(s));
-        global_[unsigned(s)]->record(now(), value);
+        MetricTimeSeries &series = *global_[unsigned(s)];
+        if (config_.sampleShift != 0 &&
+            !series.offerSampled(config_.sampleShift))
+            return;
+        series.record(now(), value);
     }
 
     /**

@@ -336,6 +336,12 @@ run(Scheduler &sched, const std::vector<Task> &initial,
         threads.reserve(options.numThreads);
         for (unsigned tid = 0; tid < options.numThreads; ++tid) {
             threads.emplace_back([&state, &result, tid] {
+                // Lifecycle hook from the worker's own thread before
+                // its first pop (topology-aware designs pin here). The
+                // single-threaded path above skips it on purpose: that
+                // runs on the caller's thread, which must not end up
+                // permanently pinned.
+                state.sched->onWorkerStart(tid);
                 workerLoop(state, tid, result.perWorker[tid]);
             });
         }

@@ -562,6 +562,11 @@ ExecutorService::processTask(unsigned tid, const RecordPtr &record,
 void
 ExecutorService::workerEntry(unsigned tid)
 {
+    // Every thread that enters the slot — the pool's original worker
+    // and each healed replacement — announces itself to the scheduler
+    // first, so topology-aware designs pin it to the slot's node before
+    // its first pop.
+    sched_.onWorkerStart(tid);
     const uint64_t epoch = supervisor_ ? supervisor_->epochOf(tid) : 0;
     bool crashed = false;
     try {

@@ -49,6 +49,7 @@
 #include "support/rng.h"
 #include "support/straggler.h"
 #include "support/timer.h"
+#include "support/topology.h"
 
 namespace hdcps {
 namespace {
@@ -139,6 +140,19 @@ conformanceDesigns()
              return std::make_unique<HdCpsMqScheduler>(n, config);
          },
          64},
+        // Same software design under a synthetic 2-node topology:
+        // hierarchical routing, per-node peer groups, and node-aware
+        // reclamation must uphold the identical contract (and the same
+        // exact rank bound — locality changes *where* a task lands,
+        // never its priority).
+        {"hdcps-numa",
+         [](unsigned n, uint64_t seed) {
+             HdCpsConfig config = HdCpsScheduler::configSw();
+             config.seed = seed;
+             config.topology = Topology::synthetic(2, 2);
+             return std::make_unique<HdCpsScheduler>(n, config);
+         },
+         0},
     };
 }
 
@@ -374,6 +388,26 @@ TEST_P(ConformanceMatrix, ChaosInvariantsOnBfsOracle)
     }
 }
 
+TEST_P(ConformanceMatrix, ChaosInvariantsOnAStarOracle)
+{
+    // A* adds a heuristic offset to every priority, so unlike SSSP the
+    // pushed rank is not the settled distance: goal-directed pruning
+    // makes the processed set depend on pop order, which stresses
+    // relaxed backends differently (wasted work instead of wrong
+    // answers). The oracle checks the goal cost against sequential A*
+    // exactly, so any heuristic/priority mix-up in a backend shows up
+    // as a wrong shortest path, not just extra work.
+    Graph g = makeRoadGrid(12, 12, {.seed = 29});
+    for (const ChaosCase &chaos : kChaosCases) {
+        auto workload = makeWorkload("astar", g, /*source=*/0);
+        runConformanceScenario(design(), chaos, "astar",
+                               workload->initialTasks(),
+                               workloadProcessFn(*workload), 0,
+                               chaos.expectFailure ? nullptr
+                                                   : workload.get());
+    }
+}
+
 TEST_P(ConformanceMatrix, QuiescentRankErrorWithinBackendBound)
 {
     // A quiescent single worker pushes a shuffled permutation of K
@@ -460,7 +494,7 @@ TEST_P(ConformanceMatrix, TeardownWithArmedFaultsAndQueuedTasks)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllDesigns, ConformanceMatrix,
-                         testing::Range<size_t>(0, 8),
+                         testing::Range<size_t>(0, 9),
                          [](const testing::TestParamInfo<size_t> &info) {
                              std::string name =
                                  conformanceDesigns()[info.param].name;

@@ -23,6 +23,7 @@
 #include "obs/metrics.h"
 #include "support/fault.h"
 #include "support/rng.h"
+#include "support/topology.h"
 
 namespace hdcps {
 namespace {
@@ -977,6 +978,90 @@ TEST(HdCpsScheduler, BagPoolRecyclesEnvelopesAcrossRounds)
     EXPECT_LE(sched.poolAllocations(), 1u)
         << "after warmup every bag envelope must come from the pool";
     EXPECT_GE(sched.poolRecycled(), 9u);
+}
+
+// ------------------------------------------- hierarchical routing
+
+TEST(HierarchicalRouting, NodeAssignmentMatchesTopologyBlocks)
+{
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.topology = Topology::synthetic(2, 4);
+    HdCpsScheduler sched(8, config);
+    for (unsigned tid = 0; tid < 8; ++tid) {
+        EXPECT_EQ(sched.nodeOfWorker(tid),
+                  config.topology.nodeOfWorker(tid, 8));
+        EXPECT_EQ(sched.nodeOfWorker(tid), tid < 4 ? 0u : 1u);
+    }
+}
+
+TEST(HierarchicalRouting, FlatTopologyNeverCountsNodeTraffic)
+{
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.useTdf = false;
+    config.fixedTdf = 100; // every push is remote
+    config.seed = 31;
+    HdCpsScheduler sched(8, config); // default topology: flat
+    for (uint32_t i = 0; i < 2000; ++i)
+        sched.push(0, Task{uint64_t(i), i, 0});
+    EXPECT_EQ(sched.crossNodeEnqueues() + sched.sameNodeEnqueues(), 0u)
+        << "node-locality counters are a hierarchical-mode concept";
+    for (unsigned tid = 0; tid < 8; ++tid)
+        EXPECT_EQ(sched.nodeOfWorker(tid), 0u);
+}
+
+TEST(HierarchicalRouting, ChooseDestLocalityTracksCrossNodePct)
+{
+    // With fixedTdf = 100 every push leaves the pusher, so the
+    // same/cross-node counters record exactly one pick per push and
+    // their split must track the configured crossNodePct: 0 and 100
+    // are exact (the cross-node roll is a strict comparison), 25 is
+    // statistical (20000 draws, so +-0.02 is ~6 standard deviations).
+    const struct {
+        unsigned crossPct;
+        double lo, hi;
+    } kCases[] = {{0, 0.0, 0.0}, {25, 0.23, 0.27}, {100, 1.0, 1.0}};
+    for (const auto &c : kCases) {
+        HdCpsConfig config = HdCpsScheduler::configSrq();
+        config.useTdf = false;
+        config.fixedTdf = 100;
+        config.topology = Topology::synthetic(2, 4);
+        config.crossNodePct = c.crossPct;
+        config.seed = 37;
+        HdCpsScheduler sched(8, config);
+        constexpr uint32_t kPushes = 20000;
+        for (uint32_t i = 0; i < kPushes; ++i)
+            sched.push(0, Task{uint64_t(i), i, 0});
+        const uint64_t cross = sched.crossNodeEnqueues();
+        const uint64_t same = sched.sameNodeEnqueues();
+        ASSERT_EQ(cross + same, uint64_t(kPushes))
+            << "crossNodePct=" << c.crossPct;
+        const double frac = double(cross) / double(kPushes);
+        EXPECT_GE(frac, c.lo) << "crossNodePct=" << c.crossPct;
+        EXPECT_LE(frac, c.hi) << "crossNodePct=" << c.crossPct;
+    }
+}
+
+TEST(HierarchicalRouting, FollowTdfSentinelTiesCrossTrafficToDrift)
+{
+    // Default crossNodePct (kCrossNodeFollowTdf) reuses the live TDF
+    // as the cross-node percentage: at a pinned TDF of 60, 60% of the
+    // 20000 pushes go remote and 60% of those cross nodes.
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.useTdf = false;
+    config.fixedTdf = 60;
+    config.topology = Topology::synthetic(2, 4);
+    config.seed = 41;
+    ASSERT_EQ(config.crossNodePct, kCrossNodeFollowTdf);
+    HdCpsScheduler sched(8, config);
+    constexpr uint32_t kPushes = 20000;
+    for (uint32_t i = 0; i < kPushes; ++i)
+        sched.push(0, Task{uint64_t(i), i, 0});
+    const uint64_t cross = sched.crossNodeEnqueues();
+    const uint64_t same = sched.sameNodeEnqueues();
+    const double remoteFrac = double(cross + same) / double(kPushes);
+    EXPECT_NEAR(remoteFrac, 0.60, 0.02);
+    const double crossFrac = double(cross) / double(cross + same);
+    EXPECT_NEAR(crossFrac, 0.60, 0.02);
 }
 
 // -------------------------------------------- metrics attribution

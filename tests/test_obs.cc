@@ -186,6 +186,78 @@ TEST(MetricsRegistry, SeriesTimestampsAreMonotoneFromEpoch)
 }
 
 // ---------------------------------------------------------------------
+// Always-on sampling mode (Config::sampleShift): keep 1 in 2^shift
+// offered samples per series — the first of each stride — and drop the
+// rest before touching the ring or the clock.
+
+TEST(MetricsSampling, ShiftKeepsFirstOfEachStride)
+{
+    MetricsRegistry::Config config;
+    config.seriesCapacity = 64;
+    config.sampleShift = 3; // keep 1 in 8
+    MetricsRegistry registry(1, config);
+    for (int i = 0; i < 64; ++i)
+        registry.record(0, WorkerSeries::SrqOccupancy, double(i));
+    MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.series.size(), 1u);
+    const auto &samples = snap.series[0].samples;
+    ASSERT_EQ(samples.size(), 8u);
+    for (size_t i = 0; i < samples.size(); ++i)
+        EXPECT_EQ(samples[i].value, double(i * 8))
+            << "kept sample must be the first of its stride";
+}
+
+TEST(MetricsSampling, ZeroShiftRecordsEveryOffer)
+{
+    MetricsRegistry::Config config;
+    config.seriesCapacity = 64;
+    MetricsRegistry registry(1, config); // default sampleShift = 0
+    for (int i = 0; i < 64; ++i)
+        registry.record(0, WorkerSeries::SrqOccupancy, double(i));
+    MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.series.size(), 1u);
+    EXPECT_EQ(snap.series[0].samples.size(), 64u);
+}
+
+TEST(MetricsSampling, GlobalSeriesSampledWithTheSameShift)
+{
+    MetricsRegistry::Config config;
+    config.seriesCapacity = 64;
+    config.sampleShift = 2; // keep 1 in 4
+    MetricsRegistry registry(1, config);
+    for (int i = 0; i < 16; ++i)
+        registry.recordGlobal(GlobalSeries::Drift, double(i));
+    MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.series.size(), 1u);
+    const auto &samples = snap.series[0].samples;
+    ASSERT_EQ(samples.size(), 4u);
+    EXPECT_EQ(samples[0].value, 0.0);
+    EXPECT_EQ(samples[3].value, 12.0);
+}
+
+TEST(MetricsSampling, SampledWritesStaySingleWriterClean)
+{
+    // The sampling gate adds a second per-series counter to the write
+    // path; with the debug checker armed, a legal one-writer-per-slot
+    // workload must still report zero violations.
+    MetricsRegistry::Config config;
+    config.checkSingleWriter = true;
+    config.sampleShift = 4;
+    MetricsRegistry registry(2, config);
+    std::thread a([&] {
+        for (int i = 0; i < 50000; ++i)
+            registry.record(0, WorkerSeries::SrqOccupancy, double(i));
+    });
+    std::thread b([&] {
+        for (int i = 0; i < 50000; ++i)
+            registry.record(1, WorkerSeries::SrqOccupancy, double(i));
+    });
+    a.join();
+    b.join();
+    EXPECT_EQ(registry.writerViolations(), 0u);
+}
+
+// ---------------------------------------------------------------------
 // Single-writer debug checker. The registry's contract is that series,
 // gauge, and tick writes for worker slot w come from one thread at a
 // time (the acting thread owning w); the checker detects two threads

@@ -16,11 +16,13 @@
 #include <thread>
 #include <vector>
 
+#include "core/hdcps.h"
 #include "cps/multiqueue.h"
 #include "cps/verifying_scheduler.h"
 #include "runtime/executor_service.h"
 #include "support/fault.h"
 #include "support/straggler.h"
+#include "support/topology.h"
 
 namespace hdcps {
 namespace {
@@ -860,6 +862,85 @@ TEST(Service, SupervisorHealsDeadWorkerAndConservesTasks)
     EXPECT_EQ(stats.crashesDetected, 1u);
     EXPECT_FALSE(stats.escalated);
     EXPECT_EQ(stats.completed, 2u);
+}
+
+/**
+ * Supervision x topology: a healed worker must rejoin its slot's node
+ * group. Node membership is slot state (assigned at construction), so
+ * the replacement thread inherits it by taking over the slot — what
+ * this test pins down is the announce path: every worker thread,
+ * original or replacement, reports through onWorkerStart (forwarded
+ * by the VerifyingScheduler wrapper), so the scheduler can re-pin the
+ * new thread to the slot's node. Synthetic topologies carry no CPU
+ * lists, so the test is deterministic on any host.
+ */
+TEST(Service, HealedWorkerRejoinsItsNodeGroup)
+{
+    constexpr unsigned threads = 4;
+    HdCpsConfig config = HdCpsScheduler::configSw();
+    config.topology = Topology::synthetic(2, 2);
+    HdCpsScheduler inner(threads, config);
+    VerifyingScheduler verify(inner);
+
+    ScopedFaultInjection faults(17);
+    faults->arm(faultsite::SvcWorkerDie, FaultMode::OneShot, 400);
+
+    ServiceOptions options;
+    options.numThreads = threads;
+    options.supervisor.enabled = true;
+    options.supervisor.probeIntervalMs = 1;
+    options.supervisor.suspectAfterMs = 500;
+    options.supervisor.wedgedAfterMs = 2000;
+    options.supervisor.maxRestarts = 4;
+    ExecutorService svc(verify, options);
+
+    // Node assignment is fixed at construction and never moves.
+    for (unsigned tid = 0; tid < threads; ++tid) {
+        EXPECT_EQ(inner.nodeOfWorker(tid),
+                  config.topology.nodeOfWorker(tid, threads));
+    }
+
+    std::atomic<uint64_t> processed{0};
+    JobSpec spec;
+    spec.name = "tree";
+    spec.process = treeJob(processed);
+    spec.initial = {Task{0, 0, 9}};
+    JobHandle job = svc.submit(std::move(spec));
+    EXPECT_EQ(job.wait(), JobState::Completed);
+    EXPECT_EQ(processed.load(), treeSize(9));
+
+    while (svc.stats().workerRestarts < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // A post-heal job completes with the pool back at full capacity.
+    std::atomic<uint64_t> after{0};
+    JobSpec spec2;
+    spec2.name = "after-heal";
+    spec2.process = treeJob(after);
+    spec2.initial = {Task{0, 1, 6}};
+    JobHandle job2 = svc.submit(std::move(spec2));
+    EXPECT_EQ(job2.wait(), JobState::Completed);
+    EXPECT_EQ(after.load(), treeSize(6));
+
+    svc.shutdown();
+
+    ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.workerRestarts, 1u);
+    // Every slot announced itself at startup, and the healed slot
+    // announced once more when its replacement thread took over —
+    // the bind that re-pins it to the slot's (unchanged) node.
+    uint64_t totalBinds = 0;
+    for (unsigned tid = 0; tid < threads; ++tid) {
+        EXPECT_GE(inner.workerBinds(tid), 1u) << tid;
+        totalBinds += inner.workerBinds(tid);
+        EXPECT_EQ(inner.nodeOfWorker(tid),
+                  config.topology.nodeOfWorker(tid, threads))
+            << "node membership must survive the heal";
+    }
+    EXPECT_EQ(totalBinds, uint64_t(threads) + stats.workerRestarts);
+
+    std::string why;
+    EXPECT_TRUE(verify.checkComplete(false, &why)) << why;
 }
 
 /**

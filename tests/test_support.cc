@@ -23,6 +23,7 @@
 #include "support/spsc_ring.h"
 #include "support/straggler.h"
 #include "support/timer.h"
+#include "support/topology.h"
 
 namespace hdcps {
 namespace {
@@ -576,6 +577,95 @@ TEST(Straggler, ScopedInstallUninstalls)
         EXPECT_EQ(StragglerInjector::active(), &scoped.injector());
     }
     EXPECT_EQ(StragglerInjector::active(), nullptr);
+}
+
+// ------------------------------------------------------------ Topology
+
+TEST(Topology, DefaultIsFlatSingleNode)
+{
+    Topology t;
+    EXPECT_EQ(t.numNodes(), 1u);
+    EXPECT_FALSE(t.canPin());
+    EXPECT_TRUE(t.cpusOfNode(0).empty());
+    EXPECT_EQ(t.describe(), "flat");
+    for (unsigned tid = 0; tid < 5; ++tid)
+        EXPECT_EQ(t.nodeOfWorker(tid, 5), 0u);
+}
+
+TEST(Topology, SyntheticPartitionsWorkersIntoContiguousBlocks)
+{
+    Topology t = Topology::synthetic(2, 4);
+    EXPECT_EQ(t.numNodes(), 2u);
+    EXPECT_EQ(t.coresOfNode(0), 4u);
+    EXPECT_FALSE(t.canPin());
+    EXPECT_EQ(t.describe(), "2x4 (synthetic)");
+    // 8 workers on 2 nodes: even halves.
+    for (unsigned tid = 0; tid < 8; ++tid)
+        EXPECT_EQ(t.nodeOfWorker(tid, 8), tid < 4 ? 0u : 1u) << tid;
+    // Uneven split: the low node takes the larger block.
+    EXPECT_EQ(t.nodeOfWorker(0, 3), 0u);
+    EXPECT_EQ(t.nodeOfWorker(1, 3), 0u);
+    EXPECT_EQ(t.nodeOfWorker(2, 3), 1u);
+    // Fewer workers than nodes: every worker still gets a valid node,
+    // and the extremes land on distinct nodes.
+    Topology wide = Topology::synthetic(4, 1);
+    EXPECT_EQ(wide.nodeOfWorker(0, 2), 0u);
+    EXPECT_EQ(wide.nodeOfWorker(1, 2), 2u);
+}
+
+TEST(Topology, SyntheticPinIsANoOp)
+{
+    Topology t = Topology::synthetic(2, 2);
+    EXPECT_FALSE(t.pinThreadToNode(0));
+    EXPECT_FALSE(t.pinThreadToNode(1));
+}
+
+TEST(Topology, ParseSpecAcceptsTheThreeForms)
+{
+    Topology t;
+    std::string error;
+    ASSERT_TRUE(Topology::parseSpec("", &t, &error));
+    EXPECT_EQ(t.numNodes(), 1u);
+    ASSERT_TRUE(Topology::parseSpec("flat", &t, &error));
+    EXPECT_EQ(t.numNodes(), 1u);
+    ASSERT_TRUE(Topology::parseSpec("2x4", &t, &error));
+    EXPECT_EQ(t.numNodes(), 2u);
+    EXPECT_EQ(t.coresOfNode(1), 4u);
+    // "auto" must parse on any host; the result depends on the machine
+    // (flat where sysfs is absent), so only invariants are asserted.
+    ASSERT_TRUE(Topology::parseSpec("auto", &t, &error));
+    EXPECT_GE(t.numNodes(), 1u);
+}
+
+TEST(Topology, ParseSpecRejectsMalformedSpecs)
+{
+    Topology t;
+    std::string error;
+    for (const char *bad :
+         {"x", "2x", "x4", "2x-4", "ax4", "2x4x8", "0x4", "2x0",
+          "65x65", "2 x 4", "auto2"}) {
+        error.clear();
+        EXPECT_FALSE(Topology::parseSpec(bad, &t, &error)) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+}
+
+TEST(Topology, DetectReturnsAUsableLayoutOrFlat)
+{
+    // Host-dependent, so assert structure, not values: every node has
+    // >= 1 CPU iff the topology claims pinnability, and worker mapping
+    // stays in range.
+    Topology t = Topology::detect();
+    ASSERT_GE(t.numNodes(), 1u);
+    for (unsigned n = 0; n < t.numNodes(); ++n) {
+        if (t.canPin())
+            EXPECT_FALSE(t.cpusOfNode(n).empty()) << n;
+        else
+            EXPECT_TRUE(t.cpusOfNode(n).empty()) << n;
+    }
+    for (unsigned tid = 0; tid < 16; ++tid) {
+        EXPECT_LT(t.nodeOfWorker(tid, 16), t.numNodes()) << tid;
+    }
 }
 
 } // namespace

@@ -85,6 +85,7 @@ struct Options
     bool supervise = false;      ///< worker supervision for --job-stream
     uint64_t maxRestarts = 8;    ///< restart budget before escalation
     bool deadLetter = false;     ///< quarantine poison tasks per job
+    Topology topology;           ///< hdcps-* worker placement (threads)
 };
 
 void
@@ -119,6 +120,12 @@ usage()
         "  --straggler-spec S     pause worker threads on purpose:\n"
         "                worker:atCheck:pauseMs[,...] or rand:P:MAXMS\n"
         "                (threads mode; seeded by --seed)\n"
+        "  --topology T       worker placement for the hdcps-* designs\n"
+        "                in --mode threads: flat (default, single node),\n"
+        "                auto (detect NUMA via sysfs, pin workers, NUMA-\n"
+        "                place buffers), or NxM (synthetic N nodes x M\n"
+        "                cores: hierarchical routing without affinity,\n"
+        "                deterministic on any host)\n"
         "  --job-stream N     trace-replay N jobs of the chosen kernel\n"
         "                (random sources) through the multi-tenant\n"
         "                ExecutorService and report per-job p50/p99\n"
@@ -232,6 +239,11 @@ parseArgs(int argc, char **argv)
                 parseUint("--reclaim-after-ms", value(i), 86400000ULL);
         } else if (arg == "--straggler-spec") {
             options.stragglerSpec = value(i);
+        } else if (arg == "--topology") {
+            std::string error;
+            if (!Topology::parseSpec(value(i), &options.topology,
+                                     &error))
+                hdcps_fatal("--topology: %s", error.c_str());
         } else if (arg == "--job-stream") {
             options.jobStream =
                 parseUint("--job-stream", value(i), 1000000);
@@ -327,11 +339,13 @@ makeThreaded(const Options &options, unsigned sampleInterval)
     if (options.design == "hdcps-srq") {
         HdCpsConfig config = HdCpsScheduler::configSrq();
         config.sampleInterval = sampleInterval;
+        config.topology = options.topology;
         return std::make_unique<HdCpsScheduler>(t, config);
     }
     if (options.design == "hdcps-sw") {
         HdCpsConfig config = HdCpsScheduler::configSw();
         config.sampleInterval = sampleInterval;
+        config.topology = options.topology;
         return std::make_unique<HdCpsScheduler>(t, config);
     }
     if (options.design == "hdcps-mq") {
@@ -339,6 +353,7 @@ makeThreaded(const Options &options, unsigned sampleInterval)
         HdCpsConfig config = HdCpsMqScheduler::configSw();
         config.sampleInterval = sampleInterval;
         config.seed = options.seed;
+        config.topology = options.topology;
         return std::make_unique<HdCpsMqScheduler>(t, config);
     }
     hdcps_fatal("design '%s' is not available in --mode threads "

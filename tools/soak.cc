@@ -80,6 +80,10 @@ struct Options
      *  visit each exactly once, so even short sweeps cover every
      *  requested backend before randomness takes over. */
     std::vector<std::string> designs;
+    /** Topology applied to the hdcps-* designs ("flat", "auto", or a
+     *  synthetic NxM spec): chaos under hierarchical routing. Baseline
+     *  designs have no topology knob and ignore it. */
+    Topology topology;
 };
 
 void
@@ -94,6 +98,10 @@ usage()
         "(default unbounded)\n"
         "  --designs A,B  restrict scenarios to these designs "
         "(default: all)\n"
+        "  --topology T   topology for the hdcps-* designs: flat, auto\n"
+        "                 (detect NUMA nodes), or NxM synthetic (e.g.\n"
+        "                 2x2; deterministic, no affinity) (default "
+        "flat)\n"
         "  --service-slice F  fraction of runs that chaos-test the\n"
         "                 multi-tenant ExecutorService instead of a\n"
         "                 single run() (default 0.25)\n"
@@ -186,6 +194,11 @@ parseArgs(int argc, char **argv)
                 parseUint("--budget-ms", value(i), 86400000ULL);
         } else if (arg == "--designs") {
             options.designs = parseDesignList(value(i));
+        } else if (arg == "--topology") {
+            std::string error;
+            if (!Topology::parseSpec(value(i), &options.topology,
+                                     &error))
+                hdcps_fatal("--topology: %s", error.c_str());
         } else if (arg == "--service-slice" ||
                    arg == "--supervisor-slice") {
             const char *text = value(i);
@@ -378,7 +391,8 @@ drawScenario(Rng &rng, uint64_t runSeed, unsigned threads,
 }
 
 std::unique_ptr<Scheduler>
-makeDesign(const Scenario &s, unsigned threads)
+makeDesign(const Scenario &s, unsigned threads,
+           const Topology &topology)
 {
     if (s.design == "reld")
         return std::make_unique<ReldScheduler>(threads, s.seed);
@@ -393,12 +407,14 @@ makeDesign(const Scenario &s, unsigned threads)
     if (s.design == "hdcps-mq") {
         HdCpsConfig config = HdCpsMqScheduler::configSw();
         config.seed = s.seed;
+        config.topology = topology;
         return std::make_unique<HdCpsMqScheduler>(threads, config);
     }
     HdCpsConfig config = s.design == "hdcps-srq"
                              ? HdCpsScheduler::configSrq()
                              : HdCpsScheduler::configSw();
     config.seed = s.seed;
+    config.topology = topology;
     return std::make_unique<HdCpsScheduler>(threads, config);
 }
 
@@ -478,7 +494,7 @@ runScenario(const Scenario &s, const Options &options,
                     error.c_str());
     }
 
-    auto inner = makeDesign(s, options.threads);
+    auto inner = makeDesign(s, options.threads, options.topology);
     VerifyingScheduler verified(*inner);
     // Armed single-writer checker: any scheduler/helper thread writing
     // another worker's metric slot mid-write is a conformance failure,
@@ -621,7 +637,7 @@ runServiceScenario(const Scenario &s, const Options &options,
                     error.c_str());
     }
 
-    auto inner = makeDesign(s, options.threads);
+    auto inner = makeDesign(s, options.threads, options.topology);
     VerifyingScheduler verified(*inner);
     MetricsRegistry::Config metricsConfig;
     metricsConfig.checkSingleWriter = true;
@@ -815,7 +831,7 @@ runSupervisorScenario(const Scenario &s, const Options &options,
                     error.c_str());
     }
 
-    auto inner = makeDesign(s, options.threads);
+    auto inner = makeDesign(s, options.threads, options.topology);
     VerifyingScheduler verified(*inner);
     MetricsRegistry::Config metricsConfig;
     metricsConfig.checkSingleWriter = true;
