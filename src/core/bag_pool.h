@@ -118,6 +118,30 @@ class BagPool
             std::memory_order_relaxed));
     }
 
+    /**
+     * First-touch placement: pre-populate worker `tid`'s free list
+     * with `count` envelopes allocated (and fully written) on the
+     * calling thread. The scheduler's buffer-placement phase calls
+     * this with the caller pinned to the worker's node, so the
+     * kernel's first-touch policy homes pooled envelopes on the node
+     * that owns them — exactly like the sRQ ring and the send arena.
+     * Owner-context only (plain free-list pushes, like acquire).
+     * Prewarmed envelopes are placement, not demand misses: they
+     * count in prewarmed(), never in allocations().
+     */
+    void
+    placeSlot(unsigned tid, size_t count)
+    {
+        Slot &slot = *slots_[tid];
+        for (size_t i = 0; i < count; ++i) {
+            Node *node = new Node;
+            node->home = tid;
+            node->next = slot.freeList;
+            slot.freeList = node;
+        }
+        slot.prewarmed.fetch_add(count, std::memory_order_relaxed);
+    }
+
     /** Fresh heap allocations performed (diagnostic). */
     uint64_t
     allocations() const
@@ -138,6 +162,16 @@ class BagPool
         return total;
     }
 
+    /** Envelopes pre-placed onto free lists by placeSlot. */
+    uint64_t
+    prewarmed() const
+    {
+        uint64_t total = 0;
+        for (const auto &slot : slots_)
+            total += slot->prewarmed.load(std::memory_order_relaxed);
+        return total;
+    }
+
   private:
     /** A pooled bag: the Bag payload plus intrusive pool linkage. All
      *  bags handed out by acquire() are Nodes, so release() may
@@ -154,6 +188,7 @@ class BagPool
         std::atomic<Node *> returnStack{nullptr};
         std::atomic<uint64_t> allocations{0};
         std::atomic<uint64_t> recycles{0};
+        std::atomic<uint64_t> prewarmed{0};
     };
 
     static void

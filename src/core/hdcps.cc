@@ -43,6 +43,11 @@ unlockReclaim(std::atomic<uint32_t> &lock)
     lock.store(0, std::memory_order_release);
 }
 
+/** Bag envelopes pre-placed per worker during buffer placement —
+ *  enough to cover the in-flight bag churn before the first consumer
+ *  returns start refilling the free list. */
+constexpr size_t kBagPoolPrewarm = 4;
+
 } // namespace
 
 template <template <typename, typename> class LocalPqT>
@@ -147,6 +152,12 @@ BasicHdCpsScheduler<LocalPqT>::placeWorkerBuffers(unsigned tid)
     w.rq = std::make_unique<ReceiveQueue<Envelope>>(config_.rqCapacity);
     w.sendArena.resize(size_t(numWorkers()) * config_.sendFlushThreshold);
     w.sendCount.assign(numWorkers(), 0);
+    // Bag envelopes follow the same first-touch policy as the ring and
+    // the arena: prewarm a handful of pool nodes on the owning thread
+    // so the envelopes this worker forms bags from start out homed on
+    // its node instead of wherever the first demand miss ran.
+    if (config_.bags.mode != BagMode::None)
+        pool_.placeSlot(tid, kBagPoolPrewarm);
 }
 
 template <template <typename, typename> class LocalPqT>
@@ -876,17 +887,16 @@ BasicHdCpsScheduler<LocalPqT>::reclaimFromStraggler(unsigned tid, uint64_t stale
     bool sawStale = false;
     size_t moved = 0;
     const unsigned n = numWorkers();
-    for (unsigned k = 1; k < n && moved == 0; ++k) {
-        unsigned vid = (tid + k) % n;
+    auto tryVictim = [&](unsigned vid) {
         WorkerState &victim = *workers_[vid];
         uint64_t hb = victim.heartbeatNs.load(std::memory_order_relaxed);
         if (hb <= now && now - hb < staleNs)
-            continue; // fresh heartbeat: not a straggler
+            return; // fresh heartbeat: not a straggler
         // Lock-free pre-check: a stale-but-empty peer strands nothing.
         if (victim.rq->sizeApprox() == 0 && victim.overflow.size() == 0 &&
             victim.localBuffered.load(std::memory_order_relaxed) == 0 &&
             victim.stagedTasks.load(std::memory_order_relaxed) == 0) {
-            continue;
+            return;
         }
         sawStale = true;
         if (!tryLockReclaim(victim.reclaimLock)) {
@@ -896,7 +906,7 @@ BasicHdCpsScheduler<LocalPqT>::reclaimFromStraggler(unsigned tid, uint64_t stale
             reclaimRaces_.fetch_add(1, std::memory_order_relaxed);
             if (metrics_)
                 metrics_->add(tid, WorkerCounter::ReclaimRaces);
-            continue;
+            return;
         }
         // Drain *everything* the victim buffered — sRQ, overflow spill,
         // active bag, its private PQ, and its send combining buffers (a
@@ -936,6 +946,27 @@ BasicHdCpsScheduler<LocalPqT>::reclaimFromStraggler(unsigned tid, uint64_t stale
         }
         victim.localBuffered.store(0, std::memory_order_relaxed);
         unlockReclaim(victim.reclaimLock);
+    };
+    // Victim scan order: same-node stragglers before cross-node ones.
+    // Reclaimed tasks land in the reclaimer's private PQ, so draining a
+    // same-node victim keeps the stranded work (and its first-touch
+    // pages) on the node that owns it; cross-node peers stay reachable
+    // as the fallback so no straggler is ever stranded. A flat (or
+    // single-node) topology keeps the original modular scan.
+    if (hierarchical_) {
+        for (unsigned vid : me.sameNodePeers) {
+            if (moved != 0)
+                break;
+            tryVictim(vid);
+        }
+        for (unsigned vid : me.crossNodePeers) {
+            if (moved != 0)
+                break;
+            tryVictim(vid);
+        }
+    } else {
+        for (unsigned k = 1; k < n && moved == 0; ++k)
+            tryVictim((tid + k) % n);
     }
 
     if (moved == 0) {

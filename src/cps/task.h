@@ -38,7 +38,10 @@ struct Task
     uint32_t node = 0;     ///< graph node this task operates on
     uint32_t data = 0;     ///< algorithm-defined payload word
     JobId job = 0;         ///< owning service job (0 = none)
-    uint32_t attempt = 0;  ///< service retry attempt (0 = first try)
+    /** Service incarnation word: low 24 bits = retry attempt (0 =
+     *  first try), high 8 bits = preemption demote stamp (see
+     *  runtime/executor_service.h packAttempt/retryAttemptOf). */
+    uint32_t attempt = 0;
 
     friend bool
     operator==(const Task &a, const Task &b)

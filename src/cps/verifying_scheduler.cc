@@ -82,6 +82,7 @@ VerifyingScheduler::recordPop(const Task &task)
             auto jt = shard.byJob.find(task.job);
             if (jt != shard.byJob.end() && --jt->second == 0)
                 shard.byJob.erase(jt);
+            ++shard.popsByJob[task.job];
         }
     }
     if (bad) {
@@ -209,6 +210,11 @@ VerifyingScheduler::report() const
                 report.outstandingByJob[entry.first] +=
                     static_cast<uint64_t>(entry.second);
         }
+        for (const auto &entry : shard.popsByJob) {
+            if (entry.second > 0)
+                report.popsByJob[entry.first] +=
+                    static_cast<uint64_t>(entry.second);
+        }
     }
     {
         std::lock_guard<std::mutex> lock(samplesMutex_);
@@ -255,6 +261,19 @@ VerifyingScheduler::outstandingForJob(JobId job) const
             outstanding += static_cast<uint64_t>(it->second);
     }
     return outstanding;
+}
+
+uint64_t
+VerifyingScheduler::popsForJob(JobId job) const
+{
+    uint64_t pops = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.popsByJob.find(job);
+        if (it != shard.popsByJob.end() && it->second > 0)
+            pops += static_cast<uint64_t>(it->second);
+    }
+    return pops;
 }
 
 bool

@@ -81,6 +81,10 @@ class VerifyingScheduler : public Scheduler
         /** Outstanding tasks per service job tag (jobs with zero
          *  outstanding are omitted; key 0 = untagged tasks). */
         std::map<JobId, uint64_t> outstandingByJob;
+        /** Successful pops per service job tag — the per-job ledger
+         *  the fairness harnesses aggregate into per-tenant completed
+         *  shares (key 0 = untagged tasks). */
+        std::map<JobId, uint64_t> popsByJob;
     };
 
     explicit VerifyingScheduler(Scheduler &inner);
@@ -125,6 +129,11 @@ class VerifyingScheduler : public Scheduler
      *  workers run (shard-locked reads); exact once the job quiesced. */
     uint64_t outstandingForJob(JobId job) const;
 
+    /** Successful pops recorded for `job` so far (monotone; exact once
+     *  the job quiesced). Duplicated/invented pops are flagged as
+     *  violations and do NOT count here. */
+    uint64_t popsForJob(JobId job) const;
+
     /**
      * Per-job drain verdict for the multi-tenant service harnesses:
      * true when `job` has zero outstanding tasks. On failure, *whyNot
@@ -167,6 +176,7 @@ class VerifyingScheduler : public Scheduler
         std::unordered_map<TaskBits, int64_t, TaskBitsHash> counts;
         std::map<Priority, int64_t> byPriority; ///< prio → live
         std::unordered_map<JobId, int64_t> byJob; ///< job → live
+        std::unordered_map<JobId, int64_t> popsByJob; ///< job → pops
     };
 
     static TaskBits taskKey(const Task &task);

@@ -15,6 +15,7 @@ workerCounterName(WorkerCounter c)
         "srq_batch_flushes", "pool_recycled", "task_retries",
         "drained_tasks",   "worker_restarts", "health_transitions",
         "poisoned_tasks",  "cross_node_enqueues", "same_node_enqueues",
+        "demoted_tasks",
     };
     return names[unsigned(c)];
 }
@@ -84,6 +85,44 @@ MetricsRegistry::MetricsRegistry(unsigned numWorkers,
         globalBusy_[s].store(0, std::memory_order_relaxed);
 }
 
+int
+MetricsRegistry::customSeries(const std::string &name)
+{
+    hdcps_check(!name.empty(), "custom series needs a name");
+    std::lock_guard<std::mutex> lock(customMutex_);
+    for (size_t i = 0; i < custom_.size(); ++i) {
+        if (custom_[i]->name == name)
+            return int(i);
+    }
+    auto entry = std::make_unique<CustomSeries>();
+    entry->name = name;
+    entry->series =
+        std::make_unique<MetricTimeSeries>(config_.seriesCapacity);
+    custom_.push_back(std::move(entry));
+    return int(custom_.size() - 1);
+}
+
+void
+MetricsRegistry::recordCustom(int handle, double value)
+{
+    CustomSeries *entry;
+    {
+        std::lock_guard<std::mutex> lock(customMutex_);
+        hdcps_check(handle >= 0 &&
+                        size_t(handle) < custom_.size(),
+                    "bad custom series handle %d", handle);
+        entry = custom_[handle].get();
+    }
+    // Negative slots below the GlobalSeries range encode custom
+    // handles for the violation report.
+    WriterCheck check(*this, entry->busy,
+                      -1 - int(GlobalSeries::Count) - handle);
+    if (config_.sampleShift != 0 &&
+        !entry->series->offerSampled(config_.sampleShift))
+        return;
+    entry->series->record(now(), value);
+}
+
 uint64_t
 MetricsRegistry::writerTag()
 {
@@ -99,11 +138,17 @@ MetricsRegistry::noteWriterViolation(int slot, uint64_t prevTag,
 {
     writerViolations_.fetch_add(1, std::memory_order_relaxed);
     std::ostringstream out;
-    if (slot >= 0)
+    if (slot >= 0) {
         out << "worker slot " << slot;
-    else
-        out << "global series '"
-            << globalSeriesName(GlobalSeries(-1 - slot)) << "'";
+    } else {
+        unsigned s = unsigned(-1 - slot);
+        if (s < unsigned(GlobalSeries::Count))
+            out << "global series '"
+                << globalSeriesName(GlobalSeries(s)) << "'";
+        else
+            out << "custom series #"
+                << (s - unsigned(GlobalSeries::Count));
+    }
     out << " written concurrently by thread #" << myTag
         << " while thread #" << prevTag << " was mid-write";
     if (config_.abortOnWriterViolation)
@@ -168,6 +213,11 @@ MetricsRegistry::snapshot() const
 
     for (unsigned s = 0; s < unsigned(GlobalSeries::Count); ++s)
         addSeries(*global_[s], globalSeriesName(GlobalSeries(s)), -1);
+    {
+        std::lock_guard<std::mutex> lock(customMutex_);
+        for (const auto &entry : custom_)
+            addSeries(*entry->series, entry->name.c_str(), -1);
+    }
     for (unsigned tid = 0; tid < workers_.size(); ++tid) {
         for (unsigned s = 0; s < unsigned(WorkerSeries::Count); ++s) {
             addSeries(*workers_[tid]->series[s],

@@ -168,6 +168,7 @@ enum class WorkerCounter : unsigned {
     PoisonedTasks,      ///< tasks diverted to a job's dead-letter queue
     CrossNodeEnqueues,  ///< remote sends routed across NUMA node bounds
     SameNodeEnqueues,   ///< remote sends kept within the sender's node
+    DemotedTasks,       ///< incarnations re-tagged by job preemption
     Count
 };
 
@@ -323,6 +324,20 @@ class MetricsRegistry
         series.record(now(), value);
     }
 
+    /**
+     * Get-or-create a *named* global series for populations only known
+     * at runtime (e.g. the service's per-tenant share/backlog series).
+     * Returns a stable handle for recordCustom; the same name always
+     * yields the same handle. Thread-safe; intended for cold-path
+     * setup, not per-task calls.
+     */
+    int customSeries(const std::string &name);
+
+    /** Record into a custom series (single writer per series, same
+     *  contract as recordGlobal). Snapshots report it as a global
+     *  (worker == -1) series under its registered name. */
+    void recordCustom(int handle, double value);
+
     /** Record into a global series (caller serializes writers). */
     void
     recordGlobal(GlobalSeries s, double value)
@@ -427,10 +442,24 @@ class MetricsRegistry
     void noteWriterViolation(int slot, uint64_t prevTag,
                              uint64_t myTag) const;
 
+    /** One runtime-named global series (customSeries). The busy cell
+     *  is per-series so the single-writer checker covers these too. */
+    struct CustomSeries
+    {
+        std::string name;
+        std::unique_ptr<MetricTimeSeries> series;
+        std::atomic<uint64_t> busy{0};
+    };
+
     Config config_;
     uint64_t epochNs_;
     std::vector<std::unique_ptr<WorkerSlot>> workers_;
     std::vector<std::unique_ptr<MetricTimeSeries>> global_;
+    /** Runtime-named series; append-only behind customMutex_ (entries
+     *  have stable addresses, so recordCustom only takes the mutex to
+     *  resolve the handle). */
+    mutable std::mutex customMutex_;
+    std::vector<std::unique_ptr<CustomSeries>> custom_;
     /** Debug-checker cells for the global series (parallel to global_). */
     std::unique_ptr<std::atomic<uint64_t>[]> globalBusy_;
     mutable std::atomic<uint64_t> writerViolations_{0};

@@ -31,9 +31,26 @@ struct JobRecord
     ProcessFn process;
     RetryPolicy retry;
     Priority priority = 0;
+    TenantId tenant = 0;
+    /** Effective fair-share weight (JobSpec::weight, or the tenant
+     *  quota default). Written once at submit under admitMutex_. */
+    double weight = 1.0;
+    /** SFQ service demand: max(1, seed count). */
+    double cost = 1.0;
+    Priority demotePenalty = 0;
     uint64_t submitNs = 0;
     uint64_t deadlineNs = 0; ///< absolute; 0 = no deadline
+    uint64_t demoteAfterNs = 0; ///< absolute; 0 = no auto-demotion
     std::vector<Task> initial;
+
+    /**
+     * Preemption level: popped incarnations whose demote stamp lags
+     * this are re-tagged (priority += levels * demotePenalty) and
+     * re-pushed instead of processed. Bumped by deprioritize() and the
+     * deadline monitor's demoteAfterMs path; never decremented.
+     */
+    std::atomic<uint32_t> demoteLevel{0};
+    std::atomic<RejectReason> rejectReason{RejectReason::None};
 
     std::atomic<JobState> state{JobState::Queued};
     /**
@@ -107,6 +124,9 @@ struct JobRecord
     }
 
     ExecutorService *svc; ///< valid until the job is terminal
+    /** Owning tenant's fair-queueing state (stable address; set at
+     *  submit under admitMutex_, before any task of the job exists). */
+    ExecutorService::TenantState *tenantState = nullptr;
 };
 
 } // namespace detail
@@ -121,6 +141,17 @@ jobStateName(JobState s)
         "failed",    "cancelled", "rejected",
     };
     return names[unsigned(s)];
+}
+
+const char *
+rejectReasonName(RejectReason r)
+{
+    static const char *const names[] = {
+        "none",          "invalid_spec",        "queue_full",
+        "tenant_queue_full", "tenant_rate_limited", "shutting_down",
+        "escalated",
+    };
+    return names[unsigned(r)];
 }
 
 // --- JobHandle ---------------------------------------------------------
@@ -200,6 +231,44 @@ JobHandle::waitFor(uint64_t ms, JobState *out)
     return done;
 }
 
+RejectReason
+JobHandle::rejectReason() const
+{
+    hdcps_check(record_ != nullptr, "invalid JobHandle");
+    return record_->rejectReason.load(std::memory_order_acquire);
+}
+
+TenantId
+JobHandle::tenant() const
+{
+    hdcps_check(record_ != nullptr, "invalid JobHandle");
+    return record_->tenant;
+}
+
+bool
+JobHandle::deprioritize()
+{
+    hdcps_check(record_ != nullptr, "invalid JobHandle");
+    if (jobStateTerminal(record_->state.load(std::memory_order_acquire)))
+        return false;
+    uint32_t level =
+        record_->demoteLevel.load(std::memory_order_acquire);
+    while (level < kMaxDemoteLevel) {
+        if (record_->demoteLevel.compare_exchange_weak(
+                level, level + 1, std::memory_order_acq_rel)) {
+            return true;
+        }
+    }
+    return false; // already at the cap
+}
+
+uint32_t
+JobHandle::demoteLevel() const
+{
+    hdcps_check(record_ != nullptr, "invalid JobHandle");
+    return record_->demoteLevel.load(std::memory_order_acquire);
+}
+
 double
 JobHandle::latencyMs() const
 {
@@ -249,6 +318,21 @@ ExecutorService::ExecutorService(Scheduler &sched,
     }
     sched.setReclaimAfterMs(options.reclaimAfterMs);
 
+    // Materialize configured tenants up front so quotas and weights
+    // apply from the very first submit; tenants first seen at submit
+    // time get defaults (weight 1, no limits).
+    uint64_t bucketEpoch = nowNs();
+    for (const auto &[id, quota] : options_.tenants) {
+        hdcps_check(quota.weight > 0.0,
+                    "tenant %u: weight must be > 0", id);
+        auto state = std::make_unique<TenantState>();
+        state->id = id;
+        state->quota = quota;
+        state->bucket.configure(quota.admitRatePerSec,
+                                quota.admitBurst, bucketEpoch);
+        tenants_.emplace(id, std::move(state));
+    }
+
     if (options_.supervisor.enabled) {
         supervisor_ = std::make_unique<WorkerSupervisor>(
             options_.numThreads, options_.supervisor);
@@ -284,17 +368,25 @@ ExecutorService::submit(JobSpec spec)
     record->process = std::move(spec.process);
     record->retry = spec.retry;
     record->priority = spec.priority;
+    record->tenant = spec.tenant;
+    record->demotePenalty = spec.demotePenalty;
     record->submitNs = nowNs();
     if (spec.deadlineMs > 0)
         record->deadlineNs =
             record->submitNs + spec.deadlineMs * 1000000ull;
+    if (spec.demoteAfterMs > 0)
+        record->demoteAfterNs =
+            record->submitNs + spec.demoteAfterMs * 1000000ull;
     record->initial = std::move(spec.initial);
     for (Task &t : record->initial) {
         t.job = record->id;
         t.attempt = 0;
     }
+    record->cost =
+        std::max<double>(1.0, double(record->initial.size()));
 
-    auto reject = [&](const std::string &why) {
+    auto reject = [&](RejectReason reason, const std::string &why) {
+        record->rejectReason.store(reason, std::memory_order_release);
         record->latch.fail(why);
         {
             std::lock_guard<std::mutex> lock(record->waitMutex);
@@ -307,12 +399,14 @@ ExecutorService::submit(JobSpec spec)
     };
 
     if (!record->process) {
-        return reject("job '" + record->name +
-                      "' rejected: no ProcessFn");
+        return reject(RejectReason::InvalidSpec,
+                      "job '" + record->name +
+                          "' rejected: no ProcessFn");
     }
     if (record->retry.maxAttempts < 1) {
-        return reject("job '" + record->name +
-                      "' rejected: maxAttempts must be >= 1");
+        return reject(RejectReason::InvalidSpec,
+                      "job '" + record->name +
+                          "' rejected: maxAttempts must be >= 1");
     }
 
     // The job must be findable by id before any of its tasks can be
@@ -324,31 +418,76 @@ ExecutorService::submit(JobSpec spec)
     }
 
     bool admittedNow = false;
+    RejectReason reason = RejectReason::QueueFull;
+    size_t tenantCap = 0;
     {
         std::unique_lock<std::mutex> lock(admitMutex_);
-        bool full =
-            admitQueue_.size() >= options_.admissionCapacity;
-        // Fault drill: admission pretends the queue is full. Forces
-        // the rejection path even for blocking submitters (blocking on
-        // a fictitious full queue would hang forever).
-        bool forcedFull = faultFires(faultsite::SvcAdmitFull);
-        if ((full && !options_.blockWhenFull) || forcedFull) {
-            // fallthrough to reject below, outside the lock
+        TenantState &ts = tenantStateLocked(spec.tenant);
+        ts.submitted++;
+        double weight =
+            spec.weight > 0.0 ? spec.weight : ts.quota.weight;
+        record->weight = weight > 0.0 ? weight : 1.0;
+        record->tenantState = &ts;
+        tenantCap = ts.quota.maxQueuedJobs;
+
+        auto globalFull = [&] {
+            return queuedJobs_ >= options_.admissionCapacity;
+        };
+        auto tenantFull = [&] {
+            return ts.quota.maxQueuedJobs != 0 &&
+                   ts.backlog.size() >= ts.quota.maxQueuedJobs;
+        };
+
+        if (!ts.bucket.tryTake(nowNs())) {
+            // Rate limits always reject: a blocked rate-limited
+            // submitter would have no event to wake it.
+            reason = RejectReason::TenantRateLimited;
+            ts.rejected++;
         } else {
-            if (full) {
-                admitSpace_.wait(lock, [this] {
-                    return shutdown_.load(std::memory_order_acquire) ||
-                           escalated_.load(std::memory_order_acquire) ||
-                           admitQueue_.size() <
-                               options_.admissionCapacity;
-                });
-            }
-            if (!shutdown_.load(std::memory_order_acquire) &&
-                !escalated_.load(std::memory_order_acquire)) {
-                admitQueue_.emplace(
-                    std::make_pair(record->priority, record->id),
-                    record);
-                admittedNow = true;
+            bool full = globalFull() || tenantFull();
+            // Fault drill: admission pretends the queue is full.
+            // Forces the rejection path even for blocking submitters
+            // (blocking on a fictitious full queue would hang
+            // forever).
+            bool forcedFull = faultFires(faultsite::SvcAdmitFull);
+            if ((full && !options_.blockWhenFull) || forcedFull) {
+                reason = (!forcedFull && tenantFull() && !globalFull())
+                             ? RejectReason::TenantQueueFull
+                             : RejectReason::QueueFull;
+                ts.rejected++;
+            } else {
+                if (full) {
+                    admitSpace_.wait(lock, [&] {
+                        return shutdown_.load(
+                                   std::memory_order_acquire) ||
+                               escalated_.load(
+                                   std::memory_order_acquire) ||
+                               (!globalFull() && !tenantFull());
+                    });
+                }
+                if (!shutdown_.load(std::memory_order_acquire) &&
+                    !escalated_.load(std::memory_order_acquire)) {
+                    ts.backlog.emplace(
+                        std::make_pair(record->priority, record->id),
+                        record);
+                    // Newly backlogged tenant: freeze its head start
+                    // tag NOW. The tag must not be re-derived from the
+                    // advancing global clock at every dispatch bid, or
+                    // a light tenant's bid would slide forward with
+                    // vtime_ forever and never be served (see
+                    // adoptOne).
+                    if (ts.backlog.size() == 1)
+                        ts.headStart =
+                            std::max(vtime_, ts.virtualFinish);
+                    ++queuedJobs_;
+                    ts.admitted++;
+                    admittedNow = true;
+                } else {
+                    reason = escalated_.load(std::memory_order_acquire)
+                                 ? RejectReason::Escalated
+                                 : RejectReason::ShuttingDown;
+                    ts.rejected++;
+                }
             }
         }
     }
@@ -358,20 +497,30 @@ ExecutorService::submit(JobSpec spec)
             std::unique_lock<std::shared_mutex> lock(jobsMutex_);
             jobs_.erase(record->id);
         }
-        std::string why;
-        if (escalated_.load(std::memory_order_acquire)) {
-            why = "job '" + record->name +
-                  "' rejected: service escalated (worker restart "
-                  "budget exhausted)";
-        } else if (shutdown_.load(std::memory_order_acquire)) {
-            why = "job '" + record->name +
-                  "' rejected: service shutting down";
-        } else {
-            why = "job '" + record->name +
-                  "' rejected: admission queue full (capacity " +
-                  std::to_string(options_.admissionCapacity) + ")";
+        std::string why = "job '" + record->name + "' rejected: ";
+        switch (reason) {
+          case RejectReason::Escalated:
+            why += "service escalated (worker restart budget "
+                   "exhausted)";
+            break;
+          case RejectReason::ShuttingDown:
+            why += "service shutting down";
+            break;
+          case RejectReason::TenantQueueFull:
+            why += "tenant " + std::to_string(spec.tenant) +
+                   " queue quota reached (max " +
+                   std::to_string(tenantCap) + " queued jobs)";
+            break;
+          case RejectReason::TenantRateLimited:
+            why += "tenant " + std::to_string(spec.tenant) +
+                   " admission rate limit exceeded";
+            break;
+          default:
+            why += "admission queue full (capacity " +
+                   std::to_string(options_.admissionCapacity) + ")";
+            break;
         }
-        return reject(why);
+        return reject(reason, why);
     }
 
     admitted_.fetch_add(1, std::memory_order_relaxed);
@@ -380,17 +529,116 @@ ExecutorService::submit(JobSpec spec)
     return JobHandle(record);
 }
 
+ExecutorService::TenantState &
+ExecutorService::tenantStateLocked(TenantId id)
+{
+    auto it = tenants_.find(id);
+    if (it == tenants_.end()) {
+        auto state = std::make_unique<TenantState>();
+        state->id = id;
+        state->bucket.configure(0.0, 1.0, nowNs());
+        it = tenants_.emplace(id, std::move(state)).first;
+    }
+    return *it->second;
+}
+
+void
+ExecutorService::noteTasksCreated(Record &record, unsigned tid,
+                                  uint64_t n)
+{
+    record.term.noteCreated(tid, n);
+    inFlightTasks_.fetch_add(n, std::memory_order_relaxed);
+    if (record.tenantState) {
+        record.tenantState->inFlightTasks.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+}
+
+void
+ExecutorService::noteTaskCompleted(Record &record, unsigned tid)
+{
+    record.term.noteCompleted(tid);
+    inFlightTasks_.fetch_sub(1, std::memory_order_relaxed);
+    if (record.tenantState) {
+        record.tenantState->inFlightTasks.fetch_sub(
+            1, std::memory_order_relaxed);
+    }
+}
+
 bool
 ExecutorService::adoptOne(unsigned tid)
 {
     RecordPtr record;
     {
         std::lock_guard<std::mutex> lock(admitMutex_);
-        if (admitQueue_.empty())
+        if (queuedJobs_ == 0)
             return false;
-        auto it = admitQueue_.begin();
+        // Global in-flight budget: at saturation dispatch is the
+        // bottleneck, so the SFQ pick below governs the completed-task
+        // share. (A dispatched job may overshoot the budget with its
+        // whole seed batch; the gate only delays *further* jobs.)
+        if (options_.maxInFlightTasks != 0 &&
+            inFlightTasks_.load(std::memory_order_acquire) >=
+                options_.maxInFlightTasks)
+            return false;
+        // Start-time fair queueing: each backlogged, quota-eligible
+        // tenant bids with its FROZEN head start tag (stamped when the
+        // job reached the head of the tenant's backlog — at admission
+        // into an empty backlog, or right after the previous dispatch)
+        // plus cost/weight for the head job. The smallest candidate
+        // finish wins; equal finishes go to the smaller start tag (the
+        // tenant that has waited longest in virtual time), then to the
+        // lowest tenant id via map order. Freezing the start tag is
+        // the load-bearing part: re-deriving it from the advancing
+        // global clock at every bid would slide a light tenant's
+        // finish forward in lockstep with a heavy tenant's dispatches
+        // — max(vtime, finish) + 1/w grows exactly as fast as the
+        // winner's next bid — and starve it, which is the bug this
+        // policy replaces. The start tie-break matters too: with unit
+        // costs and integer weight ratios, finish ties recur every
+        // round, and breaking them by id alone would hand a lower-id
+        // heavy tenant the win forever. Charging cost/weight means a
+        // weight-2 tenant's clock advances half as fast — twice the
+        // dispatch share while both are backlogged — and taking
+        // max(vtime_, virtualFinish) at head promotion means idle
+        // time banks no credit.
+        TenantState *best = nullptr;
+        double bestFinish = 0.0;
+        for (auto &[id, state] : tenants_) {
+            TenantState &ts = *state;
+            if (ts.backlog.empty())
+                continue;
+            if (ts.quota.maxInFlightTasks != 0 &&
+                ts.inFlightTasks.load(std::memory_order_relaxed) >=
+                    ts.quota.maxInFlightTasks)
+                continue;
+            // Head cost is read live (a higher-priority job may have
+            // displaced the head since promotion); the start tag is
+            // the frozen one.
+            const Record &head = *ts.backlog.begin()->second;
+            double finish = ts.headStart + head.cost / head.weight;
+            if (best == nullptr || finish < bestFinish ||
+                (finish == bestFinish &&
+                 ts.headStart < best->headStart)) {
+                best = &ts;
+                bestFinish = finish;
+            }
+        }
+        if (best == nullptr)
+            return false; // every backlogged tenant is quota-gated
+        auto it = best->backlog.begin();
         record = it->second;
-        admitQueue_.erase(it);
+        best->backlog.erase(it);
+        --queuedJobs_;
+        // The global clock tracks the served start tag, monotonically
+        // (a frozen tag can lag vtime_ when the tenant sat quota-gated
+        // — served late must not drag the clock backwards).
+        vtime_ = std::max(vtime_, best->headStart);
+        best->virtualFinish = bestFinish;
+        // Promote the next job in this tenant's backlog: its start tag
+        // freezes here, not at bid time.
+        if (!best->backlog.empty())
+            best->headStart = std::max(vtime_, best->virtualFinish);
     }
     admitSpace_.notify_one(); // freed one admission slot
 
@@ -409,8 +657,20 @@ ExecutorService::adoptOne(unsigned tid)
     // pushBatch calls rather than one giant bag.
     std::vector<Task> seeds = std::move(record->initial);
     record->initial.clear();
+    // A job deprioritized while still queued seeds at its current
+    // standing — stamped and penalized up front, so its incarnations
+    // never need the pop-time re-tag.
+    uint32_t level = std::min(
+        record->demoteLevel.load(std::memory_order_acquire),
+        kMaxDemoteLevel);
+    if (level != 0) {
+        for (Task &t : seeds) {
+            t.attempt = packAttempt(0, level);
+            t.priority += Priority(level) * record->demotePenalty;
+        }
+    }
     if (!seeds.empty()) {
-        record->term.noteCreated(tid, seeds.size());
+        noteTasksCreated(*record, tid, seeds.size());
         constexpr size_t chunk = 256;
         for (size_t i = 0; i < seeds.size(); i += chunk) {
             size_t n = std::min(chunk, seeds.size() - i);
@@ -429,15 +689,17 @@ ExecutorService::retryBackoffUs(const Record &record,
     const RetryPolicy &retry = record.retry;
     if (retry.backoffBaseUs == 0)
         return 0;
-    // Exponential in the attempt that just failed, capped, plus
-    // deterministic seeded jitter (up to +50%) so co-failing tasks
-    // don't retry in lockstep.
-    unsigned shift = std::min(task.attempt, 32u);
+    // Exponential in the retry attempt that just failed (the demote
+    // stamp in the high bits is standing, not history — it must not
+    // widen the backoff), capped, plus deterministic seeded jitter
+    // (up to +50%) so co-failing tasks don't retry in lockstep.
+    unsigned shift = std::min(retryAttemptOf(task.attempt), 32u);
     uint64_t base = retry.backoffBaseUs << shift;
     base = std::min(base, retry.backoffMaxUs);
     uint64_t jitter =
         mix64(options_.seed ^ (uint64_t(record.id) << 32) ^
-              (uint64_t(task.node) << 8) ^ task.attempt) %
+              (uint64_t(task.node) << 8) ^
+              retryAttemptOf(task.attempt)) %
         (base / 2 + 1);
     return std::min(base + jitter, retry.backoffMaxUs);
 }
@@ -447,19 +709,23 @@ ExecutorService::handleTaskFailure(unsigned tid,
                                    const RecordPtr &record,
                                    const Task &task, const char *what)
 {
-    if (task.attempt + 1 < record->retry.maxAttempts) {
+    uint32_t tries = retryAttemptOf(task.attempt);
+    if (tries + 1 < record->retry.maxAttempts) {
         // Transient: back off, then re-push the next incarnation. The
         // bumped attempt makes it a fresh conservation-ledger key —
         // the failed incarnation completes, the retry is created, so
         // per-job accounting stays exact with no shared retry table.
+        // The demote stamp rides along unchanged: a retry keeps its
+        // standing.
         uint64_t us = retryBackoffUs(*record, task);
         if (us > 0)
             std::this_thread::sleep_for(std::chrono::microseconds(us));
         Task again = task;
-        ++again.attempt;
-        record->term.noteCreated(tid);
+        again.attempt =
+            packAttempt(tries + 1, demoteStampOf(task.attempt));
+        noteTasksCreated(*record, tid, 1);
         sched_.push(tid, again);
-        record->term.noteCompleted(tid);
+        noteTaskCompleted(*record, tid);
         taskRetries_.fetch_add(1, std::memory_order_relaxed);
         if (options_.metrics)
             options_.metrics->add(tid, WorkerCounter::TaskRetries);
@@ -481,15 +747,15 @@ ExecutorService::handleTaskFailure(unsigned tid,
         poisonedTasks_.fetch_add(1, std::memory_order_relaxed);
         if (options_.metrics)
             options_.metrics->add(tid, WorkerCounter::PoisonedTasks);
-        record->term.noteCompleted(tid);
+        noteTaskCompleted(*record, tid);
         maybeFinishJob(record);
         return;
     }
-    record->term.noteCompleted(tid);
+    noteTaskCompleted(*record, tid);
     std::ostringstream msg;
     msg << "job '" << record->name << "': task (node " << task.node
         << ", prio " << task.priority << ") failed after "
-        << (task.attempt + 1) << " attempt(s): " << what;
+        << (tries + 1) << " attempt(s): " << what;
     terminateJob(record, JobState::Failed, msg.str(),
                  /*widenCancelRace=*/false);
     maybeFinishJob(record);
@@ -509,8 +775,36 @@ ExecutorService::processTask(unsigned tid, const RecordPtr &record,
         tasksDrained_.fetch_add(1, std::memory_order_relaxed);
         if (options_.metrics)
             options_.metrics->add(tid, WorkerCounter::DrainedTasks);
-        record->term.noteCompleted(tid);
+        noteTaskCompleted(*record, tid);
         maybeFinishJob(record);
+        return;
+    }
+
+    // Cooperative preemption: an incarnation stamped before the job's
+    // current demote level is stale — re-tag it at the new standing
+    // (penalized priority, fresh stamp) and re-push instead of
+    // processing. Ledger-wise this is exactly a retry: the stale
+    // incarnation completes, a distinct new key is created, so per-job
+    // conservation stays exact through the VerifyingScheduler.
+    uint32_t level = std::min(
+        record->demoteLevel.load(std::memory_order_acquire),
+        kMaxDemoteLevel);
+    uint32_t stamp = demoteStampOf(task.attempt);
+    if (stamp < level) {
+        Task again = task;
+        again.attempt =
+            packAttempt(retryAttemptOf(task.attempt), level);
+        again.priority = task.priority +
+                         Priority(level - stamp) *
+                             record->demotePenalty;
+        noteTasksCreated(*record, tid, 1);
+        sched_.push(tid, again);
+        noteTaskCompleted(*record, tid);
+        demotedTasks_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.metrics)
+            options_.metrics->add(tid, WorkerCounter::DemotedTasks);
+        // No finish attempt: the re-tagged incarnation is outstanding,
+        // so the job cannot be quiescent.
         return;
     }
 
@@ -522,10 +816,10 @@ ExecutorService::processTask(unsigned tid, const RecordPtr &record,
                 "injected service task failure (svc.job.fail)");
         }
         // Poison drill: mark this task so *every* attempt fails. Only
-        // first incarnations consult the drill (attempt == 0 before
-        // faultFires), so the invocation index — and with it the set
-        // of poisoned tasks under a fixed seed — is independent of
-        // retry interleaving.
+        // pristine first incarnations consult the drill (raw attempt
+        // word 0: first try AND demote stamp 0), so the invocation
+        // index — and with it the set of poisoned tasks under a fixed
+        // seed — is independent of retry and demotion interleaving.
         if (task.attempt == 0 &&
             faultFires(faultsite::SvcTaskPoison)) {
             record->markPoisoned(task);
@@ -545,15 +839,24 @@ ExecutorService::processTask(unsigned tid, const RecordPtr &record,
 
     for (Task &c : children) {
         c.job = record->id;
-        c.attempt = 0;
+        // Children are born at the job's current standing: stamped
+        // with the level observed above so they skip the re-tag path,
+        // and penalized the same way a re-tag would have.
+        c.attempt = packAttempt(0, level);
+        if (level != 0)
+            c.priority += Priority(level) * record->demotePenalty;
     }
     if (!children.empty()) {
         // Created before poppable — same ordering the executor's
         // run-level counters rely on, now per job.
-        record->term.noteCreated(tid, children.size());
+        noteTasksCreated(*record, tid, children.size());
         sched_.pushBatch(tid, children.data(), children.size());
     }
-    record->term.noteCompleted(tid);
+    noteTaskCompleted(*record, tid);
+    if (record->tenantState) {
+        record->tenantState->tasksProcessed.fetch_add(
+            1, std::memory_order_relaxed);
+    }
     if (options_.metrics)
         options_.metrics->add(tid, WorkerCounter::TasksProcessed);
     maybeFinishJob(record);
@@ -646,7 +949,7 @@ ExecutorService::workerLoop(unsigned tid, uint64_t epoch)
                 // tasks can appear except through submit (which
                 // notifies). Sleep briefly instead of spinning.
                 std::unique_lock<std::mutex> lock(admitMutex_);
-                if (admitQueue_.empty() &&
+                if (queuedJobs_ == 0 &&
                     !shutdown_.load(std::memory_order_acquire)) {
                     work_.wait_for(lock,
                                    std::chrono::milliseconds(1));
@@ -702,8 +1005,15 @@ ExecutorService::terminateJob(const RecordPtr &record, JobState verdict,
     bool wasQueued = false;
     {
         std::lock_guard<std::mutex> lock(admitMutex_);
-        wasQueued =
-            admitQueue_.erase({record->priority, record->id}) > 0;
+        // tenantState is assigned under this mutex at submit; a record
+        // terminated in the narrow window before that assignment was
+        // never queued.
+        if (record->tenantState) {
+            wasQueued = record->tenantState->backlog.erase(
+                            {record->priority, record->id}) > 0;
+            if (wasQueued)
+                --queuedJobs_;
+        }
     }
     if (wasQueued) {
         admitSpace_.notify_one();
@@ -774,6 +1084,10 @@ ExecutorService::finishRecord(Record &record, JobState terminal)
     switch (terminal) {
       case JobState::Completed:
         completed_.fetch_add(1, std::memory_order_relaxed);
+        if (record.tenantState) {
+            record.tenantState->jobsCompleted.fetch_add(
+                1, std::memory_order_relaxed);
+        }
         break;
       case JobState::Failed:
         failed_.fetch_add(1, std::memory_order_relaxed);
@@ -807,6 +1121,8 @@ void
 ExecutorService::deadlineLoop()
 {
     std::vector<RecordPtr> expired;
+    std::vector<RecordPtr> pressured;
+    uint64_t lastSeriesNs = 0;
     while (true) {
         {
             std::unique_lock<std::mutex> lock(deadlineMutex_);
@@ -822,16 +1138,23 @@ ExecutorService::deadlineLoop()
             return;
 
         expired.clear();
+        pressured.clear();
         uint64_t now = nowNs();
         {
             std::shared_lock<std::shared_mutex> lock(jobsMutex_);
             for (const auto &[id, record] : jobs_) {
+                if (jobStateTerminal(record->state.load(
+                        std::memory_order_acquire)) ||
+                    record->latch.stopRequested())
+                    continue;
                 if (record->deadlineNs != 0 &&
-                    now > record->deadlineNs &&
-                    !jobStateTerminal(record->state.load(
-                        std::memory_order_acquire)) &&
-                    !record->latch.stopRequested()) {
+                    now > record->deadlineNs) {
                     expired.push_back(record);
+                } else if (record->demoteAfterNs != 0 &&
+                           now > record->demoteAfterNs &&
+                           record->demoteLevel.load(
+                               std::memory_order_relaxed) == 0) {
+                    pressured.push_back(record);
                 }
             }
         }
@@ -847,6 +1170,72 @@ ExecutorService::deadlineLoop()
                                            std::memory_order_relaxed);
             }
         }
+        // Deadline-pressure auto-demotion: a job past its soft budget
+        // keeps running at lower standing instead of failing. One
+        // level only — the CAS loses to a racing deprioritize(), which
+        // already lowered the job further.
+        for (const RecordPtr &record : pressured) {
+            uint32_t zero = 0;
+            if (record->demoteLevel.compare_exchange_strong(
+                    zero, 1, std::memory_order_acq_rel)) {
+                autoDemotedJobs_.fetch_add(1,
+                                           std::memory_order_relaxed);
+            }
+        }
+        // Per-tenant share/backlog series, paced to ~10ms. The
+        // deadline monitor is the single writer of these customSeries
+        // rings, satisfying the registry's single-writer contract.
+        if (options_.metrics && now - lastSeriesNs >= 10000000ull) {
+            lastSeriesNs = now;
+            recordTenantSeries();
+        }
+    }
+}
+
+void
+ExecutorService::recordTenantSeries()
+{
+    struct Row
+    {
+        TenantState *state;
+        uint64_t processed;
+        size_t backlog;
+    };
+    std::vector<Row> rows;
+    {
+        std::lock_guard<std::mutex> lock(admitMutex_);
+        rows.reserve(tenants_.size());
+        for (auto &[id, state] : tenants_) {
+            TenantState &ts = *state;
+            if (ts.shareSeries < 0) {
+                std::string base = "tenant" + std::to_string(id);
+                ts.shareSeries =
+                    options_.metrics->customSeries(base + ".share");
+                ts.backlogSeries =
+                    options_.metrics->customSeries(base + ".backlog");
+            }
+            rows.push_back(
+                {&ts,
+                 ts.tasksProcessed.load(std::memory_order_relaxed),
+                 ts.backlog.size()});
+        }
+    }
+    // Record outside the admission lock: TenantState addresses are
+    // stable, and only this thread touches lastTasksProcessed or
+    // writes these series.
+    uint64_t totalDelta = 0;
+    for (const Row &row : rows)
+        totalDelta += row.processed - row.state->lastTasksProcessed;
+    for (const Row &row : rows) {
+        uint64_t delta = row.processed - row.state->lastTasksProcessed;
+        row.state->lastTasksProcessed = row.processed;
+        if (totalDelta > 0) {
+            options_.metrics->recordCustom(
+                row.state->shareSeries,
+                double(delta) / double(totalDelta));
+        }
+        options_.metrics->recordCustom(row.state->backlogSeries,
+                                       double(row.backlog));
     }
 }
 
@@ -990,7 +1379,7 @@ ExecutorService::escalateService(unsigned tid)
         tasksDrained_.fetch_add(1, std::memory_order_relaxed);
         if (options_.metrics)
             options_.metrics->add(tid, WorkerCounter::DrainedTasks);
-        record->term.noteCompleted(tid);
+        noteTaskCompleted(*record, tid);
         maybeFinishJob(record);
     }
     work_.notify_all();
@@ -1017,6 +1406,9 @@ ExecutorService::stats() const
     s.taskRetries = taskRetries_.load(std::memory_order_relaxed);
     s.tasksDrained = tasksDrained_.load(std::memory_order_relaxed);
     s.poisonedTasks = poisonedTasks_.load(std::memory_order_relaxed);
+    s.demotedTasks = demotedTasks_.load(std::memory_order_relaxed);
+    s.autoDemotedJobs =
+        autoDemotedJobs_.load(std::memory_order_relaxed);
     if (supervisor_) {
         SupervisorStats sup = supervisor_->stats();
         s.workerRestarts = sup.workerRestarts;
@@ -1043,6 +1435,33 @@ ExecutorService::stats() const
         s.jobLatencyMaxMs = lat.back();
     }
     return s;
+}
+
+std::vector<TenantStats>
+ExecutorService::tenantStats() const
+{
+    std::vector<TenantStats> out;
+    std::lock_guard<std::mutex> lock(admitMutex_);
+    out.reserve(tenants_.size());
+    for (const auto &[id, state] : tenants_) {
+        const TenantState &ts = *state;
+        TenantStats s;
+        s.tenant = id;
+        s.weight = ts.quota.weight;
+        s.submitted = ts.submitted;
+        s.admitted = ts.admitted;
+        s.rejected = ts.rejected;
+        s.jobsCompleted =
+            ts.jobsCompleted.load(std::memory_order_relaxed);
+        s.tasksProcessed =
+            ts.tasksProcessed.load(std::memory_order_relaxed);
+        s.queuedJobs = ts.backlog.size();
+        s.inFlightTasks =
+            ts.inFlightTasks.load(std::memory_order_relaxed);
+        s.virtualFinish = ts.virtualFinish;
+        out.push_back(s);
+    }
+    return out;
 }
 
 WorkerHealth

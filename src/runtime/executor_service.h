@@ -11,11 +11,35 @@
  * service, layered on the exact same building blocks as the executor
  * (see runtime/worker_common.h):
  *
- *  - Two-level scheduling: the admission queue orders *jobs* by job
- *    priority (FIFO within a priority), while task-level interleaving
- *    inside the shared CPS stays relaxed — co-resident jobs' tasks mix
- *    freely in the scheduler, tagged with their owner's JobId
- *    (cps/task.h).
+ *  - Two-level scheduling with weighted fair sharing: admission
+ *    dispatch is start-time fair queueing (SFQ) across *tenants* —
+ *    each tenant keeps a virtual-finish clock, every dispatch charges
+ *    cost(job)/weight to it, and the eligible tenant with the smallest
+ *    candidate virtual finish time wins. Within one tenant, jobs keep
+ *    the original strict (priority, FIFO) order; task-level
+ *    interleaving inside the shared CPS stays relaxed — co-resident
+ *    jobs' tasks mix freely in the scheduler, tagged with their
+ *    owner's JobId (cps/task.h). The pre-fairness policy — one strict
+ *    (priority, id) queue across all jobs — starved low-priority
+ *    tenants indefinitely under sustained high-priority load; SFQ
+ *    bounds every backlogged tenant's wait by the weighted round.
+ *  - Per-tenant quotas (ServiceOptions::tenants): max queued jobs,
+ *    max in-flight tasks (a dispatch-eligibility gate), and a
+ *    token-bucket admission rate. Violations reject at submit with a
+ *    typed reason (JobHandle::rejectReason()); queue-space quotas
+ *    honor blockWhenFull, rate limits always reject. A global
+ *    ServiceOptions::maxInFlightTasks budget makes dispatch the
+ *    bottleneck at saturation, which is what turns the weighted
+ *    dispatch share into a completed-task share.
+ *  - Cooperative preemption: JobHandle::deprioritize() (or the
+ *    deadline-pressure auto path, JobSpec::demoteAfterMs) bumps a
+ *    running job's demote level. Its already-queued task incarnations
+ *    are lazily re-tagged at pop time — pushed back with a lower
+ *    effective priority and a new demote stamp in the attempt word —
+ *    instead of drained, so the job keeps running at lower standing
+ *    and per-job conservation stays exact (each re-tag completes the
+ *    old incarnation and creates a distinct new ledger key, the same
+ *    shape as a retry).
  *  - Per-job failure isolation: every admitted job carries its own
  *    TerminationCounters and FailureLatch. A thrown ProcessFn (after
  *    retries are exhausted), an expired deadline, or JobHandle::cancel
@@ -93,6 +117,77 @@
 
 namespace hdcps {
 
+/** Tenant identity: jobs sharing a tenant id share one fair-queueing
+ *  virtual clock and one quota set. 0 is the default tenant. */
+using TenantId = uint32_t;
+
+/**
+ * Task::attempt packing. The low 24 bits count service retry attempts
+ * (the original meaning); the high 8 bits carry the job's demote stamp
+ * at task-creation/re-tag time, so a preempted job's stale
+ * incarnations are recognizable at pop time and every re-tag is a
+ * distinct conservation-ledger key.
+ */
+inline constexpr uint32_t kRetryAttemptBits = 24;
+inline constexpr uint32_t kRetryAttemptMask =
+    (uint32_t(1) << kRetryAttemptBits) - 1;
+inline constexpr uint32_t kMaxDemoteLevel = 255;
+
+constexpr uint32_t
+retryAttemptOf(uint32_t attempt)
+{
+    return attempt & kRetryAttemptMask;
+}
+
+constexpr uint32_t
+demoteStampOf(uint32_t attempt)
+{
+    return attempt >> kRetryAttemptBits;
+}
+
+constexpr uint32_t
+packAttempt(uint32_t retryAttempt, uint32_t demoteStamp)
+{
+    return (demoteStamp << kRetryAttemptBits) |
+           (retryAttempt & kRetryAttemptMask);
+}
+
+/** Why a submit was rejected (JobHandle::rejectReason()). */
+enum class RejectReason : unsigned {
+    None = 0,          ///< not rejected
+    InvalidSpec,       ///< no ProcessFn, or maxAttempts < 1
+    QueueFull,         ///< service-wide admission capacity exceeded
+    TenantQueueFull,   ///< tenant's maxQueuedJobs quota exceeded
+    TenantRateLimited, ///< tenant's admission token bucket was empty
+    ShuttingDown,      ///< service is shutting down
+    Escalated,         ///< supervisor escalation failed the service
+};
+
+const char *rejectReasonName(RejectReason r);
+
+/** Per-tenant fair-share weight and admission quotas
+ *  (ServiceOptions::tenants). Every field's default is "unlimited". */
+struct TenantQuota
+{
+    /** Fair-share weight for jobs that leave JobSpec::weight at 0. A
+     *  tenant with weight 2 receives twice the dispatch share of a
+     *  weight-1 tenant while both are backlogged. */
+    double weight = 1.0;
+    /** Max jobs admitted-but-not-dispatched for this tenant; beyond it
+     *  submit rejects TenantQueueFull (or blocks, per blockWhenFull).
+     *  0 = unlimited. */
+    size_t maxQueuedJobs = 0;
+    /** Dispatch-eligibility gate: while the tenant has this many tasks
+     *  in flight, no further job of its dispatches. 0 = unlimited. */
+    uint64_t maxInFlightTasks = 0;
+    /** Token-bucket admission rate: submits/second refill, up to
+     *  admitBurst tokens banked. Violations always reject
+     *  (TenantRateLimited) — a blocked rate-limited submitter would
+     *  have nothing to wake it. 0 = unlimited. */
+    double admitRatePerSec = 0.0;
+    double admitBurst = 4.0;
+};
+
 /** Retry policy for transiently failing tasks of one job. */
 struct RetryPolicy
 {
@@ -118,11 +213,26 @@ struct JobSpec
     ProcessFn process;        ///< per-job task-processing function
     std::vector<Task> initial; ///< seed tasks (job/attempt tags are
                                ///< stamped by the service)
-    Priority priority = 0;     ///< job-level: lower = admitted sooner
+    Priority priority = 0;     ///< within-tenant: lower = dispatched sooner
+    /** Owning tenant: the fair-share clock and quotas this job charges
+     *  against. */
+    TenantId tenant = 0;
+    /** Fair-share weight of this job's dispatch charge; 0 (default)
+     *  inherits the tenant's TenantQuota::weight. */
+    double weight = 0.0;
     /** Wall-clock budget from submission; 0 = none. A job still
      *  Queued or Running past its deadline fails with a deadline
      *  error and drains. */
     uint64_t deadlineMs = 0;
+    /** Deadline-pressure auto-demotion: a job still not terminal this
+     *  many ms after submission is deprioritized once (demote level 1)
+     *  by the deadline monitor — it keeps running at lower standing
+     *  instead of being failed. 0 = never. */
+    uint64_t demoteAfterMs = 0;
+    /** Priority added to a task incarnation per demote level when a
+     *  preempted job's tasks are re-tagged (lower standing = larger
+     *  numeric priority). */
+    Priority demotePenalty = uint64_t(1) << 16;
     RetryPolicy retry;
 };
 
@@ -174,6 +284,25 @@ class JobHandle
     /** First error of a Failed/Cancelled/Rejected job ("" otherwise). */
     std::string error() const;
 
+    /** Typed rejection cause (None unless state() == Rejected). */
+    RejectReason rejectReason() const;
+
+    /** The tenant this job was submitted under. */
+    TenantId tenant() const;
+
+    /**
+     * Cooperative preemption: bump the job's demote level (capped at
+     * kMaxDemoteLevel). Already-queued task incarnations are re-tagged
+     * at pop time with priority += levels * JobSpec::demotePenalty and
+     * re-pushed — the job keeps running at lower effective standing
+     * instead of draining. Returns true when the level was bumped
+     * (false once the job is terminal).
+     */
+    bool deprioritize();
+
+    /** Current demote level (0 = never deprioritized). */
+    uint32_t demoteLevel() const;
+
     /**
      * Request cancellation. A Queued job is cancelled in place (never
      * runs); a Running job flips to Draining and its tasks are
@@ -219,8 +348,23 @@ struct ServiceOptions
      *  beyond this are rejected (or block, see blockWhenFull). */
     size_t admissionCapacity = 16;
     /** Overflowing submit blocks for queue space instead of
-     *  rejecting. Shutdown unblocks such submitters with Rejected. */
+     *  rejecting. Shutdown unblocks such submitters with Rejected.
+     *  Applies to the service-wide capacity and to per-tenant
+     *  maxQueuedJobs quotas; rate limits always reject. */
     bool blockWhenFull = false;
+    /**
+     * Global in-flight task budget: while at least this many tasks are
+     * created-but-not-completed across all jobs, no further queued job
+     * dispatches (a dispatching job may overshoot transiently — its
+     * seeds and children are never split). This is the saturation
+     * throttle that makes the fair-queueing dispatch order govern the
+     * completed-task share; 0 (default) = dispatch greedily, the
+     * pre-fairness behavior.
+     */
+    uint64_t maxInFlightTasks = 0;
+    /** Per-tenant weights and quotas. Tenants absent from the map get
+     *  default TenantQuota (weight 1, no limits) on first use. */
+    std::map<TenantId, TenantQuota> tenants;
     uint64_t seed = 1;           ///< retry-backoff jitter seed
     uint64_t reclaimAfterMs = 0; ///< forwarded to the scheduler
     /** Optional observability sink (>= numThreads worker slots,
@@ -247,6 +391,8 @@ struct ServiceStats
     uint64_t taskRetries = 0;
     uint64_t tasksDrained = 0; ///< discarded for draining jobs
     uint64_t poisonedTasks = 0; ///< dead-lettered across all jobs
+    uint64_t demotedTasks = 0; ///< incarnations re-tagged by preemption
+    uint64_t autoDemotedJobs = 0; ///< demoteAfterMs auto-demotions
     /** Supervision (all 0 / false while supervision is disabled). */
     uint64_t workerRestarts = 0;
     uint64_t healthTransitions = 0;
@@ -258,6 +404,21 @@ struct ServiceStats
     double jobLatencyP99Ms = 0.0;
     double jobLatencyMaxMs = 0.0;
     uint64_t jobsMeasured = 0;
+};
+
+/** Per-tenant accounting snapshot (ExecutorService::tenantStats()). */
+struct TenantStats
+{
+    TenantId tenant = 0;
+    double weight = 1.0;       ///< TenantQuota default weight
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t jobsCompleted = 0;
+    uint64_t tasksProcessed = 0; ///< successful ProcessFn completions
+    uint64_t queuedJobs = 0;     ///< backlog at snapshot time
+    uint64_t inFlightTasks = 0;  ///< created-but-not-completed now
+    double virtualFinish = 0.0;  ///< SFQ clock (diagnostics)
 };
 
 /**
@@ -291,6 +452,10 @@ class ExecutorService
     /** Aggregate counters and latency percentiles so far. */
     ServiceStats stats() const;
 
+    /** Per-tenant accounting for every tenant seen so far, ascending
+     *  by tenant id. Safe from any thread. */
+    std::vector<TenantStats> tenantStats() const;
+
     /** Health of worker slot `tid` (Healthy when supervision is
      *  disabled). Safe from any thread. */
     WorkerHealth workerHealth(unsigned tid) const;
@@ -307,10 +472,47 @@ class ExecutorService
     void shutdown();
 
   private:
-    friend class JobHandle; ///< cancel() routes through terminateJob
+    friend class JobHandle; ///< cancel/deprioritize route through here
+    friend struct detail::JobRecord; ///< holds its TenantState pointer
 
     using Record = detail::JobRecord;
     using RecordPtr = std::shared_ptr<detail::JobRecord>;
+
+    /**
+     * One tenant's fair-queueing state. Structure (backlog, clocks,
+     * bucket, plain counters) is guarded by admitMutex_; the atomics
+     * are touched on the per-task hot path without it. Stored behind
+     * stable unique_ptrs: JobRecords keep a raw pointer for inflight
+     * accounting, and tenants are never erased while the service
+     * lives.
+     */
+    struct TenantState
+    {
+        TenantId id = 0;
+        TenantQuota quota;
+        /** Backlog ordered by (job priority, id): strict priority +
+         *  FIFO *within* the tenant; SFQ picks across tenants. */
+        std::map<std::pair<Priority, JobId>, RecordPtr> backlog;
+        double virtualFinish = 0.0; ///< SFQ per-tenant clock
+        /** Frozen start tag of the current backlog head. Stamped when
+         *  the backlog becomes non-empty and again after each
+         *  dispatch — never re-derived from the advancing global
+         *  clock at bid time, which would let a heavy tenant's
+         *  dispatches push a light tenant's bid forward forever. */
+        double headStart = 0.0;
+        TokenBucket bucket;         ///< admission rate limiter
+        uint64_t submitted = 0;
+        uint64_t admitted = 0;
+        uint64_t rejected = 0;
+        std::atomic<uint64_t> inFlightTasks{0};
+        std::atomic<uint64_t> jobsCompleted{0};
+        std::atomic<uint64_t> tasksProcessed{0};
+        /** Deadline-monitor-only sampling state for the per-tenant
+         *  share/backlog series. */
+        int shareSeries = -1;
+        int backlogSeries = -1;
+        uint64_t lastTasksProcessed = 0;
+    };
 
     /** Thread entry for slot `tid`: runs workerLoop and latches the
      *  exit (crash vs cooperative) with the supervisor. */
@@ -336,9 +538,24 @@ class ExecutorService
      *  so no task (and no job) strands. */
     void escalateService(unsigned tid);
 
-    /** Adopt the best queued job (if any): seed its tasks under this
-     *  worker's tid. Returns true when a job was adopted. */
+    /** Dispatch the fair-queueing winner (if any tenant is eligible):
+     *  seed its tasks under this worker's tid. Returns true when a job
+     *  was adopted. */
     bool adoptOne(unsigned tid);
+
+    /** Get-or-create a tenant's state; admitMutex_ must be held. */
+    TenantState &tenantStateLocked(TenantId id);
+
+    /** Ledger + in-flight accounting for `n` tasks created by `tid`
+     *  on behalf of record's job (before they become poppable). */
+    void noteTasksCreated(Record &record, unsigned tid, uint64_t n);
+
+    /** Ledger + in-flight accounting for one completed task. */
+    void noteTaskCompleted(Record &record, unsigned tid);
+
+    /** Record per-tenant share/backlog series (deadline monitor only,
+     *  every ~10ms). */
+    void recordTenantSeries();
 
     /** Pop-side handling of one task belonging to `record`. */
     void processTask(unsigned tid, const RecordPtr &record,
@@ -377,10 +594,17 @@ class ExecutorService
     mutable std::shared_mutex jobsMutex_;
     std::unordered_map<JobId, RecordPtr> jobs_;
 
-    /** Admission queue, ordered by (job priority, id): lower priority
-     *  value first, FIFO within a priority. Guarded by admitMutex_. */
+    /**
+     * Admission state: per-tenant backlogs plus the global SFQ virtual
+     * time. vtime_ advances to the winner's virtual start tag on every
+     * dispatch, so a tenant going idle and returning gets no banked
+     * credit (its clock snaps forward to max(vtime_, own finish)).
+     * All guarded by admitMutex_.
+     */
     mutable std::mutex admitMutex_;
-    std::map<std::pair<Priority, JobId>, RecordPtr> admitQueue_;
+    std::map<TenantId, std::unique_ptr<TenantState>> tenants_;
+    double vtime_ = 0.0;
+    size_t queuedJobs_ = 0; ///< total backlog across tenants
     std::condition_variable admitSpace_; ///< blocked submitters
     std::condition_variable work_;       ///< idle workers
 
@@ -401,6 +625,11 @@ class ExecutorService
     std::atomic<uint64_t> taskRetries_{0};
     std::atomic<uint64_t> tasksDrained_{0};
     std::atomic<uint64_t> poisonedTasks_{0};
+    std::atomic<uint64_t> demotedTasks_{0};
+    std::atomic<uint64_t> autoDemotedJobs_{0};
+    /** Created-but-not-completed tasks across all jobs (the
+     *  maxInFlightTasks dispatch gate). */
+    std::atomic<uint64_t> inFlightTasks_{0};
 
     /** Latencies of terminal (non-rejected) jobs, ms. The mutex also
      *  serializes JobLatencyMs recordGlobal writers. */

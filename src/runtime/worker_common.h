@@ -19,11 +19,14 @@
  *    job's processing while co-resident jobs keep running.
  *  - IdleBackoff: the brief-spin-then-yield policy an empty-handed
  *    worker follows so oversubscribed hosts still make progress.
+ *  - TokenBucket: the deterministic admission rate limiter the
+ *    service's per-tenant quotas use (DESIGN.md §17).
  */
 
 #ifndef HDCPS_RUNTIME_WORKER_COMMON_H_
 #define HDCPS_RUNTIME_WORKER_COMMON_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
@@ -240,6 +243,59 @@ struct alignas(cacheLineBytes) WorkerLifeline
     /** True when the exit was a crash (drill or escaped exception)
      *  rather than a cooperative supersession/shutdown exit. */
     std::atomic<bool> crashed{false};
+};
+
+/**
+ * Deterministic token-bucket rate limiter: refills continuously at
+ * ratePerSec up to a burst capacity; each admission consumes one
+ * token. Callers pass the clock in, so tests can drive it with a
+ * virtual time base and the refill math stays reproducible.
+ *
+ * NOT thread-safe — callers serialize access (the ExecutorService
+ * consults its tenants' buckets under the admission mutex, which it
+ * already holds on that path).
+ */
+class TokenBucket
+{
+  public:
+    /** (Re)arm the bucket: ratePerSec <= 0 disables limiting (every
+     *  tryTake succeeds). The bucket starts full. */
+    void
+    configure(double ratePerSec, double burst, uint64_t nowNs)
+    {
+        ratePerNs_ = ratePerSec > 0.0 ? ratePerSec / 1e9 : 0.0;
+        capacity_ = std::max(burst, 1.0);
+        tokens_ = capacity_;
+        lastNs_ = nowNs;
+    }
+
+    bool unlimited() const { return ratePerNs_ <= 0.0; }
+
+    /** Refill to `nowNs`, then take one token. False = rate exceeded. */
+    bool
+    tryTake(uint64_t nowNs)
+    {
+        if (unlimited())
+            return true;
+        if (nowNs > lastNs_) {
+            tokens_ = std::min(
+                capacity_,
+                tokens_ + double(nowNs - lastNs_) * ratePerNs_);
+            lastNs_ = nowNs;
+        }
+        if (tokens_ < 1.0)
+            return false;
+        tokens_ -= 1.0;
+        return true;
+    }
+
+    double tokens() const { return tokens_; }
+
+  private:
+    double ratePerNs_ = 0.0; ///< 0 = unlimited
+    double capacity_ = 1.0;
+    double tokens_ = 1.0;
+    uint64_t lastNs_ = 0;
 };
 
 /** Idle-loop backoff: brief spin, then yield so oversubscribed hosts

@@ -130,27 +130,42 @@ Topology::parseSpec(const std::string &spec, Topology *out,
             *error = message;
         return false;
     };
-    if (spec.empty() || spec == "flat") {
+    // Trim surrounding whitespace — "  2x4\n" arrives from config
+    // files and shell pipelines. *Inner* whitespace ("2 x 4") stays
+    // malformed: the digit scan below rejects it.
+    size_t begin = spec.find_first_not_of(" \t\r\n");
+    std::string s =
+        begin == std::string::npos
+            ? std::string()
+            : spec.substr(begin,
+                          spec.find_last_not_of(" \t\r\n") - begin + 1);
+    if (s.empty() || s == "flat") {
         *out = Topology();
         return true;
     }
-    if (spec == "auto") {
+    if (s == "auto") {
         *out = detect();
         return true;
     }
-    size_t x = spec.find('x');
-    if (x == std::string::npos || x == 0 || x + 1 >= spec.size())
+    size_t x = s.find('x');
+    if (x == std::string::npos || x == 0 || x + 1 >= s.size())
         return fail("want 'flat', 'auto', or NxM (e.g. 2x4), got '" +
-                    spec + "'");
-    for (size_t i = 0; i < spec.size(); ++i) {
-        if (i != x && !std::isdigit(static_cast<unsigned char>(spec[i])))
+                    s + "'");
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (i != x && !std::isdigit(static_cast<unsigned char>(s[i])))
             return fail("want 'flat', 'auto', or NxM (e.g. 2x4), got '" +
-                        spec + "'");
+                        s + "'");
     }
-    unsigned long nodes = std::strtoul(spec.c_str(), nullptr, 10);
-    unsigned long cores = std::strtoul(spec.c_str() + x + 1, nullptr, 10);
-    if (nodes < 1 || cores < 1 || nodes * cores > 4096)
-        return fail("topology '" + spec +
+    unsigned long nodes = std::strtoul(s.c_str(), nullptr, 10);
+    unsigned long cores = std::strtoul(s.c_str() + x + 1, nullptr, 10);
+    if (nodes == 0 || cores == 0)
+        return fail("topology '" + s +
+                    "' needs at least 1 node and 1 core per node");
+    // Bound each factor before multiplying: strtoul saturates overlong
+    // digit strings at ULONG_MAX, and the product of two in-range
+    // unsigned longs can wrap right back under the limit.
+    if (nodes > 4096 || cores > 4096 || nodes * cores > 4096)
+        return fail("topology '" + s +
                     "' out of range (1 <= NxM <= 4096)");
     *out = synthetic(static_cast<unsigned>(nodes),
                      static_cast<unsigned>(cores));

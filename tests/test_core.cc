@@ -834,6 +834,44 @@ TEST(Reclaim, DrainsAStragglersActiveBag)
     EXPECT_EQ(sched.reclaimedTasks(), 3u);
 }
 
+TEST(Reclaim, PrefersSameNodeVictimsOnHierarchicalTopologies)
+{
+    // Two stale stragglers, one per node of a synthetic 2x2 box:
+    // worker 0 (node 0, same node as the reclaimer) and worker 2
+    // (node 1). Reclaimed tasks land in the reclaimer's private PQ, so
+    // the scan must drain the same-node straggler and stop there — the
+    // old flat modular scan from tid 1 visited worker 2 first and
+    // pulled node 1's stranded work across the socket while node 0's
+    // sat one hop away.
+    HdCpsConfig config = HdCpsScheduler::configSrq();
+    config.useTdf = false;
+    config.fixedTdf = 100;   // every push leaves the pusher...
+    config.crossNodePct = 0; // ...toward its only same-node peer
+    config.topology = Topology::synthetic(2, 2);
+    config.seed = 43;
+    HdCpsScheduler sched(4, config);
+    sched.setReclaimAfterMs(20);
+    for (uint32_t i = 0; i < 5; ++i)
+        sched.push(1, Task{uint64_t(i), i, 0}); // lands at worker 0
+    for (uint32_t i = 0; i < 5; ++i)
+        sched.push(3, Task{uint64_t(100 + i), 100 + i, 0}); // worker 2
+    ASSERT_EQ(sched.sizeApprox(), 10u);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    // Exactly five pops: the first triggers one reclaim pass (which
+    // must take worker 0's five tasks and leave worker 2 alone), the
+    // rest drain the reclaimer's PQ without a further pass.
+    Task t;
+    for (unsigned i = 0; i < 5; ++i) {
+        ASSERT_TRUE(sched.tryPop(1, t)) << i;
+        EXPECT_LT(t.priority, 100u)
+            << "drained a cross-node victim while a same-node "
+               "straggler still had work";
+    }
+    EXPECT_EQ(sched.reclaimedTasks(), 5u);
+    EXPECT_EQ(sched.sizeApprox(), 5u); // node 1's work left in place
+}
+
 TEST(HdCpsScheduler, PushBatchLeavesNothingStaged)
 {
     // Flush-at-batch-end contract: once pushBatch returns, no task may
@@ -859,6 +897,25 @@ TEST(HdCpsScheduler, PushBatchLeavesNothingStaged)
 }
 
 // ------------------------------------------- batched transfer + pool
+
+TEST(BagPool, PlaceSlotPrewarmsFreeListWithoutCountingAllocations)
+{
+    BagPool pool(2);
+    pool.placeSlot(0, 1);
+    EXPECT_EQ(pool.prewarmed(), 1u);
+    EXPECT_EQ(pool.allocations(), 0u); // placement != demand miss
+    bool recycled = false;
+    Bag *bag = pool.acquire(0, &recycled);
+    EXPECT_TRUE(recycled) << "acquire must serve the placed envelope";
+    EXPECT_EQ(pool.allocations(), 0u);
+    // The cross-thread Treiber return path covers placed nodes too:
+    // return from worker 1's context, reacquire at the home slot.
+    pool.release(1, bag);
+    Bag *again = pool.acquire(0, &recycled);
+    EXPECT_TRUE(recycled);
+    EXPECT_EQ(again, bag);
+    pool.release(0, again);
+}
 
 TEST(BagPool, RecyclesAndKeepsCapacitySingleThread)
 {

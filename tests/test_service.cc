@@ -1210,5 +1210,332 @@ TEST(Service, WaitAndCancelRaceShutdown)
         EXPECT_TRUE(job.done()) << job.name();
 }
 
+// ------------------------------------ weighted fair sharing (tenants)
+
+/** A single-task job for `tenant` whose ProcessFn bumps `done`. */
+JobSpec
+tenantJob(TenantId tenant, std::atomic<uint64_t> &done, uint32_t node)
+{
+    JobSpec spec;
+    spec.name = "t" + std::to_string(tenant) + "-" + std::to_string(node);
+    spec.tenant = tenant;
+    spec.process = [&done](unsigned, const Task &,
+                           std::vector<Task> &) {
+        done.fetch_add(1, std::memory_order_acq_rel);
+    };
+    spec.initial = {Task{0, node, 0}};
+    return spec;
+}
+
+/** Hold the single worker inside a job until `release` flips, so a
+ *  test can queue a backlog before any dispatch happens. */
+JobHandle
+submitBlocker(ExecutorService &svc, std::atomic<bool> &release)
+{
+    auto entered = std::make_shared<std::atomic<bool>>(false);
+    JobSpec spec;
+    spec.name = "blocker";
+    spec.process = [&release, entered](unsigned, const Task &,
+                                       std::vector<Task> &) {
+        entered->store(true, std::memory_order_release);
+        while (!release.load(std::memory_order_acquire))
+            std::this_thread::yield();
+    };
+    spec.initial = {Task{0, 9999, 0}};
+    JobHandle handle = svc.submit(std::move(spec));
+    while (!entered->load(std::memory_order_acquire))
+        std::this_thread::yield();
+    return handle;
+}
+
+TEST(Fairness, WeightedTenantsSplitDispatchTwoToOne)
+{
+    // One worker + a global in-flight budget of 1 makes dispatch
+    // strictly serial, so the SFQ pick order IS the completion order:
+    // with weights 2:1 and unit-cost jobs, every window of three
+    // dispatches serves tenant 1 twice and tenant 2 once. The ±15%
+    // acceptance band is generous for this deterministic setup; the
+    // bound below is tighter.
+    MultiQueueScheduler inner(1);
+    VerifyingScheduler sched(inner);
+    ServiceOptions options;
+    options.numThreads = 1;
+    options.admissionCapacity = 128;
+    options.maxInFlightTasks = 1;
+    options.tenants[1].weight = 2.0;
+    options.tenants[2].weight = 1.0;
+    ExecutorService svc(sched, options);
+
+    std::atomic<bool> release{false};
+    JobHandle blocker = submitBlocker(svc, release);
+
+    constexpr uint64_t kJobsPerTenant = 30;
+    std::atomic<uint64_t> heavyDone{0};
+    std::atomic<uint64_t> lightDone{0};
+    std::atomic<uint64_t> lightAtHeavyEnd{~uint64_t(0)};
+    std::vector<JobHandle> jobs;
+    for (uint64_t i = 0; i < kJobsPerTenant; ++i) {
+        JobSpec heavy = tenantJob(1, heavyDone, uint32_t(i));
+        // Snapshot the light tenant's progress the instant the heavy
+        // backlog empties: the 2:1 share claim only holds while BOTH
+        // tenants are backlogged.
+        heavy.process = [&](unsigned, const Task &,
+                            std::vector<Task> &) {
+            if (heavyDone.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                kJobsPerTenant) {
+                lightAtHeavyEnd.store(
+                    lightDone.load(std::memory_order_acquire),
+                    std::memory_order_release);
+            }
+        };
+        jobs.push_back(svc.submit(std::move(heavy)));
+        jobs.push_back(svc.submit(tenantJob(2, lightDone, uint32_t(i))));
+    }
+    for (const JobHandle &job : jobs)
+        ASSERT_NE(job.state(), JobState::Rejected) << job.error();
+
+    release.store(true, std::memory_order_release);
+    EXPECT_EQ(blocker.wait(), JobState::Completed);
+    for (JobHandle &job : jobs)
+        EXPECT_EQ(job.wait(), JobState::Completed) << job.name();
+
+    // While tenant 1 drained its 30 jobs, tenant 2 must have been
+    // served half as often: 15 ± 15% (plus the startup transient).
+    uint64_t light = lightAtHeavyEnd.load(std::memory_order_acquire);
+    EXPECT_GE(light, 12u);
+    EXPECT_LE(light, 18u);
+
+    std::vector<TenantStats> tenants = svc.tenantStats();
+    ASSERT_GE(tenants.size(), 3u); // tenant 0 (blocker) + 1 + 2
+    EXPECT_EQ(tenants[1].tenant, 1u);
+    EXPECT_EQ(tenants[1].weight, 2.0);
+    EXPECT_EQ(tenants[1].jobsCompleted, kJobsPerTenant);
+    EXPECT_EQ(tenants[1].tasksProcessed, kJobsPerTenant);
+    EXPECT_EQ(tenants[2].jobsCompleted, kJobsPerTenant);
+
+    svc.shutdown();
+    // Exact conservation, per job and overall: every incarnation
+    // pushed was popped exactly once.
+    std::string why;
+    EXPECT_TRUE(sched.checkComplete(false, &why)) << why;
+    for (const JobHandle &job : jobs)
+        EXPECT_EQ(sched.popsForJob(job.id()), 1u) << job.name();
+}
+
+TEST(Fairness, WeightOneTenantProgressesUnderHeavyFlood)
+{
+    // The starvation regression the tentpole fixes: under the old
+    // strict (priority, id) admission queue, a continuously-backlogged
+    // high-priority tenant kept the victim's job queued indefinitely —
+    // here the victim would wait for all 200 flood jobs. Under SFQ a
+    // weight-1 tenant faces at most ~weight-ratio dispatches per round,
+    // so the victim completes while nearly all of the flood is still
+    // queued.
+    MultiQueueScheduler inner(1);
+    VerifyingScheduler sched(inner);
+    ServiceOptions options;
+    options.numThreads = 1;
+    options.admissionCapacity = 512;
+    options.maxInFlightTasks = 1;
+    options.tenants[1].weight = 8.0;
+    options.tenants[2].weight = 1.0;
+    ExecutorService svc(sched, options);
+
+    std::atomic<bool> release{false};
+    JobHandle blocker = submitBlocker(svc, release);
+
+    constexpr uint64_t kFloodJobs = 200;
+    std::atomic<uint64_t> floodDone{0};
+    std::atomic<uint64_t> victimDone{0};
+    std::atomic<uint64_t> floodAtVictim{~uint64_t(0)};
+    std::vector<JobHandle> flood;
+    for (uint64_t i = 0; i < kFloodJobs; ++i) {
+        JobSpec spec = tenantJob(1, floodDone, uint32_t(i));
+        spec.priority = 0; // the flood outranks the victim on priority
+        flood.push_back(svc.submit(std::move(spec)));
+    }
+    JobSpec victimSpec = tenantJob(2, victimDone, 7000);
+    victimSpec.priority = 5;
+    victimSpec.process = [&](unsigned, const Task &,
+                             std::vector<Task> &) {
+        victimDone.fetch_add(1, std::memory_order_acq_rel);
+        floodAtVictim.store(floodDone.load(std::memory_order_acquire),
+                            std::memory_order_release);
+    };
+    JobHandle victim = svc.submit(std::move(victimSpec));
+    ASSERT_NE(victim.state(), JobState::Rejected) << victim.error();
+    EXPECT_EQ(victim.tenant(), 2u);
+
+    release.store(true, std::memory_order_release);
+    EXPECT_EQ(victim.wait(), JobState::Completed);
+    // The victim ran within its first weighted round: at most ~the
+    // weight ratio (8) plus the startup transient of flood dispatches
+    // preceded it — not the whole 200-job flood.
+    EXPECT_LE(floodAtVictim.load(std::memory_order_acquire), 20u);
+
+    for (JobHandle &job : flood)
+        EXPECT_EQ(job.wait(), JobState::Completed) << job.name();
+    EXPECT_EQ(blocker.wait(), JobState::Completed);
+    svc.shutdown();
+    std::string why;
+    EXPECT_TRUE(sched.checkComplete(false, &why)) << why;
+}
+
+TEST(Fairness, TenantQueueQuotaRejectsWithTypedReason)
+{
+    MultiQueueScheduler sched(1);
+    ServiceOptions options;
+    options.numThreads = 1;
+    options.admissionCapacity = 16;
+    options.tenants[5].maxQueuedJobs = 1;
+    ExecutorService svc(sched, options);
+
+    std::atomic<bool> release{false};
+    JobHandle blocker = submitBlocker(svc, release);
+
+    std::atomic<uint64_t> done{0};
+    JobHandle first = svc.submit(tenantJob(5, done, 1));
+    EXPECT_NE(first.state(), JobState::Rejected) << first.error();
+
+    JobHandle second = svc.submit(tenantJob(5, done, 2));
+    EXPECT_EQ(second.state(), JobState::Rejected);
+    EXPECT_EQ(second.rejectReason(), RejectReason::TenantQueueFull);
+    EXPECT_NE(second.error().find("queue quota"), std::string::npos)
+        << second.error();
+    EXPECT_STREQ(rejectReasonName(second.rejectReason()),
+                 "tenant_queue_full");
+
+    // The quota is per tenant: another tenant still has queue space,
+    // and the service-wide capacity was never the limit.
+    JobHandle other = svc.submit(tenantJob(6, done, 3));
+    EXPECT_NE(other.state(), JobState::Rejected) << other.error();
+    EXPECT_EQ(other.rejectReason(), RejectReason::None);
+
+    release.store(true, std::memory_order_release);
+    EXPECT_EQ(first.wait(), JobState::Completed);
+    EXPECT_EQ(other.wait(), JobState::Completed);
+    EXPECT_EQ(svc.stats().rejected, 1u);
+    std::vector<TenantStats> tenants = svc.tenantStats();
+    for (const TenantStats &ts : tenants) {
+        if (ts.tenant == 5) {
+            EXPECT_EQ(ts.submitted, 2u);
+            EXPECT_EQ(ts.rejected, 1u);
+        }
+    }
+}
+
+TEST(Fairness, TenantRateLimitAlwaysRejects)
+{
+    MultiQueueScheduler sched(1);
+    ServiceOptions options;
+    options.numThreads = 1;
+    options.blockWhenFull = true; // rate limits must reject anyway
+    options.tenants[3].admitRatePerSec = 0.001; // no refill in-test
+    options.tenants[3].admitBurst = 1.0;
+    ExecutorService svc(sched, options);
+
+    std::atomic<uint64_t> done{0};
+    JobHandle first = svc.submit(tenantJob(3, done, 1));
+    EXPECT_NE(first.state(), JobState::Rejected) << first.error();
+
+    JobHandle second = svc.submit(tenantJob(3, done, 2));
+    EXPECT_EQ(second.state(), JobState::Rejected);
+    EXPECT_EQ(second.rejectReason(), RejectReason::TenantRateLimited);
+    EXPECT_NE(second.error().find("rate limit"), std::string::npos)
+        << second.error();
+
+    // Unlimited tenants are unaffected.
+    JobHandle other = svc.submit(tenantJob(4, done, 3));
+    EXPECT_NE(other.state(), JobState::Rejected) << other.error();
+    EXPECT_EQ(first.wait(), JobState::Completed);
+    EXPECT_EQ(other.wait(), JobState::Completed);
+}
+
+// ------------------------------------------- cooperative preemption
+
+TEST(Preemption, DeprioritizeRetagsQueuedIncarnationsExactly)
+{
+    MultiQueueScheduler inner(1);
+    VerifyingScheduler sched(inner);
+    ServiceOptions options;
+    options.numThreads = 1;
+    ExecutorService svc(sched, options);
+
+    // Six seed tasks; the first one processed parks the only worker
+    // until the main thread has deprioritized the job, so the other
+    // five incarnations are still queued when the demote level rises.
+    constexpr uint32_t kSeeds = 6;
+    std::atomic<bool> gateEntered{false};
+    std::atomic<bool> gateRelease{false};
+    std::atomic<uint64_t> processed{0};
+    JobSpec spec;
+    spec.name = "preempted";
+    spec.demotePenalty = 1000;
+    spec.process = [&](unsigned, const Task &, std::vector<Task> &) {
+        if (processed.fetch_add(1, std::memory_order_acq_rel) == 0) {
+            gateEntered.store(true, std::memory_order_release);
+            while (!gateRelease.load(std::memory_order_acquire))
+                std::this_thread::yield();
+        }
+    };
+    for (uint32_t i = 0; i < kSeeds; ++i)
+        spec.initial.push_back(Task{10, i, 0});
+    JobHandle job = svc.submit(std::move(spec));
+    ASSERT_NE(job.state(), JobState::Rejected) << job.error();
+    EXPECT_EQ(job.demoteLevel(), 0u);
+
+    while (!gateEntered.load(std::memory_order_acquire))
+        std::this_thread::yield();
+    EXPECT_TRUE(job.deprioritize());
+    EXPECT_EQ(job.demoteLevel(), 1u);
+    gateRelease.store(true, std::memory_order_release);
+
+    EXPECT_EQ(job.wait(), JobState::Completed);
+    EXPECT_EQ(processed.load(), uint64_t(kSeeds));
+    // Every not-yet-popped incarnation was re-tagged exactly once.
+    EXPECT_EQ(svc.stats().demotedTasks, uint64_t(kSeeds - 1));
+    // Terminal jobs can no longer be deprioritized.
+    EXPECT_FALSE(job.deprioritize());
+
+    svc.shutdown();
+    // A re-tag is one completed incarnation plus one created one: the
+    // ledger stays exactly balanced, and the per-job pop count is the
+    // seeds plus one extra pop per re-tag.
+    std::string why;
+    EXPECT_TRUE(sched.checkComplete(false, &why)) << why;
+    EXPECT_TRUE(sched.checkJobDrained(job.id(), &why)) << why;
+    EXPECT_EQ(sched.popsForJob(job.id()),
+              uint64_t(kSeeds + (kSeeds - 1)));
+}
+
+TEST(Preemption, DeadlinePressureAutoDemotesOnce)
+{
+    MultiQueueScheduler sched(1);
+    ServiceOptions options;
+    options.numThreads = 1;
+    ExecutorService svc(sched, options);
+
+    // Self-replenishing job that outlives its demoteAfterMs budget by a
+    // wide margin: the deadline monitor must demote it exactly once
+    // (level 1), and the job still completes. Three parallel chains on
+    // one worker keep stamp-0 incarnations queued at demotion time, so
+    // the pop-time re-tag path fires too.
+    std::atomic<int64_t> budget{400};
+    std::atomic<uint64_t> processed{0};
+    JobSpec spec;
+    spec.name = "pressured";
+    spec.process = replenishJob(budget, processed, /*sleepUs=*/500);
+    spec.initial = {Task{0, 0, 0}, Task{0, 1, 0}, Task{0, 2, 0}};
+    spec.demoteAfterMs = 25;
+    JobHandle job = svc.submit(std::move(spec));
+    ASSERT_NE(job.state(), JobState::Rejected) << job.error();
+
+    EXPECT_EQ(job.wait(), JobState::Completed);
+    EXPECT_EQ(job.demoteLevel(), 1u);
+    ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.autoDemotedJobs, 1u);
+    EXPECT_GE(stats.demotedTasks, 1u);
+}
+
 } // namespace
 } // namespace hdcps

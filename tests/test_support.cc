@@ -650,6 +650,53 @@ TEST(Topology, ParseSpecRejectsMalformedSpecs)
     }
 }
 
+TEST(Topology, ParseSpecTrimsSurroundingWhitespaceOnly)
+{
+    Topology t;
+    std::string error;
+    ASSERT_TRUE(Topology::parseSpec("  2x4\n", &t, &error));
+    EXPECT_EQ(t.numNodes(), 2u);
+    ASSERT_TRUE(Topology::parseSpec(" flat\t", &t, &error));
+    EXPECT_EQ(t.numNodes(), 1u);
+    ASSERT_TRUE(Topology::parseSpec(" \t\r\n", &t, &error));
+    EXPECT_EQ(t.numNodes(), 1u); // all-whitespace == empty == flat
+    // Inner whitespace is still malformed, not trimmed into validity.
+    error.clear();
+    EXPECT_FALSE(Topology::parseSpec("2 x 4", &t, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Topology, ParseSpecNamesZeroDimensionErrors)
+{
+    Topology t;
+    std::string error;
+    EXPECT_FALSE(Topology::parseSpec("0x4", &t, &error));
+    EXPECT_NE(error.find("at least 1 node"), std::string::npos)
+        << error;
+    error.clear();
+    EXPECT_FALSE(Topology::parseSpec("4x0", &t, &error));
+    EXPECT_NE(error.find("at least 1 node"), std::string::npos)
+        << error;
+}
+
+TEST(Topology, ParseSpecGuardsDimensionOverflow)
+{
+    Topology t;
+    std::string error;
+    // 2^32 * 2^32 wraps a 64-bit product to exactly 0: the old
+    // post-multiply range check waved it through and synthetic()
+    // aborted on a zero-node topology.
+    EXPECT_FALSE(
+        Topology::parseSpec("4294967296x4294967296", &t, &error));
+    EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+    // Overlong digit strings saturate strtoul at ULONG_MAX, whose
+    // square wraps to 1 — also under the limit.
+    error.clear();
+    EXPECT_FALSE(Topology::parseSpec(
+        "99999999999999999999x99999999999999999999", &t, &error));
+    EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+}
+
 TEST(Topology, DetectReturnsAUsableLayoutOrFlat)
 {
     // Host-dependent, so assert structure, not values: every node has

@@ -98,6 +98,29 @@ supervisor_chaos() {
         --fault-spec 'svc.worker.die:once:200,svc.task.poison:nth:400'
 }
 
+# Fairness chaos: pinned-seed scenario stream where every post-
+# round-robin run floods the service from a heavy-weight tenant while
+# a weight-1 tenant, a rate-limited tenant, and a deprioritized job
+# ride along. The soak exits nonzero — failing this stage — if the
+# weight-1 tenant is starved (the flood fully drains before its first
+# task runs), a quota rejection loses its typed reason, a preempted
+# job's re-tagged incarnations break the per-job pop ledger, or the
+# verifier's conservation check fails. The single-writer checker runs
+# in abort mode so an overlapping metrics write dies with a stack
+# trace at the racing store. The weighted CLI job-stream then drives
+# the same policy end to end: three tenants at 4:2:1 weights must all
+# complete their jobs and exit 0 with every oracle check passing.
+fairness_chaos() {
+    local builddir=$1
+    "$builddir"/tools/hdcps_soak --runs 10 --seed 83 --threads 4 \
+        --budget-ms 60000 --fairness-slice 1 --service-slice 0 \
+        --supervisor-slice 0 --abort-on-writer-violation \
+        --designs hdcps-sw,multiqueue,swminnow
+    "$builddir"/tools/hdcps_cli --kernel sssp --input cage \
+        --design multiqueue --job-stream 12 --rate 1000 --threads 4 \
+        --tenants 3 --weights 4,2,1 --admit-cap 64 --seed 9 --csv
+}
+
 # Job-stream smoke: replay a bursty multi-tenant job stream through
 # the ExecutorService with admission backpressure, retries, and an
 # armed job-fault drill. Rejections are expected (capacity 4 under
@@ -184,6 +207,8 @@ for preset in "${presets[@]}"; do
     supervisor_chaos "$builddir"
     echo "=== [$preset] topology soak ==="
     topology_soak "$builddir"
+    echo "=== [$preset] fairness chaos ==="
+    fairness_chaos "$builddir"
     echo "=== [$preset] job-stream smoke ==="
     service_stream_smoke "$builddir"
     echo "=== [$preset] bench smoke ==="

@@ -18,8 +18,11 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <limits>
 #include <memory>
 #include <string>
@@ -74,6 +77,8 @@ struct Options
     uint64_t reclaimAfterMs = 0; ///< 0 = sRQ reclamation off
     std::string stragglerSpec;   ///< empty = no straggler injection
     uint64_t jobStream = 0;      ///< 0 = single run; N = replay N jobs
+    uint64_t tenants = 0;        ///< 0 = single implicit tenant
+    std::vector<double> tenantWeights; ///< per-tenant fair-share weights
     std::string arrivals = "poisson"; ///< poisson|burst arrival process
     uint64_t rate = 50;          ///< mean job arrivals per second
     uint64_t burst = 8;          ///< jobs per burst (burst arrivals)
@@ -130,6 +135,13 @@ usage()
         "                (random sources) through the multi-tenant\n"
         "                ExecutorService and report per-job p50/p99\n"
         "                latency (threads mode)\n"
+        "  --tenants N        spread --job-stream jobs round-robin\n"
+        "                across N tenants under weighted-fair dispatch\n"
+        "                and report each tenant's completed share\n"
+        "  --weights W1,W2,.. fair-share weight per tenant (defaults\n"
+        "                to 1; shorter lists pad with 1); a weight-2\n"
+        "                tenant gets twice the dispatch share of a\n"
+        "                weight-1 tenant while both are backlogged\n"
         "  --arrivals A       job arrival process: poisson|burst\n"
         "                (default poisson)\n"
         "  --rate R      mean job arrivals per second (default 50)\n"
@@ -247,6 +259,25 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--job-stream") {
             options.jobStream =
                 parseUint("--job-stream", value(i), 1000000);
+        } else if (arg == "--tenants") {
+            options.tenants = parseUint("--tenants", value(i), 64);
+            hdcps_check(options.tenants >= 1,
+                        "--tenants must be >= 1");
+        } else if (arg == "--weights") {
+            options.tenantWeights.clear();
+            std::stringstream ss(value(i));
+            std::string item;
+            while (std::getline(ss, item, ',')) {
+                char *end = nullptr;
+                double w = std::strtod(item.c_str(), &end);
+                if (end == item.c_str() || *end != '\0' || !(w > 0))
+                    hdcps_fatal("--weights: want positive numbers "
+                                "separated by commas, got '%s'",
+                                item.c_str());
+                options.tenantWeights.push_back(w);
+            }
+            if (options.tenantWeights.empty())
+                hdcps_fatal("--weights: empty list");
         } else if (arg == "--arrivals") {
             options.arrivals = value(i);
             if (options.arrivals != "poisson" &&
@@ -540,6 +571,15 @@ runJobStream(const Options &options, const Graph &graph)
         serviceOptions.supervisor.maxRestarts =
             unsigned(options.maxRestarts);
     }
+    // --tenants: pre-register tenants 1..N with their --weights (pad
+    // short lists with weight 1) so weighted-fair dispatch applies
+    // from the first job.
+    for (uint64_t t = 0; t < options.tenants; ++t) {
+        TenantQuota quota;
+        if (t < options.tenantWeights.size())
+            quota.weight = options.tenantWeights[t];
+        serviceOptions.tenants[TenantId(t + 1)] = quota;
+    }
     ExecutorService svc(*scheduler, serviceOptions);
 
     // Each job owns its workload (oracle state is per-source); the
@@ -562,6 +602,8 @@ runJobStream(const Options &options, const Graph &graph)
         spec.process = workloadProcessFn(*workload);
         spec.initial = workload->initialTasks();
         spec.priority = rng.below(8);
+        if (options.tenants > 0)
+            spec.tenant = TenantId(1 + i % options.tenants);
         spec.deadlineMs = options.jobDeadlineMs;
         spec.retry.maxAttempts = uint32_t(options.jobRetries);
         spec.retry.deadLetterOnExhaustion = options.deadLetter;
@@ -624,6 +666,7 @@ runJobStream(const Options &options, const Graph &graph)
     }
     uint64_t wallNs = nowNs() - startNs;
     ServiceStats stats = svc.stats();
+    std::vector<TenantStats> tenantShares = svc.tenantStats();
     svc.shutdown();
 
     if (metrics) {
@@ -676,6 +719,30 @@ runJobStream(const Options &options, const Graph &graph)
                 stats.poisonedTasks);
             table.row().cell("jobs with dead letters").cell(
                 poisonedJobs);
+        }
+        if (options.tenants > 0) {
+            // Share of processed tasks per tenant: under saturation
+            // this tracks the configured weights (the fairness
+            // invariant the ExecutorService tests pin down).
+            uint64_t totalProcessed = 0;
+            for (const TenantStats &ts : tenantShares)
+                totalProcessed += ts.tasksProcessed;
+            for (const TenantStats &ts : tenantShares) {
+                double share =
+                    totalProcessed > 0
+                        ? 100.0 * double(ts.tasksProcessed) /
+                              double(totalProcessed)
+                        : 0.0;
+                std::ostringstream label;
+                label << "tenant " << ts.tenant << " (weight "
+                      << ts.weight << ")";
+                std::ostringstream detail;
+                detail << ts.jobsCompleted << " jobs, "
+                       << ts.rejected << " rejected, " << std::fixed
+                       << std::setprecision(1) << share
+                       << "% task share";
+                table.row().cell(label.str()).cell(detail.str());
+            }
         }
         table.row().cell("wall time (ms)").cell(double(wallNs) / 1e6,
                                                 2);

@@ -76,6 +76,12 @@ struct Options
      *  wedge workers mid-run (svc.worker.die / svc.worker.wedge, plus
      *  optional poison tasks), asserting heal + exact conservation. */
     double supervisorSlice = 0.15;
+    /** Fraction of runs that chaos-test weighted-fair multi-tenant
+     *  dispatch: a heavy-weight tenant floods the service while a
+     *  weight-1 tenant must still progress, a rate-limited tenant must
+     *  reject with a typed reason, and a deprioritized job's re-tagged
+     *  incarnations must conserve exactly. */
+    double fairnessSlice = 0.10;
     /** Designs to draw from (default: all). The first |designs| runs
      *  visit each exactly once, so even short sweeps cover every
      *  requested backend before randomness takes over. */
@@ -109,6 +115,11 @@ usage()
         "                 supervised service workers mid-run and assert\n"
         "                 heal, capacity restoration, and exact task\n"
         "                 conservation (default 0.15)\n"
+        "  --fairness-slice F fraction of runs that flood the service\n"
+        "                 from a heavy-weight tenant and assert that a\n"
+        "                 weight-1 tenant still progresses, quotas\n"
+        "                 reject with typed reasons, and preemption\n"
+        "                 re-tags conserve exactly (default 0.10)\n"
         "  --abort-on-writer-violation  SIGABRT at the first\n"
         "                 overlapping metrics write (stack trace at the\n"
         "                 racing store) instead of counting it\n"
@@ -200,7 +211,8 @@ parseArgs(int argc, char **argv)
                                      &error))
                 hdcps_fatal("--topology: %s", error.c_str());
         } else if (arg == "--service-slice" ||
-                   arg == "--supervisor-slice") {
+                   arg == "--supervisor-slice" ||
+                   arg == "--fairness-slice") {
             const char *text = value(i);
             char *end = nullptr;
             errno = 0;
@@ -212,8 +224,10 @@ parseArgs(int argc, char **argv)
             }
             if (arg == "--service-slice")
                 options.serviceSlice = parsed;
-            else
+            else if (arg == "--supervisor-slice")
                 options.supervisorSlice = parsed;
+            else
+                options.fairnessSlice = parsed;
         } else if (arg == "--abort-on-writer-violation") {
             options.abortOnWriterViolation = true;
         } else if (arg == "--verbose") {
@@ -227,9 +241,11 @@ parseArgs(int argc, char **argv)
         }
     }
     hdcps_check(options.threads >= 1, "--threads must be >= 1");
-    hdcps_check(options.serviceSlice + options.supervisorSlice <= 1.0,
-                "--service-slice + --supervisor-slice must not "
-                "exceed 1");
+    hdcps_check(options.serviceSlice + options.supervisorSlice +
+                        options.fairnessSlice <=
+                    1.0,
+                "--service-slice + --supervisor-slice + "
+                "--fairness-slice must not exceed 1");
     if (options.designs.empty()) {
         options.designs.assign(std::begin(kDesigns),
                                std::end(kDesigns));
@@ -254,6 +270,10 @@ struct Scenario
     /** Chaos-test the worker supervisor: kill and/or wedge service
      *  workers mid-run and assert heal + exact conservation. */
     bool supervisorRun = false;
+    /** Chaos-test weighted-fair dispatch: heavy-tenant flood vs a
+     *  weight-1 tenant, typed quota rejections, and a deprioritize
+     *  drill, all under exact per-job conservation. */
+    bool fairnessRun = false;
 };
 
 const char *const kKernels[] = {"sssp", "bfs"};
@@ -268,7 +288,8 @@ constexpr uint64_t kWatchdogMs = 3000;
 Scenario
 drawScenario(Rng &rng, uint64_t runSeed, unsigned threads,
              const std::vector<std::string> &designs, uint64_t runIndex,
-             double serviceSlice, double supervisorSlice)
+             double serviceSlice, double supervisorSlice,
+             double fairnessSlice)
 {
     Scenario s;
     s.seed = runSeed;
@@ -309,10 +330,31 @@ drawScenario(Rng &rng, uint64_t runSeed, unsigned threads,
         return s;
     }
 
+    // Fairness scenarios flood the service from a heavy-weight tenant
+    // while a weight-1 tenant, a rate-limited tenant, and a
+    // deprioritized job ride along; benign pop misfires and straggler
+    // pauses keep the dispatch path under the same pressure as the
+    // other service slices.
+    if (slice < supervisorSlice + fairnessSlice) {
+        s.fairnessRun = true;
+        s.kernel = "jobstream";
+        s.input = "synthetic";
+        if (rng.chance(0.5))
+            s.faultSpec = "exec.pop.fail:prob:0.002";
+        if (threads >= 2 && rng.chance(0.6)) {
+            unsigned victim = 1 + unsigned(rng.below(threads - 1));
+            s.stragglerSpec =
+                std::to_string(victim) + ":" +
+                std::to_string(20 + rng.below(200)) + ":" +
+                std::to_string(2 * kReclaimAfterMs + rng.below(30));
+        }
+        return s;
+    }
+
     // Service scenarios drill the multi-tenant layer: the job-level
     // fault sites replace the single-run exec.process.throw slice, and
     // straggler pauses carry over unchanged.
-    if (slice < supervisorSlice + serviceSlice) {
+    if (slice < supervisorSlice + fairnessSlice + serviceSlice) {
         s.serviceRun = true;
         s.kernel = "jobstream";
         s.input = "synthetic";
@@ -433,6 +475,8 @@ describe(const Scenario &s)
         out += " (executor service)";
     if (s.supervisorRun)
         out += " (supervised service)";
+    if (s.fairnessRun)
+        out += " (weighted-fair service)";
     return out;
 }
 
@@ -462,6 +506,9 @@ struct Tally
     uint64_t supervisorRuns = 0;
     uint64_t workerRestarts = 0; ///< healed worker deaths/wedges
     uint64_t poisonedTasks = 0;  ///< tasks dead-lettered by poison
+    uint64_t fairnessRuns = 0;
+    uint64_t demotedTasks = 0;    ///< incarnations re-tagged by preemption
+    uint64_t quotaRejections = 0; ///< typed tenant-quota rejections
 };
 
 /** Run one scenario; returns true when it met its contract. */
@@ -949,6 +996,241 @@ runSupervisorScenario(const Scenario &s, const Options &options,
     return true;
 }
 
+/**
+ * Run one weighted-fair service scenario: a heavy tenant (weight 4-8)
+ * floods the service with tree jobs while a weight-1 tenant submits a
+ * few of its own, all under a tight global in-flight budget so
+ * dispatch — and therefore the SFQ policy — is the bottleneck.
+ * Contract: the light tenant makes progress before the flood drains
+ * (the starvation bug this slice regression-tests), a rate-limited
+ * tenant's second submit rejects with the typed reason, a
+ * deprioritized flood job's re-tagged incarnations land in the
+ * verifier's per-job pop ledger exactly (pops = tasks + re-tags), and
+ * the whole ledger balances once every job is terminal.
+ */
+bool
+runFairnessScenario(const Scenario &s, const Options &options,
+                    Tally &tally)
+{
+    auto fail = [&](const std::string &why) {
+        std::cerr << "FAIL " << describe(s) << "\n  " << why << "\n";
+        return false;
+    };
+
+    ScopedFaultInjection faults(s.seed);
+    if (!s.faultSpec.empty()) {
+        std::string error;
+        hdcps_check(faults->parseSpec(s.faultSpec, &error),
+                    "soak generated a bad fault spec: %s",
+                    error.c_str());
+    }
+
+    ScopedStragglerInjection stragglers(options.threads, s.seed);
+    if (!s.stragglerSpec.empty()) {
+        std::string error;
+        hdcps_check(stragglers.injector().parseSpec(s.stragglerSpec,
+                                                    &error),
+                    "soak generated a bad straggler spec: %s",
+                    error.c_str());
+    }
+
+    auto inner = makeDesign(s, options.threads, options.topology);
+    VerifyingScheduler verified(*inner);
+    MetricsRegistry::Config metricsConfig;
+    metricsConfig.checkSingleWriter = true;
+    metricsConfig.abortOnWriterViolation =
+        options.abortOnWriterViolation;
+    MetricsRegistry metrics(options.threads, metricsConfig);
+
+    Rng rng(mix64(s.seed ^ 0xfa13u));
+    const double heavyWeight = double(4 + rng.below(5)); // 4..8
+    constexpr uint32_t kDepth = 3, kFanout = 2;
+    const uint64_t perJob = treeSize(kDepth, kFanout);
+    constexpr size_t kHeavyJobs = 12, kLightJobs = 3;
+    const uint64_t totalHeavy = perJob * kHeavyJobs;
+
+    std::atomic<uint64_t> heavyProcessed{0}, lightProcessed{0};
+    // Heavy completions observed when the light tenant's first task
+    // ran: equal to totalHeavy would mean the flood fully drained
+    // before the weight-1 tenant was served at all — starvation.
+    std::atomic<uint64_t> heavyAtFirstLight{totalHeavy};
+
+    ServiceStats stats;
+    std::vector<TenantStats> tenantShares;
+    uint64_t victimPops = 0, lightPopsTotal = 0;
+    std::vector<JobId> jobIds;
+    JobId victimId = 0;
+    {
+        ServiceOptions serviceOptions;
+        serviceOptions.numThreads = options.threads;
+        serviceOptions.admissionCapacity = 64;
+        serviceOptions.seed = s.seed;
+        serviceOptions.metrics = &metrics;
+        // Dispatch — not worker capacity — must be the bottleneck, or
+        // every job is in flight at once and weights never matter.
+        serviceOptions.maxInFlightTasks = options.threads;
+        serviceOptions.tenants[1].weight = heavyWeight;
+        serviceOptions.tenants[2].weight = 1.0;
+        serviceOptions.tenants[3].admitRatePerSec = 0.001;
+        serviceOptions.tenants[3].admitBurst = 1.0;
+        ExecutorService svc(verified, serviceOptions);
+
+        auto submit = [&](std::string name, TenantId tenant,
+                          ProcessFn fn) {
+            JobSpec spec;
+            spec.name = std::move(name);
+            spec.tenant = tenant;
+            spec.process = std::move(fn);
+            spec.initial = {Task{0, 0, kDepth}};
+            return svc.submit(std::move(spec));
+        };
+
+        // Interleave: the flood is submitted around the light jobs so
+        // the light tenant's standing depends on the dispatch policy,
+        // not submission order.
+        std::vector<JobHandle> heavy, light;
+        for (size_t i = 0; i < kHeavyJobs; ++i) {
+            heavy.push_back(submit(
+                "flood-" + std::to_string(i), 1,
+                treeJob(heavyProcessed, kFanout)));
+            if (i % 4 == 3 && light.size() < kLightJobs) {
+                size_t li = light.size();
+                light.push_back(submit(
+                    "light-" + std::to_string(li), 2,
+                    [&](unsigned tid, const Task &task,
+                        std::vector<Task> &children) {
+                        uint64_t expect = totalHeavy;
+                        heavyAtFirstLight.compare_exchange_strong(
+                            expect,
+                            heavyProcessed.load(
+                                std::memory_order_relaxed));
+                        treeJob(lightProcessed, kFanout)(tid, task,
+                                                         children);
+                    }));
+            }
+        }
+        for (const JobHandle *h : {&heavy.front(), &light.front()}) {
+            if (h->state() == JobState::Rejected) {
+                return fail("pinned job '" + h->name() +
+                            "' rejected: " + h->error());
+            }
+        }
+
+        // Rate-limit drill: burst 1 token, refill ~never — the first
+        // submit admits, the second must reject with the typed
+        // reason (rate violations reject even under blockWhenFull).
+        std::atomic<uint64_t> ratedProcessed{0};
+        JobHandle ratedOk =
+            submit("rated-ok", 3, treeJob(ratedProcessed, kFanout));
+        JobHandle ratedNo =
+            submit("rated-no", 3, treeJob(ratedProcessed, kFanout));
+        if (ratedOk.state() == JobState::Rejected) {
+            return fail("rate-limited tenant's first submit rejected: " +
+                        ratedOk.error());
+        }
+        if (ratedNo.state() != JobState::Rejected ||
+            ratedNo.rejectReason() != RejectReason::TenantRateLimited ||
+            ratedNo.error().empty()) {
+            return fail(
+                "rate-limit drill: want a TenantRateLimited "
+                "rejection with a reason, got state=" +
+                std::string(jobStateName(ratedNo.state())) +
+                " reason=" +
+                std::string(rejectReasonName(ratedNo.rejectReason())));
+        }
+        ++tally.quotaRejections;
+
+        // Deprioritize drill on a late flood job: demote must either
+        // land (non-terminal: level 1) or lose cleanly to completion.
+        JobHandle &victim = heavy.back();
+        victimId = victim.id();
+        if (victim.deprioritize()) {
+            if (victim.demoteLevel() != 1) {
+                return fail("deprioritize landed but demote level is " +
+                            std::to_string(victim.demoteLevel()));
+            }
+        } else if (victim.state() != JobState::Completed) {
+            return fail("deprioritize refused on a live job: state=" +
+                        std::string(jobStateName(victim.state())));
+        }
+
+        for (JobHandle &h : heavy) {
+            if (JobState got = h.wait(); got != JobState::Completed) {
+                return fail("flood job '" + h.name() + "' ended " +
+                            std::string(jobStateName(got)) + ": " +
+                            h.error());
+            }
+            jobIds.push_back(h.id());
+        }
+        for (JobHandle &h : light) {
+            if (JobState got = h.wait(); got != JobState::Completed) {
+                return fail("light job '" + h.name() + "' ended " +
+                            std::string(jobStateName(got)) + ": " +
+                            h.error());
+            }
+            jobIds.push_back(h.id());
+            lightPopsTotal += verified.popsForJob(h.id());
+        }
+        if (JobState got = ratedOk.wait(); got != JobState::Completed) {
+            return fail("rate-limited tenant's admitted job ended " +
+                        std::string(jobStateName(got)) + ": " +
+                        ratedOk.error());
+        }
+        jobIds.push_back(ratedOk.id());
+
+        if (lightProcessed.load() != perJob * kLightJobs)
+            return fail("light tenant processed-count mismatch");
+        if (heavyAtFirstLight.load() >= totalHeavy) {
+            return fail("weight-1 tenant starved: the flood drained "
+                        "all " + std::to_string(totalHeavy) +
+                        " tasks before its first task ran");
+        }
+
+        stats = svc.stats();
+        tenantShares = svc.tenantStats();
+        victimPops = verified.popsForJob(victimId);
+        tally.jobsCompleted += kHeavyJobs + kLightJobs + 1;
+    }
+    tally.pausesInjected += stragglers.injector().pausesInjected();
+    tally.demotedTasks += stats.demotedTasks;
+
+    // Typed-rejection accounting must reach the per-tenant snapshot.
+    for (const TenantStats &ts : tenantShares) {
+        if (ts.tenant == 3 &&
+            (ts.admitted != 1 || ts.rejected != 1)) {
+            return fail("rate-limited tenant accounting: admitted=" +
+                        std::to_string(ts.admitted) + " rejected=" +
+                        std::to_string(ts.rejected));
+        }
+    }
+
+    // Exact conservation through preemption: every re-tagged
+    // incarnation is one extra push+pop of the victim job, so its
+    // ledger must read tasks + re-tags; only the victim is ever
+    // demoted here, and light jobs (never demoted, no retry sites
+    // armed) must read exactly their tree size.
+    if (victimPops != perJob + stats.demotedTasks) {
+        return fail("victim pop ledger: " + std::to_string(victimPops) +
+                    " pops vs " + std::to_string(perJob) + " tasks + " +
+                    std::to_string(stats.demotedTasks) + " re-tags");
+    }
+    if (lightPopsTotal != perJob * kLightJobs) {
+        return fail("light tenants' pop ledger: " +
+                    std::to_string(lightPopsTotal) + " pops vs " +
+                    std::to_string(perJob * kLightJobs) + " tasks");
+    }
+
+    std::string why;
+    if (!verified.checkComplete(false, &why))
+        return fail("invariant violation: " + why);
+    if (metrics.writerViolations() > 0) {
+        return fail("metrics single-writer violation (" +
+                    std::to_string(metrics.writerViolations()) +
+                    " overlapping writes)");
+    }
+    return true;
+}
+
 } // namespace
 
 int
@@ -977,7 +1259,8 @@ main(int argc, char **argv)
         Scenario s = drawScenario(rng, runSeed, options.threads,
                                   options.designs, i,
                                   options.serviceSlice,
-                                  options.supervisorSlice);
+                                  options.supervisorSlice,
+                                  options.fairnessSlice);
         if (options.verbose)
             std::cout << "run " << i << ": " << describe(s) << "\n";
         ++tally.ran;
@@ -985,11 +1268,15 @@ main(int argc, char **argv)
             ++tally.serviceRuns;
         if (s.supervisorRun)
             ++tally.supervisorRuns;
-        bool ok = s.supervisorRun
-                      ? runSupervisorScenario(s, options, tally)
-                      : (s.serviceRun
-                             ? runServiceScenario(s, options, tally)
-                             : runScenario(s, options, graphs, tally));
+        if (s.fairnessRun)
+            ++tally.fairnessRuns;
+        bool ok = s.supervisorRun ? runSupervisorScenario(s, options,
+                                                          tally)
+                  : s.fairnessRun ? runFairnessScenario(s, options,
+                                                        tally)
+                  : s.serviceRun
+                      ? runServiceScenario(s, options, tally)
+                      : runScenario(s, options, graphs, tally);
         if (!ok) {
             ++failures;
             ++tally.failed;
@@ -1008,6 +1295,9 @@ main(int argc, char **argv)
               << " task retries), " << tally.supervisorRuns
               << " supervisor runs (" << tally.workerRestarts
               << " worker restarts, " << tally.poisonedTasks
-              << " tasks dead-lettered)\n";
+              << " tasks dead-lettered), " << tally.fairnessRuns
+              << " fairness runs (" << tally.demotedTasks
+              << " tasks demoted, " << tally.quotaRejections
+              << " quota rejections)\n";
     return failures == 0 ? 0 : 1;
 }
